@@ -1,0 +1,108 @@
+//! `matmul` — the paper's Matrix Multiplication benchmark (§V-A) as a
+//! command-line tool over the binary matrix format:
+//!
+//! ```text
+//! matmul gen <rows> <cols> <seed> <out.mat>   # create a random matrix
+//! matmul mul <a.mat> <b.mat> <c.mat>          # C = A × B via MapReduce
+//! matmul show <m.mat>                         # print shape + corner
+//! ```
+
+use mcsd_apps::{datagen, MatMul, Matrix};
+use mcsd_phoenix::{PhoenixConfig, Runtime};
+use std::process::exit;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: matmul gen <rows> <cols> <seed> <out.mat>\n\
+        \x20      matmul mul <a.mat> <b.mat> <c.mat>\n\
+        \x20      matmul show <m.mat>"
+    );
+    exit(2);
+}
+
+fn read_matrix(path: &str) -> Matrix {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    Matrix::from_bytes(&bytes).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let (Some(rows), Some(cols), Some(seed), Some(out)) = (
+                args.get(1).and_then(|s| s.parse::<usize>().ok()),
+                args.get(2).and_then(|s| s.parse::<usize>().ok()),
+                args.get(3).and_then(|s| s.parse::<u64>().ok()),
+                args.get(4),
+            ) else {
+                usage();
+            };
+            let m = datagen::random_matrix(rows, cols, seed);
+            if let Err(e) = std::fs::write(out, m.to_bytes()) {
+                eprintln!("cannot write {out}: {e}");
+                exit(1);
+            }
+            eprintln!("# wrote {rows}x{cols} matrix ({} bytes) to {out}", m.byte_len());
+        }
+        Some("mul") => {
+            let (Some(a_path), Some(b_path), Some(c_path)) =
+                (args.get(1), args.get(2), args.get(3))
+            else {
+                usage();
+            };
+            let a = read_matrix(a_path);
+            let b = read_matrix(b_path);
+            if a.cols != b.rows {
+                eprintln!("shape mismatch: {}x{} × {}x{}", a.rows, a.cols, b.rows, b.cols);
+                exit(2);
+            }
+            let job = MatMul::new(Arc::new(a), &b);
+            let runtime = Runtime::new(PhoenixConfig::default());
+            let t0 = std::time::Instant::now();
+            match runtime.run(&job, &job.row_input()) {
+                Ok(out) => {
+                    let c = job.assemble(&out.pairs);
+                    if let Err(e) = std::fs::write(c_path, c.to_bytes()) {
+                        eprintln!("cannot write {c_path}: {e}");
+                        exit(1);
+                    }
+                    eprintln!(
+                        "# {}x{} × {}x{} in {:?} ({} map tasks)",
+                        job.out_rows(),
+                        job.out_rows(),
+                        job.out_cols(),
+                        job.out_cols(),
+                        t0.elapsed(),
+                        out.stats.map_tasks
+                    );
+                }
+                Err(e) => {
+                    eprintln!("matmul failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        Some("show") => {
+            let Some(path) = args.get(1) else { usage() };
+            let m = read_matrix(path);
+            println!("{}x{} matrix", m.rows, m.cols);
+            for r in 0..m.rows.min(4) {
+                let cells: Vec<String> = (0..m.cols.min(4))
+                    .map(|c| format!("{:>9.4}", m.get(r, c)))
+                    .collect();
+                println!("  {}{}", cells.join(" "), if m.cols > 4 { " …" } else { "" });
+            }
+            if m.rows > 4 {
+                println!("  …");
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,154 @@
+//! Histogram — from the original Phoenix benchmark suite (Ranger et al.,
+//! the paper's reference \[13\]), which the McSD runtime inherits. Counts the
+//! occurrences of each byte value in a binary input (Phoenix histograms
+//! the RGB channels of a bitmap; the structure is identical).
+//!
+//! Demonstrates a job whose input splits at arbitrary byte boundaries and
+//! whose map aggregates into a fixed-width local table before emitting —
+//! the intermediate volume is 256 pairs per chunk regardless of input
+//! size.
+
+use mcsd_phoenix::prelude::*;
+
+/// The byte-value histogram job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Merge function for partitioned runs: per-fragment bin counts sum.
+    pub fn merger() -> SumMerger<fn(&mut u64, u64)> {
+        SumMerger::new(|acc: &mut u64, v: u64| *acc += v)
+    }
+
+    /// Expand job output into a dense 256-bin table.
+    pub fn to_bins(pairs: &[(u8, u64)]) -> [u64; 256] {
+        let mut bins = [0u64; 256];
+        for (b, c) in pairs {
+            bins[*b as usize] = *c;
+        }
+        bins
+    }
+}
+
+impl Job for Histogram {
+    type Key = u8;
+    type Value = u64;
+
+    fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, u8, u64>) {
+        let mut local = [0u64; 256];
+        for &b in chunk.bytes() {
+            local[b as usize] += 1;
+        }
+        for (b, &count) in local.iter().enumerate() {
+            if count > 0 {
+                emitter.emit(b as u8, count);
+            }
+        }
+    }
+
+    fn reduce(&self, _key: &u8, values: &mut ValueIter<'_, u64>) -> Option<u64> {
+        Some(values.sum())
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, acc: &mut u64, next: u64) {
+        *acc += next;
+    }
+
+    fn split_spec(&self) -> SplitSpec {
+        SplitSpec::bytes()
+    }
+
+    fn output_order(&self) -> OutputOrder {
+        OutputOrder::ByKey
+    }
+
+    /// The histogram's working set is the input plus a few KB of bins.
+    fn footprint_factor(&self) -> f64 {
+        1.1
+    }
+
+    fn name(&self) -> &str {
+        "histogram"
+    }
+}
+
+/// Sequential reference.
+pub fn seq_histogram(data: &[u8]) -> [u64; 256] {
+    let mut bins = [0u64; 256];
+    for &b in data {
+        bins[b as usize] += 1;
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsd_phoenix::{PartitionSpec, PartitionedRuntime, PhoenixConfig, Runtime};
+    use rand::{RngExt, SeedableRng};
+
+    fn data(n: usize) -> Vec<u8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        (0..n).map(|_| rng.random_range(0..=255u8)).collect()
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let input = data(50_000);
+        let rt = Runtime::new(PhoenixConfig::with_workers(3).chunk_bytes(4096));
+        let out = rt.run(&Histogram, &input).unwrap();
+        assert_eq!(Histogram::to_bins(&out.pairs), seq_histogram(&input));
+    }
+
+    #[test]
+    fn total_count_equals_input_length() {
+        let input = data(12_345);
+        let rt = Runtime::new(PhoenixConfig::with_workers(2));
+        let out = rt.run(&Histogram, &input).unwrap();
+        let total: u64 = out.pairs.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 12_345);
+    }
+
+    #[test]
+    fn partitioned_matches_whole() {
+        let input = data(30_000);
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(2048));
+        let whole = rt.run(&Histogram, &input).unwrap();
+        let part = PartitionedRuntime::new(rt, PartitionSpec::new(7_000));
+        let out = part.run(&Histogram, &input, &Histogram::merger()).unwrap();
+        assert_eq!(whole.pairs, out.pairs);
+        assert!(out.stats.fragments >= 4);
+    }
+
+    #[test]
+    fn keys_come_out_sorted() {
+        let input = data(5_000);
+        let rt = Runtime::new(PhoenixConfig::with_workers(2));
+        let out = rt.run(&Histogram, &input).unwrap();
+        for w in out.pairs.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn intermediate_volume_is_bounded_by_bins() {
+        // 256 bins per chunk at most, regardless of input size.
+        let input = data(64_000);
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(8_000));
+        let out = rt.run(&Histogram, &input).unwrap();
+        let chunks = out.stats.map_tasks;
+        assert!(out.stats.emitted_pairs <= 256 * chunks);
+    }
+
+    #[test]
+    fn empty_input() {
+        let rt = Runtime::new(PhoenixConfig::with_workers(1));
+        let out = rt.run(&Histogram, b"").unwrap();
+        assert!(out.pairs.is_empty());
+        assert_eq!(Histogram::to_bins(&out.pairs), [0u64; 256]);
+    }
+}

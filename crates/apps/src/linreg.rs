@@ -1,0 +1,233 @@
+//! Linear Regression — from the original Phoenix benchmark suite (Ranger
+//! et al., the paper's reference \[13\]). Fits `y = slope·x + intercept` by least
+//! squares over a stream of fixed-width sample records.
+//!
+//! Demonstrates a numeric-aggregation job: every map task folds its
+//! records into one partial-moment accumulator and emits a single pair,
+//! so the reduce stage only combines `O(chunks)` accumulators.
+//!
+//! Record format: 16 bytes — `x: f64 LE`, `y: f64 LE`.
+
+use mcsd_phoenix::prelude::*;
+
+/// Width of one `(x, y)` sample record in bytes.
+pub const RECORD: usize = 16;
+
+/// Partial sums of the least-squares moments.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Moments {
+    /// Sample count.
+    pub n: u64,
+    /// Σx.
+    pub sx: f64,
+    /// Σy.
+    pub sy: f64,
+    /// Σx².
+    pub sxx: f64,
+    /// Σxy.
+    pub sxy: f64,
+}
+
+impl Moments {
+    /// Fold one sample in.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.sxy += x * y;
+    }
+
+    /// Merge another accumulator in (associative, commutative).
+    pub fn merge(&mut self, other: Moments) {
+        self.n += other.n;
+        self.sx += other.sx;
+        self.sy += other.sy;
+        self.sxx += other.sxx;
+        self.sxy += other.sxy;
+    }
+
+    /// The fitted `(slope, intercept)`, or `None` for degenerate inputs
+    /// (fewer than two samples or zero variance in x).
+    pub fn fit(&self) -> Option<(f64, f64)> {
+        if self.n < 2 {
+            return None;
+        }
+        let n = self.n as f64;
+        let denom = n * self.sxx - self.sx * self.sx;
+        if denom.abs() < f64::EPSILON * n * self.sxx.abs().max(1.0) {
+            return None;
+        }
+        let slope = (n * self.sxy - self.sx * self.sy) / denom;
+        let intercept = (self.sy - slope * self.sx) / n;
+        Some((slope, intercept))
+    }
+}
+
+/// The linear-regression job. All partial moments share one key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearRegression;
+
+impl LinearRegression {
+    /// Encode samples into the record format.
+    pub fn encode_samples(samples: &[(f64, f64)]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(samples.len() * RECORD);
+        for (x, y) in samples {
+            out.extend_from_slice(&x.to_le_bytes());
+            out.extend_from_slice(&y.to_le_bytes());
+        }
+        out
+    }
+
+    /// Extract the fit from a job output.
+    pub fn fit_of(pairs: &[((), Moments)]) -> Option<(f64, f64)> {
+        pairs.first().and_then(|(_, m)| m.fit())
+    }
+}
+
+impl Job for LinearRegression {
+    type Key = ();
+    type Value = Moments;
+
+    fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, (), Moments>) {
+        let mut acc = Moments::default();
+        for record in chunk.records(RECORD) {
+            let x = f64::from_le_bytes(record[..8].try_into().expect("8 bytes"));
+            let y = f64::from_le_bytes(record[8..].try_into().expect("8 bytes"));
+            acc.push(x, y);
+        }
+        if acc.n > 0 {
+            emitter.emit((), acc);
+        }
+    }
+
+    fn reduce(&self, _key: &(), values: &mut ValueIter<'_, Moments>) -> Option<Moments> {
+        let mut total = Moments::default();
+        for m in values {
+            total.merge(*m);
+        }
+        Some(total)
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, acc: &mut Moments, next: Moments) {
+        acc.merge(next);
+    }
+
+    fn split_spec(&self) -> SplitSpec {
+        SplitSpec::records(RECORD)
+    }
+
+    fn output_order(&self) -> OutputOrder {
+        OutputOrder::Unsorted
+    }
+
+    fn footprint_factor(&self) -> f64 {
+        1.1
+    }
+
+    fn name(&self) -> &str {
+        "linear-regression"
+    }
+}
+
+/// Sequential reference fit.
+pub fn seq_linreg(samples: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let mut m = Moments::default();
+    for (x, y) in samples {
+        m.push(*x, *y);
+    }
+    m.fit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsd_phoenix::{PartitionSpec, PartitionedRuntime, PhoenixConfig, Runtime};
+    use rand::{RngExt, SeedableRng};
+
+    fn noisy_line(n: usize, slope: f64, intercept: f64, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                let noise = rng.random_range(-0.01..0.01);
+                (x, slope * x + intercept + noise)
+            })
+            .collect()
+    }
+
+    fn run_fit(samples: &[(f64, f64)], workers: usize) -> (f64, f64) {
+        let input = LinearRegression::encode_samples(samples);
+        let rt = Runtime::new(PhoenixConfig::with_workers(workers).chunk_bytes(256));
+        let out = rt.run(&LinearRegression, &input).unwrap();
+        LinearRegression::fit_of(&out.pairs).expect("fit exists")
+    }
+
+    #[test]
+    fn recovers_a_clean_line() {
+        let samples: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 3.0 * i as f64 + 7.0)).collect();
+        let (slope, intercept) = run_fit(&samples, 2);
+        assert!((slope - 3.0).abs() < 1e-9);
+        assert!((intercept - 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn matches_sequential_reference_on_noisy_data() {
+        let samples = noisy_line(2_000, -1.7, 4.2, 5);
+        let (s_par, i_par) = run_fit(&samples, 4);
+        let (s_seq, i_seq) = seq_linreg(&samples).unwrap();
+        assert!((s_par - s_seq).abs() < 1e-9);
+        assert!((i_par - i_seq).abs() < 1e-9);
+        assert!((s_par - -1.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn partitioned_matches_whole() {
+        let samples = noisy_line(3_000, 0.5, -2.0, 8);
+        let input = LinearRegression::encode_samples(&samples);
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(512));
+        let whole = rt.run(&LinearRegression, &input).unwrap();
+        let part = PartitionedRuntime::new(rt, PartitionSpec::new(10_000));
+        let merger = SumMerger::new(|acc: &mut Moments, v: Moments| acc.merge(v));
+        let split = part.run(&LinearRegression, &input, &merger).unwrap();
+        let (sw, iw) = LinearRegression::fit_of(&whole.pairs).unwrap();
+        let (sp, ip) = LinearRegression::fit_of(&split.pairs).unwrap();
+        assert!((sw - sp).abs() < 1e-9);
+        assert!((iw - ip).abs() < 1e-9);
+        assert!(split.stats.fragments >= 3);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_no_fit() {
+        assert!(seq_linreg(&[]).is_none());
+        assert!(seq_linreg(&[(1.0, 2.0)]).is_none());
+        // Zero variance in x.
+        assert!(seq_linreg(&[(2.0, 1.0), (2.0, 5.0), (2.0, 9.0)]).is_none());
+    }
+
+    #[test]
+    fn moments_merge_is_associative() {
+        let samples = noisy_line(90, 2.0, 1.0, 3);
+        let mut all = Moments::default();
+        for (x, y) in &samples {
+            all.push(*x, *y);
+        }
+        let mut left = Moments::default();
+        let mut right = Moments::default();
+        for (i, (x, y)) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                left.push(*x, *y);
+            } else {
+                right.push(*x, *y);
+            }
+        }
+        left.merge(right);
+        assert_eq!(left.n, all.n);
+        assert!((left.sxy - all.sxy).abs() < 1e-9);
+        assert_eq!(left.fit().is_some(), all.fit().is_some());
+    }
+}

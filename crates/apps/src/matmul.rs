@@ -1,0 +1,330 @@
+//! Matrix Multiplication (paper §V-A).
+//!
+//! "Each Map computes multiplication for a set of rows of the output
+//! matrix. It outputs multiplication for a row ID and column ID as the key
+//! and the corresponding result as the value. The reduce task is just the
+//! identity function."
+//!
+//! The job input is a list of row indices (4-byte little-endian records);
+//! the matrices themselves live in the job, shared read-only across map
+//! workers — exactly how Phoenix's MM passes matrix pointers through its
+//! map arguments. We emit one pair per output *row* (key = row id, value =
+//! the computed row) rather than per cell, which keeps the intermediate
+//! volume at O(n²) numbers without millions of tiny pairs.
+
+use mcsd_phoenix::partition::ConcatMerger;
+use mcsd_phoenix::prelude::*;
+use std::sync::Arc;
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a row-major data vector. Panics when the length does not
+    /// match the shape.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "data length must match shape");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Element access.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Max absolute element-wise difference to another matrix.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Size of the matrix payload in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Serialize to the on-disk format: magic, u64 rows, u64 cols, then
+    /// row-major f64 little-endian values.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::MAGIC.len() + 16 + self.byte_len());
+        out.extend_from_slice(Self::MAGIC);
+        out.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        out.extend_from_slice(&(self.cols as u64).to_le_bytes());
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from [`Matrix::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Matrix, String> {
+        let header = Self::MAGIC.len() + 16;
+        if bytes.len() < header || &bytes[..Self::MAGIC.len()] != Self::MAGIC {
+            return Err("not a matrix file (bad magic or truncated header)".into());
+        }
+        let rows = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let cols = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let expected = header + rows.checked_mul(cols).ok_or("shape overflow")? * 8;
+        if bytes.len() != expected {
+            return Err(format!(
+                "matrix payload length {} does not match shape {rows}x{cols}",
+                bytes.len() - header
+            ));
+        }
+        let data: Vec<f64> = bytes[header..]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Magic prefix of the on-disk matrix format.
+    pub const MAGIC: &'static [u8] = b"MCSDMAT1";
+}
+
+/// The Matrix Multiplication MapReduce job computing `C = A × B`.
+#[derive(Debug, Clone)]
+pub struct MatMul {
+    a: Arc<Matrix>,
+    /// B stored transposed so the inner dot product walks two contiguous
+    /// rows.
+    b_t: Arc<Matrix>,
+}
+
+impl MatMul {
+    /// Byte width of one row-index record in the job input.
+    pub const RECORD: usize = 4;
+
+    /// Create the job. Panics if the shapes are incompatible.
+    pub fn new(a: Arc<Matrix>, b: &Matrix) -> MatMul {
+        assert_eq!(a.cols, b.rows, "A.cols must equal B.rows");
+        MatMul {
+            a,
+            b_t: Arc::new(b.transpose()),
+        }
+    }
+
+    /// The job input: all row indices of C, as fixed-size records.
+    pub fn row_input(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.a.rows * Self::RECORD);
+        for r in 0..self.a.rows as u32 {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rows of the output matrix.
+    pub fn out_rows(&self) -> usize {
+        self.a.rows
+    }
+
+    /// Columns of the output matrix.
+    pub fn out_cols(&self) -> usize {
+        self.b_t.rows
+    }
+
+    /// Assemble job output pairs into the product matrix.
+    pub fn assemble(&self, pairs: &[(u32, Vec<f64>)]) -> Matrix {
+        let mut c = Matrix::zeros(self.out_rows(), self.out_cols());
+        for (r, row) in pairs {
+            for (j, v) in row.iter().enumerate() {
+                c.set(*r as usize, j, *v);
+            }
+        }
+        c
+    }
+
+    /// The merger for partitioned runs (row keys never repeat across
+    /// fragments).
+    pub fn merger() -> ConcatMerger {
+        ConcatMerger
+    }
+}
+
+impl Job for MatMul {
+    type Key = u32;
+    type Value = Vec<f64>;
+
+    fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, u32, Vec<f64>>) {
+        for record in chunk.records(Self::RECORD) {
+            let r = u32::from_le_bytes(record.try_into().expect("4-byte record")) as usize;
+            let a_row = self.a.row(r);
+            let mut out = Vec::with_capacity(self.out_cols());
+            for j in 0..self.out_cols() {
+                let b_col = self.b_t.row(j);
+                let dot: f64 = a_row.iter().zip(b_col).map(|(x, y)| x * y).sum();
+                out.push(dot);
+            }
+            emitter.emit(r as u32, out);
+        }
+    }
+
+    /// "The reduce task is just the identity function."
+    fn reduce(&self, _key: &u32, values: &mut ValueIter<'_, Vec<f64>>) -> Option<Vec<f64>> {
+        values.next().cloned()
+    }
+
+    fn split_spec(&self) -> SplitSpec {
+        SplitSpec::records(Self::RECORD)
+    }
+
+    fn output_order(&self) -> OutputOrder {
+        OutputOrder::ByKey
+    }
+
+    /// MM is the paper's computation-intensive benchmark: its log-file
+    /// input (row ids) is tiny and the matrices are preloaded, so it never
+    /// stresses the memory model.
+    fn footprint_factor(&self) -> f64 {
+        1.0
+    }
+
+    fn name(&self) -> &str {
+        "matmul"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen;
+    use crate::seq;
+    use mcsd_phoenix::{PhoenixConfig, Runtime};
+
+    #[test]
+    fn matrix_basics() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(m.byte_len(), 48);
+        let t = m.transpose();
+        assert_eq!(t.get(2, 1), 5.0);
+        assert_eq!((t.rows, t.cols), (3, 2));
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = Arc::new(Matrix::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 }));
+        let b = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let job = MatMul::new(Arc::clone(&a), &b);
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(8));
+        let out = rt.run(&job, &job.row_input()).unwrap();
+        let c = job.assemble(&out.pairs);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let (a, b) = datagen::matrix_pair(17, 23, 13, 42);
+        let job = MatMul::new(Arc::new(a.clone()), &b);
+        let rt = Runtime::new(PhoenixConfig::with_workers(4).chunk_bytes(12));
+        let out = rt.run(&job, &job.row_input()).unwrap();
+        let c = job.assemble(&out.pairs);
+        let reference = seq::matmul(&a, &b);
+        assert!(c.max_abs_diff(&reference) < 1e-9);
+    }
+
+    #[test]
+    fn rows_come_out_in_order() {
+        let (a, b) = datagen::matrix_pair(9, 9, 9, 7);
+        let job = MatMul::new(Arc::new(a), &b);
+        let rt = Runtime::new(PhoenixConfig::with_workers(3).chunk_bytes(8));
+        let out = rt.run(&job, &job.row_input()).unwrap();
+        let keys: Vec<u32> = out.pairs.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..9).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "A.cols must equal B.rows")]
+    fn shape_mismatch_panics() {
+        let a = Arc::new(Matrix::zeros(2, 3));
+        let b = Matrix::zeros(2, 3);
+        let _ = MatMul::new(a, &b);
+    }
+
+    #[test]
+    fn row_input_is_records() {
+        let a = Arc::new(Matrix::zeros(5, 2));
+        let b = Matrix::zeros(2, 4);
+        let job = MatMul::new(a, &b);
+        let input = job.row_input();
+        assert_eq!(input.len(), 5 * MatMul::RECORD);
+        assert_eq!(u32::from_le_bytes(input[4..8].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn matrix_bytes_roundtrip() {
+        let m = datagen::random_matrix(7, 5, 77);
+        let bytes = m.to_bytes();
+        let back = Matrix::from_bytes(&bytes).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn matrix_from_bytes_rejects_garbage() {
+        assert!(Matrix::from_bytes(b"").is_err());
+        assert!(Matrix::from_bytes(b"WRONGMAG________").is_err());
+        let mut ok = datagen::random_matrix(2, 2, 1).to_bytes();
+        ok.pop(); // truncate one byte
+        assert!(Matrix::from_bytes(&ok).is_err());
+    }
+
+    #[test]
+    fn non_square_shapes() {
+        let (a, b) = datagen::matrix_pair(3, 7, 5, 1);
+        let job = MatMul::new(Arc::new(a.clone()), &b);
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(4));
+        let out = rt.run(&job, &job.row_input()).unwrap();
+        let c = job.assemble(&out.pairs);
+        assert_eq!((c.rows, c.cols), (3, 5));
+        assert!(c.max_abs_diff(&seq::matmul(&a, &b)) < 1e-9);
+    }
+}

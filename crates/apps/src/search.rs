@@ -1,0 +1,155 @@
+//! Substring search used by String Match.
+//!
+//! Boyer–Moore–Horspool with a 256-entry bad-character shift table: the map
+//! function scans every line of the "encrypt" file for every key, so the
+//! inner-loop matcher dominates SM's runtime.
+
+/// A compiled search pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    needle: Vec<u8>,
+    shift: [usize; 256],
+}
+
+impl Pattern {
+    /// Compile `needle`. Empty needles are legal and match at offset 0.
+    pub fn new(needle: impl Into<Vec<u8>>) -> Pattern {
+        let needle = needle.into();
+        let m = needle.len();
+        let mut shift = [m.max(1); 256];
+        if m > 0 {
+            for (i, &b) in needle[..m - 1].iter().enumerate() {
+                shift[b as usize] = m - 1 - i;
+            }
+        }
+        Pattern { needle, shift }
+    }
+
+    /// The pattern bytes.
+    pub fn needle(&self) -> &[u8] {
+        &self.needle
+    }
+
+    /// First match offset in `haystack`, if any.
+    pub fn find(&self, haystack: &[u8]) -> Option<usize> {
+        let m = self.needle.len();
+        if m == 0 {
+            return Some(0);
+        }
+        let n = haystack.len();
+        if n < m {
+            return None;
+        }
+        let mut i = 0usize;
+        while i <= n - m {
+            if haystack[i..i + m] == self.needle[..] {
+                return Some(i);
+            }
+            let last = haystack[i + m - 1];
+            i += self.shift[last as usize];
+        }
+        None
+    }
+
+    /// Whether `haystack` contains the pattern.
+    pub fn matches(&self, haystack: &[u8]) -> bool {
+        self.find(haystack).is_some()
+    }
+
+    /// All non-overlapping match offsets.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<usize> {
+        let mut out = Vec::new();
+        let m = self.needle.len();
+        if m == 0 {
+            return out;
+        }
+        let mut start = 0usize;
+        while let Some(off) = self.find(&haystack[start..]) {
+            out.push(start + off);
+            start += off + m;
+            if start > haystack.len() {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_simple_match() {
+        let p = Pattern::new(b"needle".to_vec());
+        assert_eq!(p.find(b"hay needle stack"), Some(4));
+        assert!(p.matches(b"hay needle stack"));
+    }
+
+    #[test]
+    fn no_match() {
+        let p = Pattern::new(b"zz".to_vec());
+        assert_eq!(p.find(b"aaaaaaaa"), None);
+        assert!(!p.matches(b"aaaaaaaa"));
+    }
+
+    #[test]
+    fn match_at_start_and_end() {
+        let p = Pattern::new(b"ab".to_vec());
+        assert_eq!(p.find(b"abxxx"), Some(0));
+        assert_eq!(p.find(b"xxxab"), Some(3));
+    }
+
+    #[test]
+    fn needle_longer_than_haystack() {
+        let p = Pattern::new(b"longneedle".to_vec());
+        assert_eq!(p.find(b"short"), None);
+    }
+
+    #[test]
+    fn empty_needle_matches_everywhere() {
+        let p = Pattern::new(Vec::new());
+        assert_eq!(p.find(b"anything"), Some(0));
+        assert_eq!(p.find(b""), Some(0));
+    }
+
+    #[test]
+    fn exact_equality() {
+        let p = Pattern::new(b"exact".to_vec());
+        assert_eq!(p.find(b"exact"), Some(0));
+    }
+
+    #[test]
+    fn repeated_bytes() {
+        let p = Pattern::new(b"aaa".to_vec());
+        assert_eq!(p.find(b"aabaaa"), Some(3));
+    }
+
+    #[test]
+    fn find_all_non_overlapping() {
+        let p = Pattern::new(b"ab".to_vec());
+        assert_eq!(p.find_all(b"ababab"), vec![0, 2, 4]);
+        let p = Pattern::new(b"aa".to_vec());
+        assert_eq!(p.find_all(b"aaaa"), vec![0, 2]);
+    }
+
+    #[test]
+    fn agrees_with_naive_search() {
+        // Differential test against the obvious implementation.
+        let alphabet = b"abc";
+        let mut haystack = Vec::new();
+        for i in 0..2000 {
+            haystack.push(alphabet[(i * 7 + i / 3) % 3]);
+        }
+        for nlen in 1..6 {
+            for start in (0..haystack.len() - nlen).step_by(97) {
+                let needle = haystack[start..start + nlen].to_vec();
+                let p = Pattern::new(needle.clone());
+                let naive = haystack
+                    .windows(nlen)
+                    .position(|w| w == needle.as_slice());
+                assert_eq!(p.find(&haystack), naive, "needle {needle:?}");
+            }
+        }
+    }
+}

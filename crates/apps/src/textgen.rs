@@ -1,0 +1,175 @@
+//! Zipf-distributed text generation for the Word Count workload.
+//!
+//! Natural-language word frequencies follow a Zipf law, and Word Count's
+//! combiner effectiveness and intermediate volume depend directly on that
+//! skew, so the generator samples a synthetic vocabulary with
+//! `P(rank k) ∝ 1/k^s`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic Zipf text generator.
+#[derive(Debug, Clone)]
+pub struct TextGen {
+    /// Number of distinct words in the vocabulary.
+    pub vocab_size: usize,
+    /// Zipf exponent (1.0 ≈ natural language).
+    pub exponent: f64,
+    /// RNG seed; equal seeds give byte-identical corpora.
+    pub seed: u64,
+    /// Approximate line length in bytes before a newline is inserted.
+    pub line_len: usize,
+}
+
+impl Default for TextGen {
+    fn default() -> Self {
+        TextGen {
+            vocab_size: 10_000,
+            exponent: 1.0,
+            seed: 0x5eed,
+            line_len: 80,
+        }
+    }
+}
+
+impl TextGen {
+    /// A generator with the default shape and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        TextGen {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The `rank`-th vocabulary word (0-based): a short pronounceable
+    /// token, unique per rank.
+    pub fn word(&self, rank: usize) -> String {
+        // Base-26 encoding with a consonant/vowel flavour so words look
+        // plausible and never collide across ranks.
+        const C: &[u8] = b"bcdfghjklmnpqrstvwxz";
+        const V: &[u8] = b"aeiou";
+        let mut n = rank;
+        let mut out = Vec::new();
+        loop {
+            out.push(C[n % C.len()]);
+            n /= C.len();
+            out.push(V[n % V.len()]);
+            n /= V.len();
+            if n == 0 {
+                break;
+            }
+        }
+        String::from_utf8(out).expect("ascii")
+    }
+
+    /// Cumulative Zipf weights for sampling.
+    fn cumulative(&self) -> Vec<f64> {
+        let mut cum = Vec::with_capacity(self.vocab_size);
+        let mut total = 0.0;
+        for k in 1..=self.vocab_size {
+            total += 1.0 / (k as f64).powf(self.exponent);
+            cum.push(total);
+        }
+        cum
+    }
+
+    /// Generate approximately `target_bytes` of text (never less; words
+    /// are whole).
+    pub fn generate(&self, target_bytes: usize) -> Vec<u8> {
+        let cum = self.cumulative();
+        let total = *cum.last().unwrap_or(&1.0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(target_bytes + 16);
+        let mut line = 0usize;
+        while out.len() < target_bytes {
+            let x: f64 = rng.random_range(0.0..total);
+            let rank = cum.partition_point(|&c| c < x);
+            let w = self.word(rank.min(self.vocab_size - 1));
+            out.extend_from_slice(w.as_bytes());
+            line += w.len() + 1;
+            if line >= self.line_len {
+                out.push(b'\n');
+                line = 0;
+            } else {
+                out.push(b' ');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn words_are_unique_per_rank() {
+        let g = TextGen::default();
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..5000 {
+            assert!(seen.insert(g.word(rank)), "duplicate word at rank {rank}");
+        }
+    }
+
+    #[test]
+    fn words_are_nonempty_ascii() {
+        let g = TextGen::default();
+        for rank in [0, 1, 25, 1000, 99999] {
+            let w = g.word(rank);
+            assert!(!w.is_empty());
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn generate_hits_target_size() {
+        let g = TextGen::with_seed(7);
+        let text = g.generate(10_000);
+        assert!(text.len() >= 10_000);
+        assert!(text.len() < 10_100);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TextGen::with_seed(42).generate(5_000);
+        let b = TextGen::with_seed(42).generate(5_000);
+        assert_eq!(a, b);
+        let c = TextGen::with_seed(43).generate(5_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distribution_is_skewed() {
+        let g = TextGen {
+            vocab_size: 1000,
+            ..TextGen::with_seed(1)
+        };
+        let text = g.generate(100_000);
+        let mut counts: HashMap<&[u8], u64> = HashMap::new();
+        for w in text.split(|b: &u8| b.is_ascii_whitespace()) {
+            if !w.is_empty() {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Zipf: the most frequent word dominates the median word by a wide
+        // margin.
+        let top = freqs[0];
+        let median = freqs[freqs.len() / 2];
+        assert!(top > 10 * median, "top={top} median={median}");
+    }
+
+    #[test]
+    fn lines_are_bounded() {
+        let g = TextGen {
+            line_len: 40,
+            ..TextGen::with_seed(3)
+        };
+        let text = g.generate(20_000);
+        for line in text.split(|&b| b == b'\n') {
+            assert!(line.len() < 40 + 24, "line too long: {}", line.len());
+        }
+    }
+}

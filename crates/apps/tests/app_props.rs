@@ -1,0 +1,120 @@
+//! Property tests for the benchmark applications.
+
+use mcsd_apps::search::Pattern;
+use mcsd_apps::{datagen, seq, Matrix, StringMatch, WordCount};
+use mcsd_phoenix::{PhoenixConfig, Runtime};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// Boyer–Moore–Horspool agrees with naive substring search.
+    #[test]
+    fn bmh_agrees_with_naive(
+        haystack in proptest::collection::vec(0u8..8, 0..300),
+        needle in proptest::collection::vec(0u8..8, 0..6),
+    ) {
+        let p = Pattern::new(needle.clone());
+        let naive = if needle.is_empty() {
+            Some(0)
+        } else if haystack.len() < needle.len() {
+            None
+        } else {
+            haystack.windows(needle.len()).position(|w| w == needle.as_slice())
+        };
+        prop_assert_eq!(p.find(&haystack), naive);
+    }
+
+    /// find_all returns non-overlapping, valid, ordered matches.
+    #[test]
+    fn find_all_invariants(
+        haystack in proptest::collection::vec(0u8..4, 0..200),
+        needle in proptest::collection::vec(0u8..4, 1..4),
+    ) {
+        let p = Pattern::new(needle.clone());
+        let hits = p.find_all(&haystack);
+        for w in hits.windows(2) {
+            prop_assert!(w[1] >= w[0] + needle.len(), "overlap at {w:?}");
+        }
+        for &h in &hits {
+            prop_assert_eq!(&haystack[h..h + needle.len()], needle.as_slice());
+        }
+    }
+
+    /// Word Count totals: the sum of counts equals the number of words.
+    #[test]
+    fn wordcount_conserves_words(words in proptest::collection::vec("[a-d]{1,4}", 0..150)) {
+        let text = words.join(" ").into_bytes();
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(32));
+        let out = rt.run(&WordCount, &text).unwrap();
+        let total: u64 = out.pairs.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, words.len() as u64);
+    }
+
+    /// StringMatch never reports an offset that does not start a line
+    /// containing a key.
+    #[test]
+    fn stringmatch_offsets_are_sound(seed in 0u64..200, rate in 0.0f64..0.4) {
+        let keys = datagen::keys_file(3, 5, seed);
+        let encrypt = datagen::encrypt_file(3_000, &keys, rate, seed ^ 7);
+        let job = StringMatch::new(&keys);
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(256));
+        let out = rt.run(&job, &encrypt).unwrap();
+        for (offset, ki) in &out.pairs {
+            let line = encrypt[*offset as usize..]
+                .split(|&b| b == b'\n')
+                .next()
+                .unwrap();
+            let p = Pattern::new(keys[*ki as usize].as_bytes().to_vec());
+            prop_assert!(p.matches(line), "offset {offset} key {ki}");
+            // The offset is a line start: preceding byte is a newline (or
+            // start of file).
+            if *offset > 0 {
+                prop_assert_eq!(encrypt[*offset as usize - 1], b'\n');
+            }
+        }
+    }
+
+    /// Matrix transpose is an involution and multiplication transposes
+    /// contravariantly: (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn matrix_transpose_laws(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..100) {
+        let (a, b) = datagen::matrix_pair(m, k, n, seed);
+        prop_assert_eq!(&a.transpose().transpose(), &a);
+        let ab_t = seq::matmul(&a, &b).transpose();
+        let bt_at = seq::matmul(&b.transpose(), &a.transpose());
+        prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-9);
+    }
+
+    /// MapReduce MM equals sequential MM for arbitrary shapes.
+    #[test]
+    fn mapreduce_matmul_equals_seq(m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..100) {
+        let (a, b) = datagen::matrix_pair(m, k, n, seed);
+        let job = mcsd_apps::MatMul::new(Arc::new(a.clone()), &b);
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(8));
+        let out = rt.run(&job, &job.row_input()).unwrap();
+        let c = job.assemble(&out.pairs);
+        prop_assert!(c.max_abs_diff(&seq::matmul(&a, &b)) < 1e-9);
+    }
+
+    /// Matrix binary format round-trips arbitrary shapes.
+    #[test]
+    fn matrix_bytes_roundtrip(r in 0usize..12, c in 0usize..12, seed in 0u64..50) {
+        let m = datagen::random_matrix(r, c, seed);
+        prop_assert_eq!(Matrix::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    /// The Zipf generator produces only vocabulary words.
+    #[test]
+    fn textgen_emits_only_vocab_words(seed in 0u64..50, bytes in 100usize..2_000) {
+        let g = mcsd_apps::TextGen { vocab_size: 50, ..mcsd_apps::TextGen::with_seed(seed) };
+        let text = g.generate(bytes);
+        let vocab: std::collections::HashSet<String> =
+            (0..50).map(|r| g.word(r)).collect();
+        for w in text.split(|b: &u8| b.is_ascii_whitespace()) {
+            if !w.is_empty() {
+                let s = String::from_utf8(w.to_vec()).unwrap();
+                prop_assert!(vocab.contains(&s), "unknown word {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Ablation benches: partition size, worker count, integrity-check cost,
+//! and offload-policy placement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsd_apps::{TextGen, WordCount};
+use mcsd_bench::{workloads, ExperimentConfig};
+use mcsd_core::driver::{ExecMode, NodeRunner};
+use mcsd_core::offload::{JobProfile, OffloadPolicy, Offloader};
+use mcsd_phoenix::{PartitionSpec, PartitionedRuntime, PhoenixConfig, Runtime};
+use std::hint::black_box;
+
+fn bench_partition_size(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let cluster = mcsd_cluster::paper_testbed(cfg.scale);
+    let runner = NodeRunner::new(cluster.sd().clone(), cluster.disk);
+    let input = workloads::wc_input(&cfg, "1G");
+    let mut group = c.benchmark_group("ablation-partition-size-wc-1G");
+    group.sample_size(10);
+    for label in ["150M", "300M", "600M"] {
+        let bytes = cfg.scale.scaled(label).unwrap() as usize;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bytes, |b, &bytes| {
+            b.iter(|| {
+                black_box(
+                    runner
+                        .run_mode(
+                            &WordCount,
+                            &WordCount::merger(),
+                            &input,
+                            ExecMode::Partitioned {
+                                fragment_bytes: Some(bytes),
+                            },
+                        )
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_integrity_cost(c: &mut Criterion) {
+    // Pure planning cost of legalized vs raw boundaries.
+    let data = TextGen::with_seed(4).generate(1 << 20);
+    let mut group = c.benchmark_group("ablation-integrity-planning-1MB");
+    for (label, spec) in [
+        ("whitespace", mcsd_phoenix::SplitSpec::whitespace()),
+        ("raw-bytes", mcsd_phoenix::SplitSpec::bytes()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
+            let splitter = mcsd_phoenix::Splitter::new(spec.clone());
+            b.iter(|| black_box(splitter.split(&data, 64 * 1024)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_combiner(c: &mut Criterion) {
+    // Combiner on/off: intermediate-volume/time tradeoff.
+    #[derive(Clone)]
+    struct NoCombine;
+    impl mcsd_phoenix::Job for NoCombine {
+        type Key = String;
+        type Value = u64;
+        fn map(
+            &self,
+            chunk: mcsd_phoenix::InputChunk<'_>,
+            emitter: &mut mcsd_phoenix::Emitter<'_, String, u64>,
+        ) {
+            WordCount.map(chunk, emitter)
+        }
+        fn reduce(
+            &self,
+            key: &String,
+            values: &mut mcsd_phoenix::ValueIter<'_, u64>,
+        ) -> Option<u64> {
+            WordCount.reduce(key, values)
+        }
+    }
+    let data = TextGen::with_seed(5).generate(1 << 20);
+    let rt = Runtime::new(PhoenixConfig::with_workers(2));
+    let mut group = c.benchmark_group("ablation-combiner-1MB");
+    group.sample_size(10);
+    group.bench_function("with-combiner", |b| {
+        b.iter(|| black_box(rt.run(&WordCount, &data).unwrap()))
+    });
+    group.bench_function("without-combiner", |b| {
+        b.iter(|| black_box(rt.run(&NoCombine, &data).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_offload_policy(c: &mut Criterion) {
+    // Decision-making itself is cheap; this documents it.
+    let profile = JobProfile {
+        name: "wordcount".into(),
+        input_bytes: 1 << 30,
+        compute_per_byte: 10.0,
+        data_on_sd: true,
+    };
+    c.bench_function("ablation-offload-decision", |b| {
+        let mut o = Offloader::new(OffloadPolicy::Balanced, 3);
+        b.iter(|| black_box(o.decide(&profile)))
+    });
+}
+
+fn bench_auto_partition_spec(c: &mut Criterion) {
+    let mem = mcsd_phoenix::MemoryModel::new(8 << 20);
+    c.bench_function("ablation-auto-partition-spec", |b| {
+        b.iter(|| black_box(PartitionSpec::auto(&mem, 3.0)))
+    });
+    // And the plan itself.
+    let data = TextGen::with_seed(6).generate(1 << 20);
+    c.bench_function("ablation-partition-plan-1MB", |b| {
+        b.iter(|| {
+            black_box(mcsd_phoenix::PartitionPlan::plan(
+                &data,
+                PartitionSpec::new(128 * 1024),
+                &mcsd_phoenix::SplitSpec::whitespace(),
+            ))
+        })
+    });
+    // Keep PartitionedRuntime linked so the bench exercises the public
+    // surface end to end.
+    let rt = Runtime::new(PhoenixConfig::with_workers(2));
+    let part = PartitionedRuntime::new(rt, PartitionSpec::new(256 * 1024));
+    c.bench_function("ablation-partitioned-wc-1MB", |b| {
+        b.iter(|| black_box(part.run(&WordCount, &data, &WordCount::merger()).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_partition_size,
+    bench_integrity_cost,
+    bench_combiner,
+    bench_offload_policy,
+    bench_auto_partition_spec
+);
+criterion_main!(benches);

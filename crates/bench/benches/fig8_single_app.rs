@@ -1,0 +1,48 @@
+//! Criterion version of Fig. 8(a): single-application runs, partitioned
+//! vs original vs sequential, on the Duo and Quad platform models.
+//!
+//! Uses the quick (1/2048) scale so the full matrix stays benchable; the
+//! `mcsd-experiments` binary runs the figure at the reference 1/256 scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsd_bench::fig8::{run_cell, AppKind, Platform};
+use mcsd_bench::{workloads, ExperimentConfig};
+use mcsd_core::driver::ExecMode;
+use std::hint::black_box;
+
+fn bench_fig8a(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let fragment = Some(workloads::partition_bytes(&cfg));
+    let mut group = c.benchmark_group("fig8a");
+    group.sample_size(10);
+    for app in [AppKind::WordCount, AppKind::StringMatch] {
+        for platform in [Platform::Duo, Platform::Quad] {
+            for (mode_label, mode) in [
+                (
+                    "seq",
+                    ExecMode::Sequential {
+                        footprint_factor: 1.2,
+                    },
+                ),
+                ("par", ExecMode::Parallel),
+                (
+                    "part",
+                    ExecMode::Partitioned {
+                        fragment_bytes: fragment,
+                    },
+                ),
+            ] {
+                let id = format!("{}/{}/{}", app.label(), platform.label(), mode_label);
+                group.bench_with_input(BenchmarkId::new(id, "500M"), &mode, |b, &mode| {
+                    b.iter(|| {
+                        black_box(run_cell(&cfg, app, platform, "500M", mode).unwrap())
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8a);
+criterion_main!(benches);

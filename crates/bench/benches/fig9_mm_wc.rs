@@ -1,0 +1,37 @@
+//! Criterion version of Fig. 9: the MM/WC pair under each scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsd_bench::{workloads, ExperimentConfig};
+use mcsd_core::driver::ExecMode;
+use mcsd_core::scenario::{PairRunner, PairScenario};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let cluster = mcsd_cluster::paper_testbed(cfg.scale);
+    let runner = PairRunner::new(cluster);
+    let fragment = workloads::partition_bytes(&cfg);
+    let workload = workloads::mm_wc_pair(&cfg, "750M");
+    let scenarios = [
+        ("mcsd", PairScenario::mcsd(Some(fragment))),
+        (
+            "trad-sd",
+            PairScenario::traditional_sd(workloads::WC_SEQ_FOOTPRINT),
+        ),
+        ("duo-sd-nopart", PairScenario::duo_sd_no_partition()),
+        ("host-only", PairScenario::host_only(ExecMode::Parallel)),
+    ];
+    let mut group = c.benchmark_group("fig9-mm-wc-750M");
+    group.sample_size(10);
+    for (label, scenario) in scenarios {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &scenario,
+            |b, scenario| b.iter(|| black_box(runner.run(*scenario, &workload).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Microbenchmarks of the Phoenix runtime's phases and primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsd_apps::{TextGen, WordCount};
+use mcsd_phoenix::prelude::*;
+use mcsd_phoenix::sort::{kway_merge_by, parallel_sort_by};
+use std::hint::black_box;
+
+fn bench_splitter(c: &mut Criterion) {
+    let data = TextGen::with_seed(1).generate(1 << 20);
+    let splitter = Splitter::new(SplitSpec::whitespace());
+    c.bench_function("splitter/1MB-whitespace", |b| {
+        b.iter(|| black_box(splitter.split(black_box(&data), 64 * 1024)))
+    });
+}
+
+fn bench_wordcount_runtime(c: &mut Criterion) {
+    let data = TextGen::with_seed(2).generate(1 << 20);
+    let mut group = c.benchmark_group("phoenix-wordcount-1MB");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let runtime = Runtime::new(PhoenixConfig::with_workers(workers));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, _| b.iter(|| black_box(runtime.run(&WordCount, black_box(&data)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_partitioned(c: &mut Criterion) {
+    let data = TextGen::with_seed(3).generate(1 << 20);
+    let rt = Runtime::new(PhoenixConfig::with_workers(2));
+    let part = PartitionedRuntime::new(rt, PartitionSpec::new(256 * 1024));
+    let merger = WordCount::merger();
+    let mut group = c.benchmark_group("phoenix-partitioned-1MB");
+    group.sample_size(10);
+    group.bench_function("4-fragments", |b| {
+        b.iter(|| black_box(part.run(&WordCount, black_box(&data), &merger).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let base: Vec<u64> = (0..200_000u64).map(|i| i.wrapping_mul(2654435761)).collect();
+    let mut group = c.benchmark_group("parallel-sort-200k");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    let mut v = base.clone();
+                    parallel_sort_by(&mut v, w, |a, b| a.cmp(b));
+                    black_box(v)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kway_merge(c: &mut Criterion) {
+    let runs: Vec<Vec<u64>> = (0..8)
+        .map(|r| (0..25_000u64).map(|i| i * 8 + r).collect())
+        .collect();
+    c.bench_function("kway-merge-8x25k", |b| {
+        b.iter(|| black_box(kway_merge_by(runs.clone(), &|a: &u64, b: &u64| a.cmp(b))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_splitter,
+    bench_wordcount_runtime,
+    bench_partitioned,
+    bench_sort,
+    bench_kway_merge
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Microbenchmarks of the smartFAM mechanism: frame codec throughput and
+//! the end-to-end log-file invocation round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsd_smartfam::codec::{decode_stream, Frame};
+use mcsd_smartfam::{Daemon, DaemonConfig, HostClient, ModuleRegistry};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_codec(c: &mut Criterion) {
+    let frame = Frame::request(7, vec!["data.txt".into(), "600M".into()]);
+    c.bench_function("smartfam-codec-encode", |b| {
+        b.iter(|| black_box(frame.encode()))
+    });
+    let mut stream = Vec::new();
+    for i in 0..100 {
+        stream.extend(Frame::request(i, vec![format!("param-{i}")]).encode());
+        stream.extend(Frame::response_ok(i, vec![0u8; 64]).encode());
+    }
+    c.bench_function("smartfam-codec-decode-200-frames", |b| {
+        b.iter(|| black_box(decode_stream(&stream, 0).unwrap()))
+    });
+}
+
+fn bench_invoke_roundtrip(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("mcsd-bench-fam-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let registry = ModuleRegistry::new();
+    registry.register(Arc::new(mcsd_smartfam::module::FnModule::new(
+        "echo",
+        |p: &[String]| Ok(p.join(" ").into_bytes()),
+    )));
+    let _daemon = Daemon::new(DaemonConfig::new(&dir), registry).spawn().unwrap();
+    let client = HostClient::new(&dir);
+    let mut group = c.benchmark_group("smartfam-invoke");
+    group.sample_size(20);
+    group.bench_function("echo-roundtrip", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .invoke("echo", &["ping".to_string()], Duration::from_secs(10))
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_codec, bench_invoke_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! `mcsd-experiments` — regenerate every table and figure of the McSD
+//! paper's evaluation (§V), plus the DESIGN.md ablations.
+//!
+//! ```text
+//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations]
+//!                  [--scale N] [--quick] [--csv]
+//! ```
+//!
+//! Run in release mode: debug builds inflate per-byte compute cost ~25x
+//! and distort the compute/IO balance the figures depend on.
+
+use mcsd_bench::table::TextTable;
+use mcsd_bench::{ablation, fig8, pairs, ExperimentConfig};
+use mcsd_cluster::{paper_testbed, SandiaMicroBenchmark, Scale, SmbPattern};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations] \
+         [--scale N] [--quick] [--csv]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut cfg = ExperimentConfig::default_run();
+    let mut csv = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = ExperimentConfig::quick(),
+            "--csv" => csv = true,
+            "--scale" => {
+                i += 1;
+                let divisor = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.scale = Scale {
+                    divisor: divisor.max(1),
+                };
+            }
+            flag if flag.starts_with('-') => usage(),
+            name => which.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    let all = which.iter().any(|w| w == "all");
+    let want = |name: &str| all || which.iter().any(|w| w == name);
+    let show = |t: &TextTable| if csv { t.render_csv() } else { t.render() };
+
+    println!("# McSD experiment harness");
+    println!(
+        "# scale: 1/{} (paper bytes per experiment byte); build: {}",
+        cfg.scale.divisor,
+        if cfg!(debug_assertions) {
+            "DEBUG (numbers distorted; use --release)"
+        } else {
+            "release"
+        }
+    );
+    println!();
+
+    if want("table1") {
+        println!("## Table I — testbed configuration\n");
+        println!("{}", paper_testbed(cfg.scale).table1());
+    }
+    if want("fig8a") {
+        println!("## Fig. 8(a) — single-application speedups (partition-enabled vs original vs sequential)\n");
+        let rows = fig8::fig8a(&cfg);
+        println!("{}", show(&fig8::fig8a_table(&rows)));
+    }
+    if want("fig8b") {
+        println!("## Fig. 8(b) — Word Count growth curve (elapsed vs size)\n");
+        let points = fig8::fig8_growth(&cfg, fig8::AppKind::WordCount);
+        println!(
+            "{}",
+            show(&fig8::growth_table(fig8::AppKind::WordCount, &points))
+        );
+    }
+    if want("fig8c") {
+        println!("## Fig. 8(c) — String Match growth curve (elapsed vs size)\n");
+        let points = fig8::fig8_growth(&cfg, fig8::AppKind::StringMatch);
+        println!(
+            "{}",
+            show(&fig8::growth_table(fig8::AppKind::StringMatch, &points))
+        );
+    }
+    if want("fig9") {
+        println!("## Fig. 9 — MM/WC pair: speedup of McSD over each scenario\n");
+        let results = pairs::run_pair_figure(&cfg, pairs::PairKind::MmWc).expect("fig9 runs");
+        println!(
+            "{}",
+            show(&pairs::pair_table(pairs::PairKind::MmWc, &results))
+        );
+    }
+    if want("fig10") {
+        println!("## Fig. 10 — MM/SM pair: speedup of McSD over each scenario\n");
+        let results = pairs::run_pair_figure(&cfg, pairs::PairKind::MmSm).expect("fig10 runs");
+        println!(
+            "{}",
+            show(&pairs::pair_table(pairs::PairKind::MmSm, &results))
+        );
+    }
+    if want("smb") {
+        println!("## SMB — modelled routine-work traffic (§V-A)\n");
+        let smb = SandiaMicroBenchmark::new(paper_testbed(cfg.scale).network);
+        for (name, pattern) in [
+            (
+                "pingpong 1KB x100",
+                SmbPattern::PingPong {
+                    message_bytes: 1024,
+                    rounds: 100,
+                },
+            ),
+            (
+                "pingpong 1MB x10",
+                SmbPattern::PingPong {
+                    message_bytes: 1 << 20,
+                    rounds: 10,
+                },
+            ),
+            (
+                "allreduce 4 nodes 64KB x10",
+                SmbPattern::AllReduce {
+                    participants: 4,
+                    message_bytes: 64 << 10,
+                    rounds: 10,
+                },
+            ),
+            (
+                "broadcast 4 nodes 1MB x5",
+                SmbPattern::Broadcast {
+                    participants: 4,
+                    message_bytes: 1 << 20,
+                    rounds: 5,
+                },
+            ),
+        ] {
+            let r = smb.run(pattern);
+            println!(
+                "{name:<28} elapsed={:>12?}  goodput={:>8.1} MB/s",
+                r.elapsed,
+                r.goodput_bytes_per_sec / 1e6
+            );
+        }
+        println!();
+    }
+    if want("ablations") {
+        println!("## Ablation: partition size (WC @ 1G, duo SD)\n");
+        println!(
+            "{}",
+            show(&ablation::partition_size_table(&ablation::partition_size_sweep(&cfg)))
+        );
+        println!("## Ablation: SD core count (WC @ 1G, partitioned)\n");
+        println!(
+            "{}",
+            show(&ablation::worker_table(&ablation::worker_sweep(&cfg)))
+        );
+        println!("## Ablation: interconnect fabric (cost of moving a 1G input)\n");
+        println!(
+            "{}",
+            show(&ablation::network_table(&ablation::network_sweep(&cfg)))
+        );
+        println!("## Ablation: multi-SD scale-out (WC @ 2G, §VI future work)\n");
+        println!(
+            "{}",
+            show(&ablation::multisd_table(&ablation::multisd_sweep(&cfg)))
+        );
+        println!("## Ablation: integrity check (Fig. 7)\n");
+        let (correct, broken, differing) = ablation::integrity_ablation(&cfg);
+        println!(
+            "with integrity check: {correct} distinct words (correct)\n\
+             without (raw byte cuts): {broken} distinct words, {differing} words with corrupted counts\n"
+        );
+    }
+}

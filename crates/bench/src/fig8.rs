@@ -1,0 +1,342 @@
+//! Fig. 8 — single-application performance.
+//!
+//! * **Fig. 8(a)**: speedup of partition-enabled Phoenix relative to the
+//!   original (non-partitioned) runtime and to the sequential approach,
+//!   for Word Count and String Match on the duo-core SD node and the
+//!   quad-core host, 500 MB – 1.25 GB.
+//! * **Fig. 8(b)/(c)**: growth curves of elapsed time versus input size
+//!   (500 MB – 2 GB) on both platforms; the non-partitioned runtime's
+//!   column shows `FAIL` past the memory-overflow threshold ("the
+//!   traditional Phoenix cannot support the Word-count and the
+//!   String-match for data size larger than 1.5G").
+
+use crate::table::{fmt_duration, fmt_speedup, TextTable};
+use crate::{workloads, ExperimentConfig};
+use mcsd_apps::{StringMatch, WordCount};
+use mcsd_cluster::{paper_testbed, NodeSpec};
+use mcsd_core::driver::{ExecMode, NodeRunner};
+use mcsd_core::McsdError;
+use std::time::Duration;
+
+/// Which benchmark application a row concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// Word Count.
+    WordCount,
+    /// String Match.
+    StringMatch,
+}
+
+impl AppKind {
+    /// Short label ("WC"/"SM" as in the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AppKind::WordCount => "WC",
+            AppKind::StringMatch => "SM",
+        }
+    }
+
+    fn seq_footprint(&self) -> f64 {
+        match self {
+            AppKind::WordCount => workloads::WC_SEQ_FOOTPRINT,
+            AppKind::StringMatch => workloads::SM_SEQ_FOOTPRINT,
+        }
+    }
+}
+
+/// Which node plays the platform ("Duo" = the SD node, "Quad" = the host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// The Core2 Duo SD node.
+    Duo,
+    /// The Core2 Quad host node.
+    Quad,
+}
+
+impl Platform {
+    /// Label as in the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Platform::Duo => "Duo",
+            Platform::Quad => "Quad",
+        }
+    }
+}
+
+fn platform_node(cfg: &ExperimentConfig, platform: Platform) -> NodeSpec {
+    let cluster = paper_testbed(cfg.scale);
+    match platform {
+        Platform::Duo => cluster.sd().clone(),
+        Platform::Quad => cluster.host().clone(),
+    }
+}
+
+/// Run one (app, platform, size, mode) cell; `Err(MemoryOverflow)` is the
+/// paper's "cannot support" case.
+pub fn run_cell(
+    cfg: &ExperimentConfig,
+    app: AppKind,
+    platform: Platform,
+    size: &str,
+    mode: ExecMode,
+) -> Result<Duration, McsdError> {
+    let cluster = paper_testbed(cfg.scale);
+    let runner = NodeRunner::new(platform_node(cfg, platform), cluster.disk);
+    match app {
+        AppKind::WordCount => {
+            let input = workloads::wc_input(cfg, size);
+            let out = runner.run_mode(&WordCount, &WordCount::merger(), &input, mode)?;
+            Ok(out.elapsed())
+        }
+        AppKind::StringMatch => {
+            let keys = workloads::sm_keys(cfg);
+            let input = workloads::sm_input(cfg, size, &keys);
+            let job = StringMatch::new(&keys);
+            let out = runner.run_mode(&job, &StringMatch::merger(), &input, mode)?;
+            Ok(out.elapsed())
+        }
+    }
+}
+
+/// One row of Fig. 8(a).
+#[derive(Debug, Clone)]
+pub struct Fig8aRow {
+    /// WC or SM.
+    pub app: AppKind,
+    /// Duo or Quad.
+    pub platform: Platform,
+    /// Paper size label.
+    pub size: String,
+    /// Sequential elapsed time.
+    pub seq: Duration,
+    /// Original (non-partitioned) parallel elapsed time; `None` = memory
+    /// overflow.
+    pub par: Option<Duration>,
+    /// Partition-enabled parallel elapsed time (600 MB partition).
+    pub part: Duration,
+}
+
+impl Fig8aRow {
+    /// Speedup of the partition-enabled runtime over the sequential
+    /// approach.
+    pub fn speedup_vs_seq(&self) -> f64 {
+        self.seq.as_secs_f64() / self.part.as_secs_f64().max(1e-12)
+    }
+
+    /// Speedup over the original (non-partitioned) Phoenix, when it ran.
+    pub fn speedup_vs_par(&self) -> Option<f64> {
+        self.par
+            .map(|p| p.as_secs_f64() / self.part.as_secs_f64().max(1e-12))
+    }
+}
+
+/// Run the full Fig. 8(a) sweep.
+pub fn fig8a(cfg: &ExperimentConfig) -> Vec<Fig8aRow> {
+    let mut rows = Vec::new();
+    let fragment = Some(workloads::partition_bytes(cfg));
+    for platform in [Platform::Quad, Platform::Duo] {
+        for app in [AppKind::WordCount, AppKind::StringMatch] {
+            for size in workloads::SWEEP_SIZES {
+                let seq = run_cell(
+                    cfg,
+                    app,
+                    platform,
+                    size,
+                    ExecMode::Sequential {
+                        footprint_factor: app.seq_footprint(),
+                    },
+                )
+                .expect("sequential runs within the sweep never overflow");
+                let par = match run_cell(cfg, app, platform, size, ExecMode::Parallel) {
+                    Ok(d) => Some(d),
+                    Err(e) if e.is_memory_overflow() => None,
+                    Err(e) => panic!("unexpected error: {e}"),
+                };
+                let part = run_cell(
+                    cfg,
+                    app,
+                    platform,
+                    size,
+                    ExecMode::Partitioned {
+                        fragment_bytes: fragment,
+                    },
+                )
+                .expect("partitioned runs never overflow");
+                rows.push(Fig8aRow {
+                    app,
+                    platform,
+                    size: size.to_string(),
+                    seq,
+                    par,
+                    part,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Render Fig. 8(a) rows.
+pub fn fig8a_table(rows: &[Fig8aRow]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "platform", "app", "size", "t_seq", "t_par", "t_part", "part/seq", "part/par",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.platform.label().to_string(),
+            r.app.label().to_string(),
+            r.size.clone(),
+            fmt_duration(r.seq),
+            r.par.map(fmt_duration).unwrap_or_else(|| "FAIL".into()),
+            fmt_duration(r.part),
+            fmt_speedup(r.speedup_vs_seq()),
+            r.speedup_vs_par()
+                .map(fmt_speedup)
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t
+}
+
+/// One point of a growth curve (Fig. 8(b)/(c)).
+#[derive(Debug, Clone)]
+pub struct GrowthPoint {
+    /// Duo or Quad.
+    pub platform: Platform,
+    /// Paper size label.
+    pub size: String,
+    /// Partition-enabled elapsed time.
+    pub part: Duration,
+    /// Non-partitioned elapsed time; `None` = memory overflow (the
+    /// paper's >1.5 GB failures).
+    pub par: Option<Duration>,
+}
+
+/// Run a growth curve for one application (Fig. 8(b) = WC, Fig. 8(c) =
+/// SM).
+pub fn fig8_growth(cfg: &ExperimentConfig, app: AppKind) -> Vec<GrowthPoint> {
+    let fragment = Some(workloads::partition_bytes(cfg));
+    let mut points = Vec::new();
+    for platform in [Platform::Duo, Platform::Quad] {
+        for size in workloads::GROWTH_SIZES {
+            let part = run_cell(
+                cfg,
+                app,
+                platform,
+                size,
+                ExecMode::Partitioned {
+                    fragment_bytes: fragment,
+                },
+            )
+            .expect("partitioned runs never overflow");
+            let par = match run_cell(cfg, app, platform, size, ExecMode::Parallel) {
+                Ok(d) => Some(d),
+                Err(e) if e.is_memory_overflow() => None,
+                Err(e) => panic!("unexpected error: {e}"),
+            };
+            points.push(GrowthPoint {
+                platform,
+                size: size.to_string(),
+                part,
+                par,
+            });
+        }
+    }
+    points
+}
+
+/// Render a growth curve.
+pub fn growth_table(app: AppKind, points: &[GrowthPoint]) -> TextTable {
+    let mut t = TextTable::new(vec!["platform", "app", "size", "t_part", "t_par(no-partition)"]);
+    for p in points {
+        t.row(vec![
+            p.platform.label().to_string(),
+            app.label().to_string(),
+            p.size.clone(),
+            fmt_duration(p.part),
+            p.par.map(fmt_duration).unwrap_or_else(|| "FAIL".into()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(AppKind::WordCount.label(), "WC");
+        assert_eq!(AppKind::StringMatch.label(), "SM");
+        assert_eq!(Platform::Duo.label(), "Duo");
+        assert_eq!(Platform::Quad.label(), "Quad");
+    }
+
+    #[test]
+    fn one_cell_runs() {
+        let cfg = ExperimentConfig::quick();
+        let d = run_cell(
+            &cfg,
+            AppKind::WordCount,
+            Platform::Duo,
+            "500M",
+            ExecMode::Parallel,
+        )
+        .unwrap();
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn oversized_parallel_cell_overflows() {
+        let cfg = ExperimentConfig::quick();
+        let err = run_cell(
+            &cfg,
+            AppKind::WordCount,
+            Platform::Duo,
+            "2G",
+            ExecMode::Parallel,
+        )
+        .unwrap_err();
+        assert!(err.is_memory_overflow());
+        // Partitioned handles the same size.
+        let ok = run_cell(
+            &cfg,
+            AppKind::WordCount,
+            Platform::Duo,
+            "2G",
+            ExecMode::Partitioned {
+                fragment_bytes: Some(workloads::partition_bytes(&cfg)),
+            },
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn fig8a_row_speedups() {
+        let row = Fig8aRow {
+            app: AppKind::WordCount,
+            platform: Platform::Duo,
+            size: "1G".into(),
+            seq: Duration::from_millis(100),
+            par: Some(Duration::from_millis(300)),
+            part: Duration::from_millis(50),
+        };
+        assert!((row.speedup_vs_seq() - 2.0).abs() < 1e-9);
+        assert!((row.speedup_vs_par().unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_fail_for_overflow() {
+        let rows = vec![Fig8aRow {
+            app: AppKind::StringMatch,
+            platform: Platform::Quad,
+            size: "2G".into(),
+            seq: Duration::from_millis(10),
+            par: None,
+            part: Duration::from_millis(5),
+        }];
+        let s = fig8a_table(&rows).render();
+        assert!(s.contains("FAIL"));
+        assert!(s.contains("SM"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # mcsd-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! McSD paper's evaluation (§V), plus the ablation studies called out in
+//! DESIGN.md §6.
+//!
+//! Run `mcsd-experiments all` (release mode!) to print each experiment's
+//! rows; EXPERIMENTS.md records a reference run against the paper's
+//! numbers. Sizes are the paper's labels ("500M" … "2G") scaled down by a
+//! uniform divisor (default 256) that preserves every ratio the speedups
+//! depend on — see `mcsd-cluster`'s [`Scale`].
+
+pub mod ablation;
+pub mod fig8;
+pub mod pairs;
+pub mod table;
+pub mod workloads;
+
+use mcsd_cluster::Scale;
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Byte-scale divisor applied to all paper sizes.
+    pub scale: Scale,
+    /// Workload generator seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The default configuration (1/256 scale).
+    pub fn default_run() -> Self {
+        ExperimentConfig {
+            scale: Scale::default_experiment(),
+            seed: 0x5D_CAFE,
+        }
+    }
+
+    /// A fast configuration for smoke tests (1/2048 scale).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            scale: Scale::smoke(),
+            seed: 0x5D_CAFE,
+        }
+    }
+}

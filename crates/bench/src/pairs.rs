@@ -1,0 +1,235 @@
+//! Fig. 9 and Fig. 10 — multiple-application performance.
+//!
+//! Each figure fixes an application pair (Fig. 9: MM/WC, Fig. 10: MM/SM)
+//! and plots, per data size, the speedup of the McSD framework over each
+//! alternative scenario: (a) host node only, (b) traditional single-core
+//! SD, (c) duo-core SD without the Partition function — each alternative
+//! in its sequential, parallel, and partition-enabled variants.
+
+use crate::table::{fmt_duration, fmt_speedup, TextTable};
+use crate::{workloads, ExperimentConfig};
+use mcsd_core::driver::ExecMode;
+use mcsd_core::scenario::{PairRunner, PairScenario, PairWorkload, Placement};
+use mcsd_core::McsdError;
+use mcsd_phoenix::partition::Merger;
+use mcsd_phoenix::Job;
+use std::time::Duration;
+
+/// Which application pair (which figure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairKind {
+    /// Fig. 9: Matrix Multiplication + Word Count (the memory-hungry
+    /// pair: WC's footprint is ~3× its input).
+    MmWc,
+    /// Fig. 10: Matrix Multiplication + String Match (~2× footprint —
+    /// "representatives of two levels of data-intensive applications").
+    MmSm,
+}
+
+impl PairKind {
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PairKind::MmWc => "MM/WC (Fig. 9)",
+            PairKind::MmSm => "MM/SM (Fig. 10)",
+        }
+    }
+}
+
+/// One scenario cell at one size.
+#[derive(Debug, Clone)]
+pub struct PairCell {
+    /// Scenario label (placement/mode).
+    pub scenario: String,
+    /// Elapsed virtual time; `None` = memory overflow.
+    pub elapsed: Option<Duration>,
+    /// Speedup of McSD over this scenario
+    /// (`scenario elapsed / McSD elapsed`).
+    pub speedup_vs_mcsd: Option<f64>,
+}
+
+/// All scenario cells at one data size.
+#[derive(Debug, Clone)]
+pub struct PairSizeResult {
+    /// Paper size label.
+    pub size: String,
+    /// The McSD (denominator) elapsed time.
+    pub mcsd: Duration,
+    /// The alternative scenarios.
+    pub cells: Vec<PairCell>,
+}
+
+impl PairSizeResult {
+    /// Look up one scenario's speedup by label substring.
+    pub fn speedup(&self, label_contains: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.scenario.contains(label_contains))
+            .and_then(|c| c.speedup_vs_mcsd)
+    }
+}
+
+fn scenarios_for(
+    placement: Placement,
+    seq_footprint: f64,
+    fragment: usize,
+) -> Vec<PairScenario> {
+    [
+        ExecMode::Sequential {
+            footprint_factor: seq_footprint,
+        },
+        ExecMode::Parallel,
+        ExecMode::Partitioned {
+            fragment_bytes: Some(fragment),
+        },
+    ]
+    .into_iter()
+    .map(|data_mode| PairScenario {
+        placement,
+        data_mode,
+    })
+    .collect()
+}
+
+/// Run all scenarios of one pair at one size.
+pub fn run_pair_size<D, M>(
+    runner: &PairRunner,
+    workload: &PairWorkload<D, M>,
+    size: &str,
+    fragment: usize,
+) -> Result<PairSizeResult, McsdError>
+where
+    D: Job + Clone,
+    M: Merger<D>,
+{
+    let mcsd = runner.run(PairScenario::mcsd(Some(fragment)), workload)?;
+    let mcsd_elapsed = mcsd.elapsed();
+    let mut cells = Vec::new();
+    for placement in [
+        Placement::HostOnly,
+        Placement::TraditionalSd,
+        Placement::DuoSd,
+    ] {
+        for scenario in scenarios_for(placement, workload.seq_footprint_factor, fragment) {
+            match runner.run(scenario, workload) {
+                Ok(r) => {
+                    let elapsed = r.elapsed();
+                    cells.push(PairCell {
+                        scenario: scenario.label(),
+                        elapsed: Some(elapsed),
+                        speedup_vs_mcsd: Some(
+                            elapsed.as_secs_f64() / mcsd_elapsed.as_secs_f64().max(1e-12),
+                        ),
+                    });
+                }
+                Err(e) if e.is_memory_overflow() => cells.push(PairCell {
+                    scenario: scenario.label(),
+                    elapsed: None,
+                    speedup_vs_mcsd: None,
+                }),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(PairSizeResult {
+        size: size.to_string(),
+        mcsd: mcsd_elapsed,
+        cells,
+    })
+}
+
+/// Run a full pair figure across the paper's size sweep.
+pub fn run_pair_figure(
+    cfg: &ExperimentConfig,
+    kind: PairKind,
+) -> Result<Vec<PairSizeResult>, McsdError> {
+    let cluster = mcsd_cluster::paper_testbed(cfg.scale);
+    let runner = PairRunner::new(cluster);
+    let fragment = workloads::partition_bytes(cfg);
+    let mut out = Vec::new();
+    for size in workloads::SWEEP_SIZES {
+        let result = match kind {
+            PairKind::MmWc => {
+                let w = workloads::mm_wc_pair(cfg, size);
+                run_pair_size(&runner, &w, size, fragment)?
+            }
+            PairKind::MmSm => {
+                let w = workloads::mm_sm_pair(cfg, size);
+                run_pair_size(&runner, &w, size, fragment)?
+            }
+        };
+        out.push(result);
+    }
+    Ok(out)
+}
+
+/// Render a pair figure as a table.
+pub fn pair_table(kind: PairKind, results: &[PairSizeResult]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "pair", "size", "scenario", "elapsed", "speedup-vs-McSD",
+    ]);
+    for r in results {
+        t.row(vec![
+            kind.label().to_string(),
+            r.size.clone(),
+            "mcsd (duo-sd/par+part)".to_string(),
+            fmt_duration(r.mcsd),
+            "1.00x".to_string(),
+        ]);
+        for c in &r.cells {
+            t.row(vec![
+                kind.label().to_string(),
+                r.size.clone(),
+                c.scenario.clone(),
+                c.elapsed.map(fmt_duration).unwrap_or_else(|| "FAIL".into()),
+                c.speedup_vs_mcsd
+                    .map(fmt_speedup)
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_size_produces_all_cells() {
+        let cfg = ExperimentConfig::quick();
+        let cluster = mcsd_cluster::paper_testbed(cfg.scale);
+        let runner = PairRunner::new(cluster);
+        let fragment = workloads::partition_bytes(&cfg);
+        let w = workloads::mm_wc_pair(&cfg, "500M");
+        let r = run_pair_size(&runner, &w, "500M", fragment).unwrap();
+        // 3 placements x 3 modes.
+        assert_eq!(r.cells.len(), 9);
+        assert!(r.mcsd > Duration::ZERO);
+        assert!(r.speedup("host-only/par").is_some());
+        assert!(r.speedup("trad-sd/seq").is_some());
+    }
+
+    #[test]
+    fn pair_table_contains_mcsd_baseline() {
+        let r = PairSizeResult {
+            size: "1G".into(),
+            mcsd: Duration::from_millis(10),
+            cells: vec![PairCell {
+                scenario: "host-only/par".into(),
+                elapsed: Some(Duration::from_millis(30)),
+                speedup_vs_mcsd: Some(3.0),
+            }],
+        };
+        let s = pair_table(PairKind::MmWc, &[r]).render();
+        assert!(s.contains("mcsd"));
+        assert!(s.contains("3.00x"));
+        assert!(s.contains("Fig. 9"));
+    }
+
+    #[test]
+    fn labels() {
+        assert!(PairKind::MmWc.label().contains("WC"));
+        assert!(PairKind::MmSm.label().contains("SM"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Workload construction for the experiments.
+//!
+//! Inputs are generated at the scaled equivalents of the paper's sizes.
+//! The generators are deterministic in the experiment seed, so repeated
+//! harness runs see identical data.
+
+use crate::ExperimentConfig;
+use mcsd_apps::{datagen, MatMul, StringMatch, TextGen, WordCount};
+use mcsd_core::scenario::PairWorkload;
+use mcsd_phoenix::partition::ConcatMerger;
+use mcsd_phoenix::SumMerger;
+use std::sync::Arc;
+
+/// The canonical merge function for Word Count pair workloads.
+pub type WcMerger = SumMerger<fn(&mut u64, u64)>;
+
+/// The paper's single-application data sizes (Fig. 8(a), Fig. 9, Fig. 10).
+pub const SWEEP_SIZES: [&str; 4] = ["500M", "750M", "1G", "1.25G"];
+
+/// The growth-curve sizes (Fig. 8(b), 8(c)): "from 500MB to 2GB".
+pub const GROWTH_SIZES: [&str; 6] = ["500M", "750M", "1G", "1.25G", "1.5G", "2G"];
+
+/// The paper's partition size for McSD runs: "the parallel-enabled one
+/// with 600MB partition" (§V-C).
+pub const PAPER_PARTITION: &str = "600M";
+
+/// Sequential Word Count streams input through a hash map: ~1.2× input.
+pub const WC_SEQ_FOOTPRINT: f64 = 1.2;
+/// Sequential String Match scans line by line: ~1.0× input.
+pub const SM_SEQ_FOOTPRINT: f64 = 1.0;
+
+/// Number of String Match keys.
+pub const SM_KEYS: usize = 16;
+
+/// Scaled dimension of the square matrices in the MM/x pairs, chosen so
+/// the host-side MM runs for a time comparable to the data-intensive side
+/// at the default scale (the paper pairs them as concurrent workloads).
+pub const MM_DIM_AT_DEFAULT_SCALE: usize = 288;
+
+/// Generate the Word Count corpus at a paper size label.
+pub fn wc_input(cfg: &ExperimentConfig, label: &str) -> Vec<u8> {
+    let bytes = cfg.scale.scaled(label).expect("valid size label") as usize;
+    TextGen::with_seed(cfg.seed).generate(bytes)
+}
+
+/// Generate the String Match keys.
+pub fn sm_keys(cfg: &ExperimentConfig) -> Vec<String> {
+    datagen::keys_file(SM_KEYS, 8, cfg.seed ^ 0x4B455953)
+}
+
+/// Generate the String Match "encrypt" file at a paper size label.
+pub fn sm_input(cfg: &ExperimentConfig, label: &str, keys: &[String]) -> Vec<u8> {
+    let bytes = cfg.scale.scaled(label).expect("valid size label") as usize;
+    datagen::encrypt_file(bytes, keys, 0.05, cfg.seed ^ 0x454E43)
+}
+
+/// The scaled partition size used by McSD runs.
+pub fn partition_bytes(cfg: &ExperimentConfig) -> usize {
+    cfg.scale.scaled(PAPER_PARTITION).expect("valid label") as usize
+}
+
+/// The MM job for the pair experiments, scaled with the experiment.
+pub fn mm_job(cfg: &ExperimentConfig) -> MatMul {
+    // MM compute scales as n^3 while text scales as n, so dimension
+    // scales with the cube root of the byte divisor.
+    let shrink = (cfg.scale.divisor as f64 / 256.0).cbrt();
+    let dim = ((MM_DIM_AT_DEFAULT_SCALE as f64 / shrink) as usize).max(16);
+    let (a, b) = datagen::matrix_pair(dim, dim, dim, cfg.seed ^ 0xA0B0);
+    MatMul::new(Arc::new(a), &b)
+}
+
+/// The MM/WC pair workload at a paper size label.
+pub fn mm_wc_pair(
+    cfg: &ExperimentConfig,
+    label: &str,
+) -> PairWorkload<WordCount, WcMerger> {
+    PairWorkload {
+        compute: mm_job(cfg),
+        data_job: WordCount,
+        data_merger: WordCount::merger(),
+        data_input: wc_input(cfg, label),
+        seq_footprint_factor: WC_SEQ_FOOTPRINT,
+    }
+}
+
+/// The MM/SM pair workload at a paper size label.
+pub fn mm_sm_pair(cfg: &ExperimentConfig, label: &str) -> PairWorkload<StringMatch, ConcatMerger> {
+    let keys = sm_keys(cfg);
+    let input = sm_input(cfg, label, &keys);
+    PairWorkload {
+        compute: mm_job(cfg),
+        data_job: StringMatch::new(&keys),
+        data_merger: StringMatch::merger(),
+        data_input: input,
+        seq_footprint_factor: SM_SEQ_FOOTPRINT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::quick()
+    }
+
+    #[test]
+    fn wc_input_is_scaled() {
+        let c = cfg();
+        let data = wc_input(&c, "500M");
+        let expect = c.scale.scaled("500M").unwrap() as usize;
+        assert!(data.len() >= expect && data.len() < expect + 64);
+    }
+
+    #[test]
+    fn sm_input_contains_keys() {
+        let c = cfg();
+        let keys = sm_keys(&c);
+        assert_eq!(keys.len(), SM_KEYS);
+        let data = sm_input(&c, "500M", &keys);
+        let hits = mcsd_apps::seq::stringmatch(&keys, &data);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn partition_is_600m_scaled() {
+        let c = cfg();
+        assert_eq!(
+            partition_bytes(&c) as u64,
+            c.scale.scaled("600M").unwrap()
+        );
+    }
+
+    #[test]
+    fn mm_dim_scales_with_divisor() {
+        let big = ExperimentConfig::default_run();
+        let small = ExperimentConfig::quick();
+        assert!(mm_job(&big).out_rows() > mm_job(&small).out_rows());
+        assert!(mm_job(&small).out_rows() >= 16);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let c = cfg();
+        assert_eq!(wc_input(&c, "500M"), wc_input(&c, "500M"));
+        assert_eq!(sm_keys(&c), sm_keys(&c));
+    }
+}

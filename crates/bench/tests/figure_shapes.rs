@@ -1,0 +1,110 @@
+//! Shape tests for the figure-regeneration code at quick scale: the
+//! *deterministic* (model-driven) parts of each figure's shape must hold
+//! on every run — these are the properties EXPERIMENTS.md reports.
+
+use mcsd_bench::fig8::{self, AppKind, Platform};
+use mcsd_bench::pairs::{self, PairKind};
+use mcsd_bench::ExperimentConfig;
+
+#[test]
+fn fig8a_has_all_rows_and_no_failures_in_the_sweep() {
+    let cfg = ExperimentConfig::quick();
+    let rows = fig8::fig8a(&cfg);
+    // 2 platforms x 2 apps x 4 sizes.
+    assert_eq!(rows.len(), 16);
+    for r in &rows {
+        // The paper sweeps only up to 1.25G: everything runs.
+        assert!(r.par.is_some(), "{:?} {:?} {} overflowed", r.platform, r.app, r.size);
+        assert!(r.speedup_vs_seq() > 0.0);
+    }
+    // Rendering works and mentions both platforms.
+    let table = fig8::fig8a_table(&rows).render();
+    assert!(table.contains("Duo"));
+    assert!(table.contains("Quad"));
+}
+
+#[test]
+fn fig8_growth_fails_exactly_above_the_hard_limit() {
+    let cfg = ExperimentConfig::quick();
+    for app in [AppKind::WordCount, AppKind::StringMatch] {
+        let points = fig8::fig8_growth(&cfg, app);
+        // 2 platforms x 6 sizes.
+        assert_eq!(points.len(), 12);
+        for p in &points {
+            let should_fail = matches!(p.size.as_str(), "1.5G" | "2G");
+            assert_eq!(
+                p.par.is_none(),
+                should_fail,
+                "{:?} {:?} at {}",
+                app,
+                p.platform,
+                p.size
+            );
+            // Partitioned always runs.
+            assert!(p.part > std::time::Duration::ZERO);
+        }
+    }
+}
+
+#[test]
+fn fig8_growth_is_monotone_in_size_for_partitioned_runs() {
+    // Growth curves are "linear-like" (paper §V-B): at minimum, elapsed
+    // time must not shrink as input grows 4x. Compare the endpoints only —
+    // adjacent points are within wall-clock noise of each other.
+    let cfg = ExperimentConfig::quick();
+    let points = fig8::fig8_growth(&cfg, AppKind::WordCount);
+    for platform in [Platform::Duo, Platform::Quad] {
+        let of = |size: &str| {
+            points
+                .iter()
+                .find(|p| p.platform == platform && p.size == size)
+                .unwrap()
+                .part
+        };
+        assert!(
+            of("2G") > of("500M"),
+            "{platform:?}: 2G {:?} !> 500M {:?}",
+            of("2G"),
+            of("500M")
+        );
+    }
+}
+
+#[test]
+fn fig9_wc_swaps_past_threshold_and_fig10_sm_does_not() {
+    let cfg = ExperimentConfig::quick();
+    // Run just the 1G size cell for both pairs via the public API.
+    let cluster = mcsd_cluster::paper_testbed(cfg.scale);
+    let runner = mcsd_core::scenario::PairRunner::new(cluster);
+    let fragment = mcsd_bench::workloads::partition_bytes(&cfg);
+
+    // Absolute speedup magnitudes depend on the build profile (debug
+    // compute is ~25x slower, shrinking the disk penalty's share), so the
+    // build-independent claim is the *relative* one: at 1G the WC pair's
+    // non-partitioned cell pays a swap penalty that the SM pair's does
+    // not, so McSD's advantage must be clearly larger for WC.
+    let wc = mcsd_bench::workloads::mm_wc_pair(&cfg, "1G");
+    let r = pairs::run_pair_size(&runner, &wc, "1G", fragment).unwrap();
+    let wc_nopart = r.speedup("duo-sd/par").expect("cell exists");
+
+    let sm = mcsd_bench::workloads::mm_sm_pair(&cfg, "1G");
+    let r = pairs::run_pair_size(&runner, &sm, "1G", fragment).unwrap();
+    let sm_nopart = r.speedup("duo-sd/par").expect("cell exists");
+
+    assert!(
+        wc_nopart > sm_nopart + 0.3,
+        "WC @1G nopart speedup {wc_nopart} must exceed SM's {sm_nopart} (swap penalty)"
+    );
+}
+
+#[test]
+fn pair_figures_cover_all_sizes() {
+    let cfg = ExperimentConfig::quick();
+    let results = pairs::run_pair_figure(&cfg, PairKind::MmSm).unwrap();
+    assert_eq!(results.len(), 4);
+    let sizes: Vec<&str> = results.iter().map(|r| r.size.as_str()).collect();
+    assert_eq!(sizes, vec!["500M", "750M", "1G", "1.25G"]);
+    for r in &results {
+        assert_eq!(r.cells.len(), 9);
+    }
+}

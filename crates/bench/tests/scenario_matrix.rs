@@ -1,0 +1,95 @@
+//! Smoke the full scenario matrix (3 placements × 3 modes × both pairs)
+//! at quick scale, asserting the *model-level* invariants that hold for
+//! every cell regardless of machine load.
+
+use mcsd_core::driver::ExecMode;
+use mcsd_core::scenario::{PairRunner, PairScenario, Placement};
+use mcsd_bench::{workloads, ExperimentConfig};
+
+fn scenarios(seq_footprint: f64, fragment: usize) -> Vec<PairScenario> {
+    let mut out = Vec::new();
+    for placement in [
+        Placement::HostOnly,
+        Placement::TraditionalSd,
+        Placement::DuoSd,
+    ] {
+        for mode in [
+            ExecMode::Sequential {
+                footprint_factor: seq_footprint,
+            },
+            ExecMode::Parallel,
+            ExecMode::Partitioned {
+                fragment_bytes: Some(fragment),
+            },
+        ] {
+            out.push(PairScenario {
+                placement,
+                data_mode: mode,
+            });
+        }
+    }
+    out
+}
+
+#[test]
+fn every_cell_of_the_mm_wc_matrix_runs() {
+    let cfg = ExperimentConfig::quick();
+    let runner = PairRunner::new(mcsd_cluster::paper_testbed(cfg.scale));
+    let fragment = workloads::partition_bytes(&cfg);
+    let w = workloads::mm_wc_pair(&cfg, "750M");
+    for scenario in scenarios(w.seq_footprint_factor, fragment) {
+        let r = runner.run(scenario, &w).unwrap_or_else(|e| {
+            panic!("{} failed: {e}", scenario.label());
+        });
+        // Invariants that hold for every cell:
+        assert_eq!(r.compute.node, "host", "{}", scenario.label());
+        assert!(r.elapsed() >= r.compute.elapsed(), "{}", scenario.label());
+        match scenario.placement {
+            Placement::HostOnly => {
+                assert!(r.serialized);
+                assert_eq!(r.data.node, "host");
+            }
+            Placement::TraditionalSd => {
+                assert!(!r.serialized);
+                assert_eq!(r.data.node, "sd-1core");
+                assert_eq!(r.data.stats.workers, 1);
+            }
+            Placement::DuoSd => {
+                assert!(!r.serialized);
+                assert_eq!(r.data.node, "sd");
+            }
+        }
+        // Partitioned cells never swap; the 600M partition fits memory.
+        if matches!(scenario.data_mode, ExecMode::Partitioned { .. }) {
+            assert_eq!(r.data.stats.swapped_bytes, 0, "{}", scenario.label());
+        }
+    }
+}
+
+#[test]
+fn every_cell_of_the_mm_sm_matrix_runs() {
+    let cfg = ExperimentConfig::quick();
+    let runner = PairRunner::new(mcsd_cluster::paper_testbed(cfg.scale));
+    let fragment = workloads::partition_bytes(&cfg);
+    let w = workloads::mm_sm_pair(&cfg, "750M");
+    for scenario in scenarios(w.seq_footprint_factor, fragment) {
+        let r = runner.run(scenario, &w).unwrap();
+        // SM at 750M never swaps in any mode (Fig. 10's premise).
+        assert_eq!(r.data.stats.swapped_bytes, 0, "{}", scenario.label());
+        // Results on the data side exist (the generator plants keys).
+        assert!(r.data.stats.output_pairs > 0, "{}", scenario.label());
+    }
+}
+
+#[test]
+fn speedup_over_is_dimensionless_and_reflexive() {
+    let cfg = ExperimentConfig::quick();
+    let runner = PairRunner::new(mcsd_cluster::paper_testbed(cfg.scale));
+    let fragment = workloads::partition_bytes(&cfg);
+    let w = workloads::mm_wc_pair(&cfg, "500M");
+    let r = runner
+        .run(PairScenario::mcsd(Some(fragment)), &w)
+        .unwrap();
+    let self_speedup = r.speedup_over(&r);
+    assert!((self_speedup - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,276 @@
+//! The NFS-style shared directory.
+//!
+//! In the paper's testbed "the host computing node can access the disks in
+//! the McSD node through the networked file system or NFS … the host
+//! computing node is the client computer; the McSD node is configured as an
+//! NFS server" (§III-B). We reproduce this with a real shared directory on
+//! the local filesystem (the files genuinely exist, and smartFAM genuinely
+//! watches them) while charging the *network* cost of each remote access to
+//! the virtual clock from the cluster's [`NetworkModel`].
+
+use crate::clock::TimeBreakdown;
+use crate::disk::DiskModel;
+use crate::network::NetworkModel;
+use crate::node::NodeId;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SHARE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// An exported directory owned by one node (the NFS server).
+#[derive(Debug)]
+pub struct NfsShare {
+    server: NodeId,
+    root: PathBuf,
+    network: NetworkModel,
+    disk: DiskModel,
+    owned: bool,
+}
+
+impl NfsShare {
+    /// Export an existing directory from `server`.
+    pub fn new(
+        server: NodeId,
+        root: impl Into<PathBuf>,
+        network: NetworkModel,
+        disk: DiskModel,
+    ) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(NfsShare {
+            server,
+            root,
+            network,
+            disk,
+            owned: false,
+        })
+    }
+
+    /// Export a fresh unique temporary directory (removed on drop).
+    pub fn temp(server: NodeId, network: NetworkModel, disk: DiskModel) -> io::Result<Self> {
+        let n = SHARE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let root = std::env::temp_dir().join(format!(
+            "mcsd-nfs-{}-{}-{}",
+            std::process::id(),
+            server.0,
+            n
+        ));
+        std::fs::create_dir_all(&root)?;
+        Ok(NfsShare {
+            server,
+            root,
+            network,
+            disk,
+            owned: true,
+        })
+    }
+
+    /// The exporting node.
+    pub fn server(&self) -> NodeId {
+        self.server
+    }
+
+    /// The export root on the real filesystem.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The network model remote accesses are charged against.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// Mount the share from `node`, producing a client handle.
+    pub fn client(&self, node: NodeId) -> NfsClient<'_> {
+        NfsClient { share: self, node }
+    }
+
+    fn resolve(&self, rel: &str) -> io::Result<PathBuf> {
+        if rel.split('/').any(|c| c == "..") || rel.starts_with('/') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("path {rel:?} escapes the NFS export"),
+            ));
+        }
+        Ok(self.root.join(rel))
+    }
+}
+
+impl Drop for NfsShare {
+    fn drop(&mut self) {
+        if self.owned {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+}
+
+/// A node's view of an [`NfsShare`]. Accesses from the serving node are
+/// local (disk cost only); accesses from any other node additionally pay
+/// the network cost of moving the bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct NfsClient<'a> {
+    share: &'a NfsShare,
+    node: NodeId,
+}
+
+impl<'a> NfsClient<'a> {
+    /// The accessing node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Whether this client is the serving node itself.
+    pub fn is_local(&self) -> bool {
+        self.node == self.share.server
+    }
+
+    /// Real filesystem path of `rel` within the export (for handing to
+    /// smartFAM watchers). Fails if `rel` escapes the export.
+    pub fn path(&self, rel: &str) -> io::Result<PathBuf> {
+        self.share.resolve(rel)
+    }
+
+    /// Virtual-time cost of moving `bytes` through this mount.
+    pub fn transfer_cost(&self, bytes: u64) -> TimeBreakdown {
+        let disk = self.share.disk.charge_sequential(bytes);
+        if self.is_local() {
+            disk
+        } else {
+            disk + self.share.network.charge_transfer(bytes)
+        }
+    }
+
+    /// Write a file through the mount.
+    pub fn write(&self, rel: &str, data: &[u8]) -> io::Result<TimeBreakdown> {
+        let path = self.share.resolve(rel)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, data)?;
+        Ok(self.transfer_cost(data.len() as u64))
+    }
+
+    /// Read a file through the mount.
+    pub fn read(&self, rel: &str) -> io::Result<(Vec<u8>, TimeBreakdown)> {
+        let path = self.share.resolve(rel)?;
+        let data = std::fs::read(&path)?;
+        let cost = self.transfer_cost(data.len() as u64);
+        Ok((data, cost))
+    }
+
+    /// Append to a file through the mount (log-file style).
+    pub fn append(&self, rel: &str, data: &[u8]) -> io::Result<TimeBreakdown> {
+        use std::io::Write;
+        let path = self.share.resolve(rel)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        f.write_all(data)?;
+        Ok(self.transfer_cost(data.len() as u64))
+    }
+
+    /// Whether a file exists in the export.
+    pub fn exists(&self, rel: &str) -> bool {
+        self.share
+            .resolve(rel)
+            .map(|p| p.exists())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn share() -> NfsShare {
+        NfsShare::temp(
+            NodeId(1),
+            NetworkModel::paper_testbed(),
+            DiskModel::paper_sata(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn local_write_read_roundtrip() {
+        let s = share();
+        let local = s.client(NodeId(1));
+        assert!(local.is_local());
+        local.write("dir/file.txt", b"hello nfs").unwrap();
+        let (data, _) = local.read("dir/file.txt").unwrap();
+        assert_eq!(data, b"hello nfs");
+    }
+
+    #[test]
+    fn remote_access_costs_network_local_does_not() {
+        let s = share();
+        let local = s.client(NodeId(1));
+        let remote = s.client(NodeId(0));
+        assert!(!remote.is_local());
+        let tl = local.write("a.bin", &[0u8; 100_000]).unwrap();
+        let tr = remote.write("b.bin", &[0u8; 100_000]).unwrap();
+        assert_eq!(tl.network, std::time::Duration::ZERO);
+        assert!(tr.network > std::time::Duration::ZERO);
+        assert_eq!(tl.disk, tr.disk);
+    }
+
+    #[test]
+    fn append_accumulates() {
+        let s = share();
+        let c = s.client(NodeId(0));
+        c.append("log.txt", b"one\n").unwrap();
+        c.append("log.txt", b"two\n").unwrap();
+        let (data, _) = c.read("log.txt").unwrap();
+        assert_eq!(data, b"one\ntwo\n");
+    }
+
+    #[test]
+    fn both_nodes_see_the_same_file() {
+        let s = share();
+        s.client(NodeId(0)).write("shared.txt", b"from host").unwrap();
+        let (data, _) = s.client(NodeId(1)).read("shared.txt").unwrap();
+        assert_eq!(data, b"from host");
+    }
+
+    #[test]
+    fn path_traversal_is_rejected() {
+        let s = share();
+        let c = s.client(NodeId(0));
+        assert!(c.write("../escape.txt", b"x").is_err());
+        assert!(c.write("/abs.txt", b"x").is_err());
+        assert!(c.read("a/../../b").is_err());
+    }
+
+    #[test]
+    fn exists_reflects_reality() {
+        let s = share();
+        let c = s.client(NodeId(0));
+        assert!(!c.exists("nope.txt"));
+        c.write("yes.txt", b"y").unwrap();
+        assert!(c.exists("yes.txt"));
+        assert!(!c.exists("../../etc/passwd"));
+    }
+
+    #[test]
+    fn missing_file_read_is_io_error() {
+        let s = share();
+        assert!(s.client(NodeId(0)).read("missing").is_err());
+    }
+
+    #[test]
+    fn temp_share_cleans_up_on_drop() {
+        let root;
+        {
+            let s = share();
+            root = s.root().to_path_buf();
+            s.client(NodeId(1)).write("f", b"x").unwrap();
+            assert!(root.exists());
+        }
+        assert!(!root.exists());
+    }
+}

@@ -1,0 +1,167 @@
+//! The assembled cluster (paper Table I).
+
+use crate::disk::DiskModel;
+use crate::network::NetworkModel;
+use crate::node::{NodeId, NodeRole, NodeSpec};
+use crate::scale::Scale;
+use serde::{Deserialize, Serialize};
+
+/// A cluster: nodes plus the shared interconnect and disk models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// All nodes, in id order.
+    pub nodes: Vec<NodeSpec>,
+    /// Interconnect model.
+    pub network: NetworkModel,
+    /// Disk model (swap penalties, local I/O).
+    pub disk: DiskModel,
+    /// The byte-scale the cluster was built at.
+    pub scale: Scale,
+}
+
+impl Cluster {
+    /// Look up a node by id.
+    pub fn node(&self, id: NodeId) -> Option<&NodeSpec> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// The (first) host node.
+    pub fn host(&self) -> &NodeSpec {
+        self.nodes
+            .iter()
+            .find(|n| n.role == NodeRole::Host)
+            .expect("a cluster has a host node")
+    }
+
+    /// All smart-storage nodes.
+    pub fn sd_nodes(&self) -> Vec<&NodeSpec> {
+        self.nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::SmartStorage)
+            .collect()
+    }
+
+    /// The first smart-storage node.
+    pub fn sd(&self) -> &NodeSpec {
+        self.sd_nodes()
+            .first()
+            .copied()
+            .expect("a cluster has an SD node")
+    }
+
+    /// All general-purpose compute nodes.
+    pub fn compute_nodes(&self) -> Vec<&NodeSpec> {
+        self.nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Compute)
+            .collect()
+    }
+
+    /// Render the cluster configuration as a Table-I-style text table.
+    pub fn table1(&self) -> String {
+        let mut out = String::new();
+        out.push_str("THE CONFIGURATION OF THE CLUSTER\n");
+        out.push_str(&format!(
+            "{:<12} {:<28} {:>5} {:>7} {:>12}\n",
+            "Node", "CPU", "Cores", "Speed", "Memory(B)"
+        ));
+        for n in &self.nodes {
+            out.push_str(&format!(
+                "{:<12} {:<28} {:>5} {:>7.2} {:>12}\n",
+                n.name, n.cpu, n.cores, n.core_speed, n.memory_bytes
+            ));
+        }
+        out.push_str(&format!(
+            "Network: {:?} ({} MB/s effective), Disk: {} MB/s, Scale: 1/{}\n",
+            self.network.fabric,
+            (self.network.effective_bytes_per_sec() / 1e6) as u64,
+            self.disk.bytes_per_sec / 1_000_000,
+            self.scale.divisor,
+        ));
+        out
+    }
+}
+
+/// The paper's 5-node testbed at the given byte scale: one Core2 Quad host,
+/// one Core2 Duo SD node, three Celeron compute nodes, all with (scaled)
+/// 2 GB of memory, joined by Gigabit Ethernet (Table I).
+pub fn paper_testbed(scale: Scale) -> Cluster {
+    let memory = scale.bytes(2 * 1024 * 1024 * 1024);
+    let mut nodes = vec![
+        NodeSpec::paper_host(NodeId(0), memory),
+        NodeSpec::paper_sd(NodeId(1), memory),
+    ];
+    for i in 0..3 {
+        nodes.push(NodeSpec::paper_compute(NodeId(2 + i as u32), i, memory));
+    }
+    Cluster {
+        nodes,
+        network: NetworkModel::paper_testbed(),
+        disk: DiskModel::paper_sata(),
+        scale,
+    }
+}
+
+/// A testbed variant with `sd_count` smart-storage nodes (paper §VI future
+/// work: "the parallelisms among multiple McSD smart disks").
+pub fn multi_sd_testbed(scale: Scale, sd_count: usize) -> Cluster {
+    let memory = scale.bytes(2 * 1024 * 1024 * 1024);
+    let mut nodes = vec![NodeSpec::paper_host(NodeId(0), memory)];
+    for i in 0..sd_count {
+        let mut sd = NodeSpec::paper_sd(NodeId(1 + i as u32), memory);
+        sd.name = format!("sd{i}");
+        nodes.push(sd);
+    }
+    Cluster {
+        nodes,
+        network: NetworkModel::paper_testbed(),
+        disk: DiskModel::paper_sata(),
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_has_five_nodes() {
+        let c = paper_testbed(Scale::default_experiment());
+        assert_eq!(c.nodes.len(), 5);
+        assert_eq!(c.host().cores, 4);
+        assert_eq!(c.sd().cores, 2);
+        assert_eq!(c.compute_nodes().len(), 3);
+    }
+
+    #[test]
+    fn memory_is_scaled() {
+        let c = paper_testbed(Scale { divisor: 256 });
+        assert_eq!(c.host().memory_bytes, 2 * 1024 * 1024 * 1024 / 256);
+    }
+
+    #[test]
+    fn node_lookup() {
+        let c = paper_testbed(Scale::default_experiment());
+        assert_eq!(c.node(NodeId(0)).unwrap().name, "host");
+        assert_eq!(c.node(NodeId(1)).unwrap().name, "sd");
+        assert!(c.node(NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn table1_mentions_all_cpus() {
+        let c = paper_testbed(Scale::default_experiment());
+        let t = c.table1();
+        assert!(t.contains("Q9400"));
+        assert!(t.contains("E4400"));
+        assert!(t.contains("Celeron"));
+        assert!(t.contains("GigabitEthernet"));
+    }
+
+    #[test]
+    fn multi_sd_testbed_scales_out() {
+        let c = multi_sd_testbed(Scale::default_experiment(), 4);
+        assert_eq!(c.sd_nodes().len(), 4);
+        assert_eq!(c.nodes.len(), 5);
+        assert_eq!(c.sd_nodes()[2].name, "sd2");
+    }
+}

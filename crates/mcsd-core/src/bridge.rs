@@ -1,0 +1,292 @@
+//! A *live* SD node: NFS share + smartFAM daemon + preloaded modules.
+//!
+//! Where [`crate::scenario`] models the testbed analytically for the
+//! figures, this module actually wires the machinery together the way
+//! Fig. 5 draws it: a shared folder (the NFS export), a daemon watching
+//! per-module log files on the "SD side", and a host-side client that
+//! passes parameters and reads results through those log files. The
+//! examples and integration tests exercise McSD end-to-end through this
+//! path.
+
+use crate::error::McsdError;
+use crate::modules::{MatMulModule, StringMatchModule, WordCountModule};
+use mcsd_cluster::{Cluster, NfsShare, NodeId, TimeBreakdown};
+use mcsd_smartfam::{
+    Daemon, DaemonConfig, DaemonHandle, DaemonStats, HostClient, ModuleRegistry,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Subdirectory of the share holding the per-module log files.
+pub const LOG_SUBDIR: &str = "logs";
+/// Subdirectory of the share holding staged data files.
+pub const DATA_SUBDIR: &str = "data";
+
+/// A running smart-storage node.
+pub struct SdNodeServer {
+    share: NfsShare,
+    daemon: Option<DaemonHandle>,
+    registry: ModuleRegistry,
+    sd_id: NodeId,
+    host_id: NodeId,
+}
+
+impl SdNodeServer {
+    /// Boot the SD node of `cluster`: create the NFS export, preload the
+    /// three benchmark modules, and start the smartFAM daemon.
+    pub fn start(cluster: &Cluster) -> Result<SdNodeServer, McsdError> {
+        let sd = cluster.sd().clone();
+        let host_id = cluster.host().id;
+        let share = NfsShare::temp(sd.id, cluster.network, cluster.disk)?;
+        let data_root = share.root().join(DATA_SUBDIR);
+        std::fs::create_dir_all(&data_root)?;
+        let log_dir = share.root().join(LOG_SUBDIR);
+
+        let registry = ModuleRegistry::new();
+        registry.register(Arc::new(WordCountModule::new(&data_root, sd.clone())));
+        registry.register(Arc::new(StringMatchModule::new(&data_root, sd.clone())));
+        registry.register(Arc::new(MatMulModule::new(&data_root, sd.clone())));
+
+        let daemon = Daemon::new(DaemonConfig::new(&log_dir), registry.clone()).spawn()?;
+        Ok(SdNodeServer {
+            share,
+            daemon: Some(daemon),
+            registry,
+            sd_id: sd.id,
+            host_id,
+        })
+    }
+
+    /// The module registry (to preload additional modules — paper §VI:
+    /// "the extensibility of data-processing modules").
+    pub fn registry(&self) -> &ModuleRegistry {
+        &self.registry
+    }
+
+    /// Daemon counters.
+    pub fn daemon_stats(&self) -> DaemonStats {
+        self.daemon
+            .as_ref()
+            .map(|d| d.stats())
+            .unwrap_or_default()
+    }
+
+    /// Absolute path of the staged-data directory.
+    pub fn data_root(&self) -> PathBuf {
+        self.share.root().join(DATA_SUBDIR)
+    }
+
+    /// Stage a data file onto the SD node as the *host* would: written
+    /// through the NFS mount, so the returned cost includes the network.
+    pub fn stage_from_host(&self, name: &str, data: &[u8]) -> Result<TimeBreakdown, McsdError> {
+        let client = self.share.client(self.host_id);
+        Ok(client.write(&format!("{DATA_SUBDIR}/{name}"), data)?)
+    }
+
+    /// Stage a data file that is already local to the SD node (disk cost
+    /// only) — the common McSD case where the data was collected in place.
+    pub fn stage_local(&self, name: &str, data: &[u8]) -> Result<TimeBreakdown, McsdError> {
+        let client = self.share.client(self.sd_id);
+        Ok(client.write(&format!("{DATA_SUBDIR}/{name}"), data)?)
+    }
+
+    /// A host-side offload client for this node.
+    pub fn host_client(&self) -> McsdClient {
+        McsdClient {
+            inner: HostClient::new(self.share.root().join(LOG_SUBDIR)),
+            network_charge_per_byte: 1.0 / self.share.network().effective_bytes_per_sec(),
+            latency: self.share.network().fabric.latency(),
+        }
+    }
+
+    /// Stop the daemon and release the share. Also happens on drop.
+    pub fn stop(&mut self) {
+        if let Some(mut d) = self.daemon.take() {
+            d.stop();
+        }
+    }
+
+    /// Kill the daemon *without* answering outstanding requests, then
+    /// restart it over the same log dir — the fault-injection hook used to
+    /// test smartFAM's crash recovery.
+    pub fn restart_daemon(&mut self) -> Result<(), McsdError> {
+        self.stop();
+        let log_dir = self.share.root().join(LOG_SUBDIR);
+        let daemon = Daemon::new(DaemonConfig::new(&log_dir), self.registry.clone()).spawn()?;
+        self.daemon = Some(daemon);
+        Ok(())
+    }
+}
+
+impl Drop for SdNodeServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Host-side offload client: a [`HostClient`] plus network-cost
+/// accounting for the log-file traffic.
+pub struct McsdClient {
+    inner: HostClient,
+    network_charge_per_byte: f64,
+    latency: Duration,
+}
+
+impl McsdClient {
+    /// Invoke a preloaded module and return its payload together with the
+    /// virtual-time cost of the invocation round trip (log-file bytes over
+    /// the network, two crossings).
+    pub fn invoke(
+        &self,
+        module: &str,
+        params: &[String],
+        timeout: Duration,
+    ) -> Result<(Vec<u8>, TimeBreakdown), McsdError> {
+        let outcome = self.inner.invoke(module, params, timeout)?;
+        let bytes = outcome.request_bytes + outcome.response_bytes;
+        let wire = Duration::from_secs_f64(bytes as f64 * self.network_charge_per_byte);
+        let cost = TimeBreakdown::network(self.latency * 2 + wire)
+            + TimeBreakdown::overhead(outcome.elapsed);
+        Ok((outcome.payload, cost))
+    }
+
+    /// Whether the SD daemon heartbeat is fresh.
+    pub fn daemon_alive(&self, max_age: Duration) -> bool {
+        self.inner.daemon_alive(max_age)
+    }
+
+    /// The underlying smartFAM client.
+    pub fn smartfam(&self) -> &HostClient {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::WordCountModule;
+    use mcsd_apps::{datagen, seq, Matrix, TextGen};
+    use mcsd_cluster::{paper_testbed, Scale};
+
+    const TIMEOUT: Duration = Duration::from_secs(120);
+
+    fn cluster() -> Cluster {
+        let mut c = paper_testbed(Scale::default_experiment());
+        // Plenty of modelled memory so bridge tests exercise the
+        // mechanism, not the memory model.
+        for n in &mut c.nodes {
+            n.memory_bytes = 256 << 20;
+        }
+        c
+    }
+
+    #[test]
+    fn wordcount_offload_end_to_end() {
+        let cluster = cluster();
+        let server = SdNodeServer::start(&cluster).unwrap();
+        let text = TextGen::with_seed(21).generate(8_000);
+        server.stage_local("corpus.txt", &text).unwrap();
+        let client = server.host_client();
+        let (payload, cost) = client
+            .invoke("wordcount", &["corpus.txt".into()], TIMEOUT)
+            .unwrap();
+        let pairs = WordCountModule::decode(&payload).unwrap();
+        assert_eq!(pairs, seq::wordcount(&text));
+        assert!(cost.network > Duration::ZERO);
+        assert_eq!(server.daemon_stats().ok, 1);
+    }
+
+    #[test]
+    fn matmul_offload_end_to_end() {
+        let cluster = cluster();
+        let server = SdNodeServer::start(&cluster).unwrap();
+        let (a, b) = datagen::matrix_pair(10, 12, 8, 17);
+        server.stage_local("a.mat", &a.to_bytes()).unwrap();
+        server.stage_local("b.mat", &b.to_bytes()).unwrap();
+        let client = server.host_client();
+        let (payload, _) = client
+            .invoke("matmul", &["a.mat".into(), "b.mat".into()], TIMEOUT)
+            .unwrap();
+        let c = Matrix::from_bytes(&payload).unwrap();
+        assert!(c.max_abs_diff(&seq::matmul(&a, &b)) < 1e-9);
+    }
+
+    #[test]
+    fn staging_from_host_costs_network_but_local_does_not() {
+        let cluster = cluster();
+        let server = SdNodeServer::start(&cluster).unwrap();
+        let data = vec![7u8; 200_000];
+        let remote = server.stage_from_host("r.bin", &data).unwrap();
+        let local = server.stage_local("l.bin", &data).unwrap();
+        assert!(remote.network > Duration::ZERO);
+        assert_eq!(local.network, Duration::ZERO);
+    }
+
+    #[test]
+    fn module_error_round_trips_through_the_log() {
+        let cluster = cluster();
+        let server = SdNodeServer::start(&cluster).unwrap();
+        let client = server.host_client();
+        let err = client
+            .invoke("wordcount", &["missing.txt".into()], TIMEOUT)
+            .unwrap_err();
+        assert!(err.to_string().contains("missing.txt"));
+    }
+
+    #[test]
+    fn daemon_crash_recovery_answers_pending_request() {
+        let cluster = cluster();
+        let mut server = SdNodeServer::start(&cluster).unwrap();
+        let text = TextGen::with_seed(5).generate(2_000);
+        server.stage_local("t.txt", &text).unwrap();
+        // Kill the daemon, submit while it is down, then restart.
+        server.stop();
+        let client = server.host_client();
+        let pending = client
+            .smartfam()
+            .submit("wordcount", &["t.txt".to_string()])
+            .unwrap();
+        server.restart_daemon().unwrap();
+        let outcome = pending.wait(TIMEOUT).unwrap();
+        let pairs = WordCountModule::decode(&outcome.payload).unwrap();
+        assert_eq!(pairs, seq::wordcount(&text));
+    }
+
+    #[test]
+    fn modules_can_be_preloaded_into_a_running_node() {
+        // §VI extensibility: a new data-intensive module registered while
+        // the daemon is live is served on the next invocation, no restart.
+        use crate::modules::HistogramModule;
+        let cluster = cluster();
+        let server = SdNodeServer::start(&cluster).unwrap();
+        let client = server.host_client();
+        // Not preloaded yet:
+        let err = client.invoke("histogram", &["b.bin".into()], TIMEOUT).unwrap_err();
+        assert!(err.to_string().contains("no module registered"));
+        // Preload at runtime.
+        let sd = cluster.sd().clone();
+        server.registry().register(std::sync::Arc::new(HistogramModule::new(
+            server.data_root(),
+            sd,
+        )));
+        let data: Vec<u8> = (0..5_000u32).map(|i| (i % 7) as u8).collect();
+        server.stage_local("b.bin", &data).unwrap();
+        let (payload, _) = client.invoke("histogram", &["b.bin".into()], TIMEOUT).unwrap();
+        let bins = HistogramModule::decode(&payload).unwrap();
+        assert_eq!(bins, mcsd_apps::histogram::seq_histogram(&data));
+    }
+
+    #[test]
+    fn heartbeat_is_visible_to_the_host() {
+        let cluster = cluster();
+        let server = SdNodeServer::start(&cluster).unwrap();
+        let client = server.host_client();
+        // Wait for the first heartbeat write.
+        let deadline = std::time::Instant::now() + TIMEOUT;
+        while !client.daemon_alive(Duration::from_secs(5)) {
+            assert!(std::time::Instant::now() < deadline, "no heartbeat");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Run one MapReduce job "on a node".
+//!
+//! The [`NodeRunner`] is where real computation meets the testbed model:
+//! the job genuinely executes on a Phoenix worker pool capped at the node's
+//! core count; the measured wall time is scaled by the node's per-core
+//! speed; and the memory model's swap verdict is converted into a disk-time
+//! penalty. The result carries both the job output and a
+//! [`TimeBreakdown`] the scenarios compose.
+
+use crate::error::McsdError;
+use crate::footprint::FootprintOverride;
+use crate::report::RunReport;
+use mcsd_cluster::{DiskModel, NodeExecutor, NodeSpec, TimeBreakdown};
+use mcsd_phoenix::partition::Merger;
+use mcsd_phoenix::{Job, PartitionSpec, PartitionedRuntime, PhoenixConfig, Runtime};
+use std::time::Instant;
+
+/// How a job is executed on the node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecMode {
+    /// The paper's sequential baseline: one worker, streaming footprint.
+    /// `footprint_factor` describes the sequential implementation's
+    /// working set (smaller than the MapReduce footprint because
+    /// intermediate pairs are not buffered).
+    Sequential {
+        /// Working-set-to-input ratio of the sequential implementation.
+        footprint_factor: f64,
+    },
+    /// Parallel MapReduce on all node cores, no partitioning (stock
+    /// Phoenix).
+    Parallel,
+    /// Parallel MapReduce with the McSD Partition/Merge extension.
+    /// `fragment_bytes: None` asks the runtime to size fragments from the
+    /// node's memory model automatically.
+    Partitioned {
+        /// Fragment size in bytes; `None` = automatic.
+        fragment_bytes: Option<usize>,
+    },
+}
+
+impl ExecMode {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            ExecMode::Sequential { .. } => "seq".into(),
+            ExecMode::Parallel => "par".into(),
+            ExecMode::Partitioned { fragment_bytes } => match fragment_bytes {
+                Some(b) => format!("par+part({b})"),
+                None => "par+part(auto)".into(),
+            },
+        }
+    }
+}
+
+/// Result of a node run: the job output pairs plus the report.
+#[derive(Debug, Clone)]
+pub struct NodeRunReport<K, V> {
+    /// Final output pairs.
+    pub pairs: Vec<(K, V)>,
+    /// The run report (time breakdown + stats).
+    pub report: RunReport,
+}
+
+impl<K, V> NodeRunReport<K, V> {
+    /// Virtual elapsed time.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.report.elapsed()
+    }
+}
+
+/// Executes jobs on one modelled node.
+#[derive(Debug, Clone)]
+pub struct NodeRunner {
+    exec: NodeExecutor,
+    disk: DiskModel,
+}
+
+impl NodeRunner {
+    /// A runner for `node` with the cluster's disk model.
+    pub fn new(node: NodeSpec, disk: DiskModel) -> NodeRunner {
+        NodeRunner {
+            exec: NodeExecutor::new(node),
+            disk,
+        }
+    }
+
+    /// The node this runner models.
+    pub fn node(&self) -> &NodeSpec {
+        self.exec.spec()
+    }
+
+    /// The disk model used for swap penalties.
+    pub fn disk(&self) -> &DiskModel {
+        &self.disk
+    }
+
+    /// Run in [`ExecMode::Sequential`].
+    pub fn run_sequential<J: Job + Clone>(
+        &self,
+        job: &J,
+        input: &[u8],
+        footprint_factor: f64,
+    ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError> {
+        self.run_sequential_at(job, input, footprint_factor, 0)
+    }
+
+    /// [`NodeRunner::run_sequential`] over a span starting at
+    /// `base_offset` of a larger dataset.
+    pub fn run_sequential_at<J: Job + Clone>(
+        &self,
+        job: &J,
+        input: &[u8],
+        footprint_factor: f64,
+        base_offset: usize,
+    ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError> {
+        let cfg = PhoenixConfig::with_workers(1).memory(self.node().memory_model());
+        let runtime = Runtime::new(cfg);
+        let wrapped = FootprintOverride::new(job.clone(), footprint_factor);
+        let t0 = Instant::now();
+        let out = runtime.run_at(&wrapped, input, base_offset)?;
+        let wall = t0.elapsed();
+        Ok(self.assemble(
+            out.pairs,
+            out.stats,
+            wall,
+            1,
+            input.len() as u64,
+            ExecMode::Sequential { footprint_factor }.label(),
+        ))
+    }
+
+    /// Run in [`ExecMode::Parallel`] (stock Phoenix on all cores).
+    pub fn run_parallel<J: Job>(
+        &self,
+        job: &J,
+        input: &[u8],
+    ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError> {
+        self.run_parallel_at(job, input, 0)
+    }
+
+    /// [`NodeRunner::run_parallel`] over a span starting at `base_offset`
+    /// of a larger dataset.
+    pub fn run_parallel_at<J: Job>(
+        &self,
+        job: &J,
+        input: &[u8],
+        base_offset: usize,
+    ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError> {
+        let runtime = Runtime::new(self.exec.phoenix_config());
+        let t0 = Instant::now();
+        let out = runtime.run_at(job, input, base_offset)?;
+        let wall = t0.elapsed();
+        Ok(self.assemble(
+            out.pairs,
+            out.stats,
+            wall,
+            self.node().cores,
+            input.len() as u64,
+            ExecMode::Parallel.label(),
+        ))
+    }
+
+    /// Run in [`ExecMode::Partitioned`].
+    pub fn run_partitioned<J, M>(
+        &self,
+        job: &J,
+        merger: &M,
+        input: &[u8],
+        fragment_bytes: Option<usize>,
+    ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError>
+    where
+        J: Job,
+        M: Merger<J>,
+    {
+        self.run_partitioned_at(job, merger, input, fragment_bytes, 0)
+    }
+
+    /// [`NodeRunner::run_partitioned`] over a span starting at
+    /// `base_offset` of a larger dataset.
+    pub fn run_partitioned_at<J, M>(
+        &self,
+        job: &J,
+        merger: &M,
+        input: &[u8],
+        fragment_bytes: Option<usize>,
+        base_offset: usize,
+    ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError>
+    where
+        J: Job,
+        M: Merger<J>,
+    {
+        let memory = self.node().memory_model();
+        let spec = match fragment_bytes {
+            Some(b) => PartitionSpec::new(b),
+            None => PartitionSpec::auto(&memory, job.footprint_factor()),
+        };
+        let runtime = Runtime::new(self.exec.phoenix_config());
+        let part = PartitionedRuntime::new(runtime, spec);
+        let t0 = Instant::now();
+        let out = part.run_at(job, input, base_offset, merger)?;
+        let wall = t0.elapsed();
+        Ok(self.assemble(
+            out.pairs,
+            out.stats,
+            wall,
+            self.node().cores,
+            input.len() as u64,
+            ExecMode::Partitioned {
+                fragment_bytes: Some(spec.fragment_bytes),
+            }
+            .label(),
+        ))
+    }
+
+    /// Dispatch on an [`ExecMode`] value.
+    pub fn run_mode<J, M>(
+        &self,
+        job: &J,
+        merger: &M,
+        input: &[u8],
+        mode: ExecMode,
+    ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError>
+    where
+        J: Job + Clone,
+        M: Merger<J>,
+    {
+        self.run_mode_at(job, merger, input, mode, 0)
+    }
+
+    /// [`NodeRunner::run_mode`] over a span starting at `base_offset` of a
+    /// larger dataset — map tasks observe fully global offsets, so
+    /// offset-keyed jobs behave identically under multi-SD scale-out.
+    pub fn run_mode_at<J, M>(
+        &self,
+        job: &J,
+        merger: &M,
+        input: &[u8],
+        mode: ExecMode,
+        base_offset: usize,
+    ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError>
+    where
+        J: Job + Clone,
+        M: Merger<J>,
+    {
+        match mode {
+            ExecMode::Sequential { footprint_factor } => {
+                self.run_sequential_at(job, input, footprint_factor, base_offset)
+            }
+            ExecMode::Parallel => self.run_parallel_at(job, input, base_offset),
+            ExecMode::Partitioned { fragment_bytes } => {
+                self.run_partitioned_at(job, merger, input, fragment_bytes, base_offset)
+            }
+        }
+    }
+
+    /// Convert a finished Phoenix run into a node report: scale the
+    /// measured wall time to the emulated node's cores/speed and charge
+    /// the swap penalty. (Input staging/transfer costs are charged by the
+    /// scenario layer; the paper's per-run elapsed times are warm-cache.)
+    fn assemble<K, V>(
+        &self,
+        pairs: Vec<(K, V)>,
+        stats: mcsd_phoenix::JobStats,
+        wall: std::time::Duration,
+        emulated_workers: usize,
+        input_bytes: u64,
+        mode: String,
+    ) -> NodeRunReport<K, V> {
+        let mut time =
+            TimeBreakdown::compute(self.exec.virtual_compute(wall, emulated_workers));
+        time += self.disk.charge_thrash(stats.swapped_bytes);
+        let report = RunReport {
+            job: stats.job.clone(),
+            node: self.node().name.clone(),
+            mode,
+            input_bytes,
+            time,
+            stats,
+        };
+        NodeRunReport { pairs, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsd_apps::{TextGen, WordCount};
+    use mcsd_cluster::{NodeId, Scale};
+
+    fn sd_runner(memory: u64) -> NodeRunner {
+        let mut node = NodeSpec::paper_sd(NodeId(1), memory);
+        node.core_speed = 0.75;
+        NodeRunner::new(node, DiskModel::paper_sata())
+    }
+
+    fn host_runner(memory: u64) -> NodeRunner {
+        NodeRunner::new(
+            NodeSpec::paper_host(NodeId(0), memory),
+            DiskModel::paper_sata(),
+        )
+    }
+
+    #[test]
+    fn parallel_run_produces_correct_counts() {
+        let text = TextGen::with_seed(1).generate(20_000);
+        let runner = sd_runner(64 << 20);
+        let out = runner.run_parallel(&WordCount, &text).unwrap();
+        let reference = mcsd_apps::seq::wordcount(&text);
+        assert_eq!(out.pairs, reference);
+        assert!(out.report.time.compute > std::time::Duration::ZERO);
+        assert_eq!(out.report.node, "sd");
+        assert_eq!(out.report.mode, "par");
+    }
+
+    #[test]
+    fn sequential_uses_one_worker() {
+        let text = TextGen::with_seed(2).generate(5_000);
+        let runner = host_runner(64 << 20);
+        let out = runner.run_sequential(&WordCount, &text, 1.2).unwrap();
+        assert_eq!(out.report.stats.workers, 1);
+        assert_eq!(out.report.mode, "seq");
+    }
+
+    #[test]
+    fn overflow_fails_parallel_but_not_partitioned() {
+        let scale = Scale { divisor: 2048 };
+        let memory = scale.bytes(2 << 30); // "2 GB" -> 1 MiB
+        let input = TextGen::with_seed(3).generate(memory as usize); // 1x memory > 0.75 limit
+        let runner = sd_runner(memory);
+        let err = runner.run_parallel(&WordCount, &input).unwrap_err();
+        assert!(err.is_memory_overflow());
+        let ok = runner
+            .run_partitioned(&WordCount, &WordCount::merger(), &input, None)
+            .unwrap();
+        assert_eq!(ok.report.stats.swapped_bytes, 0);
+        assert!(ok.report.stats.fragments > 1);
+        assert_eq!(ok.pairs, mcsd_apps::seq::wordcount(&input));
+    }
+
+    #[test]
+    fn thrash_charges_disk_time() {
+        // Input below the hard limit but with a 3x footprint above
+        // available memory.
+        let memory: u64 = 200_000;
+        let input = TextGen::with_seed(4).generate(140_000); // 140k*3=420k > 180k avail
+        let runner = sd_runner(memory);
+        let out = runner.run_parallel(&WordCount, &input).unwrap();
+        assert!(out.report.stats.swapped_bytes > 0);
+        // Disk time must dominate: thrash penalty plus input read.
+        let seq_read = DiskModel::paper_sata().sequential_time(input.len() as u64);
+        assert!(out.report.time.disk > seq_read * 2);
+    }
+
+    #[test]
+    fn partitioned_avoids_the_thrash_charge() {
+        let memory: u64 = 200_000;
+        let input = TextGen::with_seed(4).generate(140_000);
+        let runner = sd_runner(memory);
+        let plain = runner.run_parallel(&WordCount, &input).unwrap();
+        let part = runner
+            .run_partitioned(&WordCount, &WordCount::merger(), &input, None)
+            .unwrap();
+        assert_eq!(plain.pairs, part.pairs);
+        assert!(part.report.time.disk < plain.report.time.disk);
+    }
+
+    #[test]
+    fn run_mode_dispatches() {
+        let text = TextGen::with_seed(5).generate(4_000);
+        let runner = host_runner(64 << 20);
+        for mode in [
+            ExecMode::Sequential {
+                footprint_factor: 1.2,
+            },
+            ExecMode::Parallel,
+            ExecMode::Partitioned {
+                fragment_bytes: Some(1500),
+            },
+        ] {
+            let out = runner
+                .run_mode(&WordCount, &WordCount::merger(), &text, mode)
+                .unwrap();
+            assert_eq!(out.pairs, mcsd_apps::seq::wordcount(&text));
+        }
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(
+            ExecMode::Sequential {
+                footprint_factor: 1.0
+            }
+            .label(),
+            "seq"
+        );
+        assert_eq!(ExecMode::Parallel.label(), "par");
+        assert_eq!(
+            ExecMode::Partitioned {
+                fragment_bytes: Some(600)
+            }
+            .label(),
+            "par+part(600)"
+        );
+        assert_eq!(
+            ExecMode::Partitioned {
+                fragment_bytes: None
+            }
+            .label(),
+            "par+part(auto)"
+        );
+    }
+
+    #[test]
+    fn slower_node_reports_more_compute_time() {
+        // Same work on the host (speed 1.0, 4 cores) vs SD (0.75, 2
+        // cores): SD must report ~2.5x more virtual compute time. Retry
+        // because the two wall measurements can wobble under full test
+        // load on a shared core.
+        let text = TextGen::with_seed(6).generate(400_000);
+        for attempt in 0..3 {
+            let host = host_runner(64 << 20).run_parallel(&WordCount, &text).unwrap();
+            let sd = sd_runner(64 << 20).run_parallel(&WordCount, &text).unwrap();
+            if sd.report.time.compute > host.report.time.compute {
+                return;
+            }
+            eprintln!(
+                "attempt {attempt}: sd {:?} !> host {:?}",
+                sd.report.time.compute, host.report.time.compute
+            );
+        }
+        panic!("SD never slower than host across 3 attempts");
+    }
+}

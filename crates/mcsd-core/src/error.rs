@@ -1,0 +1,108 @@
+//! Framework error type.
+
+use mcsd_phoenix::PhoenixError;
+use mcsd_smartfam::SmartFamError;
+use std::fmt;
+
+/// Errors surfaced by the McSD framework.
+#[derive(Debug)]
+pub enum McsdError {
+    /// The Phoenix runtime failed (memory overflow, bad config, worker
+    /// panic).
+    Phoenix(PhoenixError),
+    /// The smartFAM invocation path failed.
+    SmartFam(SmartFamError),
+    /// Filesystem error while staging data.
+    Io(std::io::Error),
+    /// A scenario was configured inconsistently.
+    BadScenario {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for McsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McsdError::Phoenix(e) => write!(f, "phoenix runtime: {e}"),
+            McsdError::SmartFam(e) => write!(f, "smartFAM: {e}"),
+            McsdError::Io(e) => write!(f, "I/O: {e}"),
+            McsdError::BadScenario { detail } => write!(f, "bad scenario: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for McsdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McsdError::Phoenix(e) => Some(e),
+            McsdError::SmartFam(e) => Some(e),
+            McsdError::Io(e) => Some(e),
+            McsdError::BadScenario { .. } => None,
+        }
+    }
+}
+
+impl From<PhoenixError> for McsdError {
+    fn from(e: PhoenixError) -> Self {
+        McsdError::Phoenix(e)
+    }
+}
+
+impl From<SmartFamError> for McsdError {
+    fn from(e: SmartFamError) -> Self {
+        McsdError::SmartFam(e)
+    }
+}
+
+impl From<std::io::Error> for McsdError {
+    fn from(e: std::io::Error) -> Self {
+        McsdError::Io(e)
+    }
+}
+
+impl McsdError {
+    /// Whether this is the Phoenix out-of-memory failure (the condition
+    /// partitioning exists to fix).
+    pub fn is_memory_overflow(&self) -> bool {
+        matches!(self, McsdError::Phoenix(PhoenixError::MemoryOverflow { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: McsdError = PhoenixError::NoWorkers.into();
+        assert!(e.to_string().contains("phoenix"));
+        assert!(!e.is_memory_overflow());
+
+        let e: McsdError = PhoenixError::MemoryOverflow {
+            input_bytes: 10,
+            limit_bytes: 5,
+        }
+        .into();
+        assert!(e.is_memory_overflow());
+
+        let e: McsdError = SmartFamError::UnknownModule {
+            module: "m".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("smartFAM"));
+
+        let e: McsdError = std::io::Error::other("disk on fire").into();
+        assert!(e.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e: McsdError = PhoenixError::NoWorkers.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = McsdError::BadScenario {
+            detail: "x".into(),
+        };
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

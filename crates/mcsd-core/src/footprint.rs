@@ -1,0 +1,124 @@
+//! Footprint-factor override wrapper.
+//!
+//! The memory model keys off [`Job::footprint_factor`], which describes the
+//! *MapReduce* working set (input + buffered intermediate pairs). The
+//! paper's sequential baselines stream the same input with a much smaller
+//! working set, so scenario code wraps the job to present the sequential
+//! footprint while delegating everything else.
+
+use mcsd_phoenix::config::OutputOrder;
+use mcsd_phoenix::emitter::Emitter;
+use mcsd_phoenix::job::{InputChunk, Job, ValueIter};
+use mcsd_phoenix::splitter::SplitSpec;
+use std::cmp::Ordering;
+
+/// Delegates to an inner job with a replaced footprint factor.
+#[derive(Debug, Clone)]
+pub struct FootprintOverride<J> {
+    inner: J,
+    factor: f64,
+}
+
+impl<J: Job> FootprintOverride<J> {
+    /// Wrap `inner`, reporting `factor` to the memory model.
+    pub fn new(inner: J, factor: f64) -> Self {
+        FootprintOverride { inner, factor }
+    }
+
+    /// The wrapped job.
+    pub fn inner(&self) -> &J {
+        &self.inner
+    }
+}
+
+impl<J: Job> Job for FootprintOverride<J> {
+    type Key = J::Key;
+    type Value = J::Value;
+
+    fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, Self::Key, Self::Value>) {
+        self.inner.map(chunk, emitter)
+    }
+
+    fn reduce(
+        &self,
+        key: &Self::Key,
+        values: &mut ValueIter<'_, Self::Value>,
+    ) -> Option<Self::Value> {
+        self.inner.reduce(key, values)
+    }
+
+    fn has_combiner(&self) -> bool {
+        self.inner.has_combiner()
+    }
+
+    fn combine(&self, acc: &mut Self::Value, next: Self::Value) {
+        self.inner.combine(acc, next)
+    }
+
+    fn split_spec(&self) -> SplitSpec {
+        self.inner.split_spec()
+    }
+
+    fn output_order(&self) -> OutputOrder {
+        self.inner.output_order()
+    }
+
+    fn compare_output(
+        &self,
+        a: &(Self::Key, Self::Value),
+        b: &(Self::Key, Self::Value),
+    ) -> Ordering {
+        self.inner.compare_output(a, b)
+    }
+
+    fn footprint_factor(&self) -> f64 {
+        self.factor
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsd_apps::WordCount;
+    use mcsd_phoenix::{MemoryModel, PhoenixConfig, Runtime};
+
+    #[test]
+    fn override_changes_only_footprint() {
+        let wrapped = FootprintOverride::new(WordCount, 1.2);
+        assert!((wrapped.footprint_factor() - 1.2).abs() < f64::EPSILON);
+        assert!(
+            (WordCount.footprint_factor() - mcsd_apps::wordcount::WC_FOOTPRINT_FACTOR).abs()
+                < f64::EPSILON
+        );
+        assert_eq!(wrapped.name(), "wordcount");
+        assert!(wrapped.has_combiner());
+    }
+
+    #[test]
+    fn wrapped_job_runs_identically() {
+        let text = b"a b a c a b";
+        let rt = Runtime::new(PhoenixConfig::with_workers(2));
+        let plain = rt.run(&WordCount, text).unwrap();
+        let wrapped = rt.run(&FootprintOverride::new(WordCount, 1.0), text).unwrap();
+        assert_eq!(plain.pairs, wrapped.pairs);
+    }
+
+    #[test]
+    fn override_avoids_thrash_verdict() {
+        // Input that thrashes at 3.0x but fits at 1.2x.
+        let mem = MemoryModel::new(1000);
+        let cfg = PhoenixConfig::with_workers(1).memory(mem);
+        let rt = Runtime::new(cfg);
+        let input = vec![b'x'; 400]; // 400*3=1200 > 900; 400*1.2=480 < 900
+        let heavy = rt.run(&WordCount, &input).unwrap();
+        assert!(heavy.stats.swapped_bytes > 0);
+        let light = rt
+            .run(&FootprintOverride::new(WordCount, 1.2), &input)
+            .unwrap();
+        assert_eq!(light.stats.swapped_bytes, 0);
+    }
+}

@@ -1,0 +1,308 @@
+//! The top-level McSD facade.
+//!
+//! [`McsdFramework`] is the API a cluster application programs against: it
+//! owns the modelled cluster, boots the live SD node (NFS share + smartFAM
+//! daemon + preloaded modules), and exposes typed offload calls whose
+//! results come back with their virtual-time cost. The offload policy
+//! decides host-vs-SD placement automatically; callers can also force
+//! either side.
+
+use crate::bridge::{McsdClient, SdNodeServer};
+use crate::driver::NodeRunner;
+use crate::error::McsdError;
+use crate::modules::{StringMatchModule, WordCountModule};
+use crate::offload::{JobProfile, OffloadDecision, OffloadPolicy, Offloader};
+use mcsd_apps::{MatMul, Matrix, StringMatch, WordCount};
+use mcsd_cluster::{Cluster, TimeBreakdown};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default per-call timeout for offloaded modules.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The McSD programming framework.
+pub struct McsdFramework {
+    cluster: Cluster,
+    server: SdNodeServer,
+    client: McsdClient,
+    offloader: Mutex<Offloader>,
+    timeout: Duration,
+}
+
+impl McsdFramework {
+    /// Boot the framework on `cluster` with the given offload policy.
+    pub fn start(cluster: Cluster, policy: OffloadPolicy) -> Result<McsdFramework, McsdError> {
+        let server = SdNodeServer::start(&cluster)?;
+        let client = server.host_client();
+        let offloader = Mutex::new(Offloader::for_nodes(policy, &cluster.nodes));
+        Ok(McsdFramework {
+            cluster,
+            server,
+            client,
+            offloader,
+            timeout: DEFAULT_TIMEOUT,
+        })
+    }
+
+    /// The modelled cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The live SD node.
+    pub fn sd_node(&self) -> &SdNodeServer {
+        &self.server
+    }
+
+    /// Ask the policy where a job should run.
+    pub fn decide(&self, profile: &JobProfile) -> OffloadDecision {
+        self.offloader.lock().decide(profile)
+    }
+
+    /// Stage data onto the SD node from the host (pays the network).
+    pub fn stage_data(&self, name: &str, data: &[u8]) -> Result<TimeBreakdown, McsdError> {
+        self.server.stage_from_host(name, data)
+    }
+
+    /// Stage data that already lives on the SD node (disk cost only).
+    pub fn stage_data_local(&self, name: &str, data: &[u8]) -> Result<TimeBreakdown, McsdError> {
+        self.server.stage_local(name, data)
+    }
+
+    /// Word Count over a staged file. The policy picks the node; the
+    /// McSD path offloads to the SD module with the given partition
+    /// parameter (`None` = native, `Some("auto")` = runtime-sized).
+    pub fn wordcount(
+        &self,
+        file: &str,
+        partition: Option<&str>,
+    ) -> Result<(Vec<(String, u64)>, TimeBreakdown), McsdError> {
+        let data_len = self.staged_len(file)?;
+        let profile = JobProfile {
+            name: "wordcount".into(),
+            input_bytes: data_len,
+            compute_per_byte: 10.0,
+            data_on_sd: true,
+        };
+        match self.decide(&profile) {
+            OffloadDecision::SmartStorage { .. } => {
+                let mut params = vec![file.to_string()];
+                if let Some(p) = partition {
+                    params.push(p.to_string());
+                }
+                let (payload, cost) = self.client.invoke("wordcount", &params, self.timeout)?;
+                let pairs = WordCountModule::decode(&payload)
+                    .map_err(|detail| McsdError::BadScenario { detail })?;
+                Ok((pairs, cost))
+            }
+            OffloadDecision::Host => {
+                // Fetch the data across NFS and run on the host.
+                let (data, fetch) = self.read_staged(file)?;
+                let runner = self.host_runner();
+                let out = runner.run_parallel(&WordCount, &data)?;
+                Ok((out.pairs, fetch + out.report.time))
+            }
+        }
+    }
+
+    /// String Match over staged encrypt/keys files.
+    pub fn stringmatch(
+        &self,
+        encrypt_file: &str,
+        keys_file: &str,
+        partition: Option<&str>,
+    ) -> Result<(Vec<(u64, u32)>, TimeBreakdown), McsdError> {
+        let data_len = self.staged_len(encrypt_file)?;
+        let profile = JobProfile {
+            name: "stringmatch".into(),
+            input_bytes: data_len,
+            compute_per_byte: 20.0,
+            data_on_sd: true,
+        };
+        match self.decide(&profile) {
+            OffloadDecision::SmartStorage { .. } => {
+                let mut params = vec![encrypt_file.to_string(), keys_file.to_string()];
+                if let Some(p) = partition {
+                    params.push(p.to_string());
+                }
+                let (payload, cost) = self.client.invoke("stringmatch", &params, self.timeout)?;
+                let pairs = StringMatchModule::decode(&payload)
+                    .map_err(|detail| McsdError::BadScenario { detail })?;
+                Ok((pairs, cost))
+            }
+            OffloadDecision::Host => {
+                let (encrypt, fetch_e) = self.read_staged(encrypt_file)?;
+                let (keys_raw, fetch_k) = self.read_staged(keys_file)?;
+                let keys: Vec<String> = String::from_utf8_lossy(&keys_raw)
+                    .lines()
+                    .filter(|l| !l.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                let job = StringMatch::new(&keys);
+                let runner = self.host_runner();
+                let out = runner.run_parallel(&job, &encrypt)?;
+                Ok((out.pairs, fetch_e + fetch_k + out.report.time))
+            }
+        }
+    }
+
+    /// Matrix multiplication. Dense MM is compute-intensive, so the
+    /// default policy keeps it on the host; `AlwaysSd` forces the module
+    /// path.
+    pub fn matmul(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+    ) -> Result<(Matrix, TimeBreakdown), McsdError> {
+        let profile = JobProfile {
+            name: "matmul".into(),
+            input_bytes: (a.byte_len() + b.byte_len()) as u64,
+            compute_per_byte: a.cols as f64, // ~n multiply-adds per stored byte
+            data_on_sd: false,
+        };
+        match self.decide(&profile) {
+            OffloadDecision::Host => {
+                let job = MatMul::new(Arc::new(a.clone()), b);
+                let runner = self.host_runner();
+                let out = runner.run_parallel(&job, &job.row_input())?;
+                let c = job.assemble(&out.pairs);
+                Ok((c, out.report.time))
+            }
+            OffloadDecision::SmartStorage { .. } => {
+                let stage_a = self.stage_data("mm_a.mat", &a.to_bytes())?;
+                let stage_b = self.stage_data("mm_b.mat", &b.to_bytes())?;
+                let (payload, cost) = self.client.invoke(
+                    "matmul",
+                    &["mm_a.mat".to_string(), "mm_b.mat".to_string()],
+                    self.timeout,
+                )?;
+                let c = Matrix::from_bytes(&payload)
+                    .map_err(|detail| McsdError::BadScenario { detail })?;
+                Ok((c, stage_a + stage_b + cost))
+            }
+        }
+    }
+
+    /// Shut the framework down (daemon, share). Also happens on drop.
+    pub fn stop(mut self) {
+        self.server.stop();
+    }
+
+    fn host_runner(&self) -> NodeRunner {
+        NodeRunner::new(self.cluster.host().clone(), self.cluster.disk)
+    }
+
+    fn staged_len(&self, file: &str) -> Result<u64, McsdError> {
+        let path = self.server.data_root().join(file);
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn read_staged(&self, file: &str) -> Result<(Vec<u8>, TimeBreakdown), McsdError> {
+        let path = self.server.data_root().join(file);
+        let data = std::fs::read(path)?;
+        // The host reads through NFS: network + disk.
+        let cost = self
+            .cluster
+            .network
+            .charge_transfer(data.len() as u64)
+            + self.cluster.disk.charge_sequential(data.len() as u64);
+        Ok((data, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsd_apps::{datagen, seq, TextGen};
+    use mcsd_cluster::{paper_testbed, Scale};
+
+    fn cluster() -> Cluster {
+        let mut c = paper_testbed(Scale::default_experiment());
+        for n in &mut c.nodes {
+            n.memory_bytes = 256 << 20;
+        }
+        c
+    }
+
+    #[test]
+    fn wordcount_offloads_to_sd_by_default() {
+        let fw = McsdFramework::start(cluster(), OffloadPolicy::DataIntensiveToSd).unwrap();
+        // A small vocabulary keeps the result payload (and thus the
+        // log-file traffic) far below the input size, so the offload's
+        // network saving is visible even at test scale.
+        let gen = TextGen {
+            vocab_size: 300,
+            ..TextGen::with_seed(31)
+        };
+        let text = gen.generate(400_000);
+        fw.stage_data_local("t.txt", &text).unwrap();
+        let (pairs, cost) = fw.wordcount("t.txt", Some("auto")).unwrap();
+        assert_eq!(pairs, seq::wordcount(&text));
+        // Offloaded: only log-file bytes crossed the network, far less
+        // than the input.
+        let full_transfer = fw.cluster().network.transfer_time(text.len() as u64);
+        assert!(cost.network < full_transfer);
+        assert_eq!(fw.sd_node().daemon_stats().ok, 1);
+        fw.stop();
+    }
+
+    #[test]
+    fn always_host_fetches_data_instead() {
+        let fw = McsdFramework::start(cluster(), OffloadPolicy::AlwaysHost).unwrap();
+        let text = TextGen::with_seed(32).generate(6_000);
+        fw.stage_data_local("t.txt", &text).unwrap();
+        let (pairs, cost) = fw.wordcount("t.txt", None).unwrap();
+        assert_eq!(pairs, seq::wordcount(&text));
+        // Host path: the whole input crossed the network.
+        assert!(cost.network >= fw.cluster().network.transfer_time(text.len() as u64));
+        assert_eq!(fw.sd_node().daemon_stats().requests, 0);
+        fw.stop();
+    }
+
+    #[test]
+    fn stringmatch_both_paths_agree() {
+        let keys = datagen::keys_file(3, 7, 8);
+        let encrypt = datagen::encrypt_file(10_000, &keys, 0.08, 3);
+        let expect = seq::stringmatch(&keys, &encrypt);
+
+        let sd_fw = McsdFramework::start(cluster(), OffloadPolicy::DataIntensiveToSd).unwrap();
+        sd_fw.stage_data_local("e.bin", &encrypt).unwrap();
+        sd_fw
+            .stage_data_local("k.txt", keys.join("\n").as_bytes())
+            .unwrap();
+        let (sd_pairs, _) = sd_fw.stringmatch("e.bin", "k.txt", None).unwrap();
+        assert_eq!(sd_pairs, expect);
+        sd_fw.stop();
+
+        let host_fw = McsdFramework::start(cluster(), OffloadPolicy::AlwaysHost).unwrap();
+        host_fw.stage_data_local("e.bin", &encrypt).unwrap();
+        host_fw
+            .stage_data_local("k.txt", keys.join("\n").as_bytes())
+            .unwrap();
+        let (host_pairs, _) = host_fw.stringmatch("e.bin", "k.txt", None).unwrap();
+        assert_eq!(host_pairs, expect);
+        host_fw.stop();
+    }
+
+    #[test]
+    fn matmul_stays_on_host_under_default_policy() {
+        let fw = McsdFramework::start(cluster(), OffloadPolicy::DataIntensiveToSd).unwrap();
+        let (a, b) = datagen::matrix_pair(14, 9, 11, 2);
+        let (c, _) = fw.matmul(&a, &b).unwrap();
+        assert!(c.max_abs_diff(&seq::matmul(&a, &b)) < 1e-9);
+        assert_eq!(fw.sd_node().daemon_stats().requests, 0);
+        fw.stop();
+    }
+
+    #[test]
+    fn matmul_can_be_forced_to_sd() {
+        let fw = McsdFramework::start(cluster(), OffloadPolicy::AlwaysSd).unwrap();
+        let (a, b) = datagen::matrix_pair(8, 8, 8, 4);
+        let (c, cost) = fw.matmul(&a, &b).unwrap();
+        assert!(c.max_abs_diff(&seq::matmul(&a, &b)) < 1e-9);
+        assert!(cost.network > Duration::ZERO);
+        assert_eq!(fw.sd_node().daemon_stats().ok, 1);
+        fw.stop();
+    }
+}

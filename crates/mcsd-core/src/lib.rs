@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # mcsd-core
+//!
+//! The McSD framework — the paper's primary contribution: "a programming
+//! framework, which include MapReduce-like programming APIs and a runtime
+//! environment for multicore-based smart storage in the context of
+//! clusters" whose "APIs and runtime environment … automatically handles
+//! computation offload, data partitioning, and load balancing" (§I).
+//!
+//! Built on the three substrates:
+//!
+//! * [`mcsd_phoenix`] — the extended Phoenix MapReduce runtime (map/reduce
+//!   + Partition/Merge);
+//! * [`mcsd_cluster`] — the modelled 5-node testbed (nodes, NFS, network,
+//!   disk, virtual time);
+//! * [`mcsd_smartfam`] — the log-file invocation mechanism between host
+//!   and SD node.
+//!
+//! ## Layers
+//!
+//! * [`driver`] — run one MapReduce job "on a node": caps workers at the
+//!   node's cores, applies the memory model, charges speed-scaled compute
+//!   and swap penalties to the virtual clock.
+//! * [`offload`] — the offload policy: which node should run a job.
+//! * [`scenario`] — the paper's four multi-application execution scenarios
+//!   (§V-C): host-only, traditional single-core SD, duo SD without
+//!   partition, and the full McSD framework.
+//! * [`modules`] — the three benchmark applications wrapped as smartFAM
+//!   [`ProcessingModule`](mcsd_smartfam::ProcessingModule)s, as they would
+//!   be preloaded on a McSD node.
+//! * [`bridge`] — a *live* SD node: NFS share + smartFAM daemon + preloaded
+//!   modules, plus the host-side client that offloads through it.
+//! * [`framework`] — the top-level [`framework::McsdFramework`] facade.
+
+pub mod bridge;
+pub mod driver;
+pub mod error;
+pub mod footprint;
+pub mod framework;
+pub mod modules;
+pub mod multisd;
+pub mod offload;
+pub mod report;
+pub mod scenario;
+
+pub use driver::{ExecMode, NodeRunReport, NodeRunner};
+pub use error::McsdError;
+pub use footprint::FootprintOverride;
+pub use framework::McsdFramework;
+pub use multisd::{MultiSdReport, MultiSdRunner};
+pub use offload::{JobProfile, OffloadDecision, OffloadPolicy};
+pub use report::RunReport;
+pub use scenario::{PairReport, PairRunner, PairScenario, PairWorkload};

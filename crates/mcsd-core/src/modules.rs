@@ -1,0 +1,469 @@
+//! The three benchmark applications wrapped as smartFAM processing
+//! modules, as they would be preloaded on a McSD node (paper §IV-A).
+//!
+//! Parameter conventions follow the paper's command shapes — e.g.
+//! `wordcount [data-file] [partition-size]`: "If there is no
+//! [partition-size] parameter, the program will run in native way.
+//! Otherwise, the number of [partition-size] can be manually filled in by
+//! the programmer or automatically determined by the runtime system"
+//! (`auto`).
+//!
+//! Result payloads are simple line-oriented text (Word Count, String
+//! Match) or the binary matrix format (Matrix Multiplication), so the host
+//! can parse them back out of the log file.
+
+use mcsd_apps::{Matrix, StringMatch, WordCount};
+use mcsd_cluster::NodeSpec;
+use mcsd_phoenix::{Job, PartitionSpec, PartitionedRuntime, PhoenixConfig, Runtime};
+use mcsd_smartfam::{ModuleError, ProcessingModule};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Resolve a module's data-file parameter inside the SD data root,
+/// rejecting escapes.
+fn resolve(root: &Path, rel: &str) -> Result<PathBuf, ModuleError> {
+    if rel.split('/').any(|c| c == "..") || rel.starts_with('/') {
+        return Err(ModuleError::new(format!(
+            "data path {rel:?} escapes the SD data root"
+        )));
+    }
+    Ok(root.join(rel))
+}
+
+/// Parse the `[partition-size]` parameter: absent = native run, `auto` =
+/// runtime-determined, otherwise bytes.
+fn parse_partition(
+    param: Option<&String>,
+    node: &NodeSpec,
+    footprint: f64,
+) -> Result<Option<PartitionSpec>, ModuleError> {
+    match param.map(String::as_str) {
+        None | Some("native") => Ok(None),
+        Some("auto") => Ok(Some(PartitionSpec::auto(&node.memory_model(), footprint))),
+        Some(s) => {
+            let bytes = mcsd_cluster::Scale::parse_label(s)
+                .ok_or_else(|| ModuleError::new(format!("bad partition size {s:?}")))?;
+            Ok(Some(PartitionSpec::new(bytes as usize)))
+        }
+    }
+}
+
+fn phoenix_for(node: &NodeSpec) -> PhoenixConfig {
+    PhoenixConfig::with_workers(node.cores).memory(node.memory_model())
+}
+
+/// `wordcount [data-file] [partition-size]`.
+pub struct WordCountModule {
+    data_root: PathBuf,
+    node: NodeSpec,
+}
+
+impl WordCountModule {
+    /// A module serving files under `data_root` on `node`.
+    pub fn new(data_root: impl Into<PathBuf>, node: NodeSpec) -> Self {
+        WordCountModule {
+            data_root: data_root.into(),
+            node,
+        }
+    }
+
+    /// Encode the output pairs as `word\tcount` lines.
+    pub fn encode(pairs: &[(String, u64)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (w, c) in pairs {
+            out.extend_from_slice(w.as_bytes());
+            out.push(b'\t');
+            out.extend_from_slice(c.to_string().as_bytes());
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Decode [`WordCountModule::encode`] output.
+    pub fn decode(payload: &[u8]) -> Result<Vec<(String, u64)>, String> {
+        let text = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+        text.lines()
+            .map(|line| {
+                let (w, c) = line
+                    .rsplit_once('\t')
+                    .ok_or_else(|| format!("bad line {line:?}"))?;
+                Ok((w.to_string(), c.parse::<u64>().map_err(|e| e.to_string())?))
+            })
+            .collect()
+    }
+}
+
+impl ProcessingModule for WordCountModule {
+    fn name(&self) -> &str {
+        "wordcount"
+    }
+
+    fn invoke(&self, params: &[String]) -> Result<Vec<u8>, ModuleError> {
+        let file = params
+            .first()
+            .ok_or_else(|| ModuleError::new("usage: wordcount [data-file] [partition-size]"))?;
+        let path = resolve(&self.data_root, file)?;
+        let spec = parse_partition(params.get(1), &self.node, WordCount.footprint_factor())?;
+        let runtime = Runtime::new(phoenix_for(&self.node));
+        let pairs = match spec {
+            None => {
+                let data = std::fs::read(&path)
+                    .map_err(|e| ModuleError::new(format!("reading {file:?}: {e}")))?;
+                runtime.run(&WordCount, &data).map_err(ModuleError::new)?.pairs
+            }
+            // Partitioned runs stream fragments straight off the disk —
+            // the dataset never has to fit in memory at all.
+            Some(spec) => PartitionedRuntime::new(runtime, spec)
+                .run_file(&WordCount, &path, &WordCount::merger())
+                .map_err(ModuleError::new)?
+                .pairs,
+        };
+        Ok(Self::encode(&pairs))
+    }
+}
+
+/// `stringmatch [encrypt-file] [keys-file] [partition-size]`.
+pub struct StringMatchModule {
+    data_root: PathBuf,
+    node: NodeSpec,
+}
+
+impl StringMatchModule {
+    /// A module serving files under `data_root` on `node`.
+    pub fn new(data_root: impl Into<PathBuf>, node: NodeSpec) -> Self {
+        StringMatchModule {
+            data_root: data_root.into(),
+            node,
+        }
+    }
+
+    /// Encode matches as `offset\tkey_index` lines.
+    pub fn encode(pairs: &[(u64, u32)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (off, ki) in pairs {
+            out.extend_from_slice(format!("{off}\t{ki}\n").as_bytes());
+        }
+        out
+    }
+
+    /// Decode [`StringMatchModule::encode`] output.
+    pub fn decode(payload: &[u8]) -> Result<Vec<(u64, u32)>, String> {
+        let text = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+        text.lines()
+            .map(|line| {
+                let (off, ki) = line
+                    .split_once('\t')
+                    .ok_or_else(|| format!("bad line {line:?}"))?;
+                Ok((
+                    off.parse::<u64>().map_err(|e| e.to_string())?,
+                    ki.parse::<u32>().map_err(|e| e.to_string())?,
+                ))
+            })
+            .collect()
+    }
+}
+
+impl ProcessingModule for StringMatchModule {
+    fn name(&self) -> &str {
+        "stringmatch"
+    }
+
+    fn invoke(&self, params: &[String]) -> Result<Vec<u8>, ModuleError> {
+        let (Some(encrypt_file), Some(keys_file)) = (params.first(), params.get(1)) else {
+            return Err(ModuleError::new(
+                "usage: stringmatch [encrypt-file] [keys-file] [partition-size]",
+            ));
+        };
+        self.run(encrypt_file, keys_file, params.get(2))
+    }
+}
+
+impl StringMatchModule {
+    fn run(
+        &self,
+        encrypt_file: &String,
+        keys_file: &String,
+        partition: Option<&String>,
+    ) -> Result<Vec<u8>, ModuleError> {
+        let encrypt = std::fs::read(resolve(&self.data_root, encrypt_file)?)
+            .map_err(|e| ModuleError::new(format!("reading {encrypt_file:?}: {e}")))?;
+        let keys_raw = std::fs::read(resolve(&self.data_root, keys_file)?)
+            .map_err(|e| ModuleError::new(format!("reading {keys_file:?}: {e}")))?;
+        let keys: Vec<String> = String::from_utf8_lossy(&keys_raw)
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect();
+        let job = StringMatch::new(&keys);
+        let spec = parse_partition(partition, &self.node, job.footprint_factor())?;
+        let runtime = Runtime::new(phoenix_for(&self.node));
+        let pairs = match spec {
+            None => runtime.run(&job, &encrypt).map_err(ModuleError::new)?.pairs,
+            Some(spec) => PartitionedRuntime::new(runtime, spec)
+                .run(&job, &encrypt, &StringMatch::merger())
+                .map_err(ModuleError::new)?
+                .pairs,
+        };
+        Ok(Self::encode(&pairs))
+    }
+}
+
+/// `matmul [a-file] [b-file]` — result: the product matrix in the binary
+/// matrix format.
+pub struct MatMulModule {
+    data_root: PathBuf,
+    node: NodeSpec,
+}
+
+impl MatMulModule {
+    /// A module serving files under `data_root` on `node`.
+    pub fn new(data_root: impl Into<PathBuf>, node: NodeSpec) -> Self {
+        MatMulModule {
+            data_root: data_root.into(),
+            node,
+        }
+    }
+}
+
+impl ProcessingModule for MatMulModule {
+    fn name(&self) -> &str {
+        "matmul"
+    }
+
+    fn invoke(&self, params: &[String]) -> Result<Vec<u8>, ModuleError> {
+        let (Some(a_file), Some(b_file)) = (params.first(), params.get(1)) else {
+            return Err(ModuleError::new("usage: matmul [a-file] [b-file]"));
+        };
+        let a = Matrix::from_bytes(
+            &std::fs::read(resolve(&self.data_root, a_file)?)
+                .map_err(|e| ModuleError::new(format!("reading {a_file:?}: {e}")))?,
+        )
+        .map_err(ModuleError::new)?;
+        let b = Matrix::from_bytes(
+            &std::fs::read(resolve(&self.data_root, b_file)?)
+                .map_err(|e| ModuleError::new(format!("reading {b_file:?}: {e}")))?,
+        )
+        .map_err(ModuleError::new)?;
+        let job = mcsd_apps::MatMul::new(Arc::new(a), &b);
+        let runtime = Runtime::new(phoenix_for(&self.node));
+        let out = runtime
+            .run(&job, &job.row_input())
+            .map_err(ModuleError::new)?;
+        Ok(job.assemble(&out.pairs).to_bytes())
+    }
+}
+
+/// `histogram [data-file]` — a module beyond the paper's three benchmarks,
+/// demonstrating §VI's "extensibility of data-processing modules": it can
+/// be preloaded into a running SD node's registry at any time. Result: 256
+/// little-endian `u64` bin counts.
+pub struct HistogramModule {
+    data_root: PathBuf,
+    node: NodeSpec,
+}
+
+impl HistogramModule {
+    /// A module serving files under `data_root` on `node`.
+    pub fn new(data_root: impl Into<PathBuf>, node: NodeSpec) -> Self {
+        HistogramModule {
+            data_root: data_root.into(),
+            node,
+        }
+    }
+
+    /// Encode a bin table.
+    pub fn encode(bins: &[u64; 256]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256 * 8);
+        for b in bins {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode [`HistogramModule::encode`] output.
+    pub fn decode(payload: &[u8]) -> Result<[u64; 256], String> {
+        if payload.len() != 256 * 8 {
+            return Err(format!("expected 2048 payload bytes, got {}", payload.len()));
+        }
+        let mut bins = [0u64; 256];
+        for (i, chunk) in payload.chunks_exact(8).enumerate() {
+            bins[i] = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        }
+        Ok(bins)
+    }
+}
+
+impl ProcessingModule for HistogramModule {
+    fn name(&self) -> &str {
+        "histogram"
+    }
+
+    fn invoke(&self, params: &[String]) -> Result<Vec<u8>, ModuleError> {
+        let file = params
+            .first()
+            .ok_or_else(|| ModuleError::new("usage: histogram [data-file]"))?;
+        let data = std::fs::read(resolve(&self.data_root, file)?)
+            .map_err(|e| ModuleError::new(format!("reading {file:?}: {e}")))?;
+        let runtime = Runtime::new(phoenix_for(&self.node));
+        let out = runtime
+            .run(&mcsd_apps::Histogram, &data)
+            .map_err(ModuleError::new)?;
+        Ok(Self::encode(&mcsd_apps::Histogram::to_bins(&out.pairs)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsd_apps::{datagen, seq, TextGen};
+    use mcsd_cluster::NodeId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static N: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_root() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "mcsd-mod-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sd_node() -> NodeSpec {
+        NodeSpec::paper_sd(NodeId(1), 64 << 20)
+    }
+
+    #[test]
+    fn wordcount_module_native() {
+        let root = temp_root();
+        let text = TextGen::with_seed(1).generate(10_000);
+        std::fs::write(root.join("input.txt"), &text).unwrap();
+        let m = WordCountModule::new(&root, sd_node());
+        let out = m.invoke(&["input.txt".into()]).unwrap();
+        let pairs = WordCountModule::decode(&out).unwrap();
+        assert_eq!(pairs, seq::wordcount(&text));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn wordcount_module_partitioned_matches_native() {
+        let root = temp_root();
+        let text = TextGen::with_seed(2).generate(20_000);
+        std::fs::write(root.join("input.txt"), &text).unwrap();
+        let m = WordCountModule::new(&root, sd_node());
+        let native = m.invoke(&["input.txt".into()]).unwrap();
+        let part = m.invoke(&["input.txt".into(), "4K".into()]).unwrap();
+        let auto = m.invoke(&["input.txt".into(), "auto".into()]).unwrap();
+        assert_eq!(native, part);
+        assert_eq!(native, auto);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn wordcount_module_errors() {
+        let root = temp_root();
+        let m = WordCountModule::new(&root, sd_node());
+        assert!(m.invoke(&[]).is_err());
+        assert!(m.invoke(&["missing.txt".into()]).is_err());
+        assert!(m.invoke(&["../escape".into()]).is_err());
+        std::fs::write(root.join("f.txt"), b"x").unwrap();
+        assert!(m.invoke(&["f.txt".into(), "not-a-size".into()]).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stringmatch_module_end_to_end() {
+        let root = temp_root();
+        let keys = datagen::keys_file(3, 8, 4);
+        let encrypt = datagen::encrypt_file(15_000, &keys, 0.1, 5);
+        std::fs::write(root.join("encrypt.bin"), &encrypt).unwrap();
+        std::fs::write(root.join("keys.txt"), keys.join("\n")).unwrap();
+        let m = StringMatchModule::new(&root, sd_node());
+        let out = m
+            .invoke(&["encrypt.bin".into(), "keys.txt".into()])
+            .unwrap();
+        let pairs = StringMatchModule::decode(&out).unwrap();
+        assert_eq!(pairs, seq::stringmatch(&keys, &encrypt));
+        assert!(!pairs.is_empty());
+        // Partitioned agrees.
+        let part = m
+            .invoke(&["encrypt.bin".into(), "keys.txt".into(), "4K".into()])
+            .unwrap();
+        assert_eq!(out, part);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn matmul_module_end_to_end() {
+        let root = temp_root();
+        let (a, b) = datagen::matrix_pair(12, 8, 10, 6);
+        std::fs::write(root.join("a.mat"), a.to_bytes()).unwrap();
+        std::fs::write(root.join("b.mat"), b.to_bytes()).unwrap();
+        let m = MatMulModule::new(&root, sd_node());
+        let out = m.invoke(&["a.mat".into(), "b.mat".into()]).unwrap();
+        let c = Matrix::from_bytes(&out).unwrap();
+        assert!(c.max_abs_diff(&seq::matmul(&a, &b)) < 1e-9);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn matmul_module_rejects_bad_inputs() {
+        let root = temp_root();
+        let m = MatMulModule::new(&root, sd_node());
+        assert!(m.invoke(&["a.mat".into()]).is_err());
+        std::fs::write(root.join("junk.mat"), b"not a matrix").unwrap();
+        assert!(m
+            .invoke(&["junk.mat".into(), "junk.mat".into()])
+            .is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn histogram_module_end_to_end() {
+        let root = temp_root();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(root.join("blob.bin"), &data).unwrap();
+        let m = HistogramModule::new(&root, sd_node());
+        let out = m.invoke(&["blob.bin".into()]).unwrap();
+        let bins = HistogramModule::decode(&out).unwrap();
+        assert_eq!(bins, mcsd_apps::histogram::seq_histogram(&data));
+        assert!(m.invoke(&[]).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn histogram_codec_rejects_bad_lengths() {
+        assert!(HistogramModule::decode(&[0u8; 100]).is_err());
+        let bins = [7u64; 256];
+        assert_eq!(
+            HistogramModule::decode(&HistogramModule::encode(&bins)).unwrap(),
+            bins
+        );
+    }
+
+    #[test]
+    fn codecs_roundtrip() {
+        let wc = vec![("alpha".to_string(), 3u64), ("beta".to_string(), 1)];
+        assert_eq!(
+            WordCountModule::decode(&WordCountModule::encode(&wc)).unwrap(),
+            wc
+        );
+        let sm = vec![(0u64, 2u32), (99, 0)];
+        assert_eq!(
+            StringMatchModule::decode(&StringMatchModule::encode(&sm)).unwrap(),
+            sm
+        );
+        assert!(WordCountModule::decode(b"no-tab-here\n").is_err());
+        assert!(StringMatchModule::decode(b"a\tb\n").is_err());
+    }
+
+    #[test]
+    fn wordcount_decode_handles_tabs_in_words() {
+        // rsplit_once keeps any tab inside the "word" intact.
+        let pairs = vec![("odd\tword".to_string(), 2u64)];
+        let enc = WordCountModule::encode(&pairs);
+        assert_eq!(WordCountModule::decode(&enc).unwrap(), pairs);
+    }
+}

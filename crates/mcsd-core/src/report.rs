@@ -1,0 +1,86 @@
+//! Run reports consumed by the experiment harness.
+
+use mcsd_cluster::TimeBreakdown;
+use mcsd_phoenix::JobStats;
+use std::time::Duration;
+
+/// Summary of one job run on one node under one execution mode — the unit
+/// the paper's elapsed-time curves and speedup bars are built from.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Job name.
+    pub job: String,
+    /// Node the job ran on.
+    pub node: String,
+    /// Execution mode label ("seq", "par", "par+part(…)").
+    pub mode: String,
+    /// Input size in (scaled) bytes.
+    pub input_bytes: u64,
+    /// Virtual elapsed time with its category breakdown.
+    pub time: TimeBreakdown,
+    /// Runtime statistics.
+    pub stats: JobStats,
+}
+
+impl RunReport {
+    /// Total virtual elapsed time.
+    pub fn elapsed(&self) -> Duration {
+        self.time.total()
+    }
+
+    /// Speedup of this run relative to `baseline` (baseline / this).
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        baseline.elapsed().as_secs_f64() / self.elapsed().as_secs_f64().max(1e-12)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<12} {:<14} {:<16} {:>10}B  total={:>9.3?} (cpu={:.3?} net={:.3?} disk={:.3?} ovh={:.3?}) frags={} swapped={}B",
+            self.job,
+            self.node,
+            self.mode,
+            self.input_bytes,
+            self.time.total(),
+            self.time.compute,
+            self.time.network,
+            self.time.disk,
+            self.time.overhead,
+            self.stats.fragments,
+            self.stats.swapped_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ms: u64) -> RunReport {
+        RunReport {
+            job: "wc".into(),
+            node: "sd".into(),
+            mode: "par".into(),
+            input_bytes: 1000,
+            time: TimeBreakdown::compute(Duration::from_millis(ms)),
+            stats: JobStats::default(),
+        }
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let fast = report(10);
+        let slow = report(40);
+        assert!((fast.speedup_vs(&slow) - 4.0).abs() < 1e-9);
+        assert!((slow.speedup_vs(&fast) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_contains_fields() {
+        let r = report(5);
+        let s = r.summary();
+        assert!(s.contains("wc"));
+        assert!(s.contains("sd"));
+        assert!(s.contains("par"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Intermediate pair emission.
+//!
+//! Each map worker owns one [`Emitter`]. Emitted pairs are hash-partitioned
+//! across the configured number of reduce partitions; a stable (per-build
+//! deterministic) hash is used so every worker agrees on the partition of a
+//! key. When the job declares a combiner, pairs are folded eagerly into a
+//! per-partition hash map instead of being buffered, which is what keeps
+//! Word Count's intermediate footprint bounded by the number of *distinct*
+//! words per fragment rather than the number of word occurrences.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Stable hash used for partitioning keys across reduce partitions.
+///
+/// `DefaultHasher::new()` uses fixed keys, so the value is deterministic
+/// within a build — all workers agree, and repeated runs of a binary
+/// partition identically.
+pub fn partition_hash<K: Hash>(key: &K) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Associative fold over values, implemented by jobs that declare a
+/// combiner. Object-safe so the emitter can hold a borrowed reference
+/// without knowing the job type.
+pub trait CombineFn<V>: Sync {
+    /// `acc := acc ⊕ next`.
+    fn fold(&self, acc: &mut V, next: V);
+}
+
+impl<J: crate::job::Job> CombineFn<J::Value> for J {
+    fn fold(&self, acc: &mut J::Value, next: J::Value) {
+        self.combine(acc, next)
+    }
+}
+
+enum Buffers<K, V> {
+    /// Plain append buffers, one per reduce partition.
+    Plain(Vec<Vec<(K, V)>>),
+    /// Eagerly-combined maps, one per reduce partition.
+    Combining(Vec<HashMap<K, V>>),
+}
+
+/// Per-worker sink for intermediate `(key, value)` pairs.
+pub struct Emitter<'j, K, V> {
+    buffers: Buffers<K, V>,
+    combiner: Option<&'j dyn CombineFn<V>>,
+    emitted: u64,
+}
+
+impl<'j, K: Ord + Hash + Clone, V> Emitter<'j, K, V> {
+    /// An emitter with `partitions` plain buffers (no combiner).
+    pub fn new(partitions: usize) -> Self {
+        assert!(partitions > 0, "emitter needs at least one partition");
+        Emitter {
+            buffers: Buffers::Plain((0..partitions).map(|_| Vec::new()).collect()),
+            combiner: None,
+            emitted: 0,
+        }
+    }
+
+    /// An emitter that folds pairs with equal keys using `combiner`.
+    pub fn with_combiner(partitions: usize, combiner: &'j dyn CombineFn<V>) -> Self {
+        assert!(partitions > 0, "emitter needs at least one partition");
+        Emitter {
+            buffers: Buffers::Combining((0..partitions).map(|_| HashMap::new()).collect()),
+            combiner: Some(combiner),
+            emitted: 0,
+        }
+    }
+
+    /// Number of reduce partitions.
+    pub fn partitions(&self) -> usize {
+        match &self.buffers {
+            Buffers::Plain(v) => v.len(),
+            Buffers::Combining(v) => v.len(),
+        }
+    }
+
+    /// Emit one intermediate pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.emitted += 1;
+        let parts = self.partitions();
+        let p = (partition_hash(&key) % parts as u64) as usize;
+        match &mut self.buffers {
+            Buffers::Plain(bufs) => bufs[p].push((key, value)),
+            Buffers::Combining(maps) => {
+                let combiner = self
+                    .combiner
+                    .expect("combining emitter always has a combiner");
+                match maps[p].entry(key) {
+                    Entry::Occupied(mut e) => combiner.fold(e.get_mut(), value),
+                    Entry::Vacant(e) => {
+                        e.insert(value);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total pairs emitted (before combining).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Number of pairs currently buffered (after combining).
+    pub fn buffered(&self) -> usize {
+        match &self.buffers {
+            Buffers::Plain(v) => v.iter().map(Vec::len).sum(),
+            Buffers::Combining(v) => v.iter().map(HashMap::len).sum(),
+        }
+    }
+
+    /// Drain the emitter into per-partition pair vectors.
+    pub fn into_partitions(self) -> Vec<Vec<(K, V)>> {
+        match self.buffers {
+            Buffers::Plain(v) => v,
+            Buffers::Combining(v) => v.into_iter().map(|m| m.into_iter().collect()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Summer;
+    impl CombineFn<u64> for Summer {
+        fn fold(&self, acc: &mut u64, next: u64) {
+            *acc += next;
+        }
+    }
+
+    #[test]
+    fn plain_emitter_buffers_everything() {
+        let mut e: Emitter<'_, String, u64> = Emitter::new(4);
+        e.emit("a".into(), 1);
+        e.emit("a".into(), 1);
+        e.emit("b".into(), 1);
+        assert_eq!(e.emitted(), 3);
+        assert_eq!(e.buffered(), 3);
+        let parts = e.into_partitions();
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn same_key_lands_in_same_partition() {
+        let mut e: Emitter<'_, String, u64> = Emitter::new(8);
+        for _ in 0..10 {
+            e.emit("stable".into(), 1);
+        }
+        let parts = e.into_partitions();
+        let nonempty = parts.iter().filter(|p| !p.is_empty()).count();
+        assert_eq!(nonempty, 1);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn combining_emitter_folds_duplicates() {
+        let summer = Summer;
+        let mut e: Emitter<'_, String, u64> = Emitter::with_combiner(4, &summer);
+        for _ in 0..100 {
+            e.emit("x".into(), 1);
+        }
+        e.emit("y".into(), 5);
+        assert_eq!(e.emitted(), 101);
+        assert_eq!(e.buffered(), 2);
+        let pairs: Vec<(String, u64)> = e.into_partitions().into_iter().flatten().collect();
+        let mut sorted = pairs;
+        sorted.sort();
+        assert_eq!(sorted, vec![("x".into(), 100), ("y".into(), 5)]);
+    }
+
+    #[test]
+    fn partition_hash_is_stable_across_calls() {
+        let a = partition_hash(&"hello");
+        let b = partition_hash(&"hello");
+        assert_eq!(a, b);
+        assert_ne!(partition_hash(&"hello"), partition_hash(&"world"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let _e: Emitter<'_, u8, u8> = Emitter::new(0);
+    }
+
+    #[test]
+    fn single_partition_gets_all_keys() {
+        let mut e: Emitter<'_, u32, u32> = Emitter::new(1);
+        for i in 0..50 {
+            e.emit(i, i);
+        }
+        let parts = e.into_partitions();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 50);
+    }
+}

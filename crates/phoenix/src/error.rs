@@ -1,0 +1,123 @@
+//! Error types for the Phoenix runtime.
+
+use std::fmt;
+
+/// Errors produced by the Phoenix runtime and the Partition/Merge driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhoenixError {
+    /// The job's input exceeds the hard input-size limit of the stock
+    /// Phoenix runtime (paper §IV-B: "the Phoenix runtime system does not
+    /// support any application whose required data size exceeds
+    /// approximately 60% of a computing node's memory size").
+    MemoryOverflow {
+        /// Input size in bytes.
+        input_bytes: u64,
+        /// The hard limit derived from the node memory model.
+        limit_bytes: u64,
+    },
+    /// The configured worker count is zero.
+    NoWorkers,
+    /// The configured number of reduce partitions is zero.
+    NoReducePartitions,
+    /// A partition size of zero bytes was requested.
+    EmptyPartitionSize,
+    /// The input does not contain a single record boundary, so it cannot be
+    /// split (e.g. a fixed-record input whose length is not a multiple of
+    /// the record size).
+    MalformedInput {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// A map or reduce worker panicked while processing the job.
+    WorkerPanicked {
+        /// Which phase the panic occurred in.
+        phase: &'static str,
+    },
+    /// Filesystem error while streaming an out-of-core input
+    /// ([`PartitionedRuntime::run_file`](crate::partition::PartitionedRuntime::run_file)).
+    Io {
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+}
+
+impl From<std::io::Error> for PhoenixError {
+    fn from(e: std::io::Error) -> Self {
+        PhoenixError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for PhoenixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhoenixError::MemoryOverflow {
+                input_bytes,
+                limit_bytes,
+            } => write!(
+                f,
+                "memory overflow: input of {input_bytes} bytes exceeds the Phoenix \
+                 input limit of {limit_bytes} bytes (enable partitioning to run \
+                 out-of-core workloads)"
+            ),
+            PhoenixError::NoWorkers => write!(f, "configuration error: zero map/reduce workers"),
+            PhoenixError::NoReducePartitions => {
+                write!(f, "configuration error: zero reduce partitions")
+            }
+            PhoenixError::EmptyPartitionSize => {
+                write!(f, "configuration error: partition size must be non-zero")
+            }
+            PhoenixError::MalformedInput { detail } => write!(f, "malformed input: {detail}"),
+            PhoenixError::WorkerPanicked { phase } => {
+                write!(f, "a worker thread panicked during the {phase} phase")
+            }
+            PhoenixError::Io { detail } => write!(f, "I/O error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PhoenixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_memory_overflow_mentions_partitioning() {
+        let e = PhoenixError::MemoryOverflow {
+            input_bytes: 100,
+            limit_bytes: 60,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("60"));
+        assert!(s.contains("partition"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(PhoenixError::NoWorkers, PhoenixError::NoWorkers);
+        assert_ne!(PhoenixError::NoWorkers, PhoenixError::NoReducePartitions);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(PhoenixError::NoWorkers);
+        assert!(e.to_string().contains("zero map/reduce workers"));
+    }
+
+    #[test]
+    fn display_worker_panicked_names_phase() {
+        let e = PhoenixError::WorkerPanicked { phase: "map" };
+        assert!(e.to_string().contains("map"));
+    }
+
+    #[test]
+    fn display_malformed_input_carries_detail() {
+        let e = PhoenixError::MalformedInput {
+            detail: "length 7 is not a multiple of record size 4".into(),
+        };
+        assert!(e.to_string().contains("multiple of record size"));
+    }
+}

@@ -1,0 +1,746 @@
+//! The McSD Partition/Merge extension (paper §IV-B/C, Fig. 6).
+//!
+//! Stock Phoenix keeps both the input and all intermediate pairs in memory,
+//! so it "does not support any application whose required data size exceeds
+//! approximately 60% of a computing node's memory size" — a real problem on
+//! smart-storage nodes, whose memory is small compared to front-end compute
+//! nodes. The McSD solution: partition the input into fragments that fit in
+//! memory, run the MapReduce procedure per fragment, and fold the
+//! per-fragment outputs with a user-supplied **Merge** function ("the
+//! Partition function is provided by the runtime system, while the Merge
+//! function needs to be programmed by the user").
+//!
+//! Fragment boundaries are legalized with the integrity check of Fig. 7 so
+//! no record is cut in half.
+
+use crate::config::OutputOrder;
+use crate::emitter::Emitter;
+use crate::error::PhoenixError;
+use crate::job::{InputChunk, Job, ValueIter};
+use crate::memory::MemoryModel;
+use crate::runtime::{JobOutput, Runtime};
+use crate::sort::parallel_sort_by;
+use crate::splitter::SplitSpec;
+use crate::stats::JobStats;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::time::Instant;
+
+/// Out-of-core partitioning parameters — the `[partition-size]` argument of
+/// the paper's `wordcount [data-file] [partition-size]` example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Target fragment size in bytes (before integrity-check displacement).
+    pub fragment_bytes: usize,
+}
+
+impl PartitionSpec {
+    /// A spec with an explicitly chosen fragment size (the paper's
+    /// "manually filled in by the programmer").
+    pub fn new(fragment_bytes: usize) -> Self {
+        PartitionSpec { fragment_bytes }
+    }
+
+    /// Pick a fragment size automatically from the node's memory model
+    /// (the paper's "automatically determined by the runtime system"):
+    /// the largest fragment whose working set still fits in available
+    /// memory, with a 10% safety margin.
+    pub fn auto(memory: &MemoryModel, footprint_factor: f64) -> Self {
+        let budget = memory.available_bytes() as f64 * 0.9;
+        let fragment = (budget / footprint_factor.max(1.0)) as usize;
+        PartitionSpec {
+            fragment_bytes: fragment.max(1),
+        }
+    }
+
+    /// Validate the spec.
+    pub fn validate(&self) -> Result<(), PhoenixError> {
+        if self.fragment_bytes == 0 {
+            Err(PhoenixError::EmptyPartitionSize)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The fragment layout the Partition function chose for an input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Byte ranges of the fragments; contiguous and covering the input.
+    pub fragments: Vec<Range<usize>>,
+}
+
+impl PartitionPlan {
+    /// Plan fragments of roughly `spec.fragment_bytes` each, with
+    /// boundaries legalized by the job's split spec.
+    pub fn plan(data: &[u8], spec: PartitionSpec, split: &SplitSpec) -> Self {
+        let input_len = data.len();
+        let mut fragments = Vec::new();
+        let mut start = 0usize;
+        while start < input_len {
+            let proposed = start.saturating_add(spec.fragment_bytes.max(1));
+            let end = split.integrity.adjust(data, proposed);
+            debug_assert!(end > start);
+            fragments.push(start..end);
+            start = end;
+        }
+        PartitionPlan { fragments }
+    }
+
+    /// Plan fragments over a *file* without loading it: only a small
+    /// window around each proposed cut is read to run the integrity
+    /// check. This is what makes partitioning genuinely out-of-core —
+    /// "supporting huge datasets whose size may exceed the memory
+    /// capacity of a McSD storage node" (§IV-B).
+    pub fn plan_file(
+        path: &std::path::Path,
+        spec: PartitionSpec,
+        split: &SplitSpec,
+    ) -> Result<PlanOnFile, PhoenixError> {
+        use std::io::{Read, Seek, SeekFrom};
+        const WINDOW: usize = 64 * 1024;
+        let mut file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        let fragment = spec.fragment_bytes.max(1);
+        let mut fragments = Vec::new();
+        let mut start = 0usize;
+        let mut window = vec![0u8; WINDOW];
+        while start < len {
+            let proposed = start.saturating_add(fragment).min(len);
+            let end = if proposed >= len {
+                len
+            } else {
+                match &split.integrity {
+                    crate::integrity::IntegrityCheck::None => proposed,
+                    crate::integrity::IntegrityCheck::FixedRecord(r) => {
+                        // Pure arithmetic; no bytes needed.
+                        let rem = proposed % *r;
+                        let up = if rem == 0 { proposed } else { proposed + (*r - rem) };
+                        up.min(len)
+                    }
+                    crate::integrity::IntegrityCheck::Delimited(d) => {
+                        // Scan forward window by window for the first
+                        // delimiter at or after the proposed cut; the
+                        // fragment ends just past it (Fig. 7).
+                        let mut base = proposed;
+                        let mut end = len;
+                        while base < len {
+                            let take = WINDOW.min(len - base);
+                            file.seek(SeekFrom::Start(base as u64))?;
+                            file.read_exact(&mut window[..take])?;
+                            if let Some(p) =
+                                window[..take].iter().position(|&b| d.matches(b))
+                            {
+                                end = base + p + 1;
+                                break;
+                            }
+                            base += take;
+                        }
+                        end
+                    }
+                }
+            };
+            debug_assert!(end > start);
+            fragments.push(start..end);
+            start = end;
+        }
+        Ok(PlanOnFile {
+            plan: PartitionPlan { fragments },
+            file_len: len,
+        })
+    }
+
+    /// Number of fragments.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Whether the plan is empty (empty input).
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+}
+
+/// A fragment plan computed directly over a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanOnFile {
+    /// The fragment layout.
+    pub plan: PartitionPlan,
+    /// Total file length in bytes.
+    pub file_len: usize,
+}
+
+/// User-programmed Merge function folding per-fragment outputs into a final
+/// result (Fig. 6's "Merge" box).
+pub trait Merger<J: Job>: Sync {
+    /// Accumulator carried across fragments.
+    type Acc: Send;
+
+    /// Fresh accumulator.
+    fn empty(&self) -> Self::Acc;
+
+    /// Fold one fragment's output pairs into the accumulator.
+    fn merge(&self, acc: &mut Self::Acc, fragment: Vec<(J::Key, J::Value)>);
+
+    /// Turn the accumulator into final output pairs (unsorted; the driver
+    /// applies the job's output order).
+    fn finish(&self, acc: Self::Acc) -> Vec<(J::Key, J::Value)>;
+}
+
+/// Merge by key, folding values with the job's combiner semantics. The
+/// right merger for Word Count: per-fragment counts for the same word are
+/// summed.
+pub struct SumMerger<F> {
+    fold: F,
+}
+
+impl<F> SumMerger<F> {
+    /// `fold(acc_value, next_value)` must be associative and agree with the
+    /// job's reduce semantics.
+    pub fn new(fold: F) -> Self {
+        SumMerger { fold }
+    }
+}
+
+impl<J, F> Merger<J> for SumMerger<F>
+where
+    J: Job,
+    F: Fn(&mut J::Value, J::Value) + Sync,
+{
+    type Acc = HashMap<J::Key, J::Value>;
+
+    fn empty(&self) -> Self::Acc {
+        HashMap::new()
+    }
+
+    fn merge(&self, acc: &mut Self::Acc, fragment: Vec<(J::Key, J::Value)>) {
+        for (k, v) in fragment {
+            match acc.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => (self.fold)(e.get_mut(), v),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        }
+    }
+
+    fn finish(&self, acc: Self::Acc) -> Vec<(J::Key, J::Value)> {
+        acc.into_iter().collect()
+    }
+}
+
+/// Concatenate fragment outputs. The right merger for map-only jobs whose
+/// keys never repeat across fragments (String Match's byte-offset keys,
+/// Matrix Multiplication's row/column keys).
+pub struct ConcatMerger;
+
+impl<J: Job> Merger<J> for ConcatMerger {
+    type Acc = Vec<(J::Key, J::Value)>;
+
+    fn empty(&self) -> Self::Acc {
+        Vec::new()
+    }
+
+    fn merge(&self, acc: &mut Self::Acc, fragment: Vec<(J::Key, J::Value)>) {
+        acc.extend(fragment);
+    }
+
+    fn finish(&self, acc: Self::Acc) -> Vec<(J::Key, J::Value)> {
+        acc
+    }
+}
+
+/// Delegating wrapper that suppresses a job's final output ordering.
+/// Fragment outputs feed straight into the user Merge function, which
+/// destroys any order anyway, so sorting each fragment would be wasted
+/// work — the driver applies the job's real order once, after the merge.
+struct UnsortedFragment<'j, J>(&'j J);
+
+impl<'j, J: Job> Job for UnsortedFragment<'j, J> {
+    type Key = J::Key;
+    type Value = J::Value;
+
+    fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, Self::Key, Self::Value>) {
+        self.0.map(chunk, emitter)
+    }
+
+    fn reduce(
+        &self,
+        key: &Self::Key,
+        values: &mut ValueIter<'_, Self::Value>,
+    ) -> Option<Self::Value> {
+        self.0.reduce(key, values)
+    }
+
+    fn has_combiner(&self) -> bool {
+        self.0.has_combiner()
+    }
+
+    fn combine(&self, acc: &mut Self::Value, next: Self::Value) {
+        self.0.combine(acc, next)
+    }
+
+    fn split_spec(&self) -> SplitSpec {
+        self.0.split_spec()
+    }
+
+    fn output_order(&self) -> OutputOrder {
+        OutputOrder::Unsorted
+    }
+
+    fn footprint_factor(&self) -> f64 {
+        self.0.footprint_factor()
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+/// The two-stage MapReduce driver of Fig. 6: Partition → (Split → Map →
+/// Reduce → Merge)ⁿ → Merge.
+#[derive(Debug, Clone)]
+pub struct PartitionedRuntime {
+    runtime: Runtime,
+    spec: PartitionSpec,
+}
+
+impl PartitionedRuntime {
+    /// Wrap a Phoenix runtime with a partitioning stage.
+    pub fn new(runtime: Runtime, spec: PartitionSpec) -> Self {
+        PartitionedRuntime { runtime, spec }
+    }
+
+    /// The inner runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// The partition spec.
+    pub fn spec(&self) -> PartitionSpec {
+        self.spec
+    }
+
+    /// Run `job` over `input` fragment by fragment, folding outputs with
+    /// `merger`.
+    pub fn run<J, M>(
+        &self,
+        job: &J,
+        input: &[u8],
+        merger: &M,
+    ) -> Result<JobOutput<J::Key, J::Value>, PhoenixError>
+    where
+        J: Job,
+        M: Merger<J>,
+    {
+        self.run_at(job, input, 0, merger)
+    }
+
+    /// Run `job` over a *file*, fragment by fragment, never holding more
+    /// than one fragment in memory — true out-of-core execution: the
+    /// dataset may exceed not just the memory model's limit but the real
+    /// machine's RAM. Boundary legalization reads only small windows
+    /// around the cuts.
+    pub fn run_file<J, M>(
+        &self,
+        job: &J,
+        path: &std::path::Path,
+        merger: &M,
+    ) -> Result<JobOutput<J::Key, J::Value>, PhoenixError>
+    where
+        J: Job,
+        M: Merger<J>,
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        self.spec.validate()?;
+        self.runtime.config().validate()?;
+
+        let t0 = Instant::now();
+        let on_file = PartitionPlan::plan_file(path, self.spec, &job.split_spec())?;
+        let plan_time = t0.elapsed();
+
+        let mut agg_stats = JobStats {
+            job: job.name().to_string(),
+            workers: self.runtime.config().workers,
+            fragments: 0,
+            ..Default::default()
+        };
+        agg_stats.timings.split += plan_time;
+
+        let mut file = std::fs::File::open(path)?;
+        let mut acc = merger.empty();
+        let mut merge_time = std::time::Duration::ZERO;
+        let fragment_job = UnsortedFragment(job);
+        let mut buf = Vec::new();
+        for range in &on_file.plan.fragments {
+            buf.clear();
+            buf.resize(range.len(), 0);
+            file.seek(SeekFrom::Start(range.start as u64))?;
+            file.read_exact(&mut buf)?;
+            let out = self.runtime.run_at(&fragment_job, &buf, range.start)?;
+            agg_stats.accumulate(&out.stats);
+            let t0 = Instant::now();
+            merger.merge(&mut acc, out.pairs);
+            merge_time += t0.elapsed();
+        }
+
+        let t0 = Instant::now();
+        let mut pairs = merger.finish(acc);
+        let workers = self.runtime.config().workers;
+        match job.output_order() {
+            OutputOrder::ByKey => {
+                parallel_sort_by(&mut pairs, workers, |a, b| a.0.cmp(&b.0));
+            }
+            OutputOrder::Custom => {
+                parallel_sort_by(&mut pairs, workers, |a, b| job.compare_output(a, b));
+            }
+            OutputOrder::Unsorted => {}
+        }
+        merge_time += t0.elapsed();
+
+        agg_stats.timings.merge += merge_time;
+        agg_stats.output_pairs = pairs.len() as u64;
+        Ok(JobOutput {
+            pairs,
+            stats: agg_stats,
+        })
+    }
+
+    /// Like [`PartitionedRuntime::run`], but `input` is itself a span of a
+    /// larger dataset starting at `base_offset` (the multi-SD scale-out
+    /// case): map tasks observe fully global offsets.
+    pub fn run_at<J, M>(
+        &self,
+        job: &J,
+        input: &[u8],
+        base_offset: usize,
+        merger: &M,
+    ) -> Result<JobOutput<J::Key, J::Value>, PhoenixError>
+    where
+        J: Job,
+        M: Merger<J>,
+    {
+        self.spec.validate()?;
+        self.runtime.config().validate()?;
+
+        let t0 = Instant::now();
+        let plan = PartitionPlan::plan(input, self.spec, &job.split_spec());
+        let plan_time = t0.elapsed();
+
+        let mut agg_stats = JobStats {
+            job: job.name().to_string(),
+            workers: self.runtime.config().workers,
+            fragments: 0,
+            ..Default::default()
+        };
+        agg_stats.timings.split += plan_time;
+
+        let mut acc = merger.empty();
+        let mut merge_time = std::time::Duration::ZERO;
+        let fragment_job = UnsortedFragment(job);
+        for range in &plan.fragments {
+            let out = self.runtime.run_at(
+                &fragment_job,
+                &input[range.clone()],
+                base_offset + range.start,
+            )?;
+            agg_stats.accumulate(&out.stats);
+            let t0 = Instant::now();
+            merger.merge(&mut acc, out.pairs);
+            merge_time += t0.elapsed();
+        }
+
+        let t0 = Instant::now();
+        let mut pairs = merger.finish(acc);
+        let workers = self.runtime.config().workers;
+        match job.output_order() {
+            OutputOrder::ByKey => {
+                parallel_sort_by(&mut pairs, workers, |a, b| a.0.cmp(&b.0));
+            }
+            OutputOrder::Custom => {
+                parallel_sort_by(&mut pairs, workers, |a, b| job.compare_output(a, b));
+            }
+            OutputOrder::Unsorted => {}
+        }
+        merge_time += t0.elapsed();
+
+        agg_stats.timings.merge += merge_time;
+        agg_stats.output_pairs = pairs.len() as u64;
+        Ok(JobOutput {
+            pairs,
+            stats: agg_stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PhoenixConfig;
+    use crate::emitter::Emitter;
+    use crate::integrity::{Delimiter, IntegrityCheck};
+    use crate::job::{InputChunk, ValueIter};
+    use std::cmp::Ordering as CmpOrdering;
+
+    struct Wc;
+    impl Job for Wc {
+        type Key = String;
+        type Value = u64;
+        fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, String, u64>) {
+            for w in chunk
+                .bytes()
+                .split(|b| b.is_ascii_whitespace())
+                .filter(|w| !w.is_empty())
+            {
+                emitter.emit(String::from_utf8_lossy(w).into_owned(), 1);
+            }
+        }
+        fn reduce(&self, _k: &String, values: &mut ValueIter<'_, u64>) -> Option<u64> {
+            Some(values.sum())
+        }
+        fn has_combiner(&self) -> bool {
+            true
+        }
+        fn combine(&self, acc: &mut u64, next: u64) {
+            *acc += next;
+        }
+        fn output_order(&self) -> OutputOrder {
+            OutputOrder::Custom
+        }
+        fn compare_output(&self, a: &(String, u64), b: &(String, u64)) -> CmpOrdering {
+            b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+        }
+        fn footprint_factor(&self) -> f64 {
+            3.0
+        }
+        fn name(&self) -> &str {
+            "wc"
+        }
+    }
+
+    fn text(words: usize) -> Vec<u8> {
+        let vocab = ["red", "green", "blue", "cyan", "magenta"];
+        let mut s = String::new();
+        for i in 0..words {
+            s.push_str(vocab[(i * i) % vocab.len()]);
+            s.push(if i % 11 == 0 { '\n' } else { ' ' });
+        }
+        s.into_bytes()
+    }
+
+    #[test]
+    fn partitioned_equals_non_partitioned() {
+        let data = text(2000);
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(256));
+        let whole = rt.run(&Wc, &data).unwrap();
+        let part = PartitionedRuntime::new(rt, PartitionSpec::new(1024));
+        let merger = SumMerger::new(|acc: &mut u64, v: u64| *acc += v);
+        let pieces = part.run(&Wc, &data, &merger).unwrap();
+        assert_eq!(whole.pairs, pieces.pairs);
+        assert!(pieces.stats.fragments > 1);
+    }
+
+    #[test]
+    fn partitioning_avoids_memory_overflow() {
+        let data = text(4000);
+        let mem = MemoryModel::new(data.len() as u64 / 2); // input is 2x memory
+        let cfg = PhoenixConfig::with_workers(2).memory(mem);
+        let rt = Runtime::new(cfg);
+        // Non-partitioned: hard overflow.
+        assert!(matches!(
+            rt.run(&Wc, &data),
+            Err(PhoenixError::MemoryOverflow { .. })
+        ));
+        // Partitioned with auto fragment size: succeeds without swap.
+        let spec = PartitionSpec::auto(&mem, Wc.footprint_factor());
+        let part = PartitionedRuntime::new(rt, spec);
+        let merger = SumMerger::new(|acc: &mut u64, v: u64| *acc += v);
+        let out = part.run(&Wc, &data, &merger).unwrap();
+        assert_eq!(out.stats.swapped_bytes, 0);
+        assert!(out.stats.fragments >= 2);
+        assert!(!out.pairs.is_empty());
+    }
+
+    #[test]
+    fn auto_spec_fits_memory() {
+        let mem = MemoryModel::new(10_000);
+        let spec = PartitionSpec::auto(&mem, 3.0);
+        // fragment * factor must fit the available budget
+        assert!((spec.fragment_bytes as f64) * 3.0 <= mem.available_bytes() as f64);
+        assert!(spec.fragment_bytes > 0);
+    }
+
+    #[test]
+    fn plan_covers_input_on_word_boundaries() {
+        let data = text(500);
+        let plan = PartitionPlan::plan(&data, PartitionSpec::new(100), &SplitSpec::whitespace());
+        let ic = IntegrityCheck::Delimited(Delimiter::Whitespace);
+        let mut pos = 0;
+        for f in &plan.fragments {
+            assert_eq!(f.start, pos);
+            assert!(f.end > f.start);
+            assert!(ic.is_legal(&data, f.end));
+            pos = f.end;
+        }
+        assert_eq!(pos, data.len());
+    }
+
+    #[test]
+    fn zero_fragment_size_is_rejected() {
+        let rt = Runtime::new(PhoenixConfig::with_workers(1));
+        let part = PartitionedRuntime::new(rt, PartitionSpec::new(0));
+        let merger = ConcatMerger;
+        assert_eq!(
+            part.run(&Wc, b"a b", &merger).unwrap_err(),
+            PhoenixError::EmptyPartitionSize
+        );
+    }
+
+    #[test]
+    fn empty_input_partitioned() {
+        let rt = Runtime::new(PhoenixConfig::with_workers(2));
+        let part = PartitionedRuntime::new(rt, PartitionSpec::new(64));
+        let merger = SumMerger::new(|acc: &mut u64, v: u64| *acc += v);
+        let out = part.run(&Wc, b"", &merger).unwrap();
+        assert!(out.pairs.is_empty());
+        assert_eq!(out.stats.fragments, 0);
+    }
+
+    #[test]
+    fn concat_merger_preserves_all_pairs() {
+        struct ByteId;
+        impl Job for ByteId {
+            type Key = u64;
+            type Value = u8;
+            fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, u64, u8>) {
+                for (i, &b) in chunk.bytes().iter().enumerate() {
+                    emitter.emit((chunk.global_offset() + i) as u64, b);
+                }
+            }
+            fn reduce(&self, _k: &u64, values: &mut ValueIter<'_, u8>) -> Option<u8> {
+                values.next().copied()
+            }
+            fn split_spec(&self) -> SplitSpec {
+                SplitSpec::bytes()
+            }
+        }
+        let data: Vec<u8> = (0..=255).collect();
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(16));
+        let part = PartitionedRuntime::new(rt, PartitionSpec::new(50));
+        let out = part.run(&ByteId, &data, &ConcatMerger).unwrap();
+        assert_eq!(out.pairs.len(), 256);
+        // ByKey order applies after merge: offsets ascending.
+        for (i, (k, v)) in out.pairs.iter().enumerate() {
+            assert_eq!(*k, i as u64);
+            assert_eq!(*v, i as u8);
+        }
+    }
+
+    fn temp_file(data: &[u8]) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let p = std::env::temp_dir().join(format!(
+            "mcsd-part-{}-{}.bin",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&p, data).unwrap();
+        p
+    }
+
+    #[test]
+    fn plan_file_matches_in_memory_plan() {
+        let data = text(2_000);
+        let path = temp_file(&data);
+        let spec = PartitionSpec::new(700);
+        let in_mem = PartitionPlan::plan(&data, spec, &SplitSpec::whitespace());
+        let on_file =
+            PartitionPlan::plan_file(&path, spec, &SplitSpec::whitespace()).unwrap();
+        assert_eq!(on_file.plan, in_mem);
+        assert_eq!(on_file.file_len, data.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn plan_file_fixed_records_and_none() {
+        let data = vec![7u8; 1000];
+        let path = temp_file(&data);
+        let rec = PartitionPlan::plan_file(&path, PartitionSpec::new(300), &SplitSpec::records(8))
+            .unwrap();
+        assert_eq!(
+            rec.plan,
+            PartitionPlan::plan(&data, PartitionSpec::new(300), &SplitSpec::records(8))
+        );
+        let raw = PartitionPlan::plan_file(&path, PartitionSpec::new(300), &SplitSpec::bytes())
+            .unwrap();
+        assert_eq!(raw.plan.fragments.len(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn run_file_matches_in_memory_run() {
+        let data = text(3_000);
+        let path = temp_file(&data);
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(128));
+        let part = PartitionedRuntime::new(rt, PartitionSpec::new(800));
+        let merger = SumMerger::new(|acc: &mut u64, v: u64| *acc += v);
+        let in_mem = part.run(&Wc, &data, &merger).unwrap();
+        let from_file = part.run_file(&Wc, &path, &merger).unwrap();
+        assert_eq!(in_mem.pairs, from_file.pairs);
+        assert_eq!(in_mem.stats.fragments, from_file.stats.fragments);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn run_file_missing_file_is_io_error() {
+        let rt = Runtime::new(PhoenixConfig::with_workers(1));
+        let part = PartitionedRuntime::new(rt, PartitionSpec::new(64));
+        let merger = SumMerger::new(|acc: &mut u64, v: u64| *acc += v);
+        match part.run_file(&Wc, std::path::Path::new("/nonexistent/x"), &merger) {
+            Err(PhoenixError::Io { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_file_empty_file() {
+        let path = temp_file(b"");
+        let rt = Runtime::new(PhoenixConfig::with_workers(2));
+        let part = PartitionedRuntime::new(rt, PartitionSpec::new(64));
+        let merger = SumMerger::new(|acc: &mut u64, v: u64| *acc += v);
+        let out = part.run_file(&Wc, &path, &merger).unwrap();
+        assert!(out.pairs.is_empty());
+        assert_eq!(out.stats.fragments, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn plan_file_long_run_without_delimiters_spans_windows() {
+        // A "word" longer than the 64K scan window: the delimiter search
+        // must keep scanning across windows.
+        let mut data = vec![b'x'; 100_000];
+        data.push(b' ');
+        data.extend_from_slice(b"tail words here");
+        let path = temp_file(&data);
+        let spec = PartitionSpec::new(10);
+        let on_file =
+            PartitionPlan::plan_file(&path, spec, &SplitSpec::whitespace()).unwrap();
+        let in_mem = PartitionPlan::plan(&data, spec, &SplitSpec::whitespace());
+        assert_eq!(on_file.plan, in_mem);
+        assert_eq!(on_file.plan.fragments[0], 0..100_001);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fragment_stats_accumulate() {
+        let data = text(1000);
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(128));
+        let part = PartitionedRuntime::new(rt, PartitionSpec::new(512));
+        let merger = SumMerger::new(|acc: &mut u64, v: u64| *acc += v);
+        let out = part.run(&Wc, &data, &merger).unwrap();
+        assert_eq!(out.stats.input_bytes, data.len() as u64);
+        assert_eq!(out.stats.emitted_pairs, 1000);
+        assert!(out.stats.fragments >= 2);
+    }
+}

@@ -1,0 +1,628 @@
+//! The Phoenix scheduler: split → map → reduce → merge.
+//!
+//! The runtime "automatically manages thread creation, dynamic task
+//! scheduling, data partitioning, and fault tolerance" (paper §I, on
+//! Phoenix). Worker counts are explicit so the McSD experiments can emulate
+//! a node's core count: 1 worker = the paper's sequential baseline, 2 = the
+//! Core2 Duo SD node, 4 = the Core2 Quad host.
+
+use crate::config::{OutputOrder, PhoenixConfig};
+use crate::emitter::Emitter;
+use crate::error::PhoenixError;
+use crate::job::{InputChunk, Job, ValueIter};
+use crate::memory::MemoryVerdict;
+use crate::sort::{kway_merge_by, parallel_sort_by};
+use crate::splitter::Splitter;
+use crate::stats::{JobStats, PhaseTimings};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// The result of a job run: final output pairs plus run statistics.
+#[derive(Debug, Clone)]
+pub struct JobOutput<K, V> {
+    /// Final `(key, value)` pairs, ordered per the job's
+    /// [`OutputOrder`].
+    pub pairs: Vec<(K, V)>,
+    /// Statistics of the run.
+    pub stats: JobStats,
+}
+
+impl<K, V> JobOutput<K, V> {
+    /// Number of output pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the output is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Output of one worker's map phase.
+struct WorkerMapOutput<K, V> {
+    partitions: Vec<Vec<(K, V)>>,
+    emitted: u64,
+    buffered: u64,
+}
+
+/// Intermediate pairs of one reduce partition, as per-worker runs.
+type PartitionBuckets<K, V> = Vec<Vec<(K, V)>>;
+/// A reduced partition: key-sorted output pairs plus its distinct-key
+/// count.
+type ReducedPartition<K, V> = (Vec<(K, V)>, u64);
+/// A work cell claimed by exactly one reduce worker.
+type WorkCell<T> = Mutex<Option<T>>;
+
+/// Run `f(worker_index)` on `workers` scoped threads, translating worker
+/// panics into [`PhoenixError::WorkerPanicked`].
+fn scoped_workers<F>(workers: usize, phase: &'static str, f: F) -> Result<(), PhoenixError>
+where
+    F: Fn(usize) + Sync,
+{
+    let panicked = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let f = &f;
+            let panicked = &panicked;
+            scope.spawn(move || {
+                if catch_unwind(AssertUnwindSafe(|| f(w))).is_err() {
+                    panicked.store(true, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    if panicked.load(Ordering::Relaxed) {
+        Err(PhoenixError::WorkerPanicked { phase })
+    } else {
+        Ok(())
+    }
+}
+
+/// The Phoenix MapReduce runtime.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    config: PhoenixConfig,
+}
+
+impl Runtime {
+    /// Create a runtime with the given configuration.
+    pub fn new(config: PhoenixConfig) -> Self {
+        Runtime { config }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &PhoenixConfig {
+        &self.config
+    }
+
+    /// Run `job` over `input`, enforcing the memory model.
+    ///
+    /// Fails with [`PhoenixError::MemoryOverflow`] when the input exceeds
+    /// the stock-Phoenix hard limit of the configured
+    /// [`MemoryModel`](crate::memory::MemoryModel) — the paper's
+    /// observation that non-partitioned Phoenix "cannot support the
+    /// Word-count and the String-match for data size larger than 1.5G"
+    /// (§V-B). Use [`PartitionedRuntime`](crate::partition::PartitionedRuntime)
+    /// for larger inputs.
+    pub fn run<J: Job>(
+        &self,
+        job: &J,
+        input: &[u8],
+    ) -> Result<JobOutput<J::Key, J::Value>, PhoenixError> {
+        self.run_at(job, input, 0)
+    }
+
+    /// Like [`Runtime::run`], but `input` is a fragment of a larger
+    /// dataset starting at byte `base_offset`. Map tasks observe global
+    /// offsets via [`InputChunk::global_offset`], so offset-keyed jobs
+    /// (String Match reports match positions) produce identical results
+    /// whether or not the input was partitioned.
+    pub fn run_at<J: Job>(
+        &self,
+        job: &J,
+        input: &[u8],
+        base_offset: usize,
+    ) -> Result<JobOutput<J::Key, J::Value>, PhoenixError> {
+        self.config.validate()?;
+        let mut swapped_bytes = 0u64;
+        if let Some(memory) = &self.config.memory {
+            match memory.verdict(input.len() as u64, job.footprint_factor()) {
+                MemoryVerdict::Overflow { limit_bytes } => {
+                    return Err(PhoenixError::MemoryOverflow {
+                        input_bytes: input.len() as u64,
+                        limit_bytes,
+                    });
+                }
+                MemoryVerdict::Thrashing {
+                    swapped_bytes: swapped,
+                } => swapped_bytes = swapped,
+                MemoryVerdict::Fits => {}
+            }
+        }
+        self.execute(job, input, base_offset, swapped_bytes)
+    }
+
+    /// The split → map → reduce → merge pipeline (memory checks already
+    /// done by the caller).
+    fn execute<J: Job>(
+        &self,
+        job: &J,
+        input: &[u8],
+        base_offset: usize,
+        swapped_bytes: u64,
+    ) -> Result<JobOutput<J::Key, J::Value>, PhoenixError> {
+        let workers = self.config.workers;
+        let partitions = self.config.reduce_partitions;
+        let mut timings = PhaseTimings::default();
+
+        // ---- Split ----
+        let t0 = Instant::now();
+        let splitter = Splitter::new(job.split_spec());
+        let chunks = splitter.split(input, self.config.chunk_bytes);
+        timings.split = t0.elapsed();
+        let map_tasks = chunks.len() as u64;
+
+        // ---- Map ----
+        let t0 = Instant::now();
+        let next_chunk = AtomicUsize::new(0);
+        let worker_outputs: Mutex<Vec<WorkerMapOutput<J::Key, J::Value>>> =
+            Mutex::new(Vec::with_capacity(workers));
+        scoped_workers(workers, "map", |_w| {
+            let mut emitter = if job.has_combiner() {
+                Emitter::with_combiner(partitions, job)
+            } else {
+                Emitter::new(partitions)
+            };
+            loop {
+                let idx = next_chunk.fetch_add(1, Ordering::Relaxed);
+                let Some(range) = chunks.get(idx) else { break };
+                let chunk = InputChunk::new(&input[range.clone()], base_offset + range.start, idx);
+                job.map(chunk, &mut emitter);
+            }
+            let emitted = emitter.emitted();
+            let buffered = emitter.buffered() as u64;
+            worker_outputs.lock().push(WorkerMapOutput {
+                partitions: emitter.into_partitions(),
+                emitted,
+                buffered,
+            });
+        })?;
+        timings.map = t0.elapsed();
+
+        let outputs = worker_outputs.into_inner();
+        let emitted_pairs: u64 = outputs.iter().map(|o| o.emitted).sum();
+        let combined_pairs: u64 = outputs.iter().map(|o| o.buffered).sum();
+
+        // Regroup per-worker buffers by reduce partition.
+        let mut buckets: Vec<PartitionBuckets<J::Key, J::Value>> =
+            (0..partitions).map(|_| Vec::new()).collect();
+        for output in outputs {
+            for (p, buf) in output.partitions.into_iter().enumerate() {
+                if !buf.is_empty() {
+                    buckets[p].push(buf);
+                }
+            }
+        }
+
+        // ---- Reduce (parallel across partitions) ----
+        let t0 = Instant::now();
+        let buckets: Vec<WorkCell<PartitionBuckets<J::Key, J::Value>>> = buckets
+            .into_iter()
+            .map(|b| Mutex::new(Some(b)))
+            .collect();
+        let reduced: Vec<WorkCell<ReducedPartition<J::Key, J::Value>>> =
+            (0..partitions).map(|_| Mutex::new(None)).collect();
+        let next_partition = AtomicUsize::new(0);
+        scoped_workers(workers, "reduce", |_w| loop {
+            let p = next_partition.fetch_add(1, Ordering::Relaxed);
+            if p >= partitions {
+                break;
+            }
+            let bufs = buckets[p]
+                .lock()
+                .take()
+                .expect("each partition is reduced exactly once");
+            let result = reduce_partition(job, bufs);
+            *reduced[p].lock() = Some(result);
+        })?;
+        timings.reduce = t0.elapsed();
+
+        let mut partition_outputs: Vec<Vec<(J::Key, J::Value)>> = Vec::with_capacity(partitions);
+        let mut distinct_keys = 0u64;
+        for cell in reduced {
+            let (out, distinct) = cell
+                .into_inner()
+                .expect("all partitions were reduced");
+            distinct_keys += distinct;
+            partition_outputs.push(out);
+        }
+
+        // ---- Merge ----
+        let t0 = Instant::now();
+        let pairs = match job.output_order() {
+            OutputOrder::ByKey => {
+                // Each partition output is already key-sorted.
+                kway_merge_by(partition_outputs, &|a, b| a.0.cmp(&b.0))
+            }
+            OutputOrder::Custom => {
+                let mut all: Vec<(J::Key, J::Value)> =
+                    partition_outputs.into_iter().flatten().collect();
+                parallel_sort_by(&mut all, workers, |a, b| job.compare_output(a, b));
+                all
+            }
+            OutputOrder::Unsorted => partition_outputs.into_iter().flatten().collect(),
+        };
+        timings.merge = t0.elapsed();
+
+        let stats = JobStats {
+            job: job.name().to_string(),
+            input_bytes: input.len() as u64,
+            map_tasks,
+            workers,
+            emitted_pairs,
+            combined_pairs,
+            distinct_keys,
+            output_pairs: pairs.len() as u64,
+            fragments: 1,
+            swapped_bytes,
+            timings,
+        };
+        Ok(JobOutput { pairs, stats })
+    }
+}
+
+/// Sort, group and reduce the pairs of one partition. Returns the
+/// key-sorted output pairs and the number of distinct keys.
+fn reduce_partition<J: Job>(
+    job: &J,
+    bufs: PartitionBuckets<J::Key, J::Value>,
+) -> ReducedPartition<J::Key, J::Value> {
+    let total: usize = bufs.iter().map(Vec::len).sum();
+    let mut pairs: Vec<(J::Key, J::Value)> = Vec::with_capacity(total);
+    for buf in bufs {
+        pairs.extend(buf);
+    }
+    pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    // Split keys and values so each key's value group is a contiguous
+    // slice (no per-group allocation).
+    let (keys, values): (Vec<J::Key>, Vec<J::Value>) = pairs.into_iter().unzip();
+    let mut out = Vec::new();
+    let mut distinct = 0u64;
+    let mut i = 0usize;
+    while i < keys.len() {
+        let mut j = i + 1;
+        while j < keys.len() && keys[j] == keys[i] {
+            j += 1;
+        }
+        distinct += 1;
+        let mut group = ValueIter::new(&values[i..j]);
+        if let Some(v) = job.reduce(&keys[i], &mut group) {
+            out.push((keys[i].clone(), v));
+        }
+        i = j;
+    }
+    (out, distinct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryModel;
+    use crate::splitter::SplitSpec;
+    use std::cmp::Ordering as CmpOrdering;
+    use std::collections::HashMap;
+
+    /// Counts whitespace-separated words; sums with a combiner; output
+    /// sorted by count descending then key ascending.
+    struct MiniWordCount;
+
+    impl Job for MiniWordCount {
+        type Key = String;
+        type Value = u64;
+
+        fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, String, u64>) {
+            for word in chunk
+                .bytes()
+                .split(|b| b.is_ascii_whitespace())
+                .filter(|w| !w.is_empty())
+            {
+                emitter.emit(String::from_utf8_lossy(word).into_owned(), 1);
+            }
+        }
+
+        fn reduce(&self, _key: &String, values: &mut ValueIter<'_, u64>) -> Option<u64> {
+            Some(values.sum())
+        }
+
+        fn has_combiner(&self) -> bool {
+            true
+        }
+
+        fn combine(&self, acc: &mut u64, next: u64) {
+            *acc += next;
+        }
+
+        fn output_order(&self) -> OutputOrder {
+            OutputOrder::Custom
+        }
+
+        fn compare_output(&self, a: &(String, u64), b: &(String, u64)) -> CmpOrdering {
+            b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+        }
+
+        fn footprint_factor(&self) -> f64 {
+            3.0
+        }
+
+        fn name(&self) -> &str {
+            "mini-wc"
+        }
+    }
+
+    /// Same job without the combiner, for equivalence testing.
+    struct MiniWordCountNoCombine;
+
+    impl Job for MiniWordCountNoCombine {
+        type Key = String;
+        type Value = u64;
+
+        fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, String, u64>) {
+            MiniWordCount.map(chunk, emitter)
+        }
+
+        fn reduce(&self, _key: &String, values: &mut ValueIter<'_, u64>) -> Option<u64> {
+            Some(values.sum())
+        }
+
+        fn output_order(&self) -> OutputOrder {
+            OutputOrder::Custom
+        }
+
+        fn compare_output(&self, a: &(String, u64), b: &(String, u64)) -> CmpOrdering {
+            b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+        }
+    }
+
+    fn sample_text() -> Vec<u8> {
+        let mut text = String::new();
+        for i in 0..500 {
+            text.push_str(match i % 5 {
+                0 => "apple ",
+                1 => "banana ",
+                2 => "apple ",
+                3 => "cherry ",
+                _ => "banana\n",
+            });
+        }
+        text.into_bytes()
+    }
+
+    fn reference_counts(text: &[u8]) -> HashMap<String, u64> {
+        let mut counts = HashMap::new();
+        for w in text.split(|b| b.is_ascii_whitespace()).filter(|w| !w.is_empty()) {
+            *counts
+                .entry(String::from_utf8_lossy(w).into_owned())
+                .or_insert(0) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn wordcount_matches_reference() {
+        let text = sample_text();
+        let runtime = Runtime::new(PhoenixConfig::with_workers(3).chunk_bytes(128));
+        let out = runtime.run(&MiniWordCount, &text).unwrap();
+        let reference = reference_counts(&text);
+        assert_eq!(out.pairs.len(), reference.len());
+        for (k, v) in &out.pairs {
+            assert_eq!(reference.get(k), Some(v), "mismatch for key {k}");
+        }
+    }
+
+    #[test]
+    fn output_is_sorted_by_count_desc() {
+        let text = sample_text();
+        let runtime = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(64));
+        let out = runtime.run(&MiniWordCount, &text).unwrap();
+        for w in out.pairs.windows(2) {
+            assert!(w[0].1 >= w[1].1, "counts must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_result() {
+        let text = sample_text();
+        let mut outputs = Vec::new();
+        for workers in [1, 2, 4, 8] {
+            let runtime = Runtime::new(PhoenixConfig::with_workers(workers).chunk_bytes(97));
+            outputs.push(runtime.run(&MiniWordCount, &text).unwrap().pairs);
+        }
+        for o in &outputs[1..] {
+            assert_eq!(&outputs[0], o);
+        }
+    }
+
+    #[test]
+    fn combiner_and_plain_agree() {
+        let text = sample_text();
+        let runtime = Runtime::new(PhoenixConfig::with_workers(4).chunk_bytes(100));
+        let with = runtime.run(&MiniWordCount, &text).unwrap();
+        let without = runtime.run(&MiniWordCountNoCombine, &text).unwrap();
+        assert_eq!(with.pairs, without.pairs);
+        // The combiner must actually shrink the intermediate volume.
+        assert!(with.stats.combined_pairs < with.stats.emitted_pairs);
+        assert_eq!(without.stats.combined_pairs, without.stats.emitted_pairs);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let runtime = Runtime::new(PhoenixConfig::with_workers(2));
+        let out = runtime.run(&MiniWordCount, b"").unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.stats.map_tasks, 0);
+    }
+
+    #[test]
+    fn memory_overflow_is_reported() {
+        let cfg = PhoenixConfig::with_workers(2).memory(MemoryModel::new(1000));
+        let runtime = Runtime::new(cfg);
+        let big = vec![b'a'; 800]; // hard limit = 750
+        match runtime.run(&MiniWordCount, &big) {
+            Err(PhoenixError::MemoryOverflow {
+                input_bytes,
+                limit_bytes,
+            }) => {
+                assert_eq!(input_bytes, 800);
+                assert_eq!(limit_bytes, 750);
+            }
+            other => panic!("expected MemoryOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thrashing_is_recorded_in_stats() {
+        let cfg = PhoenixConfig::with_workers(2).memory(MemoryModel::new(1000));
+        let runtime = Runtime::new(cfg);
+        // 400 bytes * 3.0 footprint = 1200 > 900 available -> thrash, but
+        // 400 < 750 hard limit -> still runs.
+        let text = vec![b'a'; 400];
+        let out = runtime.run(&MiniWordCount, &text).unwrap();
+        assert_eq!(out.stats.swapped_bytes, 1200 - 900);
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let text = sample_text();
+        let runtime = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(256));
+        let out = runtime.run(&MiniWordCount, &text).unwrap();
+        let s = &out.stats;
+        assert_eq!(s.job, "mini-wc");
+        assert_eq!(s.input_bytes, text.len() as u64);
+        assert_eq!(s.workers, 2);
+        assert_eq!(s.emitted_pairs, 500);
+        assert_eq!(s.distinct_keys, 3);
+        assert_eq!(s.output_pairs, 3);
+        assert_eq!(s.fragments, 1);
+        assert!(s.combined_pairs <= s.emitted_pairs);
+    }
+
+    /// A map-only job in the String Match mould: emits (line number, 1) for
+    /// lines containing "key", identity reduce.
+    struct LineMatch;
+
+    impl Job for LineMatch {
+        type Key = u64;
+        type Value = u64;
+
+        fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, u64, u64>) {
+            let base = chunk.global_offset() as u64;
+            let mut offset = 0u64;
+            for line in chunk.bytes().split(|&b| b == b'\n') {
+                if line.windows(3).any(|w| w == b"key") {
+                    emitter.emit(base + offset, 1);
+                }
+                offset += line.len() as u64 + 1;
+            }
+        }
+
+        fn reduce(&self, _key: &u64, values: &mut ValueIter<'_, u64>) -> Option<u64> {
+            values.next().copied()
+        }
+
+        fn split_spec(&self) -> SplitSpec {
+            SplitSpec::lines()
+        }
+
+        fn name(&self) -> &str {
+            "line-match"
+        }
+    }
+
+    #[test]
+    fn map_only_job_finds_all_matches() {
+        let mut text = Vec::new();
+        for i in 0..100 {
+            if i % 7 == 0 {
+                text.extend_from_slice(format!("line {i} with key inside\n").as_bytes());
+            } else {
+                text.extend_from_slice(format!("line {i} plain\n").as_bytes());
+            }
+        }
+        let runtime = Runtime::new(PhoenixConfig::with_workers(3).chunk_bytes(64));
+        let out = runtime.run(&LineMatch, &text).unwrap();
+        assert_eq!(out.pairs.len(), 15); // i in 0,7,...,98
+        // ByKey default order: offsets ascending.
+        for w in out.pairs.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    struct PanickingJob;
+
+    impl Job for PanickingJob {
+        type Key = u8;
+        type Value = u8;
+
+        fn map(&self, _chunk: InputChunk<'_>, _emitter: &mut Emitter<'_, u8, u8>) {
+            panic!("map exploded");
+        }
+
+        fn reduce(&self, _key: &u8, _values: &mut ValueIter<'_, u8>) -> Option<u8> {
+            None
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_an_error_not_a_crash() {
+        let runtime = Runtime::new(PhoenixConfig::with_workers(2));
+        match runtime.run(&PanickingJob, b"data here") {
+            Err(PhoenixError::WorkerPanicked { phase }) => assert_eq!(phase, "map"),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduce_returning_none_drops_keys() {
+        struct DropOdd;
+        impl Job for DropOdd {
+            type Key = u64;
+            type Value = u64;
+            fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, u64, u64>) {
+                for &b in chunk.bytes() {
+                    emitter.emit(b as u64, 1);
+                }
+            }
+            fn reduce(&self, key: &u64, values: &mut ValueIter<'_, u64>) -> Option<u64> {
+                if key.is_multiple_of(2) {
+                    Some(values.sum())
+                } else {
+                    None
+                }
+            }
+            fn split_spec(&self) -> SplitSpec {
+                SplitSpec::bytes()
+            }
+        }
+        let runtime = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(4));
+        let out = runtime.run(&DropOdd, &[1, 2, 3, 4, 2, 2]).unwrap();
+        assert_eq!(out.pairs, vec![(2, 3), (4, 1)]);
+        assert_eq!(out.stats.distinct_keys, 4);
+        assert_eq!(out.stats.output_pairs, 2);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_running() {
+        let cfg = PhoenixConfig {
+            workers: 0,
+            ..PhoenixConfig::with_workers(1)
+        };
+        let runtime = Runtime::new(cfg);
+        assert_eq!(
+            runtime.run(&MiniWordCount, b"a b c").unwrap_err(),
+            PhoenixError::NoWorkers
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Sorting primitives bounded by the runtime's worker count.
+//!
+//! The runtime must not silently use more parallelism than the node it
+//! emulates has cores, so these helpers take an explicit `workers` argument
+//! and never touch a global thread pool (this is why the runtime does not
+//! use rayon internally: rayon's global pool would use every core of the
+//! machine running the experiments, not the two cores of the emulated
+//! Core2 Duo SD node).
+
+use std::cmp::Ordering;
+
+/// Sort `data` with at most `workers` threads using `cmp`.
+///
+/// Strategy: cut the vector into `workers` slices, sort each on its own
+/// thread with the standard unstable sort, then merge the sorted runs with
+/// a k-way merge. Falls back to a plain sort for small inputs or a single
+/// worker.
+pub fn parallel_sort_by<T, F>(data: &mut Vec<T>, workers: usize, cmp: F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    const PARALLEL_THRESHOLD: usize = 4096;
+    let workers = workers.max(1);
+    if workers == 1 || data.len() < PARALLEL_THRESHOLD {
+        data.sort_unstable_by(&cmp);
+        return;
+    }
+
+    let len = data.len();
+    let slice_len = len.div_ceil(workers);
+    {
+        let mut rest: &mut [T] = data.as_mut_slice();
+        std::thread::scope(|scope| {
+            while !rest.is_empty() {
+                let take = slice_len.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                let cmp = &cmp;
+                scope.spawn(move || head.sort_unstable_by(cmp));
+                rest = tail;
+            }
+        });
+    }
+
+    // Merge the sorted runs.
+    let mut runs: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut source = std::mem::take(data);
+    while !source.is_empty() {
+        let tail = source.split_off(slice_len.min(source.len()));
+        runs.push(std::mem::replace(&mut source, tail));
+    }
+    *data = kway_merge_by(runs, &cmp);
+}
+
+/// Merge already-sorted vectors into one sorted vector.
+///
+/// Uses a simple loser-free tournament over run heads; with the small run
+/// counts used here (≤ worker count) a linear scan per pop is faster than a
+/// binary heap's constant factor.
+pub fn kway_merge_by<T, F>(mut runs: Vec<Vec<T>>, cmp: &F) -> Vec<T>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    runs.retain(|r| !r.is_empty());
+    match runs.len() {
+        0 => return Vec::new(),
+        1 => return runs.pop().unwrap(),
+        _ => {}
+    }
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut iters: Vec<std::vec::IntoIter<T>> = runs.into_iter().map(Vec::into_iter).collect();
+    // `fronts[i]` holds the current head of run `i`; runs are non-empty.
+    let mut fronts: Vec<T> = iters
+        .iter_mut()
+        .map(|it| it.next().expect("runs are non-empty"))
+        .collect();
+    while !fronts.is_empty() {
+        let mut best = 0usize;
+        for i in 1..fronts.len() {
+            if cmp(&fronts[i], &fronts[best]) == Ordering::Less {
+                best = i;
+            }
+        }
+        match iters[best].next() {
+            Some(next) => out.push(std::mem::replace(&mut fronts[best], next)),
+            None => {
+                out.push(fronts.swap_remove(best));
+                iters.swap_remove(best);
+            }
+        }
+    }
+    out
+}
+
+/// Check that `data` is sorted under `cmp` (test/debug helper).
+pub fn is_sorted_by<T, F>(data: &[T], cmp: &F) -> bool
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    data.windows(2).all(|w| cmp(&w[0], &w[1]) != Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_small_input() {
+        let mut v = vec![3, 1, 2];
+        parallel_sort_by(&mut v, 4, |a, b| a.cmp(b));
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sort_large_input_parallel() {
+        let mut v: Vec<u64> = (0..100_000).map(|i| (i * 2654435761u64) % 100_000).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        parallel_sort_by(&mut v, 4, |a, b| a.cmp(b));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sort_respects_custom_comparator() {
+        let mut v: Vec<u32> = (0..10_000).collect();
+        parallel_sort_by(&mut v, 3, |a, b| b.cmp(a));
+        assert!(is_sorted_by(&v, &|a: &u32, b: &u32| b.cmp(a)));
+        assert_eq!(v[0], 9999);
+    }
+
+    #[test]
+    fn sort_single_worker() {
+        let mut v: Vec<i32> = (0..5000).rev().collect();
+        parallel_sort_by(&mut v, 1, |a, b| a.cmp(b));
+        assert!(is_sorted_by(&v, &|a: &i32, b: &i32| a.cmp(b)));
+    }
+
+    #[test]
+    fn sort_empty_and_singleton() {
+        let mut v: Vec<u8> = vec![];
+        parallel_sort_by(&mut v, 4, |a, b| a.cmp(b));
+        assert!(v.is_empty());
+        let mut v = vec![42];
+        parallel_sort_by(&mut v, 4, |a, b| a.cmp(b));
+        assert_eq!(v, vec![42]);
+    }
+
+    #[test]
+    fn kway_merge_basic() {
+        let runs = vec![vec![1, 4, 7], vec![2, 5, 8], vec![3, 6, 9]];
+        let merged = kway_merge_by(runs, &|a: &i32, b: &i32| a.cmp(b));
+        assert_eq!(merged, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn kway_merge_with_empty_runs() {
+        let runs = vec![vec![], vec![2, 4], vec![], vec![1, 3]];
+        let merged = kway_merge_by(runs, &|a: &i32, b: &i32| a.cmp(b));
+        assert_eq!(merged, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn kway_merge_no_runs() {
+        let merged: Vec<i32> = kway_merge_by(vec![], &|a: &i32, b: &i32| a.cmp(b));
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn kway_merge_moves_non_copy_values() {
+        let runs = vec![
+            vec!["a".to_string(), "c".to_string()],
+            vec!["b".to_string(), "d".to_string()],
+        ];
+        let merged = kway_merge_by(runs, &|a: &String, b: &String| a.cmp(b));
+        assert_eq!(merged, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn sort_strings_parallel() {
+        let mut v: Vec<String> = (0..20_000).map(|i| format!("key{:05}", (i * 7919) % 20_000)).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        parallel_sort_by(&mut v, 4, |a, b| a.cmp(b));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sort_with_duplicate_heavy_input() {
+        let mut v: Vec<u8> = (0..50_000).map(|i| (i % 7) as u8).collect();
+        parallel_sort_by(&mut v, 4, |a, b| a.cmp(b));
+        assert!(is_sorted_by(&v, &|a: &u8, b: &u8| a.cmp(b)));
+        assert_eq!(v.len(), 50_000);
+    }
+}

@@ -1,0 +1,211 @@
+//! Edge-case integration tests for the Phoenix runtime.
+
+use mcsd_phoenix::prelude::*;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// A job with unicode string keys and multi-byte values.
+struct UnicodeCount;
+
+impl Job for UnicodeCount {
+    type Key = String;
+    type Value = u64;
+
+    fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, String, u64>) {
+        for w in chunk
+            .bytes()
+            .split(|b| b.is_ascii_whitespace())
+            .filter(|w| !w.is_empty())
+        {
+            emitter.emit(String::from_utf8_lossy(w).into_owned(), 1);
+        }
+    }
+
+    fn reduce(&self, _k: &String, values: &mut ValueIter<'_, u64>) -> Option<u64> {
+        Some(values.sum())
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, acc: &mut u64, next: u64) {
+        *acc += next;
+    }
+}
+
+#[test]
+fn unicode_words_survive_the_pipeline() {
+    // Multi-byte UTF-8 words; whitespace splitting is byte-safe because
+    // UTF-8 continuation bytes are never ASCII whitespace.
+    let text = "κόσμος 世界 мир κόσμος 世界 κόσμος".as_bytes();
+    let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(8));
+    let out = rt.run(&UnicodeCount, text).unwrap();
+    let map: HashMap<&str, u64> = out.pairs.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    assert_eq!(map["κόσμος"], 3);
+    assert_eq!(map["世界"], 2);
+    assert_eq!(map["мир"], 1);
+}
+
+#[test]
+fn single_byte_input() {
+    let rt = Runtime::new(PhoenixConfig::with_workers(4));
+    let out = rt.run(&UnicodeCount, b"x").unwrap();
+    assert_eq!(out.pairs, vec![("x".to_string(), 1)]);
+    assert_eq!(out.stats.map_tasks, 1);
+}
+
+#[test]
+fn one_reduce_partition_works() {
+    let cfg = PhoenixConfig::with_workers(3).reduce_partitions(1);
+    let rt = Runtime::new(cfg);
+    let out = rt.run(&UnicodeCount, b"a b a c a").unwrap();
+    assert_eq!(out.pairs.len(), 3);
+    assert_eq!(out.pairs[0], ("a".to_string(), 3));
+}
+
+#[test]
+fn many_reduce_partitions_beyond_keys() {
+    let cfg = PhoenixConfig::with_workers(2).reduce_partitions(512);
+    let rt = Runtime::new(cfg);
+    let out = rt.run(&UnicodeCount, b"only two words two").unwrap();
+    assert_eq!(out.pairs.len(), 3);
+    let total: u64 = out.pairs.iter().map(|(_, c)| c).sum();
+    assert_eq!(total, 4);
+}
+
+#[test]
+fn chunk_larger_than_input() {
+    let cfg = PhoenixConfig::with_workers(2).chunk_bytes(1 << 20);
+    let rt = Runtime::new(cfg);
+    let out = rt.run(&UnicodeCount, b"tiny input here").unwrap();
+    assert_eq!(out.stats.map_tasks, 1);
+    assert_eq!(out.pairs.len(), 3);
+}
+
+#[test]
+fn more_workers_than_chunks() {
+    let cfg = PhoenixConfig::with_workers(16).chunk_bytes(1 << 20);
+    let rt = Runtime::new(cfg);
+    let out = rt.run(&UnicodeCount, b"a b c").unwrap();
+    assert_eq!(out.pairs.len(), 3);
+}
+
+#[test]
+fn all_identical_keys() {
+    let text = vec![b"dup ".to_vec(); 10_000].concat();
+    let rt = Runtime::new(PhoenixConfig::with_workers(4).chunk_bytes(512));
+    let out = rt.run(&UnicodeCount, &text).unwrap();
+    assert_eq!(out.pairs, vec![("dup".to_string(), 10_000)]);
+    assert_eq!(out.stats.distinct_keys, 1);
+}
+
+#[test]
+fn whitespace_only_input() {
+    let rt = Runtime::new(PhoenixConfig::with_workers(2));
+    let out = rt.run(&UnicodeCount, b"   \n\t  \r\n ").unwrap();
+    assert!(out.pairs.is_empty());
+}
+
+/// A job whose values are large heap objects, exercising moves through
+/// every pipeline stage.
+struct Collector;
+
+impl Job for Collector {
+    type Key = u8;
+    type Value = Vec<String>;
+
+    fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, u8, Vec<String>>) {
+        for w in chunk
+            .bytes()
+            .split(|b| b.is_ascii_whitespace())
+            .filter(|w| !w.is_empty())
+        {
+            emitter.emit(w[0], vec![String::from_utf8_lossy(w).into_owned()]);
+        }
+    }
+
+    fn reduce(&self, _k: &u8, values: &mut ValueIter<'_, Vec<String>>) -> Option<Vec<String>> {
+        let mut all: Vec<String> = values.flat_map(|v| v.iter().cloned()).collect();
+        all.sort();
+        all.dedup();
+        Some(all)
+    }
+}
+
+#[test]
+fn vector_valued_jobs_group_correctly() {
+    let rt = Runtime::new(PhoenixConfig::with_workers(3).chunk_bytes(16));
+    let out = rt
+        .run(&Collector, b"apple avocado banana blueberry apple cherry")
+        .unwrap();
+    let by_initial: HashMap<u8, Vec<String>> = out.pairs.into_iter().collect();
+    assert_eq!(by_initial[&b'a'], vec!["apple", "avocado"]);
+    assert_eq!(by_initial[&b'b'], vec!["banana", "blueberry"]);
+    assert_eq!(by_initial[&b'c'], vec!["cherry"]);
+}
+
+/// Custom comparator that reverses on value parity — nonsense order, but a
+/// valid total order the runtime must apply faithfully.
+struct ParityOrder;
+
+impl Job for ParityOrder {
+    type Key = u64;
+    type Value = u64;
+
+    fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, u64, u64>) {
+        for &b in chunk.bytes() {
+            emitter.emit(b as u64, 1);
+        }
+    }
+
+    fn reduce(&self, _k: &u64, values: &mut ValueIter<'_, u64>) -> Option<u64> {
+        Some(values.sum())
+    }
+
+    fn split_spec(&self) -> SplitSpec {
+        SplitSpec::bytes()
+    }
+
+    fn output_order(&self) -> OutputOrder {
+        OutputOrder::Custom
+    }
+
+    fn compare_output(&self, a: &(u64, u64), b: &(u64, u64)) -> Ordering {
+        (a.0 % 2).cmp(&(b.0 % 2)).then_with(|| a.0.cmp(&b.0))
+    }
+}
+
+#[test]
+fn arbitrary_total_orders_are_respected() {
+    let input: Vec<u8> = (0..=20).collect();
+    let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(4));
+    let out = rt.run(&ParityOrder, &input).unwrap();
+    // Evens first (ascending), then odds (ascending).
+    let keys: Vec<u64> = out.pairs.iter().map(|(k, _)| *k).collect();
+    let evens: Vec<u64> = (0..=20).filter(|k| k % 2 == 0).collect();
+    let odds: Vec<u64> = (0..=20).filter(|k| k % 2 == 1).collect();
+    let expect: Vec<u64> = evens.into_iter().chain(odds).collect();
+    assert_eq!(keys, expect);
+}
+
+#[test]
+fn partitioned_runtime_with_single_fragment() {
+    // Fragment size larger than input: exactly one fragment, same result.
+    let rt = Runtime::new(PhoenixConfig::with_workers(2));
+    let whole = rt.run(&UnicodeCount, b"x y x").unwrap();
+    let part = PartitionedRuntime::new(rt, PartitionSpec::new(1 << 20));
+    let merger = SumMerger::new(|a: &mut u64, v: u64| *a += v);
+    let out = part.run(&UnicodeCount, b"x y x", &merger).unwrap();
+    assert_eq!(out.stats.fragments, 1);
+    assert_eq!(whole.pairs, out.pairs);
+}
+
+#[test]
+fn stats_display_is_integrated() {
+    let rt = Runtime::new(PhoenixConfig::with_workers(2));
+    let out = rt.run(&UnicodeCount, b"hello world hello").unwrap();
+    let line = out.stats.to_string();
+    assert!(line.contains("map tasks"));
+    assert!(line.contains("keys"));
+}

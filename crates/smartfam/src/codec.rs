@@ -1,0 +1,436 @@
+//! The log-file frame format.
+//!
+//! The paper passes module parameters and results through plain log files
+//! on the NFS share. Because host and daemon read the file concurrently
+//! while it grows, each record is written as one self-describing,
+//! checksummed frame so a reader can (a) detect a torn write still in
+//! progress (incomplete frame → stop and retry on the next event) and (b)
+//! detect genuine corruption.
+//!
+//! Wire layout (all integers little-endian):
+//!
+//! ```text
+//! +-------+---------+------------------+----------+
+//! | magic | len:u32 | body (len bytes) | fnv: u32 |
+//! +-------+---------+------------------+----------+
+//! ```
+//!
+//! `magic` is one byte: `b'Q'` for a request frame, `b'S'` for a response
+//! frame. The checksum is FNV-1a over the body.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic byte of a request frame.
+pub const MAGIC_REQUEST: u8 = b'Q';
+/// Magic byte of a response frame.
+pub const MAGIC_RESPONSE: u8 = b'S';
+/// Frames larger than this are rejected as corrupt (1 GiB).
+pub const MAX_FRAME_BODY: u32 = 1 << 30;
+
+/// Completion status carried by a response frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The module completed and the payload is its result.
+    Ok,
+    /// The module failed; the payload is a UTF-8 error message.
+    Error,
+}
+
+/// The body of a frame: a request (host → SD) or a response (SD → host).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameBody {
+    /// Host → SD: invoke the module with these parameters. "The host
+    /// writes the input parameters to the log file that is monitored and
+    /// read by the data-intensive module" (§IV-A).
+    Request {
+        /// Input parameters, in order.
+        params: Vec<String>,
+    },
+    /// SD → host: "Results produced by the module in the McSD node are
+    /// written to the module's log file" (§IV-A).
+    Response {
+        /// Completion status.
+        status: Status,
+        /// Result bytes (or error message when `status == Error`).
+        payload: Bytes,
+    },
+}
+
+/// One framed record in a module's log file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Correlates a response with its request. Assigned by the host.
+    pub id: u64,
+    /// Request or response content.
+    pub body: FrameBody,
+}
+
+impl Frame {
+    /// Build a request frame.
+    pub fn request(id: u64, params: Vec<String>) -> Frame {
+        Frame {
+            id,
+            body: FrameBody::Request { params },
+        }
+    }
+
+    /// Build a success-response frame.
+    pub fn response_ok(id: u64, payload: impl Into<Bytes>) -> Frame {
+        Frame {
+            id,
+            body: FrameBody::Response {
+                status: Status::Ok,
+                payload: payload.into(),
+            },
+        }
+    }
+
+    /// Build an error-response frame.
+    pub fn response_err(id: u64, message: &str) -> Frame {
+        Frame {
+            id,
+            body: FrameBody::Response {
+                status: Status::Error,
+                payload: Bytes::copy_from_slice(message.as_bytes()),
+            },
+        }
+    }
+
+    /// Whether this is a request frame.
+    pub fn is_request(&self) -> bool {
+        matches!(self.body, FrameBody::Request { .. })
+    }
+
+    /// Encode the frame to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = BytesMut::new();
+        let magic = match &self.body {
+            FrameBody::Request { params } => {
+                body.put_u64_le(self.id);
+                body.put_u32_le(params.len() as u32);
+                for p in params {
+                    body.put_u32_le(p.len() as u32);
+                    body.put_slice(p.as_bytes());
+                }
+                MAGIC_REQUEST
+            }
+            FrameBody::Response { status, payload } => {
+                body.put_u64_le(self.id);
+                body.put_u8(match status {
+                    Status::Ok => 0,
+                    Status::Error => 1,
+                });
+                body.put_u32_le(payload.len() as u32);
+                body.put_slice(payload);
+                MAGIC_RESPONSE
+            }
+        };
+        let mut out = Vec::with_capacity(body.len() + 9);
+        out.push(magic);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        out
+    }
+}
+
+/// FNV-1a 32-bit hash.
+fn fnv1a(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x01000193);
+    }
+    h
+}
+
+/// Outcome of trying to decode one frame from a buffer position.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeStep {
+    /// A complete frame; `consumed` bytes were used.
+    Complete {
+        /// The decoded frame.
+        frame: Frame,
+        /// Bytes consumed from the buffer.
+        consumed: usize,
+    },
+    /// The buffer ends mid-frame (a writer has not finished its append);
+    /// retry after the file grows.
+    Incomplete,
+    /// The bytes at this position are not a valid frame.
+    Corrupt {
+        /// Explanation for diagnostics.
+        detail: String,
+    },
+}
+
+/// Try to decode one frame from the start of `buf`.
+pub fn decode_frame(buf: &[u8]) -> DecodeStep {
+    if buf.is_empty() {
+        return DecodeStep::Incomplete;
+    }
+    let magic = buf[0];
+    if magic != MAGIC_REQUEST && magic != MAGIC_RESPONSE {
+        return DecodeStep::Corrupt {
+            detail: format!("bad magic byte 0x{magic:02x}"),
+        };
+    }
+    if buf.len() < 5 {
+        return DecodeStep::Incomplete;
+    }
+    let body_len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]);
+    if body_len > MAX_FRAME_BODY {
+        return DecodeStep::Corrupt {
+            detail: format!("frame body of {body_len} bytes exceeds limit"),
+        };
+    }
+    let total = 5 + body_len as usize + 4;
+    if buf.len() < total {
+        return DecodeStep::Incomplete;
+    }
+    let body = &buf[5..5 + body_len as usize];
+    let stored = u32::from_le_bytes([
+        buf[total - 4],
+        buf[total - 3],
+        buf[total - 2],
+        buf[total - 1],
+    ]);
+    if fnv1a(body) != stored {
+        return DecodeStep::Corrupt {
+            detail: "checksum mismatch".into(),
+        };
+    }
+    match decode_body(magic, body) {
+        Ok(frame) => DecodeStep::Complete {
+            frame,
+            consumed: total,
+        },
+        Err(detail) => DecodeStep::Corrupt { detail },
+    }
+}
+
+fn decode_body(magic: u8, body: &[u8]) -> Result<Frame, String> {
+    let mut cur = body;
+    let take_u64 = |cur: &mut &[u8]| -> Result<u64, String> {
+        if cur.len() < 8 {
+            return Err("truncated u64".into());
+        }
+        Ok(cur.get_u64_le())
+    };
+    let take_u32 = |cur: &mut &[u8]| -> Result<u32, String> {
+        if cur.len() < 4 {
+            return Err("truncated u32".into());
+        }
+        Ok(cur.get_u32_le())
+    };
+    let id = take_u64(&mut cur)?;
+    if magic == MAGIC_REQUEST {
+        let n = take_u32(&mut cur)? as usize;
+        let mut params = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let len = take_u32(&mut cur)? as usize;
+            if cur.len() < len {
+                return Err("truncated parameter".into());
+            }
+            let s = std::str::from_utf8(&cur[..len])
+                .map_err(|_| "parameter is not UTF-8".to_string())?;
+            params.push(s.to_string());
+            cur.advance(len);
+        }
+        if !cur.is_empty() {
+            return Err("trailing bytes in request body".into());
+        }
+        Ok(Frame::request(id, params))
+    } else {
+        if cur.is_empty() {
+            return Err("missing status byte".into());
+        }
+        let status = match cur.get_u8() {
+            0 => Status::Ok,
+            1 => Status::Error,
+            other => return Err(format!("bad status byte {other}")),
+        };
+        let len = take_u32(&mut cur)? as usize;
+        if cur.len() != len {
+            return Err("payload length mismatch".into());
+        }
+        let payload = Bytes::copy_from_slice(cur);
+        Ok(Frame {
+            id,
+            body: FrameBody::Response { status, payload },
+        })
+    }
+}
+
+/// Decode every complete frame starting at `offset` in `data`. Returns the
+/// frames and the offset of the first byte not consumed (either the end of
+/// data or the start of an incomplete trailing frame).
+///
+/// Corrupt frames abort the scan with an error — a log file is
+/// append-only, so corruption is never self-healing.
+pub fn decode_stream(data: &[u8], offset: usize) -> Result<(Vec<Frame>, usize), String> {
+    let mut frames = Vec::new();
+    let mut pos = offset.min(data.len());
+    loop {
+        match decode_frame(&data[pos..]) {
+            DecodeStep::Complete { frame, consumed } => {
+                frames.push(frame);
+                pos += consumed;
+            }
+            DecodeStep::Incomplete => break,
+            DecodeStep::Corrupt { detail } => {
+                return Err(format!("at offset {pos}: {detail}"));
+            }
+        }
+    }
+    Ok((frames, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let f = Frame::request(42, vec!["input.txt".into(), "600M".into()]);
+        let bytes = f.encode();
+        match decode_frame(&bytes) {
+            DecodeStep::Complete { frame, consumed } => {
+                assert_eq!(frame, f);
+                assert_eq!(consumed, bytes.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let f = Frame::response_ok(7, vec![1u8, 2, 3]);
+        let bytes = f.encode();
+        match decode_frame(&bytes) {
+            DecodeStep::Complete { frame, .. } => assert_eq!(frame, f),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let f = Frame::response_err(9, "module exploded");
+        let bytes = f.encode();
+        match decode_frame(&bytes) {
+            DecodeStep::Complete { frame, .. } => {
+                assert_eq!(frame.id, 9);
+                match frame.body {
+                    FrameBody::Response { status, payload } => {
+                        assert_eq!(status, Status::Error);
+                        assert_eq!(&payload[..], b"module exploded");
+                    }
+                    _ => panic!("not a response"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_params_roundtrip() {
+        let f = Frame::request(1, vec![]);
+        let bytes = f.encode();
+        match decode_frame(&bytes) {
+            DecodeStep::Complete { frame, .. } => assert_eq!(frame, f),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_incomplete() {
+        let bytes = Frame::request(1, vec!["abc".into()]).encode();
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                DecodeStep::Incomplete => {}
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_body_is_detected() {
+        let mut bytes = Frame::request(1, vec!["abcdef".into()]).encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        match decode_frame(&bytes) {
+            DecodeStep::Corrupt { .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        assert!(matches!(
+            decode_frame(b"Xjunk"),
+            DecodeStep::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_corrupt_not_allocation_bomb() {
+        let mut bytes = vec![MAGIC_REQUEST];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(decode_frame(&bytes), DecodeStep::Corrupt { .. }));
+    }
+
+    #[test]
+    fn stream_decodes_multiple_frames() {
+        let mut data = Vec::new();
+        let frames: Vec<Frame> = (0..5)
+            .map(|i| Frame::request(i, vec![format!("p{i}")]))
+            .collect();
+        for f in &frames {
+            data.extend(f.encode());
+        }
+        let (decoded, pos) = decode_stream(&data, 0).unwrap();
+        assert_eq!(decoded, frames);
+        assert_eq!(pos, data.len());
+    }
+
+    #[test]
+    fn stream_stops_at_partial_tail() {
+        let mut data = Frame::request(1, vec!["a".into()]).encode();
+        let full_len = data.len();
+        let tail = Frame::response_ok(1, vec![9u8; 100]).encode();
+        data.extend_from_slice(&tail[..tail.len() / 2]);
+        let (decoded, pos) = decode_stream(&data, 0).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(pos, full_len);
+    }
+
+    #[test]
+    fn stream_resumes_from_offset() {
+        let f1 = Frame::request(1, vec![]).encode();
+        let f2 = Frame::request(2, vec![]).encode();
+        let mut data = f1.clone();
+        data.extend(&f2);
+        let (decoded, pos) = decode_stream(&data, f1.len()).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].id, 2);
+        assert_eq!(pos, data.len());
+    }
+
+    #[test]
+    fn stream_reports_corruption() {
+        let mut data = Frame::request(1, vec![]).encode();
+        data.extend_from_slice(b"ZZZZ");
+        assert!(decode_stream(&data, 0).is_err());
+    }
+
+    #[test]
+    fn unicode_params_roundtrip() {
+        let f = Frame::request(3, vec!["παράμετρος".into(), "日本語".into()]);
+        let bytes = f.encode();
+        match decode_frame(&bytes) {
+            DecodeStep::Complete { frame, .. } => assert_eq!(frame, f),
+            other => panic!("{other:?}"),
+        }
+    }
+}

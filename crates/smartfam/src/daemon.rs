@@ -1,0 +1,494 @@
+//! The SD-side daemon.
+//!
+//! "The Daemon program opens the module's log file to retrieve the input
+//! parameters passed from the host … the data-intensive module is invoked
+//! by the Daemon program; the input parameters are passed from Daemon to
+//! the module" (§IV-A, steps 3–4). Results are appended to the same log
+//! file, where the host's watcher finds them.
+//!
+//! Fault tolerance (paper §VI future work): the daemon writes a heartbeat
+//! file the host can probe, and on startup it replays each log file from
+//! the beginning, answering any request that never received a response —
+//! so a daemon crash/restart does not lose offloaded work.
+
+use crate::codec::{Frame, FrameBody};
+use crate::log_file::LogFile;
+use crate::module::ModuleRegistry;
+use crate::watch::{FileWatcher, WatchConfig, WatchEventKind};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// The NFS-shared log-file folder.
+    pub log_dir: PathBuf,
+    /// Watcher settings (poll interval).
+    pub watch: WatchConfig,
+    /// How often the heartbeat file is refreshed.
+    pub heartbeat_interval: Duration,
+    /// Run each module invocation on its own thread, so concurrent
+    /// requests to different modules overlap.
+    pub dispatch_parallel: bool,
+}
+
+impl DaemonConfig {
+    /// Defaults rooted at `log_dir`.
+    pub fn new(log_dir: impl Into<PathBuf>) -> Self {
+        DaemonConfig {
+            log_dir: log_dir.into(),
+            watch: WatchConfig::default(),
+            heartbeat_interval: Duration::from_millis(50),
+            dispatch_parallel: true,
+        }
+    }
+}
+
+/// Name of the heartbeat file inside the log dir.
+pub const HEARTBEAT_FILE: &str = "daemon.heartbeat";
+
+/// Snapshot of daemon counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Requests seen.
+    pub requests: u64,
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests whose module returned an error.
+    pub module_errors: u64,
+    /// Requests naming a module that is not registered.
+    pub unknown_module: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    module_errors: AtomicU64,
+    unknown_module: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> DaemonStats {
+        DaemonStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            module_errors: self.module_errors.load(Ordering::Relaxed),
+            unknown_module: self.unknown_module.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The daemon, ready to spawn.
+pub struct Daemon {
+    config: DaemonConfig,
+    registry: ModuleRegistry,
+}
+
+/// Handle to a running daemon.
+pub struct DaemonHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    stats: Arc<StatsInner>,
+    log_dir: PathBuf,
+}
+
+impl Daemon {
+    /// Create a daemon serving `registry` from `config.log_dir`.
+    pub fn new(config: DaemonConfig, registry: ModuleRegistry) -> Daemon {
+        Daemon { config, registry }
+    }
+
+    /// Start the daemon thread.
+    pub fn spawn(self) -> std::io::Result<DaemonHandle> {
+        std::fs::create_dir_all(&self.config.log_dir)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let log_dir = self.config.log_dir.clone();
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || daemon_loop(self.config, self.registry, stop, stats))
+        };
+        Ok(DaemonHandle {
+            stop,
+            handle: Some(handle),
+            stats,
+            log_dir,
+        })
+    }
+}
+
+impl DaemonHandle {
+    /// Counter snapshot.
+    pub fn stats(&self) -> DaemonStats {
+        self.stats.snapshot()
+    }
+
+    /// The log dir this daemon serves.
+    pub fn log_dir(&self) -> &Path {
+        &self.log_dir
+    }
+
+    /// Stop the daemon and wait for it to exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Whether the daemon thread is still running.
+    pub fn is_running(&self) -> bool {
+        self.handle.is_some() && !self.stop.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+struct LogState {
+    log: LogFile,
+    /// Request frames already answered (or dispatched).
+    handled: HashSet<u64>,
+}
+
+fn daemon_loop(
+    config: DaemonConfig,
+    registry: ModuleRegistry,
+    stop: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+) {
+    let watcher = FileWatcher::spawn(&config.log_dir, config.watch);
+    let mut logs: HashMap<PathBuf, LogState> = HashMap::new();
+    let mut last_heartbeat = Instant::now() - config.heartbeat_interval;
+    let mut heartbeat_seq: u64 = 0;
+    let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Startup replay: answer pending requests left over from a previous
+    // daemon incarnation.
+    if let Ok(entries) = std::fs::read_dir(&config.log_dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if is_module_log(&path) {
+                process_log(&path, &mut logs, &registry, &stats, &config, &workers);
+            }
+        }
+    }
+
+    while !stop.load(Ordering::Relaxed) {
+        // Heartbeat.
+        if last_heartbeat.elapsed() >= config.heartbeat_interval {
+            heartbeat_seq += 1;
+            let _ = std::fs::write(
+                config.log_dir.join(HEARTBEAT_FILE),
+                heartbeat_seq.to_le_bytes(),
+            );
+            last_heartbeat = Instant::now();
+        }
+        // Wait for file events.
+        let Some(event) = watcher.next_event(config.watch.poll_interval.max(Duration::from_millis(1)))
+        else {
+            continue;
+        };
+        if event.kind == WatchEventKind::Removed || !is_module_log(&event.path) {
+            continue;
+        }
+        process_log(&event.path, &mut logs, &registry, &stats, &config, &workers);
+    }
+
+    // Drain in-flight module invocations before exiting.
+    let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *workers.lock());
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+fn is_module_log(path: &Path) -> bool {
+    path.extension().map(|e| e == "log").unwrap_or(false)
+}
+
+fn module_name(path: &Path) -> String {
+    path.file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn process_log(
+    path: &Path,
+    logs: &mut HashMap<PathBuf, LogState>,
+    registry: &ModuleRegistry,
+    stats: &Arc<StatsInner>,
+    config: &DaemonConfig,
+    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let state = logs.entry(path.to_path_buf()).or_insert_with(|| LogState {
+        log: LogFile::attach_at_start(path).expect("log file must be openable"),
+        handled: HashSet::new(),
+    });
+    let frames = match state.log.poll() {
+        Ok(f) => f,
+        Err(_) => return, // corrupt or unreadable; skip this round
+    };
+    // First pass: note responses already present (restart replay).
+    for frame in &frames {
+        if let FrameBody::Response { .. } = frame.body {
+            state.handled.insert(frame.id);
+        }
+    }
+    for frame in frames {
+        let FrameBody::Request { params } = frame.body else {
+            continue;
+        };
+        if state.handled.contains(&frame.id) {
+            continue;
+        }
+        state.handled.insert(frame.id);
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let name = module_name(path);
+        let writer = LogFile::attach_at_start(path).expect("log file must be openable");
+        match registry.get(&name) {
+            None => {
+                stats.unknown_module.fetch_add(1, Ordering::Relaxed);
+                let _ = writer.append(&Frame::response_err(
+                    frame.id,
+                    &format!("no module registered under {name:?}"),
+                ));
+            }
+            Some(module) => {
+                let stats = Arc::clone(stats);
+                let id = frame.id;
+                let run = move || {
+                    // A panicking module must neither kill the daemon
+                    // (sequential dispatch) nor leave the host waiting
+                    // forever: convert the panic into an error response.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || module.invoke(&params),
+                    ));
+                    let response = match outcome {
+                        Ok(Ok(payload)) => {
+                            stats.ok.fetch_add(1, Ordering::Relaxed);
+                            Frame::response_ok(id, payload)
+                        }
+                        Ok(Err(e)) => {
+                            stats.module_errors.fetch_add(1, Ordering::Relaxed);
+                            Frame::response_err(id, &e.message)
+                        }
+                        Err(panic) => {
+                            stats.module_errors.fetch_add(1, Ordering::Relaxed);
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "module panicked".into());
+                            Frame::response_err(id, &format!("module panicked: {msg}"))
+                        }
+                    };
+                    let _ = writer.append(&response);
+                };
+                if config.dispatch_parallel {
+                    let mut w = workers.lock();
+                    // Reap finished workers opportunistically.
+                    w.retain(|h| !h.is_finished());
+                    w.push(std::thread::spawn(run));
+                } else {
+                    run();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostClient;
+    use crate::module::{FnModule, ModuleError};
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    static N: TestCounter = TestCounter::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "mcsd-daemon-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn registry() -> ModuleRegistry {
+        let r = ModuleRegistry::new();
+        r.register(Arc::new(FnModule::new("upper", |p: &[String]| {
+            Ok(p.join(" ").to_uppercase().into_bytes())
+        })));
+        r.register(Arc::new(FnModule::new("fail", |_: &[String]| {
+            Err(ModuleError::new("intentional failure"))
+        })));
+        r.register(Arc::new(FnModule::new("slow", |p: &[String]| {
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(p.join("").into_bytes())
+        })));
+        r
+    }
+
+    const TIMEOUT: Duration = Duration::from_secs(120);
+
+    #[test]
+    fn end_to_end_invoke() {
+        let dir = temp_dir();
+        let mut daemon = Daemon::new(DaemonConfig::new(&dir), registry())
+            .spawn()
+            .unwrap();
+        let client = HostClient::new(&dir);
+        let out = client
+            .invoke("upper", &["hello".into(), "world".into()], TIMEOUT)
+            .unwrap();
+        assert_eq!(out.payload, b"HELLO WORLD");
+        assert!(out.request_bytes > 0);
+        assert!(out.response_bytes > 0);
+        daemon.stop();
+        assert_eq!(daemon.stats().ok, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn module_failure_propagates() {
+        let dir = temp_dir();
+        let _daemon = Daemon::new(DaemonConfig::new(&dir), registry())
+            .spawn()
+            .unwrap();
+        let client = HostClient::new(&dir);
+        match client.invoke("fail", &[], TIMEOUT) {
+            Err(crate::error::SmartFamError::ModuleFailed { module, message }) => {
+                assert_eq!(module, "fail");
+                assert!(message.contains("intentional"));
+            }
+            other => panic!("{other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_module_is_answered() {
+        let dir = temp_dir();
+        let mut daemon = Daemon::new(DaemonConfig::new(&dir), registry())
+            .spawn()
+            .unwrap();
+        let client = HostClient::new(&dir);
+        match client.invoke("nonexistent", &[], TIMEOUT) {
+            Err(crate::error::SmartFamError::ModuleFailed { message, .. }) => {
+                assert!(message.contains("no module registered"));
+            }
+            other => panic!("{other:?}"),
+        }
+        daemon.stop();
+        assert_eq!(daemon.stats().unknown_module, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequential_invocations_share_a_log() {
+        let dir = temp_dir();
+        let _daemon = Daemon::new(DaemonConfig::new(&dir), registry())
+            .spawn()
+            .unwrap();
+        let client = HostClient::new(&dir);
+        for i in 0..5 {
+            let out = client
+                .invoke("upper", &[format!("msg{i}")], TIMEOUT)
+                .unwrap();
+            assert_eq!(out.payload, format!("MSG{i}").into_bytes());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_invocations_to_different_modules() {
+        let dir = temp_dir();
+        let _daemon = Daemon::new(DaemonConfig::new(&dir), registry())
+            .spawn()
+            .unwrap();
+        let client = Arc::new(HostClient::new(&dir));
+        let c1 = Arc::clone(&client);
+        let t1 = std::thread::spawn(move || c1.invoke("slow", &["a".into()], TIMEOUT).unwrap());
+        let c2 = Arc::clone(&client);
+        let t2 = std::thread::spawn(move || c2.invoke("upper", &["b".into()], TIMEOUT).unwrap());
+        assert_eq!(t1.join().unwrap().payload, b"a");
+        assert_eq!(t2.join().unwrap().payload, b"B");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn heartbeat_file_appears_and_advances() {
+        let dir = temp_dir();
+        let mut cfg = DaemonConfig::new(&dir);
+        cfg.heartbeat_interval = Duration::from_millis(5);
+        let _daemon = Daemon::new(cfg, registry()).spawn().unwrap();
+        let hb = dir.join(HEARTBEAT_FILE);
+        assert!(crate::watch::wait_for_file(&hb, TIMEOUT, |len| len == 8));
+        let first = std::fs::read(&hb).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        let later = std::fs::read(&hb).unwrap();
+        assert!(u64::from_le_bytes(later.try_into().unwrap())
+            > u64::from_le_bytes(first.try_into().unwrap()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_replays_unanswered_requests() {
+        let dir = temp_dir();
+        // Write a request with no daemon running.
+        let client = HostClient::new(&dir);
+        let pending = client.submit("upper", &["late".into()]).unwrap();
+        // Start the daemon afterwards: it must replay the log and answer.
+        let _daemon = Daemon::new(DaemonConfig::new(&dir), registry())
+            .spawn()
+            .unwrap();
+        let out = pending.wait(TIMEOUT).unwrap();
+        assert_eq!(out.payload, b"LATE");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_does_not_duplicate_answered_requests() {
+        let dir = temp_dir();
+        {
+            let _daemon = Daemon::new(DaemonConfig::new(&dir), registry())
+                .spawn()
+                .unwrap();
+            let client = HostClient::new(&dir);
+            client.invoke("upper", &["once".into()], TIMEOUT).unwrap();
+        }
+        // Second daemon incarnation over the same log dir.
+        let mut daemon2 = Daemon::new(DaemonConfig::new(&dir), registry())
+            .spawn()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        daemon2.stop();
+        // The replayed request must not be re-dispatched.
+        assert_eq!(daemon2.stats().requests, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stop_is_idempotent() {
+        let dir = temp_dir();
+        let mut daemon = Daemon::new(DaemonConfig::new(&dir), registry())
+            .spawn()
+            .unwrap();
+        daemon.stop();
+        daemon.stop();
+        assert!(!daemon.is_running());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,106 @@
+//! smartFAM error types.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the smartFAM mechanism.
+#[derive(Debug)]
+pub enum SmartFamError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A log-file frame failed to decode (truncated write in progress or
+    /// corruption).
+    Corrupt {
+        /// Byte offset of the bad frame.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A call did not complete within its deadline.
+    Timeout {
+        /// The module that was invoked.
+        module: String,
+        /// The request id.
+        request_id: u64,
+    },
+    /// The invoked module reported a failure.
+    ModuleFailed {
+        /// The module that failed.
+        module: String,
+        /// The module's error message.
+        message: String,
+    },
+    /// The daemon has no module registered under this name.
+    UnknownModule {
+        /// The requested module name.
+        module: String,
+    },
+}
+
+impl fmt::Display for SmartFamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmartFamError::Io(e) => write!(f, "smartFAM I/O error: {e}"),
+            SmartFamError::Corrupt { offset, detail } => {
+                write!(f, "corrupt log frame at offset {offset}: {detail}")
+            }
+            SmartFamError::Timeout { module, request_id } => {
+                write!(f, "request {request_id} to module {module:?} timed out")
+            }
+            SmartFamError::ModuleFailed { module, message } => {
+                write!(f, "module {module:?} failed: {message}")
+            }
+            SmartFamError::UnknownModule { module } => {
+                write!(f, "no module registered under {module:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmartFamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SmartFamError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SmartFamError {
+    fn from(e: io::Error) -> Self {
+        SmartFamError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = SmartFamError::Timeout {
+            module: "wc".into(),
+            request_id: 7,
+        };
+        assert!(e.to_string().contains("wc"));
+        assert!(e.to_string().contains('7'));
+
+        let e = SmartFamError::UnknownModule {
+            module: "nope".into(),
+        };
+        assert!(e.to_string().contains("nope"));
+
+        let e = SmartFamError::Corrupt {
+            offset: 99,
+            detail: "bad checksum".into(),
+        };
+        assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: SmartFamError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

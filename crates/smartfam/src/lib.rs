@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # mcsd-smartfam
+//!
+//! **smartFAM** — the invocation mechanism that lets a host computing node
+//! trigger data-intensive processing modules on a McSD smart-storage node
+//! (paper §IV-A, Fig. 5).
+//!
+//! The paper's implementation has two components: "(1) the inotify program
+//! — a Linux kernel subsystem that provides file system event notification;
+//! and (2) a daemon program that invokes on-node data-intensive operations
+//! or modules". Host and SD node communicate exclusively through
+//! *per-module log files* in an NFS-shared folder: the host writes a
+//! module's input parameters into its log file, inotify on the SD node
+//! notices the change and wakes the daemon, the daemon runs the module, and
+//! the results flow back through the same log file with the roles reversed.
+//!
+//! ## Substitution note
+//!
+//! The offline crate set has no inotify binding, so [`watch`] implements a
+//! polling watcher with the same event semantics (created/modified/removed,
+//! detected from length + mtime). The poll interval is configurable; tests
+//! use 1–2 ms.
+//!
+//! ## Modules
+//!
+//! * [`codec`] — the length-prefixed, checksummed frame format used inside
+//!   log files.
+//! * [`watch`] — the polling file watcher (inotify substitute).
+//! * [`log_file`] — append/scan access to one module's log file.
+//! * [`module`] — the [`ProcessingModule`] trait and registry of
+//!   "preloaded" data-intensive modules.
+//! * [`daemon`] — the SD-side daemon: watch log files, dispatch modules,
+//!   write results, heartbeat.
+//! * [`host`] — the host-side client: write parameters, await results.
+
+pub mod codec;
+pub mod daemon;
+pub mod error;
+pub mod host;
+pub mod log_file;
+pub mod module;
+pub mod watch;
+
+pub use codec::{Frame, FrameBody, Status};
+pub use daemon::{Daemon, DaemonConfig, DaemonHandle, DaemonStats};
+pub use error::SmartFamError;
+pub use host::{HostClient, InvokeOutcome};
+pub use log_file::LogFile;
+pub use module::{ModuleError, ModuleRegistry, ProcessingModule};
+pub use watch::{FileWatcher, WatchConfig, WatchEvent, WatchEventKind};

@@ -1,0 +1,235 @@
+//! Append/scan access to one module's log file.
+//!
+//! "Each data-intensive processing module/operation has a log file in the
+//! log-file folder. Thus, when a new data-intensive module is preloaded to
+//! the McSD node, a corresponding log-file is created. The log file of each
+//! data-intensive module is an efficient channel for the host node to
+//! communicate with the smart-storage node" (§IV-A).
+//!
+//! Both sides append [`Frame`]s; each side keeps its own read cursor and
+//! scans only the bytes appended since its last read.
+
+use crate::codec::{decode_stream, Frame};
+use crate::error::SmartFamError;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Handle to a module's log file with a private read cursor.
+#[derive(Debug, Clone)]
+pub struct LogFile {
+    path: PathBuf,
+    cursor: u64,
+}
+
+impl LogFile {
+    /// Open (creating if necessary) the log file at `path`, with the read
+    /// cursor at the current end — a reader only sees frames appended
+    /// after it opened, like the daemon attaching to a preloaded module's
+    /// log.
+    pub fn attach_at_end(path: impl Into<PathBuf>) -> Result<LogFile, SmartFamError> {
+        let path = path.into();
+        touch(&path)?;
+        let len = std::fs::metadata(&path)?.len();
+        Ok(LogFile { path, cursor: len })
+    }
+
+    /// Open (creating if necessary) with the cursor at the start — the
+    /// reader replays the whole history.
+    pub fn attach_at_start(path: impl Into<PathBuf>) -> Result<LogFile, SmartFamError> {
+        let path = path.into();
+        touch(&path)?;
+        Ok(LogFile { path, cursor: 0 })
+    }
+
+    /// The log file's filesystem path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current read cursor (byte offset of the next unread frame).
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Append one frame. Returns the number of bytes written (for NFS
+    /// cost accounting).
+    pub fn append(&self, frame: &Frame) -> Result<u64, SmartFamError> {
+        let bytes = frame.encode();
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        f.write_all(&bytes)?;
+        f.flush()?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Read every complete frame appended since the last poll, advancing
+    /// the cursor past them. An incomplete trailing frame (a concurrent
+    /// append in progress) is left for the next poll.
+    pub fn poll(&mut self) -> Result<Vec<Frame>, SmartFamError> {
+        let data = std::fs::read(&self.path)?;
+        if (data.len() as u64) < self.cursor {
+            // The file shrank under us — treat as corruption.
+            return Err(SmartFamError::Corrupt {
+                offset: self.cursor,
+                detail: "log file was truncated".into(),
+            });
+        }
+        let (frames, new_pos) =
+            decode_stream(&data, self.cursor as usize).map_err(|detail| SmartFamError::Corrupt {
+                offset: self.cursor,
+                detail,
+            })?;
+        self.cursor = new_pos as u64;
+        Ok(frames)
+    }
+
+    /// Current length of the log file in bytes.
+    pub fn len(&self) -> Result<u64, SmartFamError> {
+        Ok(std::fs::metadata(&self.path)?.len())
+    }
+
+    /// Whether the log file has no content.
+    pub fn is_empty(&self) -> Result<bool, SmartFamError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+fn touch(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::FrameBody;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static N: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_log() -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "mcsd-log-{}-{}.log",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn append_then_poll() {
+        let path = temp_log();
+        let writer = LogFile::attach_at_start(&path).unwrap();
+        let mut reader = LogFile::attach_at_start(&path).unwrap();
+        writer.append(&Frame::request(1, vec!["x".into()])).unwrap();
+        writer.append(&Frame::request(2, vec!["y".into()])).unwrap();
+        let frames = reader.poll().unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].id, 1);
+        assert_eq!(frames[1].id, 2);
+        // Nothing new on a second poll.
+        assert!(reader.poll().unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn attach_at_end_skips_history() {
+        let path = temp_log();
+        let writer = LogFile::attach_at_start(&path).unwrap();
+        writer.append(&Frame::request(1, vec![])).unwrap();
+        let mut reader = LogFile::attach_at_end(&path).unwrap();
+        assert!(reader.poll().unwrap().is_empty());
+        writer.append(&Frame::request(2, vec![])).unwrap();
+        let frames = reader.poll().unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].id, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mixed_frames_in_one_log() {
+        let path = temp_log();
+        let writer = LogFile::attach_at_start(&path).unwrap();
+        let mut reader = LogFile::attach_at_start(&path).unwrap();
+        writer.append(&Frame::request(1, vec!["in".into()])).unwrap();
+        writer.append(&Frame::response_ok(1, vec![42u8])).unwrap();
+        let frames = reader.poll().unwrap();
+        assert_eq!(frames.len(), 2);
+        assert!(frames[0].is_request());
+        assert!(matches!(frames[1].body, FrameBody::Response { .. }));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn partial_append_is_deferred() {
+        let path = temp_log();
+        let writer = LogFile::attach_at_start(&path).unwrap();
+        let mut reader = LogFile::attach_at_start(&path).unwrap();
+        writer.append(&Frame::request(1, vec![])).unwrap();
+        // Simulate a torn concurrent write: append half a frame by hand.
+        let bytes = Frame::request(2, vec!["big-parameter".into()]).encode();
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&bytes[..bytes.len() / 2]).unwrap();
+        }
+        let frames = reader.poll().unwrap();
+        assert_eq!(frames.len(), 1);
+        // Complete the torn frame; the reader picks it up next poll.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&bytes[bytes.len() / 2..]).unwrap();
+        }
+        let frames = reader.poll().unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].id, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let path = temp_log();
+        let writer = LogFile::attach_at_start(&path).unwrap();
+        let mut reader = LogFile::attach_at_start(&path).unwrap();
+        writer.append(&Frame::request(1, vec![])).unwrap();
+        reader.poll().unwrap();
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            reader.poll(),
+            Err(SmartFamError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_reports_bytes_written() {
+        let path = temp_log();
+        let writer = LogFile::attach_at_start(&path).unwrap();
+        let frame = Frame::request(1, vec!["abc".into()]);
+        let n = writer.append(&frame).unwrap();
+        assert_eq!(n, frame.encode().len() as u64);
+        assert_eq!(writer.len().unwrap(), n);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn creates_parent_directories() {
+        let dir = std::env::temp_dir().join(format!(
+            "mcsd-log-dir-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let path = dir.join("nested/module.log");
+        let log = LogFile::attach_at_start(&path).unwrap();
+        assert!(log.is_empty().unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

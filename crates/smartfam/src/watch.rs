@@ -1,0 +1,352 @@
+//! File-alteration monitoring (the inotify substitute).
+//!
+//! The paper's smartFAM uses Linux inotify to learn that a log file
+//! changed. No inotify binding exists in the sanctioned offline crate set,
+//! so this watcher polls file metadata (length + mtime) on a configurable
+//! interval and synthesizes the same events: `Created`, `Modified`,
+//! `Removed`. Event *semantics* — "when the data-intensive module's log
+//! file in McSD is changed by the host, inotify informs the Daemon program"
+//! — are preserved; only the detection latency differs, bounded by the poll
+//! interval.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime};
+
+/// What happened to a watched file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchEventKind {
+    /// The file appeared.
+    Created,
+    /// The file's length or mtime changed.
+    Modified,
+    /// The file disappeared.
+    Removed,
+}
+
+/// One filesystem event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// The file the event concerns.
+    pub path: PathBuf,
+    /// What happened.
+    pub kind: WatchEventKind,
+}
+
+/// Watcher configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchConfig {
+    /// Metadata poll interval. Small values give inotify-like latency at
+    /// the cost of CPU; tests use 1–2 ms.
+    pub poll_interval: Duration,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        WatchConfig {
+            poll_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FileSig {
+    len: u64,
+    mtime: Option<SystemTime>,
+}
+
+fn signature(path: &Path) -> Option<FileSig> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some(FileSig {
+        len: meta.len(),
+        mtime: meta.modified().ok(),
+    })
+}
+
+/// A polling file watcher over a directory.
+///
+/// Watches every regular file directly inside `dir` (non-recursive, like
+/// an inotify watch on a directory). Events are delivered on a crossbeam
+/// channel.
+pub struct FileWatcher {
+    events: Receiver<WatchEvent>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    /// Extra paths registered after spawn.
+    extra: Arc<Mutex<Vec<PathBuf>>>,
+}
+
+impl FileWatcher {
+    /// Start watching `dir`.
+    ///
+    /// The initial census — the files whose later changes will be
+    /// reported, and whose current state will not — is taken
+    /// *synchronously*, before this returns. Callers can therefore order
+    /// "start watching, then scan for pre-existing work" with no gap: any
+    /// file that appears after `spawn` returns is guaranteed to generate a
+    /// `Created` event. (The SD daemon relies on this to avoid losing
+    /// requests written exactly at startup.)
+    pub fn spawn(dir: impl Into<PathBuf>, config: WatchConfig) -> FileWatcher {
+        let dir = dir.into();
+        let (tx, rx) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let extra: Arc<Mutex<Vec<PathBuf>>> = Arc::new(Mutex::new(Vec::new()));
+        // Synchronous census: files existing now do not generate Created
+        // events (inotify semantics).
+        let mut known: HashMap<PathBuf, FileSig> = HashMap::new();
+        for path in list_files(&dir, &extra) {
+            if let Some(sig) = signature(&path) {
+                known.insert(path, sig);
+            }
+        }
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let extra = Arc::clone(&extra);
+            std::thread::spawn(move || poll_loop(dir, config, tx, stop, extra, known))
+        };
+        FileWatcher {
+            events: rx,
+            stop,
+            handle: Some(handle),
+            extra,
+        }
+    }
+
+    /// The event channel.
+    pub fn events(&self) -> &Receiver<WatchEvent> {
+        &self.events
+    }
+
+    /// Also watch a specific file outside the directory.
+    pub fn add_path(&self, path: impl Into<PathBuf>) {
+        self.extra.lock().push(path.into());
+    }
+
+    /// Block until an event arrives or `timeout` elapses.
+    pub fn next_event(&self, timeout: Duration) -> Option<WatchEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Stop the watcher thread (also happens on drop).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FileWatcher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn poll_loop(
+    dir: PathBuf,
+    config: WatchConfig,
+    tx: Sender<WatchEvent>,
+    stop: Arc<AtomicBool>,
+    extra: Arc<Mutex<Vec<PathBuf>>>,
+    mut known: HashMap<PathBuf, FileSig>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(config.poll_interval);
+        let current = list_files(&dir, &extra);
+        let mut seen: HashMap<PathBuf, FileSig> = HashMap::new();
+        for path in current {
+            if let Some(sig) = signature(&path) {
+                seen.insert(path, sig);
+            }
+        }
+        for (path, sig) in &seen {
+            match known.get(path) {
+                None => {
+                    let _ = tx.send(WatchEvent {
+                        path: path.clone(),
+                        kind: WatchEventKind::Created,
+                    });
+                }
+                Some(old) if old != sig => {
+                    let _ = tx.send(WatchEvent {
+                        path: path.clone(),
+                        kind: WatchEventKind::Modified,
+                    });
+                }
+                _ => {}
+            }
+        }
+        for path in known.keys() {
+            if !seen.contains_key(path) {
+                let _ = tx.send(WatchEvent {
+                    path: path.clone(),
+                    kind: WatchEventKind::Removed,
+                });
+            }
+        }
+        known = seen;
+    }
+}
+
+fn list_files(dir: &Path, extra: &Mutex<Vec<PathBuf>>) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_file() {
+                files.push(path);
+            }
+        }
+    }
+    for p in extra.lock().iter() {
+        if p.is_file() && !files.contains(p) {
+            files.push(p.clone());
+        }
+    }
+    files
+}
+
+/// Poll `path` until `predicate(len)` holds or `timeout` elapses; returns
+/// whether the predicate was met. A convenience for simple waiters that do
+/// not need a full watcher thread.
+pub fn wait_for_file(path: &Path, timeout: Duration, predicate: impl Fn(u64) -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        if let Ok(meta) = std::fs::metadata(path) {
+            if predicate(meta.len()) {
+                return true;
+            }
+        }
+        if std::time::Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    static DIR_N: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "mcsd-watch-{}-{}",
+            std::process::id(),
+            DIR_N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn fast() -> WatchConfig {
+        WatchConfig {
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+
+    const WAIT: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn detects_creation() {
+        let dir = temp_dir();
+        let w = FileWatcher::spawn(&dir, fast());
+        std::thread::sleep(Duration::from_millis(10));
+        std::fs::write(dir.join("new.log"), b"hello").unwrap();
+        let ev = w.next_event(WAIT).expect("event");
+        assert_eq!(ev.kind, WatchEventKind::Created);
+        assert_eq!(ev.path.file_name().unwrap(), "new.log");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn detects_modification() {
+        let dir = temp_dir();
+        let file = dir.join("mod.log");
+        std::fs::write(&file, b"start").unwrap();
+        let w = FileWatcher::spawn(&dir, fast());
+        std::thread::sleep(Duration::from_millis(10));
+        std::fs::write(&file, b"start plus more").unwrap();
+        let ev = w.next_event(WAIT).expect("event");
+        assert_eq!(ev.kind, WatchEventKind::Modified);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn detects_removal() {
+        let dir = temp_dir();
+        let file = dir.join("gone.log");
+        std::fs::write(&file, b"x").unwrap();
+        let w = FileWatcher::spawn(&dir, fast());
+        std::thread::sleep(Duration::from_millis(10));
+        std::fs::remove_file(&file).unwrap();
+        let ev = w.next_event(WAIT).expect("event");
+        assert_eq!(ev.kind, WatchEventKind::Removed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn preexisting_files_are_silent() {
+        let dir = temp_dir();
+        std::fs::write(dir.join("old.log"), b"existing").unwrap();
+        let w = FileWatcher::spawn(&dir, fast());
+        assert!(w.next_event(Duration::from_millis(50)).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn extra_path_outside_dir_is_watched() {
+        let dir = temp_dir();
+        let other = temp_dir();
+        let target = other.join("outside.log");
+        let w = FileWatcher::spawn(&dir, fast());
+        w.add_path(&target);
+        std::thread::sleep(Duration::from_millis(10));
+        std::fs::write(&target, b"event!").unwrap();
+        let ev = w.next_event(WAIT).expect("event");
+        assert_eq!(ev.path, target);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&other).unwrap();
+    }
+
+    #[test]
+    fn stop_terminates_thread() {
+        let dir = temp_dir();
+        let mut w = FileWatcher::spawn(&dir, fast());
+        w.stop();
+        // After stopping, new files generate no events.
+        std::fs::write(dir.join("after.log"), b"x").unwrap();
+        assert!(w.next_event(Duration::from_millis(30)).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wait_for_file_sees_growth() {
+        let dir = temp_dir();
+        let file = dir.join("grow.log");
+        std::fs::write(&file, b"12").unwrap();
+        let f2 = file.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            std::fs::write(&f2, b"123456").unwrap();
+        });
+        assert!(wait_for_file(&file, WAIT, |len| len >= 6));
+        t.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wait_for_file_times_out() {
+        let dir = temp_dir();
+        let file = dir.join("never.log");
+        assert!(!wait_for_file(&file, Duration::from_millis(40), |_| true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,80 @@
+//! The Phoenix programming API beyond the paper's three benchmarks: the
+//! Histogram and Linear Regression applications from the original Phoenix
+//! suite, plus a custom inline job — all running on the same runtime the
+//! McSD framework offloads to.
+//!
+//! ```sh
+//! cargo run --release --example phoenix_extras
+//! ```
+
+use mcsd::apps::histogram::{seq_histogram, Histogram};
+use mcsd::apps::linreg::{LinearRegression, Moments};
+use mcsd::prelude::*;
+
+fn main() {
+    let runtime = Runtime::new(PhoenixConfig::with_workers(4));
+
+    // 1. Histogram over pseudo-random bytes.
+    let data: Vec<u8> = (0..1_000_000u64)
+        .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+        .collect();
+    let out = runtime.run(&Histogram, &data).unwrap();
+    let bins = Histogram::to_bins(&out.pairs);
+    assert_eq!(bins, seq_histogram(&data));
+    let peak = bins.iter().enumerate().max_by_key(|(_, c)| **c).unwrap();
+    println!(
+        "histogram: {} distinct byte values, peak bin 0x{:02x} with {} hits",
+        out.pairs.len(),
+        peak.0,
+        peak.1
+    );
+    println!("  stats: {}", out.stats);
+
+    // 2. Linear regression over a noisy line.
+    let samples: Vec<(f64, f64)> = (0..100_000)
+        .map(|i| {
+            let x = i as f64 / 1000.0;
+            let wobble = ((i * 37) % 100) as f64 / 500.0 - 0.1;
+            (x, 2.5 * x - 4.0 + wobble)
+        })
+        .collect();
+    let input = LinearRegression::encode_samples(&samples);
+    let out = runtime.run(&LinearRegression, &input).unwrap();
+    let (slope, intercept) = LinearRegression::fit_of(&out.pairs).unwrap();
+    println!("\nlinear regression: y = {slope:.4}x + {intercept:.4} (true: 2.5x - 4.0)");
+
+    // 3. A custom job written inline: longest word per starting letter.
+    struct LongestWord;
+    impl Job for LongestWord {
+        type Key = u8;
+        type Value = String;
+        fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, u8, String>) {
+            for w in chunk
+                .bytes()
+                .split(|b| b.is_ascii_whitespace())
+                .filter(|w| !w.is_empty())
+            {
+                emitter.emit(w[0], String::from_utf8_lossy(w).into_owned());
+            }
+        }
+        fn reduce(&self, _k: &u8, values: &mut ValueIter<'_, String>) -> Option<String> {
+            values.max_by_key(|w| w.len()).cloned()
+        }
+        fn name(&self) -> &str {
+            "longest-word"
+        }
+    }
+    let corpus = TextGen::with_seed(5).generate(200_000);
+    let out = runtime.run(&LongestWord, &corpus).unwrap();
+    println!("\nlongest words by initial (first 6):");
+    for (initial, word) in out.pairs.iter().take(6) {
+        println!("  {} -> {word}", *initial as char);
+    }
+
+    // The Moments accumulator is exposed for host-side aggregation too.
+    let mut m = Moments::default();
+    m.push(0.0, 1.0);
+    m.push(1.0, 3.0);
+    let (s, i) = m.fit().unwrap();
+    println!("\ntwo-point fit sanity: slope {s}, intercept {i}");
+}
