@@ -49,7 +49,10 @@ fn main() {
                 eprintln!("cannot write {out}: {e}");
                 exit(1);
             }
-            eprintln!("# wrote {rows}x{cols} matrix ({} bytes) to {out}", m.byte_len());
+            eprintln!(
+                "# wrote {rows}x{cols} matrix ({} bytes) to {out}",
+                m.byte_len()
+            );
         }
         Some("mul") => {
             let (Some(a_path), Some(b_path), Some(c_path)) =
@@ -60,7 +63,10 @@ fn main() {
             let a = read_matrix(a_path);
             let b = read_matrix(b_path);
             if a.cols != b.rows {
-                eprintln!("shape mismatch: {}x{} × {}x{}", a.rows, a.cols, b.rows, b.cols);
+                eprintln!(
+                    "shape mismatch: {}x{} × {}x{}",
+                    a.rows, a.cols, b.rows, b.cols
+                );
                 exit(2);
             }
             let job = MatMul::new(Arc::new(a), &b);
@@ -97,7 +103,11 @@ fn main() {
                 let cells: Vec<String> = (0..m.cols.min(4))
                     .map(|c| format!("{:>9.4}", m.get(r, c)))
                     .collect();
-                println!("  {}{}", cells.join(" "), if m.cols > 4 { " …" } else { "" });
+                println!(
+                    "  {}{}",
+                    cells.join(" "),
+                    if m.cols > 4 { " …" } else { "" }
+                );
             }
             if m.rows > 4 {
                 println!("  …");

@@ -24,7 +24,11 @@ fn main() {
         }
     };
     let keys: Vec<String> = match std::fs::read_to_string(keys_file) {
-        Ok(s) => s.lines().filter(|l| !l.is_empty()).map(str::to_string).collect(),
+        Ok(s) => s
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect(),
         Err(e) => {
             eprintln!("cannot read {keys_file}: {e}");
             exit(1);

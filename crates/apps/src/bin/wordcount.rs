@@ -9,9 +9,7 @@
 //! bytes.
 
 use mcsd_apps::WordCount;
-use mcsd_phoenix::{
-    MemoryModel, PartitionSpec, PartitionedRuntime, PhoenixConfig, Runtime,
-};
+use mcsd_phoenix::{MemoryModel, PartitionSpec, PartitionedRuntime, PhoenixConfig, Runtime};
 use std::process::exit;
 
 fn parse_size(s: &str) -> u64 {

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # mcsd-apps
 //!
@@ -33,6 +33,7 @@ pub mod search;
 pub mod seq;
 pub mod stringmatch;
 pub mod textgen;
+mod util;
 pub mod wordcount;
 
 pub use histogram::Histogram;

@@ -92,8 +92,8 @@ impl Job for LinearRegression {
     fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, (), Moments>) {
         let mut acc = Moments::default();
         for record in chunk.records(RECORD) {
-            let x = f64::from_le_bytes(record[..8].try_into().expect("8 bytes"));
-            let y = f64::from_le_bytes(record[8..].try_into().expect("8 bytes"));
+            let x = crate::util::f64_at(record, 0);
+            let y = crate::util::f64_at(record, 8);
             acc.push(x, y);
         }
         if acc.n > 0 {

@@ -110,8 +110,8 @@ impl Matrix {
         if bytes.len() < header || &bytes[..Self::MAGIC.len()] != Self::MAGIC {
             return Err("not a matrix file (bad magic or truncated header)".into());
         }
-        let rows = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
-        let cols = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let rows = crate::util::u64_at(bytes, 8) as usize;
+        let cols = crate::util::u64_at(bytes, 16) as usize;
         let expected = header + rows.checked_mul(cols).ok_or("shape overflow")? * 8;
         if bytes.len() != expected {
             return Err(format!(
@@ -121,7 +121,7 @@ impl Matrix {
         }
         let data: Vec<f64> = bytes[header..]
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| crate::util::f64_at(c, 0))
             .collect();
         Ok(Matrix { rows, cols, data })
     }
@@ -195,7 +195,7 @@ impl Job for MatMul {
 
     fn map(&self, chunk: InputChunk<'_>, emitter: &mut Emitter<'_, u32, Vec<f64>>) {
         for record in chunk.records(Self::RECORD) {
-            let r = u32::from_le_bytes(record.try_into().expect("4-byte record")) as usize;
+            let r = crate::util::u32_at(record, 0) as usize;
             let a_row = self.a.row(r);
             let mut out = Vec::with_capacity(self.out_cols());
             for j in 0..self.out_cols() {

@@ -145,9 +145,7 @@ mod tests {
             for start in (0..haystack.len() - nlen).step_by(97) {
                 let needle = haystack[start..start + nlen].to_vec();
                 let p = Pattern::new(needle.clone());
-                let naive = haystack
-                    .windows(nlen)
-                    .position(|w| w == needle.as_slice());
+                let naive = haystack.windows(nlen).position(|w| w == needle.as_slice());
                 assert_eq!(p.find(&haystack), naive, "needle {needle:?}");
             }
         }

@@ -59,7 +59,8 @@ impl TextGen {
                 break;
             }
         }
-        String::from_utf8(out).expect("ascii")
+        // `out` is built only from the ASCII alphabets above.
+        String::from_utf8_lossy(&out).into_owned()
     }
 
     /// Cumulative Zipf weights for sampling.

@@ -49,6 +49,7 @@ impl Job for WordCount {
         for word in Self::words(chunk.bytes()) {
             *local.entry(word).or_insert(0) += 1;
         }
+        // tidy:allow(MCSD003) -- combiner hot path: emission order only feeds the framework's own hash partitioner and re-grouping; final output is key-sorted downstream
         for (word, count) in local {
             emitter.emit(String::from_utf8_lossy(word).into_owned(), count);
         }
@@ -98,7 +99,9 @@ mod tests {
     #[test]
     fn counts_simple_text() {
         let rt = Runtime::new(PhoenixConfig::with_workers(2));
-        let out = rt.run(&WordCount, b"the cat and the hat and the bat").unwrap();
+        let out = rt
+            .run(&WordCount, b"the cat and the hat and the bat")
+            .unwrap();
         assert_eq!(out.pairs[0], ("the".to_string(), 3));
         assert_eq!(out.pairs[1], ("and".to_string(), 2));
         assert_eq!(out.pairs.len(), 5);
@@ -118,7 +121,8 @@ mod tests {
         let text = TextGen::with_seed(5).generate(30_000);
         let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(2048));
         let whole = rt.run(&WordCount, &text).unwrap();
-        let part = mcsd_phoenix::PartitionedRuntime::new(rt, mcsd_phoenix::PartitionSpec::new(7000));
+        let part =
+            mcsd_phoenix::PartitionedRuntime::new(rt, mcsd_phoenix::PartitionSpec::new(7000));
         let out = part.run(&WordCount, &text, &WordCount::merger()).unwrap();
         assert_eq!(whole.pairs, out.pairs);
         assert!(out.stats.fragments >= 4);
@@ -146,7 +150,11 @@ mod tests {
         let text = gen.generate(40_000);
         let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(8192));
         let out = rt.run(&WordCount, &text).unwrap();
-        assert!(out.stats.combine_ratio() > 1.5, "{}", out.stats.combine_ratio());
+        assert!(
+            out.stats.combine_ratio() > 1.5,
+            "{}",
+            out.stats.combine_ratio()
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ fn datagen_and_wordcount_roundtrip() {
         .args(["text", "64K", "7", corpus.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(corpus.exists());
 
     for partition in [None, Some("16K"), Some("auto")] {
@@ -48,7 +52,9 @@ fn datagen_and_wordcount_roundtrip() {
 
 #[test]
 fn wordcount_rejects_bad_args() {
-    let out = Command::new(env!("CARGO_BIN_EXE_wordcount")).output().unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_wordcount"))
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let out = Command::new(env!("CARGO_BIN_EXE_wordcount"))
         .args(["/nonexistent/file"])

@@ -13,7 +13,7 @@ fn bench_partition_size(c: &mut Criterion) {
     let cfg = ExperimentConfig::quick();
     let cluster = mcsd_cluster::paper_testbed(cfg.scale);
     let runner = NodeRunner::new(cluster.sd().clone(), cluster.disk);
-    let input = workloads::wc_input(&cfg, "1G");
+    let input = workloads::wc_input(&cfg, "1G").expect("1G label");
     let mut group = c.benchmark_group("ablation-partition-size-wc-1G");
     group.sample_size(10);
     for label in ["150M", "300M", "600M"] {

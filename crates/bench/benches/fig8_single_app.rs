@@ -12,7 +12,7 @@ use std::hint::black_box;
 
 fn bench_fig8a(c: &mut Criterion) {
     let cfg = ExperimentConfig::quick();
-    let fragment = Some(workloads::partition_bytes(&cfg));
+    let fragment = Some(workloads::partition_bytes(&cfg).expect("600M label"));
     let mut group = c.benchmark_group("fig8a");
     group.sample_size(10);
     for app in [AppKind::WordCount, AppKind::StringMatch] {
@@ -34,9 +34,7 @@ fn bench_fig8a(c: &mut Criterion) {
             ] {
                 let id = format!("{}/{}/{}", app.label(), platform.label(), mode_label);
                 group.bench_with_input(BenchmarkId::new(id, "500M"), &mode, |b, &mode| {
-                    b.iter(|| {
-                        black_box(run_cell(&cfg, app, platform, "500M", mode).unwrap())
-                    })
+                    b.iter(|| black_box(run_cell(&cfg, app, platform, "500M", mode).unwrap()))
                 });
             }
         }

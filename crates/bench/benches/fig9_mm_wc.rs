@@ -10,8 +10,8 @@ fn bench_fig9(c: &mut Criterion) {
     let cfg = ExperimentConfig::quick();
     let cluster = mcsd_cluster::paper_testbed(cfg.scale);
     let runner = PairRunner::new(cluster);
-    let fragment = workloads::partition_bytes(&cfg);
-    let workload = workloads::mm_wc_pair(&cfg, "750M");
+    let fragment = workloads::partition_bytes(&cfg).expect("600M label");
+    let workload = workloads::mm_wc_pair(&cfg, "750M").expect("750M label");
     let scenarios = [
         ("mcsd", PairScenario::mcsd(Some(fragment))),
         (

@@ -20,11 +20,9 @@ fn bench_wordcount_runtime(c: &mut Criterion) {
     group.sample_size(10);
     for workers in [1usize, 2, 4] {
         let runtime = Runtime::new(PhoenixConfig::with_workers(workers));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, _| b.iter(|| black_box(runtime.run(&WordCount, black_box(&data)).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| black_box(runtime.run(&WordCount, black_box(&data)).unwrap()))
+        });
     }
     group.finish();
 }
@@ -43,21 +41,19 @@ fn bench_partitioned(c: &mut Criterion) {
 }
 
 fn bench_sort(c: &mut Criterion) {
-    let base: Vec<u64> = (0..200_000u64).map(|i| i.wrapping_mul(2654435761)).collect();
+    let base: Vec<u64> = (0..200_000u64)
+        .map(|i| i.wrapping_mul(2654435761))
+        .collect();
     let mut group = c.benchmark_group("parallel-sort-200k");
     group.sample_size(10);
     for workers in [1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, &w| {
-                b.iter(|| {
-                    let mut v = base.clone();
-                    parallel_sort_by(&mut v, w, |a, b| a.cmp(b));
-                    black_box(v)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let mut v = base.clone();
+                parallel_sort_by(&mut v, w, |a, b| a.cmp(b));
+                black_box(v)
+            })
+        });
     }
     group.finish();
 }

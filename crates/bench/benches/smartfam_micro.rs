@@ -31,7 +31,9 @@ fn bench_invoke_roundtrip(c: &mut Criterion) {
         "echo",
         |p: &[String]| Ok(p.join(" ").into_bytes()),
     )));
-    let _daemon = Daemon::new(DaemonConfig::new(&dir), registry).spawn().unwrap();
+    let _daemon = Daemon::new(DaemonConfig::new(&dir), registry)
+        .spawn()
+        .unwrap();
     let client = HostClient::new(&dir);
     let mut group = c.benchmark_group("smartfam-invoke");
     group.sample_size(20);

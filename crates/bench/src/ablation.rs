@@ -10,6 +10,7 @@ use crate::{workloads, ExperimentConfig};
 use mcsd_apps::WordCount;
 use mcsd_cluster::{paper_testbed, Fabric, NetworkModel};
 use mcsd_core::driver::{ExecMode, NodeRunner};
+use mcsd_core::McsdError;
 use mcsd_phoenix::prelude::*;
 use std::time::Duration;
 
@@ -19,17 +20,23 @@ use std::time::Duration;
 /// `native` point is the non-partitioned runtime.
 pub fn partition_size_sweep(
     cfg: &ExperimentConfig,
-) -> Vec<(String, Duration, u64, u64)> {
+) -> Result<Vec<(String, Duration, u64, u64)>, McsdError> {
     let cluster = paper_testbed(cfg.scale);
     let runner = NodeRunner::new(cluster.sd().clone(), cluster.disk);
-    let input = workloads::wc_input(cfg, "1G");
+    let input = workloads::wc_input(cfg, "1G")?;
     let mut out = Vec::new();
     for label in ["75M", "150M", "300M", "600M", "1.2G", "native"] {
         let mode = if label == "native" {
             ExecMode::Parallel
         } else {
+            let bytes = cfg
+                .scale
+                .scaled(label)
+                .ok_or_else(|| McsdError::BadScenario {
+                    detail: format!("unknown partition label {label:?}"),
+                })?;
             ExecMode::Partitioned {
-                fragment_bytes: Some(cfg.scale.scaled(label).unwrap() as usize),
+                fragment_bytes: Some(bytes as usize),
             }
         };
         match runner.run_mode(&WordCount, &WordCount::merger(), &input, mode) {
@@ -42,7 +49,7 @@ pub fn partition_size_sweep(
             Err(_) => out.push((label.to_string(), Duration::MAX, 0, 0)),
         }
     }
-    out
+    Ok(out)
 }
 
 /// Render the partition-size sweep.
@@ -66,10 +73,10 @@ pub fn partition_size_table(points: &[(String, Duration, u64, u64)]) -> TextTabl
 
 /// Worker-count sweep: WC "1G" partitioned on a hypothetical SD node with
 /// 1–8 host-speed cores (the "what does a bigger embedded CPU buy" study).
-pub fn worker_sweep(cfg: &ExperimentConfig) -> Vec<(usize, Duration)> {
+pub fn worker_sweep(cfg: &ExperimentConfig) -> Result<Vec<(usize, Duration)>, McsdError> {
     let cluster = paper_testbed(cfg.scale);
-    let input = workloads::wc_input(cfg, "1G");
-    let fragment = Some(workloads::partition_bytes(cfg));
+    let input = workloads::wc_input(cfg, "1G")?;
+    let fragment = Some(workloads::partition_bytes(cfg)?);
     let mut out = Vec::new();
     for cores in [1usize, 2, 4, 8] {
         let mut node = cluster.sd().clone();
@@ -77,28 +84,23 @@ pub fn worker_sweep(cfg: &ExperimentConfig) -> Vec<(usize, Duration)> {
         node.core_speed = 1.0;
         node.name = format!("sd-{cores}core");
         let runner = NodeRunner::new(node, cluster.disk);
-        let r = runner
-            .run_mode(
-                &WordCount,
-                &WordCount::merger(),
-                &input,
-                ExecMode::Partitioned {
-                    fragment_bytes: fragment,
-                },
-            )
-            .expect("partitioned run");
+        let r = runner.run_mode(
+            &WordCount,
+            &WordCount::merger(),
+            &input,
+            ExecMode::Partitioned {
+                fragment_bytes: fragment,
+            },
+        )?;
         out.push((cores, r.elapsed()));
     }
-    out
+    Ok(out)
 }
 
 /// Render the worker sweep.
 pub fn worker_table(points: &[(usize, Duration)]) -> TextTable {
     let mut t = TextTable::new(vec!["cores", "elapsed", "speedup-vs-1core"]);
-    let base = points
-        .first()
-        .map(|(_, d)| d.as_secs_f64())
-        .unwrap_or(1.0);
+    let base = points.first().map(|(_, d)| d.as_secs_f64()).unwrap_or(1.0);
     for (cores, d) in points {
         t.row(vec![
             cores.to_string(),
@@ -112,9 +114,14 @@ pub fn worker_table(points: &[(usize, Duration)]) -> TextTable {
 /// Network-fabric ablation (paper §VI: "replace Ethernet with
 /// Infiniband"): the time to move a "1G" input from SD to host over each
 /// fabric — the cost McSD's in-place processing avoids.
-pub fn network_sweep(cfg: &ExperimentConfig) -> Vec<(String, Duration)> {
-    let bytes = cfg.scale.scaled("1G").unwrap();
-    [
+pub fn network_sweep(cfg: &ExperimentConfig) -> Result<Vec<(String, Duration)>, McsdError> {
+    let bytes = cfg
+        .scale
+        .scaled("1G")
+        .ok_or_else(|| McsdError::BadScenario {
+            detail: "unknown size label \"1G\"".to_string(),
+        })?;
+    Ok([
         ("FastEthernet", Fabric::FastEthernet),
         ("GigabitEthernet", Fabric::GigabitEthernet),
         ("Infiniband", Fabric::Infiniband),
@@ -124,7 +131,7 @@ pub fn network_sweep(cfg: &ExperimentConfig) -> Vec<(String, Duration)> {
         let net = NetworkModel::new(fabric);
         (name.to_string(), net.transfer_time(bytes))
     })
-    .collect()
+    .collect())
 }
 
 /// Render the network sweep.
@@ -139,27 +146,25 @@ pub fn network_table(points: &[(String, Duration)]) -> TextTable {
 /// Multi-SD scale-out sweep (paper §VI: "the parallelisms among multiple
 /// McSD smart disks"): WC at "2G" — a size a single node can only handle
 /// partitioned — spread across 1–4 SD nodes.
-pub fn multisd_sweep(cfg: &ExperimentConfig) -> Vec<(usize, Duration)> {
+pub fn multisd_sweep(cfg: &ExperimentConfig) -> Result<Vec<(usize, Duration)>, McsdError> {
     use mcsd_core::driver::ExecMode;
     use mcsd_core::multisd::MultiSdRunner;
-    let input = workloads::wc_input(cfg, "2G");
+    let input = workloads::wc_input(cfg, "2G")?;
     let mut out = Vec::new();
     for sd_count in [1usize, 2, 3, 4] {
         let cluster = mcsd_cluster::multi_sd_testbed(cfg.scale, sd_count);
-        let runner = MultiSdRunner::new(cluster).expect("cluster has SD nodes");
-        let r = runner
-            .run(
-                &WordCount,
-                &WordCount::merger(),
-                &input,
-                ExecMode::Partitioned {
-                    fragment_bytes: None,
-                },
-            )
-            .expect("scale-out run succeeds");
+        let runner = MultiSdRunner::new(cluster)?;
+        let r = runner.run(
+            &WordCount,
+            &WordCount::merger(),
+            &input,
+            ExecMode::Partitioned {
+                fragment_bytes: None,
+            },
+        )?;
         out.push((sd_count, r.elapsed));
     }
-    out
+    Ok(out)
 }
 
 /// Render the multi-SD sweep.
@@ -222,18 +227,16 @@ impl Job for NoIntegrityWc {
 /// Fig. 7 boundary legalization and count the *incorrect word counts* the
 /// naive cut introduces. Returns `(distinct_words_correct,
 /// distinct_words_broken, differing_counts)`.
-pub fn integrity_ablation(cfg: &ExperimentConfig) -> (usize, usize, usize) {
-    let input = workloads::wc_input(cfg, "500M");
-    let fragment = workloads::partition_bytes(cfg) / 4;
+pub fn integrity_ablation(cfg: &ExperimentConfig) -> Result<(usize, usize, usize), McsdError> {
+    let input = workloads::wc_input(cfg, "500M")?;
+    let fragment = workloads::partition_bytes(cfg)? / 4;
     let rt = Runtime::new(PhoenixConfig::with_workers(2));
-    let correct_whole = rt.run(&WordCount, &input).expect("wc runs");
+    let correct_whole = rt.run(&WordCount, &input)?;
     let mut correct: Vec<(String, u64)> = correct_whole.pairs;
     correct.sort();
 
     let part = PartitionedRuntime::new(rt, PartitionSpec::new(fragment));
-    let broken_out = part
-        .run(&NoIntegrityWc, &input, &WordCount::merger())
-        .expect("runs, incorrectly");
+    let broken_out = part.run(&NoIntegrityWc, &input, &WordCount::merger())?;
     let mut broken: Vec<(String, u64)> = broken_out.pairs;
     broken.sort();
 
@@ -249,7 +252,7 @@ pub fn integrity_ablation(cfg: &ExperimentConfig) -> (usize, usize, usize) {
         .iter()
         .filter(|(k, _)| !broken.iter().any(|(bk, _)| bk == k))
         .count();
-    (correct.len(), broken.len(), differing)
+    Ok((correct.len(), broken.len(), differing))
 }
 
 #[cfg(test)]
@@ -259,7 +262,7 @@ mod tests {
     #[test]
     fn partition_sweep_has_all_points() {
         let cfg = ExperimentConfig::quick();
-        let points = partition_size_sweep(&cfg);
+        let points = partition_size_sweep(&cfg).unwrap();
         assert_eq!(points.len(), 6);
         // Smaller partitions -> more fragments.
         let frags_150 = points.iter().find(|p| p.0 == "150M").unwrap().2;
@@ -277,7 +280,7 @@ mod tests {
         // the 1-vs-8-core model gap (~7x) dwarfs noise even when adjacent
         // points occasionally invert.
         for attempt in 0..3 {
-            let points = worker_sweep(&cfg);
+            let points = worker_sweep(&cfg).unwrap();
             assert_eq!(points.len(), 4);
             if points.windows(2).all(|w| w[1].1 < w[0].1) {
                 return;
@@ -290,7 +293,7 @@ mod tests {
     #[test]
     fn network_sweep_orders_fabrics() {
         let cfg = ExperimentConfig::quick();
-        let points = network_sweep(&cfg);
+        let points = network_sweep(&cfg).unwrap();
         let get = |name: &str| points.iter().find(|p| p.0 == name).unwrap().1;
         assert!(get("Infiniband") < get("GigabitEthernet"));
         assert!(get("GigabitEthernet") < get("FastEthernet"));
@@ -299,17 +302,20 @@ mod tests {
     #[test]
     fn integrity_check_prevents_broken_words() {
         let cfg = ExperimentConfig::quick();
-        let (correct, _broken, differing) = integrity_ablation(&cfg);
+        let (correct, _broken, differing) = integrity_ablation(&cfg).unwrap();
         assert!(correct > 0);
         // Cutting words at raw byte boundaries must corrupt some counts.
-        assert!(differing > 0, "expected broken words without integrity check");
+        assert!(
+            differing > 0,
+            "expected broken words without integrity check"
+        );
     }
 
     #[test]
     fn multisd_sweep_scales() {
         let cfg = ExperimentConfig::quick();
         for attempt in 0..3 {
-            let points = multisd_sweep(&cfg);
+            let points = multisd_sweep(&cfg).unwrap();
             assert_eq!(points.len(), 4);
             let (one, four) = (points[0].1, points[3].1);
             if four < one {
@@ -323,11 +329,11 @@ mod tests {
     #[test]
     fn tables_render() {
         let cfg = ExperimentConfig::quick();
-        let s = partition_size_table(&partition_size_sweep(&cfg)).render();
+        let s = partition_size_table(&partition_size_sweep(&cfg).unwrap()).render();
         assert!(s.contains("600M"));
-        let s = network_table(&network_sweep(&cfg)).render();
+        let s = network_table(&network_sweep(&cfg).unwrap()).render();
         assert!(s.contains("Infiniband"));
-        let s = worker_table(&worker_sweep(&cfg)).render();
+        let s = worker_table(&worker_sweep(&cfg).unwrap()).render();
         assert!(s.contains("speedup"));
     }
 }

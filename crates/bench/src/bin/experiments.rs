@@ -71,12 +71,12 @@ fn main() {
     }
     if want("fig8a") {
         println!("## Fig. 8(a) — single-application speedups (partition-enabled vs original vs sequential)\n");
-        let rows = fig8::fig8a(&cfg);
+        let rows = fig8::fig8a(&cfg).expect("fig8a sweep");
         println!("{}", show(&fig8::fig8a_table(&rows)));
     }
     if want("fig8b") {
         println!("## Fig. 8(b) — Word Count growth curve (elapsed vs size)\n");
-        let points = fig8::fig8_growth(&cfg, fig8::AppKind::WordCount);
+        let points = fig8::fig8_growth(&cfg, fig8::AppKind::WordCount).expect("fig8b sweep");
         println!(
             "{}",
             show(&fig8::growth_table(fig8::AppKind::WordCount, &points))
@@ -84,7 +84,7 @@ fn main() {
     }
     if want("fig8c") {
         println!("## Fig. 8(c) — String Match growth curve (elapsed vs size)\n");
-        let points = fig8::fig8_growth(&cfg, fig8::AppKind::StringMatch);
+        let points = fig8::fig8_growth(&cfg, fig8::AppKind::StringMatch).expect("fig8c sweep");
         println!(
             "{}",
             show(&fig8::growth_table(fig8::AppKind::StringMatch, &points))
@@ -154,25 +154,34 @@ fn main() {
         println!("## Ablation: partition size (WC @ 1G, duo SD)\n");
         println!(
             "{}",
-            show(&ablation::partition_size_table(&ablation::partition_size_sweep(&cfg)))
+            show(&ablation::partition_size_table(
+                &ablation::partition_size_sweep(&cfg).expect("partition sweep")
+            ))
         );
         println!("## Ablation: SD core count (WC @ 1G, partitioned)\n");
         println!(
             "{}",
-            show(&ablation::worker_table(&ablation::worker_sweep(&cfg)))
+            show(&ablation::worker_table(
+                &ablation::worker_sweep(&cfg).expect("worker sweep")
+            ))
         );
         println!("## Ablation: interconnect fabric (cost of moving a 1G input)\n");
         println!(
             "{}",
-            show(&ablation::network_table(&ablation::network_sweep(&cfg)))
+            show(&ablation::network_table(
+                &ablation::network_sweep(&cfg).expect("network sweep")
+            ))
         );
         println!("## Ablation: multi-SD scale-out (WC @ 2G, §VI future work)\n");
         println!(
             "{}",
-            show(&ablation::multisd_table(&ablation::multisd_sweep(&cfg)))
+            show(&ablation::multisd_table(
+                &ablation::multisd_sweep(&cfg).expect("multi-SD sweep")
+            ))
         );
         println!("## Ablation: integrity check (Fig. 7)\n");
-        let (correct, broken, differing) = ablation::integrity_ablation(&cfg);
+        let (correct, broken, differing) =
+            ablation::integrity_ablation(&cfg).expect("integrity ablation");
         println!(
             "with integrity check: {correct} distinct words (correct)\n\
              without (raw byte cuts): {broken} distinct words, {differing} words with corrupted counts\n"

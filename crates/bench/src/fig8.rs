@@ -84,13 +84,13 @@ pub fn run_cell(
     let runner = NodeRunner::new(platform_node(cfg, platform), cluster.disk);
     match app {
         AppKind::WordCount => {
-            let input = workloads::wc_input(cfg, size);
+            let input = workloads::wc_input(cfg, size)?;
             let out = runner.run_mode(&WordCount, &WordCount::merger(), &input, mode)?;
             Ok(out.elapsed())
         }
         AppKind::StringMatch => {
             let keys = workloads::sm_keys(cfg);
-            let input = workloads::sm_input(cfg, size, &keys);
+            let input = workloads::sm_input(cfg, size, &keys)?;
             let job = StringMatch::new(&keys);
             let out = runner.run_mode(&job, &StringMatch::merger(), &input, mode)?;
             Ok(out.elapsed())
@@ -131,9 +131,9 @@ impl Fig8aRow {
 }
 
 /// Run the full Fig. 8(a) sweep.
-pub fn fig8a(cfg: &ExperimentConfig) -> Vec<Fig8aRow> {
+pub fn fig8a(cfg: &ExperimentConfig) -> Result<Vec<Fig8aRow>, McsdError> {
     let mut rows = Vec::new();
-    let fragment = Some(workloads::partition_bytes(cfg));
+    let fragment = Some(workloads::partition_bytes(cfg)?);
     for platform in [Platform::Quad, Platform::Duo] {
         for app in [AppKind::WordCount, AppKind::StringMatch] {
             for size in workloads::SWEEP_SIZES {
@@ -145,12 +145,11 @@ pub fn fig8a(cfg: &ExperimentConfig) -> Vec<Fig8aRow> {
                     ExecMode::Sequential {
                         footprint_factor: app.seq_footprint(),
                     },
-                )
-                .expect("sequential runs within the sweep never overflow");
+                )?;
                 let par = match run_cell(cfg, app, platform, size, ExecMode::Parallel) {
                     Ok(d) => Some(d),
                     Err(e) if e.is_memory_overflow() => None,
-                    Err(e) => panic!("unexpected error: {e}"),
+                    Err(e) => return Err(e),
                 };
                 let part = run_cell(
                     cfg,
@@ -160,8 +159,7 @@ pub fn fig8a(cfg: &ExperimentConfig) -> Vec<Fig8aRow> {
                     ExecMode::Partitioned {
                         fragment_bytes: fragment,
                     },
-                )
-                .expect("partitioned runs never overflow");
+                )?;
                 rows.push(Fig8aRow {
                     app,
                     platform,
@@ -173,7 +171,7 @@ pub fn fig8a(cfg: &ExperimentConfig) -> Vec<Fig8aRow> {
             }
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Render Fig. 8(a) rows.
@@ -214,8 +212,8 @@ pub struct GrowthPoint {
 
 /// Run a growth curve for one application (Fig. 8(b) = WC, Fig. 8(c) =
 /// SM).
-pub fn fig8_growth(cfg: &ExperimentConfig, app: AppKind) -> Vec<GrowthPoint> {
-    let fragment = Some(workloads::partition_bytes(cfg));
+pub fn fig8_growth(cfg: &ExperimentConfig, app: AppKind) -> Result<Vec<GrowthPoint>, McsdError> {
+    let fragment = Some(workloads::partition_bytes(cfg)?);
     let mut points = Vec::new();
     for platform in [Platform::Duo, Platform::Quad] {
         for size in workloads::GROWTH_SIZES {
@@ -227,12 +225,11 @@ pub fn fig8_growth(cfg: &ExperimentConfig, app: AppKind) -> Vec<GrowthPoint> {
                 ExecMode::Partitioned {
                     fragment_bytes: fragment,
                 },
-            )
-            .expect("partitioned runs never overflow");
+            )?;
             let par = match run_cell(cfg, app, platform, size, ExecMode::Parallel) {
                 Ok(d) => Some(d),
                 Err(e) if e.is_memory_overflow() => None,
-                Err(e) => panic!("unexpected error: {e}"),
+                Err(e) => return Err(e),
             };
             points.push(GrowthPoint {
                 platform,
@@ -242,12 +239,18 @@ pub fn fig8_growth(cfg: &ExperimentConfig, app: AppKind) -> Vec<GrowthPoint> {
             });
         }
     }
-    points
+    Ok(points)
 }
 
 /// Render a growth curve.
 pub fn growth_table(app: AppKind, points: &[GrowthPoint]) -> TextTable {
-    let mut t = TextTable::new(vec!["platform", "app", "size", "t_part", "t_par(no-partition)"]);
+    let mut t = TextTable::new(vec![
+        "platform",
+        "app",
+        "size",
+        "t_part",
+        "t_par(no-partition)",
+    ]);
     for p in points {
         t.row(vec![
             p.platform.label().to_string(),
@@ -305,7 +308,7 @@ mod tests {
             Platform::Duo,
             "2G",
             ExecMode::Partitioned {
-                fragment_bytes: Some(workloads::partition_bytes(&cfg)),
+                fragment_bytes: Some(workloads::partition_bytes(&cfg).unwrap()),
             },
         );
         assert!(ok.is_ok());

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! # mcsd-bench
 //!
 //! The experiment harness that regenerates every table and figure of the

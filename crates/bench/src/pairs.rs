@@ -69,11 +69,7 @@ impl PairSizeResult {
     }
 }
 
-fn scenarios_for(
-    placement: Placement,
-    seq_footprint: f64,
-    fragment: usize,
-) -> Vec<PairScenario> {
+fn scenarios_for(placement: Placement, seq_footprint: f64, fragment: usize) -> Vec<PairScenario> {
     [
         ExecMode::Sequential {
             footprint_factor: seq_footprint,
@@ -145,16 +141,16 @@ pub fn run_pair_figure(
 ) -> Result<Vec<PairSizeResult>, McsdError> {
     let cluster = mcsd_cluster::paper_testbed(cfg.scale);
     let runner = PairRunner::new(cluster);
-    let fragment = workloads::partition_bytes(cfg);
+    let fragment = workloads::partition_bytes(cfg)?;
     let mut out = Vec::new();
     for size in workloads::SWEEP_SIZES {
         let result = match kind {
             PairKind::MmWc => {
-                let w = workloads::mm_wc_pair(cfg, size);
+                let w = workloads::mm_wc_pair(cfg, size)?;
                 run_pair_size(&runner, &w, size, fragment)?
             }
             PairKind::MmSm => {
-                let w = workloads::mm_sm_pair(cfg, size);
+                let w = workloads::mm_sm_pair(cfg, size)?;
                 run_pair_size(&runner, &w, size, fragment)?
             }
         };
@@ -166,7 +162,11 @@ pub fn run_pair_figure(
 /// Render a pair figure as a table.
 pub fn pair_table(kind: PairKind, results: &[PairSizeResult]) -> TextTable {
     let mut t = TextTable::new(vec![
-        "pair", "size", "scenario", "elapsed", "speedup-vs-McSD",
+        "pair",
+        "size",
+        "scenario",
+        "elapsed",
+        "speedup-vs-McSD",
     ]);
     for r in results {
         t.row(vec![
@@ -200,8 +200,8 @@ mod tests {
         let cfg = ExperimentConfig::quick();
         let cluster = mcsd_cluster::paper_testbed(cfg.scale);
         let runner = PairRunner::new(cluster);
-        let fragment = workloads::partition_bytes(&cfg);
-        let w = workloads::mm_wc_pair(&cfg, "500M");
+        let fragment = workloads::partition_bytes(&cfg).unwrap();
+        let w = workloads::mm_wc_pair(&cfg, "500M").unwrap();
         let r = run_pair_size(&runner, &w, "500M", fragment).unwrap();
         // 3 placements x 3 modes.
         assert_eq!(r.cells.len(), 9);

@@ -7,6 +7,7 @@
 use crate::ExperimentConfig;
 use mcsd_apps::{datagen, MatMul, StringMatch, TextGen, WordCount};
 use mcsd_core::scenario::PairWorkload;
+use mcsd_core::McsdError;
 use mcsd_phoenix::partition::ConcatMerger;
 use mcsd_phoenix::SumMerger;
 use std::sync::Arc;
@@ -37,10 +38,19 @@ pub const SM_KEYS: usize = 16;
 /// at the default scale (the paper pairs them as concurrent workloads).
 pub const MM_DIM_AT_DEFAULT_SCALE: usize = 288;
 
+/// Resolve a paper size label against the experiment scale.
+fn scaled(cfg: &ExperimentConfig, label: &str) -> Result<u64, McsdError> {
+    cfg.scale
+        .scaled(label)
+        .ok_or_else(|| McsdError::BadScenario {
+            detail: format!("unknown size label {label:?}"),
+        })
+}
+
 /// Generate the Word Count corpus at a paper size label.
-pub fn wc_input(cfg: &ExperimentConfig, label: &str) -> Vec<u8> {
-    let bytes = cfg.scale.scaled(label).expect("valid size label") as usize;
-    TextGen::with_seed(cfg.seed).generate(bytes)
+pub fn wc_input(cfg: &ExperimentConfig, label: &str) -> Result<Vec<u8>, McsdError> {
+    let bytes = scaled(cfg, label)? as usize;
+    Ok(TextGen::with_seed(cfg.seed).generate(bytes))
 }
 
 /// Generate the String Match keys.
@@ -49,14 +59,23 @@ pub fn sm_keys(cfg: &ExperimentConfig) -> Vec<String> {
 }
 
 /// Generate the String Match "encrypt" file at a paper size label.
-pub fn sm_input(cfg: &ExperimentConfig, label: &str, keys: &[String]) -> Vec<u8> {
-    let bytes = cfg.scale.scaled(label).expect("valid size label") as usize;
-    datagen::encrypt_file(bytes, keys, 0.05, cfg.seed ^ 0x454E43)
+pub fn sm_input(
+    cfg: &ExperimentConfig,
+    label: &str,
+    keys: &[String],
+) -> Result<Vec<u8>, McsdError> {
+    let bytes = scaled(cfg, label)? as usize;
+    Ok(datagen::encrypt_file(
+        bytes,
+        keys,
+        0.05,
+        cfg.seed ^ 0x454E43,
+    ))
 }
 
 /// The scaled partition size used by McSD runs.
-pub fn partition_bytes(cfg: &ExperimentConfig) -> usize {
-    cfg.scale.scaled(PAPER_PARTITION).expect("valid label") as usize
+pub fn partition_bytes(cfg: &ExperimentConfig) -> Result<usize, McsdError> {
+    Ok(scaled(cfg, PAPER_PARTITION)? as usize)
 }
 
 /// The MM job for the pair experiments, scaled with the experiment.
@@ -73,27 +92,30 @@ pub fn mm_job(cfg: &ExperimentConfig) -> MatMul {
 pub fn mm_wc_pair(
     cfg: &ExperimentConfig,
     label: &str,
-) -> PairWorkload<WordCount, WcMerger> {
-    PairWorkload {
+) -> Result<PairWorkload<WordCount, WcMerger>, McsdError> {
+    Ok(PairWorkload {
         compute: mm_job(cfg),
         data_job: WordCount,
         data_merger: WordCount::merger(),
-        data_input: wc_input(cfg, label),
+        data_input: wc_input(cfg, label)?,
         seq_footprint_factor: WC_SEQ_FOOTPRINT,
-    }
+    })
 }
 
 /// The MM/SM pair workload at a paper size label.
-pub fn mm_sm_pair(cfg: &ExperimentConfig, label: &str) -> PairWorkload<StringMatch, ConcatMerger> {
+pub fn mm_sm_pair(
+    cfg: &ExperimentConfig,
+    label: &str,
+) -> Result<PairWorkload<StringMatch, ConcatMerger>, McsdError> {
     let keys = sm_keys(cfg);
-    let input = sm_input(cfg, label, &keys);
-    PairWorkload {
+    let input = sm_input(cfg, label, &keys)?;
+    Ok(PairWorkload {
         compute: mm_job(cfg),
         data_job: StringMatch::new(&keys),
         data_merger: StringMatch::merger(),
         data_input: input,
         seq_footprint_factor: SM_SEQ_FOOTPRINT,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -107,7 +129,7 @@ mod tests {
     #[test]
     fn wc_input_is_scaled() {
         let c = cfg();
-        let data = wc_input(&c, "500M");
+        let data = wc_input(&c, "500M").unwrap();
         let expect = c.scale.scaled("500M").unwrap() as usize;
         assert!(data.len() >= expect && data.len() < expect + 64);
     }
@@ -117,7 +139,7 @@ mod tests {
         let c = cfg();
         let keys = sm_keys(&c);
         assert_eq!(keys.len(), SM_KEYS);
-        let data = sm_input(&c, "500M", &keys);
+        let data = sm_input(&c, "500M", &keys).unwrap();
         let hits = mcsd_apps::seq::stringmatch(&keys, &data);
         assert!(!hits.is_empty());
     }
@@ -126,7 +148,7 @@ mod tests {
     fn partition_is_600m_scaled() {
         let c = cfg();
         assert_eq!(
-            partition_bytes(&c) as u64,
+            partition_bytes(&c).unwrap() as u64,
             c.scale.scaled("600M").unwrap()
         );
     }
@@ -142,7 +164,7 @@ mod tests {
     #[test]
     fn workloads_are_deterministic() {
         let c = cfg();
-        assert_eq!(wc_input(&c, "500M"), wc_input(&c, "500M"));
+        assert_eq!(wc_input(&c, "500M").unwrap(), wc_input(&c, "500M").unwrap());
         assert_eq!(sm_keys(&c), sm_keys(&c));
     }
 }

@@ -9,12 +9,18 @@ use mcsd_bench::ExperimentConfig;
 #[test]
 fn fig8a_has_all_rows_and_no_failures_in_the_sweep() {
     let cfg = ExperimentConfig::quick();
-    let rows = fig8::fig8a(&cfg);
+    let rows = fig8::fig8a(&cfg).unwrap();
     // 2 platforms x 2 apps x 4 sizes.
     assert_eq!(rows.len(), 16);
     for r in &rows {
         // The paper sweeps only up to 1.25G: everything runs.
-        assert!(r.par.is_some(), "{:?} {:?} {} overflowed", r.platform, r.app, r.size);
+        assert!(
+            r.par.is_some(),
+            "{:?} {:?} {} overflowed",
+            r.platform,
+            r.app,
+            r.size
+        );
         assert!(r.speedup_vs_seq() > 0.0);
     }
     // Rendering works and mentions both platforms.
@@ -27,7 +33,7 @@ fn fig8a_has_all_rows_and_no_failures_in_the_sweep() {
 fn fig8_growth_fails_exactly_above_the_hard_limit() {
     let cfg = ExperimentConfig::quick();
     for app in [AppKind::WordCount, AppKind::StringMatch] {
-        let points = fig8::fig8_growth(&cfg, app);
+        let points = fig8::fig8_growth(&cfg, app).unwrap();
         // 2 platforms x 6 sizes.
         assert_eq!(points.len(), 12);
         for p in &points {
@@ -52,7 +58,7 @@ fn fig8_growth_is_monotone_in_size_for_partitioned_runs() {
     // time must not shrink as input grows 4x. Compare the endpoints only —
     // adjacent points are within wall-clock noise of each other.
     let cfg = ExperimentConfig::quick();
-    let points = fig8::fig8_growth(&cfg, AppKind::WordCount);
+    let points = fig8::fig8_growth(&cfg, AppKind::WordCount).unwrap();
     for platform in [Platform::Duo, Platform::Quad] {
         let of = |size: &str| {
             points
@@ -76,18 +82,18 @@ fn fig9_wc_swaps_past_threshold_and_fig10_sm_does_not() {
     // Run just the 1G size cell for both pairs via the public API.
     let cluster = mcsd_cluster::paper_testbed(cfg.scale);
     let runner = mcsd_core::scenario::PairRunner::new(cluster);
-    let fragment = mcsd_bench::workloads::partition_bytes(&cfg);
+    let fragment = mcsd_bench::workloads::partition_bytes(&cfg).unwrap();
 
     // Absolute speedup magnitudes depend on the build profile (debug
     // compute is ~25x slower, shrinking the disk penalty's share), so the
     // build-independent claim is the *relative* one: at 1G the WC pair's
     // non-partitioned cell pays a swap penalty that the SM pair's does
     // not, so McSD's advantage must be clearly larger for WC.
-    let wc = mcsd_bench::workloads::mm_wc_pair(&cfg, "1G");
+    let wc = mcsd_bench::workloads::mm_wc_pair(&cfg, "1G").unwrap();
     let r = pairs::run_pair_size(&runner, &wc, "1G", fragment).unwrap();
     let wc_nopart = r.speedup("duo-sd/par").expect("cell exists");
 
-    let sm = mcsd_bench::workloads::mm_sm_pair(&cfg, "1G");
+    let sm = mcsd_bench::workloads::mm_sm_pair(&cfg, "1G").unwrap();
     let r = pairs::run_pair_size(&runner, &sm, "1G", fragment).unwrap();
     let sm_nopart = r.speedup("duo-sd/par").expect("cell exists");
 

@@ -2,9 +2,9 @@
 //! at quick scale, asserting the *model-level* invariants that hold for
 //! every cell regardless of machine load.
 
+use mcsd_bench::{workloads, ExperimentConfig};
 use mcsd_core::driver::ExecMode;
 use mcsd_core::scenario::{PairRunner, PairScenario, Placement};
-use mcsd_bench::{workloads, ExperimentConfig};
 
 fn scenarios(seq_footprint: f64, fragment: usize) -> Vec<PairScenario> {
     let mut out = Vec::new();
@@ -35,8 +35,8 @@ fn scenarios(seq_footprint: f64, fragment: usize) -> Vec<PairScenario> {
 fn every_cell_of_the_mm_wc_matrix_runs() {
     let cfg = ExperimentConfig::quick();
     let runner = PairRunner::new(mcsd_cluster::paper_testbed(cfg.scale));
-    let fragment = workloads::partition_bytes(&cfg);
-    let w = workloads::mm_wc_pair(&cfg, "750M");
+    let fragment = workloads::partition_bytes(&cfg).unwrap();
+    let w = workloads::mm_wc_pair(&cfg, "750M").unwrap();
     for scenario in scenarios(w.seq_footprint_factor, fragment) {
         let r = runner.run(scenario, &w).unwrap_or_else(|e| {
             panic!("{} failed: {e}", scenario.label());
@@ -70,8 +70,8 @@ fn every_cell_of_the_mm_wc_matrix_runs() {
 fn every_cell_of_the_mm_sm_matrix_runs() {
     let cfg = ExperimentConfig::quick();
     let runner = PairRunner::new(mcsd_cluster::paper_testbed(cfg.scale));
-    let fragment = workloads::partition_bytes(&cfg);
-    let w = workloads::mm_sm_pair(&cfg, "750M");
+    let fragment = workloads::partition_bytes(&cfg).unwrap();
+    let w = workloads::mm_sm_pair(&cfg, "750M").unwrap();
     for scenario in scenarios(w.seq_footprint_factor, fragment) {
         let r = runner.run(scenario, &w).unwrap();
         // SM at 750M never swaps in any mode (Fig. 10's premise).
@@ -85,11 +85,9 @@ fn every_cell_of_the_mm_sm_matrix_runs() {
 fn speedup_over_is_dimensionless_and_reflexive() {
     let cfg = ExperimentConfig::quick();
     let runner = PairRunner::new(mcsd_cluster::paper_testbed(cfg.scale));
-    let fragment = workloads::partition_bytes(&cfg);
-    let w = workloads::mm_wc_pair(&cfg, "500M");
-    let r = runner
-        .run(PairScenario::mcsd(Some(fragment)), &w)
-        .unwrap();
+    let fragment = workloads::partition_bytes(&cfg).unwrap();
+    let w = workloads::mm_wc_pair(&cfg, "500M").unwrap();
+    let r = runner.run(PairScenario::mcsd(Some(fragment)), &w).unwrap();
     let self_speedup = r.speedup_over(&r);
     assert!((self_speedup - 1.0).abs() < 1e-9);
 }

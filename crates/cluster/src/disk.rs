@@ -104,7 +104,10 @@ mod tests {
         // blowups relative to its multi-second base times.
         let d = DiskModel::paper_sata();
         let t = d.thrash_penalty(1 << 30);
-        assert!(t > Duration::from_secs(60) && t < Duration::from_secs(400), "{t:?}");
+        assert!(
+            t > Duration::from_secs(60) && t < Duration::from_secs(400),
+            "{t:?}"
+        );
     }
 
     #[test]

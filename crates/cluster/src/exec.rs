@@ -21,7 +21,8 @@
 use crate::clock::TimeBreakdown;
 use crate::node::NodeSpec;
 use mcsd_phoenix::PhoenixConfig;
-use std::time::{Duration, Instant};
+use mcsd_phoenix::Stopwatch;
+use std::time::Duration;
 
 /// Serial fraction of the Amdahl model for MapReduce jobs on a multicore
 /// node: split and final merge are brief serial sections.
@@ -73,16 +74,12 @@ impl NodeExecutor {
         debug_assert!(self.spec.core_speed > 0.0);
         let concurrency = workers_used.max(1).min(machine_cores());
         let work = wall.as_secs_f64() * concurrency as f64;
-        Duration::from_secs_f64(
-            work / (effective_parallelism(workers_used) * self.spec.core_speed),
-        )
+        Duration::from_secs_f64(work / (effective_parallelism(workers_used) * self.spec.core_speed))
     }
 
     /// Run `f` and charge its wall time (speed-scaled) as compute.
     pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, TimeBreakdown) {
-        let t0 = Instant::now();
-        let out = f();
-        let wall = t0.elapsed();
+        let (out, wall) = Stopwatch::time(f);
         (out, TimeBreakdown::compute(self.scale_compute(wall)))
     }
 

@@ -188,6 +188,9 @@ mod tests {
         // processing in place.
         let net = NetworkModel::paper_testbed();
         let t = net.transfer_time(500 * 1024 * 1024);
-        assert!(t > Duration::from_secs(4) && t < Duration::from_secs(7), "{t:?}");
+        assert!(
+            t > Duration::from_secs(4) && t < Duration::from_secs(7),
+            "{t:?}"
+        );
     }
 }

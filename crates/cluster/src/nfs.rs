@@ -176,10 +176,7 @@ impl<'a> NfsClient<'a> {
 
     /// Whether a file exists in the export.
     pub fn exists(&self, rel: &str) -> bool {
-        self.share
-            .resolve(rel)
-            .map(|p| p.exists())
-            .unwrap_or(false)
+        self.share.resolve(rel).map(|p| p.exists()).unwrap_or(false)
     }
 }
 
@@ -232,7 +229,9 @@ mod tests {
     #[test]
     fn both_nodes_see_the_same_file() {
         let s = share();
-        s.client(NodeId(0)).write("shared.txt", b"from host").unwrap();
+        s.client(NodeId(0))
+            .write("shared.txt", b"from host")
+            .unwrap();
         let (data, _) = s.client(NodeId(1)).read("shared.txt").unwrap();
         assert_eq!(data, b"from host");
     }

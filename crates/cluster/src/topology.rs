@@ -30,6 +30,7 @@ impl Cluster {
         self.nodes
             .iter()
             .find(|n| n.role == NodeRole::Host)
+            // tidy:allow(MCSD002) -- every cluster builder installs a host node; a roleless cluster is a construction bug that must fail loudly, and 13 call sites rely on the infallible signature
             .expect("a cluster has a host node")
     }
 
@@ -46,6 +47,7 @@ impl Cluster {
         self.sd_nodes()
             .first()
             .copied()
+            // tidy:allow(MCSD002) -- same construction invariant as host(): the paper's topologies always carry an SD node
             .expect("a cluster has an SD node")
     }
 

@@ -4,7 +4,7 @@
 //! by the same constant (up to fixed latencies), so ratios are preserved.
 
 use mcsd_cluster::{
-    paper_testbed, DiskModel, Fabric, NetworkModel, NodeSpec, Scale, SandiaMicroBenchmark,
+    paper_testbed, DiskModel, Fabric, NetworkModel, NodeSpec, SandiaMicroBenchmark, Scale,
     SmbPattern, TimeBreakdown,
 };
 use proptest::prelude::*;

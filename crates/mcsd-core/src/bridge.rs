@@ -11,9 +11,7 @@
 use crate::error::McsdError;
 use crate::modules::{MatMulModule, StringMatchModule, WordCountModule};
 use mcsd_cluster::{Cluster, NfsShare, NodeId, TimeBreakdown};
-use mcsd_smartfam::{
-    Daemon, DaemonConfig, DaemonHandle, DaemonStats, HostClient, ModuleRegistry,
-};
+use mcsd_smartfam::{Daemon, DaemonConfig, DaemonHandle, DaemonStats, HostClient, ModuleRegistry};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -66,10 +64,7 @@ impl SdNodeServer {
 
     /// Daemon counters.
     pub fn daemon_stats(&self) -> DaemonStats {
-        self.daemon
-            .as_ref()
-            .map(|d| d.stats())
-            .unwrap_or_default()
+        self.daemon.as_ref().map(|d| d.stats()).unwrap_or_default()
     }
 
     /// Absolute path of the staged-data directory.
@@ -262,17 +257,23 @@ mod tests {
         let server = SdNodeServer::start(&cluster).unwrap();
         let client = server.host_client();
         // Not preloaded yet:
-        let err = client.invoke("histogram", &["b.bin".into()], TIMEOUT).unwrap_err();
+        let err = client
+            .invoke("histogram", &["b.bin".into()], TIMEOUT)
+            .unwrap_err();
         assert!(err.to_string().contains("no module registered"));
         // Preload at runtime.
         let sd = cluster.sd().clone();
-        server.registry().register(std::sync::Arc::new(HistogramModule::new(
-            server.data_root(),
-            sd,
-        )));
+        server
+            .registry()
+            .register(std::sync::Arc::new(HistogramModule::new(
+                server.data_root(),
+                sd,
+            )));
         let data: Vec<u8> = (0..5_000u32).map(|i| (i % 7) as u8).collect();
         server.stage_local("b.bin", &data).unwrap();
-        let (payload, _) = client.invoke("histogram", &["b.bin".into()], TIMEOUT).unwrap();
+        let (payload, _) = client
+            .invoke("histogram", &["b.bin".into()], TIMEOUT)
+            .unwrap();
         let bins = HistogramModule::decode(&payload).unwrap();
         assert_eq!(bins, mcsd_apps::histogram::seq_histogram(&data));
     }

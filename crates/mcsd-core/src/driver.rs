@@ -12,8 +12,8 @@ use crate::footprint::FootprintOverride;
 use crate::report::RunReport;
 use mcsd_cluster::{DiskModel, NodeExecutor, NodeSpec, TimeBreakdown};
 use mcsd_phoenix::partition::Merger;
+use mcsd_phoenix::Stopwatch;
 use mcsd_phoenix::{Job, PartitionSpec, PartitionedRuntime, PhoenixConfig, Runtime};
-use std::time::Instant;
 
 /// How a job is executed on the node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,7 +116,7 @@ impl NodeRunner {
         let cfg = PhoenixConfig::with_workers(1).memory(self.node().memory_model());
         let runtime = Runtime::new(cfg);
         let wrapped = FootprintOverride::new(job.clone(), footprint_factor);
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let out = runtime.run_at(&wrapped, input, base_offset)?;
         let wall = t0.elapsed();
         Ok(self.assemble(
@@ -147,7 +147,7 @@ impl NodeRunner {
         base_offset: usize,
     ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError> {
         let runtime = Runtime::new(self.exec.phoenix_config());
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let out = runtime.run_at(job, input, base_offset)?;
         let wall = t0.elapsed();
         Ok(self.assemble(
@@ -196,7 +196,7 @@ impl NodeRunner {
         };
         let runtime = Runtime::new(self.exec.phoenix_config());
         let part = PartitionedRuntime::new(runtime, spec);
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let out = part.run_at(job, input, base_offset, merger)?;
         let wall = t0.elapsed();
         Ok(self.assemble(
@@ -266,8 +266,7 @@ impl NodeRunner {
         input_bytes: u64,
         mode: String,
     ) -> NodeRunReport<K, V> {
-        let mut time =
-            TimeBreakdown::compute(self.exec.virtual_compute(wall, emulated_workers));
+        let mut time = TimeBreakdown::compute(self.exec.virtual_compute(wall, emulated_workers));
         time += self.disk.charge_thrash(stats.swapped_bytes);
         let report = RunReport {
             job: stats.job.clone(),
@@ -418,7 +417,9 @@ mod tests {
         // load on a shared core.
         let text = TextGen::with_seed(6).generate(400_000);
         for attempt in 0..3 {
-            let host = host_runner(64 << 20).run_parallel(&WordCount, &text).unwrap();
+            let host = host_runner(64 << 20)
+                .run_parallel(&WordCount, &text)
+                .unwrap();
             let sd = sd_runner(64 << 20).run_parallel(&WordCount, &text).unwrap();
             if sd.report.time.compute > host.report.time.compute {
                 return;

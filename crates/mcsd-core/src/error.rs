@@ -65,7 +65,10 @@ impl McsdError {
     /// Whether this is the Phoenix out-of-memory failure (the condition
     /// partitioning exists to fix).
     pub fn is_memory_overflow(&self) -> bool {
-        matches!(self, McsdError::Phoenix(PhoenixError::MemoryOverflow { .. }))
+        matches!(
+            self,
+            McsdError::Phoenix(PhoenixError::MemoryOverflow { .. })
+        )
     }
 }
 
@@ -86,10 +89,7 @@ mod tests {
         .into();
         assert!(e.is_memory_overflow());
 
-        let e: McsdError = SmartFamError::UnknownModule {
-            module: "m".into(),
-        }
-        .into();
+        let e: McsdError = SmartFamError::UnknownModule { module: "m".into() }.into();
         assert!(e.to_string().contains("smartFAM"));
 
         let e: McsdError = std::io::Error::other("disk on fire").into();
@@ -100,9 +100,7 @@ mod tests {
     fn sources_chain() {
         let e: McsdError = PhoenixError::NoWorkers.into();
         assert!(std::error::Error::source(&e).is_some());
-        let e = McsdError::BadScenario {
-            detail: "x".into(),
-        };
+        let e = McsdError::BadScenario { detail: "x".into() };
         assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -103,7 +103,9 @@ mod tests {
         let text = b"a b a c a b";
         let rt = Runtime::new(PhoenixConfig::with_workers(2));
         let plain = rt.run(&WordCount, text).unwrap();
-        let wrapped = rt.run(&FootprintOverride::new(WordCount, 1.0), text).unwrap();
+        let wrapped = rt
+            .run(&FootprintOverride::new(WordCount, 1.0), text)
+            .unwrap();
         assert_eq!(plain.pairs, wrapped.pairs);
     }
 

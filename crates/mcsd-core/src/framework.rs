@@ -150,11 +150,7 @@ impl McsdFramework {
     /// Matrix multiplication. Dense MM is compute-intensive, so the
     /// default policy keeps it on the host; `AlwaysSd` forces the module
     /// path.
-    pub fn matmul(
-        &self,
-        a: &Matrix,
-        b: &Matrix,
-    ) -> Result<(Matrix, TimeBreakdown), McsdError> {
+    pub fn matmul(&self, a: &Matrix, b: &Matrix) -> Result<(Matrix, TimeBreakdown), McsdError> {
         let profile = JobProfile {
             name: "matmul".into(),
             input_bytes: (a.byte_len() + b.byte_len()) as u64,
@@ -202,10 +198,7 @@ impl McsdFramework {
         let path = self.server.data_root().join(file);
         let data = std::fs::read(path)?;
         // The host reads through NFS: network + disk.
-        let cost = self
-            .cluster
-            .network
-            .charge_transfer(data.len() as u64)
+        let cost = self.cluster.network.charge_transfer(data.len() as u64)
             + self.cluster.disk.charge_sequential(data.len() as u64);
         Ok((data, cost))
     }

@@ -109,14 +109,19 @@ impl ProcessingModule for WordCountModule {
             None => {
                 let data = std::fs::read(&path)
                     .map_err(|e| ModuleError::new(format!("reading {file:?}: {e}")))?;
-                runtime.run(&WordCount, &data).map_err(ModuleError::new)?.pairs
+                runtime
+                    .run(&WordCount, &data)
+                    .map_err(ModuleError::new)?
+                    .pairs
             }
             // Partitioned runs stream fragments straight off the disk —
             // the dataset never has to fit in memory at all.
-            Some(spec) => PartitionedRuntime::new(runtime, spec)
-                .run_file(&WordCount, &path, &WordCount::merger())
-                .map_err(ModuleError::new)?
-                .pairs,
+            Some(spec) => {
+                PartitionedRuntime::new(runtime, spec)
+                    .run_file(&WordCount, &path, &WordCount::merger())
+                    .map_err(ModuleError::new)?
+                    .pairs
+            }
         };
         Ok(Self::encode(&pairs))
     }
@@ -199,10 +204,12 @@ impl StringMatchModule {
         let runtime = Runtime::new(phoenix_for(&self.node));
         let pairs = match spec {
             None => runtime.run(&job, &encrypt).map_err(ModuleError::new)?.pairs,
-            Some(spec) => PartitionedRuntime::new(runtime, spec)
-                .run(&job, &encrypt, &StringMatch::merger())
-                .map_err(ModuleError::new)?
-                .pairs,
+            Some(spec) => {
+                PartitionedRuntime::new(runtime, spec)
+                    .run(&job, &encrypt, &StringMatch::merger())
+                    .map_err(ModuleError::new)?
+                    .pairs
+            }
         };
         Ok(Self::encode(&pairs))
     }
@@ -283,11 +290,17 @@ impl HistogramModule {
     /// Decode [`HistogramModule::encode`] output.
     pub fn decode(payload: &[u8]) -> Result<[u64; 256], String> {
         if payload.len() != 256 * 8 {
-            return Err(format!("expected 2048 payload bytes, got {}", payload.len()));
+            return Err(format!(
+                "expected 2048 payload bytes, got {}",
+                payload.len()
+            ));
         }
         let mut bins = [0u64; 256];
         for (i, chunk) in payload.chunks_exact(8).enumerate() {
-            bins[i] = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            let bytes: [u8; 8] = chunk
+                .try_into()
+                .map_err(|_| "histogram payload chunk is not 8 bytes".to_string())?;
+            bins[i] = u64::from_le_bytes(bytes);
         }
         Ok(bins)
     }
@@ -414,9 +427,7 @@ mod tests {
         let m = MatMulModule::new(&root, sd_node());
         assert!(m.invoke(&["a.mat".into()]).is_err());
         std::fs::write(root.join("junk.mat"), b"not a matrix").unwrap();
-        assert!(m
-            .invoke(&["junk.mat".into(), "junk.mat".into()])
-            .is_err());
+        assert!(m.invoke(&["junk.mat".into(), "junk.mat".into()]).is_err());
         std::fs::remove_dir_all(&root).unwrap();
     }
 

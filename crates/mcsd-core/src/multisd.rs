@@ -16,8 +16,9 @@ use crate::error::McsdError;
 use crate::report::RunReport;
 use mcsd_cluster::{Cluster, NodeRole, TimeBreakdown};
 use mcsd_phoenix::partition::Merger;
+use mcsd_phoenix::Stopwatch;
 use mcsd_phoenix::{Job, PartitionPlan, PartitionSpec};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Result of a scale-out run.
 #[derive(Debug, Clone)]
@@ -117,12 +118,12 @@ impl MultiSdRunner {
             let runner = NodeRunner::new(node, self.cluster.disk);
             let out = runner.run_mode_at(job, merger, &input[span.clone()], mode, span.start)?;
             slowest = slowest.max(out.report.elapsed());
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             merger.merge(&mut acc, out.pairs);
             merge_wall += t0.elapsed();
             per_node.push(out.report);
         }
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut pairs = merger.finish(acc);
         // Host-side final ordering.
         match job.output_order() {
@@ -219,7 +220,10 @@ mod tests {
             if elapsed[2] < elapsed[0] {
                 return;
             }
-            eprintln!("attempt {attempt}: 4 nodes {:?} !< 1 node {:?}", elapsed[2], elapsed[0]);
+            eprintln!(
+                "attempt {attempt}: 4 nodes {:?} !< 1 node {:?}",
+                elapsed[2], elapsed[0]
+            );
         }
         panic!("scale-out never reduced elapsed time across 3 attempts");
     }

@@ -259,8 +259,8 @@ impl PairRunner {
                     &workload.data_input,
                     scenario.data_mode,
                 )?;
-                let coupling = TimeBreakdown::overhead(self.overhead)
-                    + loaded_net.charge_transfer(512);
+                let coupling =
+                    TimeBreakdown::overhead(self.overhead) + loaded_net.charge_transfer(512);
                 Ok(PairReport {
                     scenario: scenario.label(),
                     compute: compute.report,
@@ -323,8 +323,7 @@ mod tests {
             assert_eq!(trad.data.node, "sd-1core");
             assert_eq!(mcsd.data.node, "sd");
             // The duo-core data side must out-compute the single-core one.
-            let ratio =
-                trad.data.time.compute.as_secs_f64() / mcsd.data.time.compute.as_secs_f64();
+            let ratio = trad.data.time.compute.as_secs_f64() / mcsd.data.time.compute.as_secs_f64();
             best_ratio = best_ratio.max(ratio);
             if best_ratio > 1.1 {
                 return;
@@ -355,7 +354,10 @@ mod tests {
         // The modelled (non-compute) costs alone already favour McSD.
         let host_model = host.data.time.disk + host.coupling.total();
         let mcsd_model = mcsd.data.time.disk + mcsd.coupling.total();
-        assert!(host_model > mcsd_model * 2, "{host_model:?} vs {mcsd_model:?}");
+        assert!(
+            host_model > mcsd_model * 2,
+            "{host_model:?} vs {mcsd_model:?}"
+        );
     }
 
     #[test]
@@ -370,12 +372,11 @@ mod tests {
 
     #[test]
     fn labels_are_descriptive() {
-        assert_eq!(
-            PairScenario::duo_sd_no_partition().label(),
-            "duo-sd/par"
-        );
+        assert_eq!(PairScenario::duo_sd_no_partition().label(), "duo-sd/par");
         assert!(PairScenario::mcsd(Some(100)).label().contains("part"));
-        assert!(PairScenario::traditional_sd(1.0).label().starts_with("trad-sd"));
+        assert!(PairScenario::traditional_sd(1.0)
+            .label()
+            .starts_with("trad-sd"));
         assert!(PairScenario::host_only(ExecMode::Parallel)
             .label()
             .starts_with("host-only"));

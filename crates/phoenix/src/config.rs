@@ -164,10 +164,7 @@ mod tests {
         // Tiny input: clamped below.
         assert_eq!(c.adaptive_chunk_bytes(100), 4 * 1024);
         // Builder form.
-        assert_eq!(
-            c.adapt_chunks_for(1 << 20).chunk_bytes,
-            (1 << 20) / 32
-        );
+        assert_eq!(c.adapt_chunks_for(1 << 20).chunk_bytes, (1 << 20) / 32);
     }
 
     #[test]

@@ -87,17 +87,19 @@ impl<'j, K: Ord + Hash + Clone, V> Emitter<'j, K, V> {
         let p = (partition_hash(&key) % parts as u64) as usize;
         match &mut self.buffers {
             Buffers::Plain(bufs) => bufs[p].push((key, value)),
-            Buffers::Combining(maps) => {
-                let combiner = self
-                    .combiner
-                    .expect("combining emitter always has a combiner");
-                match maps[p].entry(key) {
-                    Entry::Occupied(mut e) => combiner.fold(e.get_mut(), value),
-                    Entry::Vacant(e) => {
-                        e.insert(value);
-                    }
+            Buffers::Combining(maps) => match maps[p].entry(key) {
+                // `with_combiner` is the only constructor that builds
+                // `Buffers::Combining`, and it always sets `combiner`; the
+                // last-write-wins fallback is unreachable but keeps the
+                // hot emit path panic-free.
+                Entry::Occupied(mut e) => match self.combiner {
+                    Some(combiner) => combiner.fold(e.get_mut(), value),
+                    None => *e.get_mut() = value,
+                },
+                Entry::Vacant(e) => {
+                    e.insert(value);
                 }
-            }
+            },
         }
     }
 

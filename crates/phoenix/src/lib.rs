@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # mcsd-phoenix
 //!
@@ -70,6 +70,7 @@ pub mod runtime;
 pub mod sort;
 pub mod splitter;
 pub mod stats;
+pub mod stopwatch;
 
 pub use config::{OutputOrder, PhoenixConfig};
 pub use emitter::Emitter;
@@ -81,6 +82,7 @@ pub use partition::{Merger, PartitionPlan, PartitionSpec, PartitionedRuntime, Su
 pub use runtime::{JobOutput, Runtime};
 pub use splitter::{SplitSpec, Splitter};
 pub use stats::{JobStats, PhaseTimings};
+pub use stopwatch::Stopwatch;
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {

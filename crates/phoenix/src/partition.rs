@@ -22,10 +22,10 @@ use crate::runtime::{JobOutput, Runtime};
 use crate::sort::parallel_sort_by;
 use crate::splitter::SplitSpec;
 use crate::stats::JobStats;
+use crate::stopwatch::Stopwatch;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::ops::Range;
-use std::time::Instant;
 
 /// Out-of-core partitioning parameters — the `[partition-size]` argument of
 /// the paper's `wordcount [data-file] [partition-size]` example.
@@ -116,7 +116,11 @@ impl PartitionPlan {
                     crate::integrity::IntegrityCheck::FixedRecord(r) => {
                         // Pure arithmetic; no bytes needed.
                         let rem = proposed % *r;
-                        let up = if rem == 0 { proposed } else { proposed + (*r - rem) };
+                        let up = if rem == 0 {
+                            proposed
+                        } else {
+                            proposed + (*r - rem)
+                        };
                         up.min(len)
                     }
                     crate::integrity::IntegrityCheck::Delimited(d) => {
@@ -129,9 +133,7 @@ impl PartitionPlan {
                             let take = WINDOW.min(len - base);
                             file.seek(SeekFrom::Start(base as u64))?;
                             file.read_exact(&mut window[..take])?;
-                            if let Some(p) =
-                                window[..take].iter().position(|&b| d.matches(b))
-                            {
+                            if let Some(p) = window[..take].iter().position(|&b| d.matches(b)) {
                                 end = base + p + 1;
                                 break;
                             }
@@ -356,7 +358,7 @@ impl PartitionedRuntime {
         self.spec.validate()?;
         self.runtime.config().validate()?;
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let on_file = PartitionPlan::plan_file(path, self.spec, &job.split_spec())?;
         let plan_time = t0.elapsed();
 
@@ -380,12 +382,12 @@ impl PartitionedRuntime {
             file.read_exact(&mut buf)?;
             let out = self.runtime.run_at(&fragment_job, &buf, range.start)?;
             agg_stats.accumulate(&out.stats);
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             merger.merge(&mut acc, out.pairs);
             merge_time += t0.elapsed();
         }
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut pairs = merger.finish(acc);
         let workers = self.runtime.config().workers;
         match job.output_order() {
@@ -424,7 +426,7 @@ impl PartitionedRuntime {
         self.spec.validate()?;
         self.runtime.config().validate()?;
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let plan = PartitionPlan::plan(input, self.spec, &job.split_spec());
         let plan_time = t0.elapsed();
 
@@ -446,12 +448,12 @@ impl PartitionedRuntime {
                 base_offset + range.start,
             )?;
             agg_stats.accumulate(&out.stats);
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             merger.merge(&mut acc, out.pairs);
             merge_time += t0.elapsed();
         }
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut pairs = merger.finish(acc);
         let workers = self.runtime.config().workers;
         match job.output_order() {
@@ -655,8 +657,7 @@ mod tests {
         let path = temp_file(&data);
         let spec = PartitionSpec::new(700);
         let in_mem = PartitionPlan::plan(&data, spec, &SplitSpec::whitespace());
-        let on_file =
-            PartitionPlan::plan_file(&path, spec, &SplitSpec::whitespace()).unwrap();
+        let on_file = PartitionPlan::plan_file(&path, spec, &SplitSpec::whitespace()).unwrap();
         assert_eq!(on_file.plan, in_mem);
         assert_eq!(on_file.file_len, data.len());
         std::fs::remove_file(&path).unwrap();
@@ -672,8 +673,8 @@ mod tests {
             rec.plan,
             PartitionPlan::plan(&data, PartitionSpec::new(300), &SplitSpec::records(8))
         );
-        let raw = PartitionPlan::plan_file(&path, PartitionSpec::new(300), &SplitSpec::bytes())
-            .unwrap();
+        let raw =
+            PartitionPlan::plan_file(&path, PartitionSpec::new(300), &SplitSpec::bytes()).unwrap();
         assert_eq!(raw.plan.fragments.len(), 4);
         std::fs::remove_file(&path).unwrap();
     }
@@ -724,8 +725,7 @@ mod tests {
         data.extend_from_slice(b"tail words here");
         let path = temp_file(&data);
         let spec = PartitionSpec::new(10);
-        let on_file =
-            PartitionPlan::plan_file(&path, spec, &SplitSpec::whitespace()).unwrap();
+        let on_file = PartitionPlan::plan_file(&path, spec, &SplitSpec::whitespace()).unwrap();
         let in_mem = PartitionPlan::plan(&data, spec, &SplitSpec::whitespace());
         assert_eq!(on_file.plan, in_mem);
         assert_eq!(on_file.plan.fragments[0], 0..100_001);

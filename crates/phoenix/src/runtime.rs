@@ -14,10 +14,10 @@ use crate::memory::MemoryVerdict;
 use crate::sort::{kway_merge_by, parallel_sort_by};
 use crate::splitter::Splitter;
 use crate::stats::{JobStats, PhaseTimings};
+use crate::stopwatch::Stopwatch;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// The result of a job run: final output pairs plus run statistics.
 #[derive(Debug, Clone)]
@@ -159,14 +159,14 @@ impl Runtime {
         let mut timings = PhaseTimings::default();
 
         // ---- Split ----
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let splitter = Splitter::new(job.split_spec());
         let chunks = splitter.split(input, self.config.chunk_bytes);
         timings.split = t0.elapsed();
         let map_tasks = chunks.len() as u64;
 
         // ---- Map ----
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let next_chunk = AtomicUsize::new(0);
         let worker_outputs: Mutex<Vec<WorkerMapOutput<J::Key, J::Value>>> =
             Mutex::new(Vec::with_capacity(workers));
@@ -208,11 +208,9 @@ impl Runtime {
         }
 
         // ---- Reduce (parallel across partitions) ----
-        let t0 = Instant::now();
-        let buckets: Vec<WorkCell<PartitionBuckets<J::Key, J::Value>>> = buckets
-            .into_iter()
-            .map(|b| Mutex::new(Some(b)))
-            .collect();
+        let t0 = Stopwatch::start();
+        let buckets: Vec<WorkCell<PartitionBuckets<J::Key, J::Value>>> =
+            buckets.into_iter().map(|b| Mutex::new(Some(b))).collect();
         let reduced: Vec<WorkCell<ReducedPartition<J::Key, J::Value>>> =
             (0..partitions).map(|_| Mutex::new(None)).collect();
         let next_partition = AtomicUsize::new(0);
@@ -221,10 +219,13 @@ impl Runtime {
             if p >= partitions {
                 break;
             }
-            let bufs = buckets[p]
-                .lock()
-                .take()
-                .expect("each partition is reduced exactly once");
+            // The atomic counter hands each partition index to exactly one
+            // worker, so the cell is always populated here; an empty cell
+            // would mean the counter protocol broke, and skipping is safer
+            // than bringing the whole pool down.
+            let Some(bufs) = buckets[p].lock().take() else {
+                continue;
+            };
             let result = reduce_partition(job, bufs);
             *reduced[p].lock() = Some(result);
         })?;
@@ -235,13 +236,13 @@ impl Runtime {
         for cell in reduced {
             let (out, distinct) = cell
                 .into_inner()
-                .expect("all partitions were reduced");
+                .ok_or(PhoenixError::WorkerPanicked { phase: "reduce" })?;
             distinct_keys += distinct;
             partition_outputs.push(out);
         }
 
         // ---- Merge ----
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let pairs = match job.output_order() {
             OutputOrder::ByKey => {
                 // Each partition output is already key-sorted.
@@ -402,7 +403,10 @@ mod tests {
 
     fn reference_counts(text: &[u8]) -> HashMap<String, u64> {
         let mut counts = HashMap::new();
-        for w in text.split(|b| b.is_ascii_whitespace()).filter(|w| !w.is_empty()) {
+        for w in text
+            .split(|b| b.is_ascii_whitespace())
+            .filter(|w| !w.is_empty())
+        {
             *counts
                 .entry(String::from_utf8_lossy(w).into_owned())
                 .or_insert(0) += 1;
@@ -554,7 +558,7 @@ mod tests {
         let runtime = Runtime::new(PhoenixConfig::with_workers(3).chunk_bytes(64));
         let out = runtime.run(&LineMatch, &text).unwrap();
         assert_eq!(out.pairs.len(), 15); // i in 0,7,...,98
-        // ByKey default order: offsets ascending.
+                                         // ByKey default order: offsets ascending.
         for w in out.pairs.windows(2) {
             assert!(w[0].0 < w[1].0);
         }

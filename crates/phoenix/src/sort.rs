@@ -64,17 +64,20 @@ where
     runs.retain(|r| !r.is_empty());
     match runs.len() {
         0 => return Vec::new(),
-        1 => return runs.pop().unwrap(),
+        1 => return runs.swap_remove(0),
         _ => {}
     }
     let total: usize = runs.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(total);
     let mut iters: Vec<std::vec::IntoIter<T>> = runs.into_iter().map(Vec::into_iter).collect();
-    // `fronts[i]` holds the current head of run `i`; runs are non-empty.
-    let mut fronts: Vec<T> = iters
-        .iter_mut()
-        .map(|it| it.next().expect("runs are non-empty"))
-        .collect();
+    // `fronts[i]` holds the current head of run `i`; the retain above made
+    // every run non-empty, so each iterator yields a first element.
+    let mut fronts: Vec<T> = Vec::with_capacity(iters.len());
+    for it in &mut iters {
+        if let Some(front) = it.next() {
+            fronts.push(front);
+        }
+    }
     while !fronts.is_empty() {
         let mut best = 0usize;
         for i in 1..fronts.len() {
@@ -98,7 +101,8 @@ pub fn is_sorted_by<T, F>(data: &[T], cmp: &F) -> bool
 where
     F: Fn(&T, &T) -> Ordering,
 {
-    data.windows(2).all(|w| cmp(&w[0], &w[1]) != Ordering::Greater)
+    data.windows(2)
+        .all(|w| cmp(&w[0], &w[1]) != Ordering::Greater)
 }
 
 #[cfg(test)]
@@ -114,7 +118,9 @@ mod tests {
 
     #[test]
     fn sort_large_input_parallel() {
-        let mut v: Vec<u64> = (0..100_000).map(|i| (i * 2654435761u64) % 100_000).collect();
+        let mut v: Vec<u64> = (0..100_000)
+            .map(|i| (i * 2654435761u64) % 100_000)
+            .collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         parallel_sort_by(&mut v, 4, |a, b| a.cmp(b));
@@ -178,7 +184,9 @@ mod tests {
 
     #[test]
     fn sort_strings_parallel() {
-        let mut v: Vec<String> = (0..20_000).map(|i| format!("key{:05}", (i * 7919) % 20_000)).collect();
+        let mut v: Vec<String> = (0..20_000)
+            .map(|i| format!("key{:05}", (i * 7919) % 20_000))
+            .collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         parallel_sort_by(&mut v, 4, |a, b| a.cmp(b));

@@ -1,0 +1,92 @@
+//! The workspace's single sanctioned wall-clock surface.
+//!
+//! Every reported number in this reproduction is a *virtual-time* ratio:
+//! measured wall time is calibrated through the cluster cost models
+//! (`NodeExecutor::virtual_compute` downstream) before it reaches any
+//! figure. The mcsd-tidy pass (MCSD001) therefore bans raw
+//! `Instant::now`/`SystemTime::now`/`thread::sleep` in simulation-crate
+//! library code: scattered wall-clock reads are exactly how uncalibrated
+//! host time leaks into results. This module is the one whitelisted
+//! exception — all measurement flows through [`Stopwatch`], so there is a
+//! single choke point to audit (and, if ever needed, to virtualize).
+//!
+//! `thread::sleep` has no shim on purpose: blocking on real time is only
+//! legitimate where real I/O pacing is the point (the smartFAM poll
+//! loops), and those few sites carry explicit `tidy:allow(MCSD001)`
+//! waivers instead.
+
+use std::time::{Duration, Instant};
+
+/// A started wall-clock measurement.
+///
+/// Replaces the `let t0 = Instant::now(); … t0.elapsed()` idiom:
+///
+/// ```
+/// use mcsd_phoenix::stopwatch::Stopwatch;
+/// let sw = Stopwatch::start();
+/// let wall = sw.elapsed();
+/// assert!(wall >= std::time::Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Begin measuring now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall-clock time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// True once at least `timeout` has elapsed — the deadline idiom for
+    /// real I/O waits (`sw.expired(timeout)` instead of comparing against
+    /// a precomputed `Instant`).
+    #[must_use]
+    pub fn expired(&self, timeout: Duration) -> bool {
+        self.elapsed() >= timeout
+    }
+
+    /// Run `f`, returning its result and the wall time it took.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+        let sw = Stopwatch::start();
+        let out = f();
+        let wall = sw.elapsed();
+        (out, wall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn time_returns_result_and_duration() {
+        let (out, wall) = Stopwatch::time(|| 41 + 1);
+        assert_eq!(out, 42);
+        assert!(wall >= Duration::ZERO);
+    }
+
+    #[test]
+    fn expired_immediately_for_zero_timeout() {
+        let sw = Stopwatch::start();
+        assert!(sw.expired(Duration::ZERO));
+        assert!(!sw.expired(Duration::from_secs(3600)));
+    }
+}

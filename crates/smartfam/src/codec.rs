@@ -366,10 +366,7 @@ mod tests {
 
     #[test]
     fn bad_magic_is_corrupt() {
-        assert!(matches!(
-            decode_frame(b"Xjunk"),
-            DecodeStep::Corrupt { .. }
-        ));
+        assert!(matches!(decode_frame(b"Xjunk"), DecodeStep::Corrupt { .. }));
     }
 
     #[test]

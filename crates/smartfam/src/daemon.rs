@@ -15,13 +15,14 @@ use crate::codec::{Frame, FrameBody};
 use crate::log_file::LogFile;
 use crate::module::ModuleRegistry;
 use crate::watch::{FileWatcher, WatchConfig, WatchEventKind};
+use mcsd_phoenix::Stopwatch;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -169,7 +170,8 @@ fn daemon_loop(
 ) {
     let watcher = FileWatcher::spawn(&config.log_dir, config.watch);
     let mut logs: HashMap<PathBuf, LogState> = HashMap::new();
-    let mut last_heartbeat = Instant::now() - config.heartbeat_interval;
+    // `None` = no heartbeat written yet, so the first loop turn emits one.
+    let mut last_heartbeat: Option<Stopwatch> = None;
     let mut heartbeat_seq: u64 = 0;
     let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -186,16 +188,20 @@ fn daemon_loop(
 
     while !stop.load(Ordering::Relaxed) {
         // Heartbeat.
-        if last_heartbeat.elapsed() >= config.heartbeat_interval {
+        if last_heartbeat
+            .as_ref()
+            .is_none_or(|sw| sw.expired(config.heartbeat_interval))
+        {
             heartbeat_seq += 1;
             let _ = std::fs::write(
                 config.log_dir.join(HEARTBEAT_FILE),
                 heartbeat_seq.to_le_bytes(),
             );
-            last_heartbeat = Instant::now();
+            last_heartbeat = Some(Stopwatch::start());
         }
         // Wait for file events.
-        let Some(event) = watcher.next_event(config.watch.poll_interval.max(Duration::from_millis(1)))
+        let Some(event) =
+            watcher.next_event(config.watch.poll_interval.max(Duration::from_millis(1)))
         else {
             continue;
         };
@@ -230,10 +236,19 @@ fn process_log(
     config: &DaemonConfig,
     workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
-    let state = logs.entry(path.to_path_buf()).or_insert_with(|| LogState {
-        log: LogFile::attach_at_start(path).expect("log file must be openable"),
-        handled: HashSet::new(),
-    });
+    let state = match logs.entry(path.to_path_buf()) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(v) => match LogFile::attach_at_start(path) {
+            Ok(log) => v.insert(LogState {
+                log,
+                handled: HashSet::new(),
+            }),
+            // Unreadable log file (permissions, vanished between the
+            // watch event and now): skip this round; the next event on
+            // the file retries the attach.
+            Err(_) => return,
+        },
+    };
     let frames = match state.log.poll() {
         Ok(f) => f,
         Err(_) => return, // corrupt or unreadable; skip this round
@@ -254,7 +269,12 @@ fn process_log(
         state.handled.insert(frame.id);
         stats.requests.fetch_add(1, Ordering::Relaxed);
         let name = module_name(path);
-        let writer = LogFile::attach_at_start(path).expect("log file must be openable");
+        let Ok(writer) = LogFile::attach_at_start(path) else {
+            // Cannot open a writer to respond on: count the failure and
+            // let the host's timeout surface it.
+            stats.module_errors.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
         match registry.get(&name) {
             None => {
                 stats.unknown_module.fetch_add(1, Ordering::Relaxed);
@@ -270,9 +290,9 @@ fn process_log(
                     // A panicking module must neither kill the daemon
                     // (sequential dispatch) nor leave the host waiting
                     // forever: convert the panic into an error response.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || module.invoke(&params),
-                    ));
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        module.invoke(&params)
+                    }));
                     let response = match outcome {
                         Ok(Ok(payload)) => {
                             stats.ok.fetch_add(1, Ordering::Relaxed);
@@ -439,8 +459,10 @@ mod tests {
         let first = std::fs::read(&hb).unwrap();
         std::thread::sleep(Duration::from_millis(40));
         let later = std::fs::read(&hb).unwrap();
-        assert!(u64::from_le_bytes(later.try_into().unwrap())
-            > u64::from_le_bytes(first.try_into().unwrap()));
+        assert!(
+            u64::from_le_bytes(later.try_into().unwrap())
+                > u64::from_le_bytes(first.try_into().unwrap())
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

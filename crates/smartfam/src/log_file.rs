@@ -76,11 +76,12 @@ impl LogFile {
                 detail: "log file was truncated".into(),
             });
         }
-        let (frames, new_pos) =
-            decode_stream(&data, self.cursor as usize).map_err(|detail| SmartFamError::Corrupt {
+        let (frames, new_pos) = decode_stream(&data, self.cursor as usize).map_err(|detail| {
+            SmartFamError::Corrupt {
                 offset: self.cursor,
                 detail,
-            })?;
+            }
+        })?;
         self.cursor = new_pos as u64;
         Ok(frames)
     }
@@ -158,7 +159,9 @@ mod tests {
         let path = temp_log();
         let writer = LogFile::attach_at_start(&path).unwrap();
         let mut reader = LogFile::attach_at_start(&path).unwrap();
-        writer.append(&Frame::request(1, vec!["in".into()])).unwrap();
+        writer
+            .append(&Frame::request(1, vec!["in".into()]))
+            .unwrap();
         writer.append(&Frame::response_ok(1, vec![42u8])).unwrap();
         let frames = reader.poll().unwrap();
         assert_eq!(frames.len(), 2);
@@ -177,7 +180,10 @@ mod tests {
         let bytes = Frame::request(2, vec!["big-parameter".into()]).encode();
         {
             use std::io::Write;
-            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
             f.write_all(&bytes[..bytes.len() / 2]).unwrap();
         }
         let frames = reader.poll().unwrap();
@@ -185,7 +191,10 @@ mod tests {
         // Complete the torn frame; the reader picks it up next poll.
         {
             use std::io::Write;
-            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
             f.write_all(&bytes[bytes.len() / 2..]).unwrap();
         }
         let frames = reader.poll().unwrap();
@@ -202,10 +211,7 @@ mod tests {
         writer.append(&Frame::request(1, vec![])).unwrap();
         reader.poll().unwrap();
         std::fs::write(&path, b"").unwrap();
-        assert!(matches!(
-            reader.poll(),
-            Err(SmartFamError::Corrupt { .. })
-        ));
+        assert!(matches!(reader.poll(), Err(SmartFamError::Corrupt { .. })));
         std::fs::remove_file(&path).unwrap();
     }
 

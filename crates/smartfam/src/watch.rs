@@ -10,6 +10,7 @@
 //! interval.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use mcsd_phoenix::Stopwatch;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -156,6 +157,7 @@ fn poll_loop(
     mut known: HashMap<PathBuf, FileSig>,
 ) {
     while !stop.load(Ordering::Relaxed) {
+        // tidy:allow(MCSD001) -- real I/O pacing: the poll interval IS the watcher's detection latency, the quantity the smartFAM experiments measure
         std::thread::sleep(config.poll_interval);
         let current = list_files(&dir, &extra);
         let mut seen: HashMap<PathBuf, FileSig> = HashMap::new();
@@ -164,7 +166,11 @@ fn poll_loop(
                 seen.insert(path, sig);
             }
         }
-        for (path, sig) in &seen {
+        // Emit events in path order so consumers observe a deterministic
+        // sequence regardless of hash-map iteration order.
+        let mut arrived: Vec<(&PathBuf, &FileSig)> = seen.iter().collect();
+        arrived.sort_by_key(|(path, _)| *path);
+        for (path, sig) in arrived {
             match known.get(path) {
                 None => {
                     let _ = tx.send(WatchEvent {
@@ -181,13 +187,16 @@ fn poll_loop(
                 _ => {}
             }
         }
-        for path in known.keys() {
-            if !seen.contains_key(path) {
-                let _ = tx.send(WatchEvent {
-                    path: path.clone(),
-                    kind: WatchEventKind::Removed,
-                });
-            }
+        let mut gone: Vec<&PathBuf> = known
+            .keys()
+            .filter(|path| !seen.contains_key(*path))
+            .collect();
+        gone.sort();
+        for path in gone {
+            let _ = tx.send(WatchEvent {
+                path: path.clone(),
+                kind: WatchEventKind::Removed,
+            });
         }
         known = seen;
     }
@@ -215,16 +224,17 @@ fn list_files(dir: &Path, extra: &Mutex<Vec<PathBuf>>) -> Vec<PathBuf> {
 /// whether the predicate was met. A convenience for simple waiters that do
 /// not need a full watcher thread.
 pub fn wait_for_file(path: &Path, timeout: Duration, predicate: impl Fn(u64) -> bool) -> bool {
-    let deadline = std::time::Instant::now() + timeout;
+    let waited = Stopwatch::start();
     loop {
         if let Ok(meta) = std::fs::metadata(path) {
             if predicate(meta.len()) {
                 return true;
             }
         }
-        if std::time::Instant::now() >= deadline {
+        if waited.expired(timeout) {
             return false;
         }
+        // tidy:allow(MCSD001) -- real I/O pacing: metadata polling between checks; the 1 ms cadence bounds detection latency, not simulated time
         std::thread::sleep(Duration::from_millis(1));
     }
 }

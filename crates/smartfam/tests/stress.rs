@@ -76,7 +76,9 @@ fn concurrent_client_threads() {
         handles.push(std::thread::spawn(move || {
             for i in 0..5 {
                 let msg = format!("t{t}-i{i}");
-                let out = client.invoke("echo", std::slice::from_ref(&msg), TIMEOUT).unwrap();
+                let out = client
+                    .invoke("echo", std::slice::from_ref(&msg), TIMEOUT)
+                    .unwrap();
                 assert_eq!(out.payload, msg.into_bytes());
             }
         }));
@@ -176,9 +178,7 @@ fn log_grows_but_stream_stays_decodable() {
         .unwrap();
     let client = HostClient::new(&dir);
     for i in 0..10 {
-        client
-            .invoke("echo", &[format!("x{i}")], TIMEOUT)
-            .unwrap();
+        client.invoke("echo", &[format!("x{i}")], TIMEOUT).unwrap();
     }
     let data = std::fs::read(dir.join("echo.log")).unwrap();
     let (frames, pos) = decode_stream(&data, 0).unwrap();

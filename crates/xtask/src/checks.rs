@@ -1,0 +1,459 @@
+//! The MCSD001–MCSD005 source checks and waiver application.
+//!
+//! Each check walks the masked lines of a [`ScannedFile`] and produces raw
+//! diagnostics; [`check_scanned`] then filters them through the file's
+//! waivers and reports malformed or unused waivers as MCSD000.
+
+use crate::diag::{Code, Diagnostic};
+use crate::scan::{is_ident_char, FileContext, FileKind, ScannedFile};
+
+/// Library-code subtrees of the simulation crates: wall-clock reads here
+/// corrupt the virtual-time ledger that the paper's figures are built on.
+const SIM_CRATE_PREFIXES: [&str; 4] = [
+    "crates/cluster/src/",
+    "crates/phoenix/src/",
+    "crates/mcsd-core/src/",
+    "crates/smartfam/src/",
+];
+
+/// The one sanctioned wall-clock surface: the calibrated stopwatch shim.
+const STOPWATCH_WHITELIST: &str = "crates/phoenix/src/stopwatch.rs";
+
+const MCSD001_PATTERNS: [&str; 3] = ["Instant::now", "SystemTime::now", "thread::sleep"];
+const MCSD002_PATTERNS: [&str; 5] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "todo!(",
+    "unimplemented!(",
+];
+const MCSD004_PATTERNS: [&str; 3] = ["thread_rng", "from_entropy", "rand::random"];
+const MCSD005_PATTERNS: [&str; 3] = ["println!(", "print!(", "dbg!("];
+
+/// Tokens within the neutralization window that prove hash-order cannot
+/// reach output: an explicit sort, an ordered collection, or an
+/// order-insensitive reduction.
+const MCSD003_NEUTRAL: [&str; 9] = [
+    "sort",
+    "BTreeMap",
+    "BTreeSet",
+    ".len()",
+    ".count()",
+    ".sum",
+    ".contains",
+    ".get(",
+    ".min(",
+];
+
+/// How many lines after a flagged iteration may carry the neutralizing
+/// sort before MCSD003 fires.
+const MCSD003_WINDOW: usize = 3;
+
+/// Result of checking one scanned file.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// Diagnostics that survived waiver filtering, plus MCSD000 findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of well-formed waivers that suppressed at least one finding.
+    pub waivers_honored: usize,
+}
+
+/// Run every source check on a scanned file and apply its waivers.
+pub fn check_scanned(ctx: &FileContext, file: &ScannedFile) -> CheckOutcome {
+    let mut raw = Vec::new();
+    check_patterns_mcsd001(ctx, file, &mut raw);
+    check_patterns_simple(
+        ctx,
+        file,
+        Code::Mcsd002,
+        &MCSD002_PATTERNS,
+        ctx.kind == FileKind::Lib,
+        &mut raw,
+    );
+    check_mcsd003(ctx, file, &mut raw);
+    check_patterns_simple(ctx, file, Code::Mcsd004, &MCSD004_PATTERNS, true, &mut raw);
+    check_patterns_simple(
+        ctx,
+        file,
+        Code::Mcsd005,
+        &MCSD005_PATTERNS,
+        ctx.kind == FileKind::Lib,
+        &mut raw,
+    );
+
+    let mut used = vec![false; file.waivers.len()];
+    let mut diagnostics = Vec::new();
+    for diag in raw {
+        let mut waived = false;
+        for (idx, waiver) in file.waivers.iter().enumerate() {
+            let covers = waiver.line == diag.line || waiver.line + 1 == diag.line;
+            if waiver.malformed.is_none() && covers && waiver.codes.contains(&diag.code) {
+                used[idx] = true;
+                waived = true;
+                break;
+            }
+        }
+        if !waived {
+            diagnostics.push(diag);
+        }
+    }
+    let mut waivers_honored = 0;
+    for (idx, waiver) in file.waivers.iter().enumerate() {
+        if let Some(why) = &waiver.malformed {
+            diagnostics.push(Diagnostic {
+                code: Code::Mcsd000,
+                path: ctx.path.clone(),
+                line: waiver.line,
+                message: format!("malformed waiver: {why}"),
+            });
+        } else if used[idx] {
+            waivers_honored += 1;
+        } else {
+            diagnostics.push(Diagnostic {
+                code: Code::Mcsd000,
+                path: ctx.path.clone(),
+                line: waiver.line,
+                message: "waiver suppresses nothing; remove it".to_string(),
+            });
+        }
+    }
+    CheckOutcome {
+        diagnostics,
+        waivers_honored,
+    }
+}
+
+/// MCSD001: wall-clock time in simulation-crate library code, outside the
+/// sanctioned stopwatch shim.
+fn check_patterns_mcsd001(ctx: &FileContext, file: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if ctx.kind != FileKind::Lib
+        || ctx.path == STOPWATCH_WHITELIST
+        || !SIM_CRATE_PREFIXES.iter().any(|p| ctx.path.starts_with(p))
+    {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in MCSD001_PATTERNS {
+            if contains_pattern(&line.code, pat) {
+                out.push(Diagnostic {
+                    code: Code::Mcsd001,
+                    path: ctx.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{pat}` bypasses the TimeBreakdown ledger; route through phoenix::stopwatch or waive with a reason"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Shared body for the plain pattern checks (MCSD002/004/005).
+fn check_patterns_simple(
+    ctx: &FileContext,
+    file: &ScannedFile,
+    code: Code,
+    patterns: &[&str],
+    applies: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !applies {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in patterns {
+            if contains_pattern(&line.code, pat) {
+                out.push(Diagnostic {
+                    code,
+                    path: ctx.path.clone(),
+                    line: idx + 1,
+                    message: format!("found `{pat}`: {}", code.summary()),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// MCSD003: iteration over a `HashMap`/`HashSet` binding with no
+/// neutralizing sort, ordered collection, or order-insensitive reduction
+/// nearby. A deliberate heuristic: it tracks identifiers bound or typed as
+/// hash containers within the same file, so closure parameters and
+/// cross-file flows are out of reach (see DESIGN.md).
+fn check_mcsd003(ctx: &FileContext, file: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    let mut idents: Vec<String> = Vec::new();
+    for line in &file.lines {
+        for container in ["HashMap", "HashSet"] {
+            let mut search = 0;
+            while let Some(pos) = line.code[search..].find(container) {
+                let abs = search + pos;
+                if let Some(ident) = binding_ident(&line.code, abs) {
+                    if !idents.contains(&ident) {
+                        idents.push(ident);
+                    }
+                }
+                search = abs + container.len();
+            }
+        }
+    }
+    if idents.is_empty() {
+        return;
+    }
+    let mut flagged_lines: Vec<usize> = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || flagged_lines.contains(&idx) {
+            continue;
+        }
+        for ident in &idents {
+            if !iterates_over(&line.code, ident) {
+                continue;
+            }
+            let window_end = (idx + MCSD003_WINDOW).min(file.lines.len() - 1);
+            let neutral = (idx..=window_end).any(|w| {
+                MCSD003_NEUTRAL
+                    .iter()
+                    .any(|tok| file.lines[w].code.contains(tok))
+            });
+            if !neutral {
+                flagged_lines.push(idx);
+                out.push(Diagnostic {
+                    code: Code::Mcsd003,
+                    path: ctx.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "iteration over hash-ordered `{ident}` with no nearby sort/BTreeMap; order may leak into output"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Extract the identifier being bound or typed as a hash container on this
+/// line, given the byte offset of the `HashMap`/`HashSet` token.
+fn binding_ident(line: &str, container_pos: usize) -> Option<String> {
+    let prefix = &line[..container_pos];
+    let trimmed = prefix.trim_start();
+    if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+        return None;
+    }
+    if let Some(let_pos) = prefix.rfind("let ") {
+        let after = prefix[let_pos + 4..].trim_start();
+        let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
+        let ident: String = after.chars().take_while(|c| is_ident_char(*c)).collect();
+        if !ident.is_empty() {
+            return Some(ident);
+        }
+    }
+    // Field or parameter position: `name: HashMap<..>` possibly wrapped,
+    // e.g. `logs: Mutex<HashMap<..>>`. Find the last single `:` before the
+    // container and require only type-ish characters in between.
+    let bytes = prefix.as_bytes();
+    let mut colon = None;
+    let mut j = bytes.len();
+    while j > 0 {
+        j -= 1;
+        if bytes[j] == b':' {
+            if j > 0 && bytes[j - 1] == b':' {
+                j -= 1; // skip `::`
+                continue;
+            }
+            if bytes.get(j + 1) == Some(&b':') {
+                continue;
+            }
+            colon = Some(j);
+            break;
+        }
+    }
+    let colon = colon?;
+    let between = &prefix[colon + 1..];
+    let type_ish = between.chars().all(|c| {
+        is_ident_char(c) || matches!(c, ' ' | '<' | '>' | '&' | ':' | '\'' | ',' | '(' | ')')
+    });
+    if !type_ish {
+        return None;
+    }
+    let ident_rev: String = prefix[..colon]
+        .chars()
+        .rev()
+        .take_while(|c| is_ident_char(*c))
+        .collect();
+    let ident: String = ident_rev.chars().rev().collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// Does this masked line iterate over `ident`?
+fn iterates_over(code: &str, ident: &str) -> bool {
+    for method in [".iter()", ".into_iter()", ".keys()", ".values()", ".drain("] {
+        let pat = format!("{ident}{method}");
+        if contains_pattern(code, &pat) {
+            return true;
+        }
+    }
+    if code.contains("for ") {
+        for form in [format!("in {ident}"), format!("in &{ident}")] {
+            if contains_pattern(code, &form) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Substring search with identifier-boundary guards: when the pattern
+/// starts or ends with an identifier character, the neighbouring character
+/// in the haystack must not be one (so `eprintln!(` never matches
+/// `println!(`, and `rand::random_range` never matches `rand::random`).
+pub fn contains_pattern(haystack: &str, pattern: &str) -> bool {
+    if pattern.is_empty() {
+        return false;
+    }
+    let first_ident = pattern.chars().next().is_some_and(is_ident_char);
+    let last_ident = pattern.chars().next_back().is_some_and(is_ident_char);
+    let bytes = haystack.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(pattern) {
+        let abs = start + pos;
+        let end = abs + pattern.len();
+        let pre_ok = !first_ident || abs == 0 || !is_ident_char(bytes[abs - 1] as char);
+        let post_ok = !last_ident || end >= bytes.len() || !is_ident_char(bytes[end] as char);
+        if pre_ok && post_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn lib_ctx(path: &str) -> FileContext {
+        FileContext {
+            path: path.to_string(),
+            kind: FileKind::Lib,
+        }
+    }
+
+    fn codes(ctx: &FileContext, src: &str) -> Vec<Code> {
+        let scanned = scan_source(src);
+        check_scanned(ctx, &scanned)
+            .diagnostics
+            .into_iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn pattern_boundaries() {
+        assert!(contains_pattern("println!(\"x\")", "println!("));
+        assert!(!contains_pattern("eprintln!(\"x\")", "println!("));
+        assert!(!contains_pattern("eprint!(\"x\")", "print!("));
+        assert!(contains_pattern("rand::random()", "rand::random"));
+        assert!(!contains_pattern(
+            "rand::random_range(0..9)",
+            "rand::random"
+        ));
+        assert!(contains_pattern(
+            "let t = std::time::Instant::now();",
+            "Instant::now"
+        ));
+    }
+
+    #[test]
+    fn mcsd001_only_in_sim_crates() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(
+            codes(&lib_ctx("crates/phoenix/src/runtime.rs"), src),
+            vec![Code::Mcsd001]
+        );
+        assert_eq!(codes(&lib_ctx("crates/apps/src/seq.rs"), src), vec![]);
+        assert_eq!(
+            codes(&lib_ctx("crates/phoenix/src/stopwatch.rs"), src),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn mcsd002_exempts_bins_and_tests() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t {\n    fn g() { y.unwrap(); }\n}\n";
+        assert_eq!(
+            codes(&lib_ctx("crates/apps/src/seq.rs"), src),
+            vec![Code::Mcsd002]
+        );
+        let bin = FileContext {
+            path: "crates/apps/src/main.rs".to_string(),
+            kind: FileKind::Bin,
+        };
+        assert_eq!(codes(&bin, src), vec![]);
+    }
+
+    #[test]
+    fn mcsd003_flags_unsorted_iteration() {
+        let src = "fn f(seen: HashMap<u32, u32>) {\n    for (k, v) in &seen {\n        emit(k, v);\n    }\n}\n";
+        assert_eq!(
+            codes(&lib_ctx("crates/x/src/a.rs"), src),
+            vec![Code::Mcsd003]
+        );
+    }
+
+    #[test]
+    fn mcsd003_neutralized_by_sort() {
+        let src = "fn f() {\n    let mut counts = HashMap::new();\n    let mut v: Vec<_> = counts.into_iter().collect();\n    v.sort_unstable();\n}\n";
+        assert_eq!(codes(&lib_ctx("crates/x/src/a.rs"), src), vec![]);
+    }
+
+    #[test]
+    fn mcsd004_applies_to_bins_too() {
+        let src = "fn f() { let mut rng = thread_rng(); }\n";
+        let bin = FileContext {
+            path: "crates/apps/src/main.rs".to_string(),
+            kind: FileKind::Bin,
+        };
+        assert_eq!(codes(&bin, src), vec![Code::Mcsd004]);
+    }
+
+    #[test]
+    fn waiver_suppresses_and_is_honored() {
+        let src = "fn f() {\n    // tidy:allow(MCSD002) -- demo\n    x.unwrap();\n}\n";
+        let scanned = scan_source(src);
+        let outcome = check_scanned(&lib_ctx("crates/x/src/a.rs"), &scanned);
+        assert!(outcome.diagnostics.is_empty());
+        assert_eq!(outcome.waivers_honored, 1);
+    }
+
+    #[test]
+    fn unused_waiver_reports_mcsd000() {
+        let src = "// tidy:allow(MCSD002) -- nothing here\nfn f() {}\n";
+        assert_eq!(
+            codes(&lib_ctx("crates/x/src/a.rs"), src),
+            vec![Code::Mcsd000]
+        );
+    }
+
+    #[test]
+    fn trailing_same_line_waiver() {
+        let src = "fn f() { x.unwrap(); } // tidy:allow(MCSD002) -- demo\n";
+        let scanned = scan_source(src);
+        let outcome = check_scanned(&lib_ctx("crates/x/src/a.rs"), &scanned);
+        assert!(outcome.diagnostics.is_empty());
+        assert_eq!(outcome.waivers_honored, 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Diagnostic codes and the diagnostic record.
+
+use std::fmt;
+
+/// Stable diagnostic codes. Codes are append-only: a code is never reused
+/// or renumbered, so waivers and CI greps stay valid across versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// A waiver comment that is malformed or matches no diagnostic.
+    Mcsd000,
+    /// Wall-clock read (`Instant::now`, `SystemTime::now`, `thread::sleep`)
+    /// in simulation-crate library code outside the sanctioned stopwatch.
+    Mcsd001,
+    /// `unwrap()`/`expect()`/`panic!`/`todo!` in library code.
+    Mcsd002,
+    /// Hash-ordered iteration without an intervening sort or `BTreeMap`.
+    Mcsd003,
+    /// Unseeded RNG (`thread_rng`, `from_entropy`, `rand::random`).
+    Mcsd004,
+    /// `println!`/`print!`/`dbg!` in library code.
+    Mcsd005,
+    /// Workspace hygiene: dependency not inherited from
+    /// `[workspace.dependencies]`, missing `[lints] workspace = true`, or
+    /// a `lib.rs` missing the agreed deny header.
+    Mcsd006,
+}
+
+/// Every enforceable code, in reporting order.
+pub const ALL_CODES: [Code; 7] = [
+    Code::Mcsd000,
+    Code::Mcsd001,
+    Code::Mcsd002,
+    Code::Mcsd003,
+    Code::Mcsd004,
+    Code::Mcsd005,
+    Code::Mcsd006,
+];
+
+impl Code {
+    /// The stable textual form, e.g. `"MCSD002"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Mcsd000 => "MCSD000",
+            Code::Mcsd001 => "MCSD001",
+            Code::Mcsd002 => "MCSD002",
+            Code::Mcsd003 => "MCSD003",
+            Code::Mcsd004 => "MCSD004",
+            Code::Mcsd005 => "MCSD005",
+            Code::Mcsd006 => "MCSD006",
+        }
+    }
+
+    /// Parse `"MCSD001"`-style text (as written in waivers).
+    pub fn parse(text: &str) -> Option<Code> {
+        ALL_CODES.iter().copied().find(|c| c.as_str() == text)
+    }
+
+    /// One-line summary of what the code enforces.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::Mcsd000 => "malformed or unused tidy waiver",
+            Code::Mcsd001 => "wall-clock time in simulation-crate library code",
+            Code::Mcsd002 => "panic path (unwrap/expect/panic!/todo!) in library code",
+            Code::Mcsd003 => "hash-ordered iteration without intervening sort/BTreeMap",
+            Code::Mcsd004 => "unseeded randomness outside test code",
+            Code::Mcsd005 => "stdout debugging (println!/print!/dbg!) in library code",
+            Code::Mcsd006 => "workspace hygiene (workspace deps, lints table, lib.rs header)",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding, pointing at a file and (1-based) line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which invariant was violated.
+    pub code: Code,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number; 0 for whole-file findings.
+    pub line: usize,
+    /// Human-readable explanation of this specific finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Render as a stable single-line JSON object (machine output).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"code\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            self.code,
+            escape_json(&self.path),
+            self.line,
+            escape_json(&self.message),
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{} {}: {}", self.code, self.path, self.message)
+        } else {
+            write!(
+                f,
+                "{} {}:{}: {}",
+                self.code, self.path, self.line, self.message
+            )
+        }
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_through_text() {
+        for code in ALL_CODES {
+            assert_eq!(Code::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(Code::parse("MCSD999"), None);
+        assert_eq!(Code::parse("mcsd001"), None);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn display_forms() {
+        let d = Diagnostic {
+            code: Code::Mcsd002,
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "found `.unwrap()`".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "MCSD002 crates/x/src/lib.rs:7: found `.unwrap()`"
+        );
+        assert!(d.to_json().contains("\"line\":7"));
+    }
+}

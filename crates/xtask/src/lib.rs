@@ -1,0 +1,36 @@
+//! `mcsd-tidy`: the workspace's std-only static-analysis pass.
+//!
+//! McSD's headline results are ratios over the virtual-time ledger
+//! (`mcsd_cluster::TimeBreakdown`), so wall-clock reads, unordered hash
+//! iteration, or unseeded randomness leaking into the simulation make
+//! every reproduced figure untrustworthy. `tidy` enforces those invariants
+//! mechanically — modeled on rustc's `tidy`: a line/lightweight-token
+//! scanner with stable diagnostic codes, machine-readable output, and an
+//! inline waiver syntax:
+//!
+//! ```text
+//! // tidy:allow(MCSD001) -- real I/O polling is the point here
+//! ```
+//!
+//! A waiver covers its own line and the line below it, must name the code
+//! it waives, and must carry a `-- reason`; malformed or unused waivers
+//! are themselves diagnostics (MCSD000). Run it as:
+//!
+//! ```text
+//! cargo run -p xtask -- tidy [--json]
+//! ```
+//!
+//! See DESIGN.md § "Determinism & lint invariants" for each rule's
+//! rationale.
+
+#![deny(missing_docs)]
+
+pub mod checks;
+pub mod diag;
+pub mod manifest;
+pub mod runner;
+pub mod scan;
+
+pub use diag::{Code, Diagnostic};
+pub use runner::{run_tidy, TidyReport};
+pub use scan::{FileContext, FileKind};

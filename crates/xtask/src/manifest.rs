@@ -1,0 +1,144 @@
+//! MCSD006: workspace hygiene checks over `Cargo.toml` manifests and
+//! `lib.rs` headers.
+//!
+//! These are deliberately line-based (no TOML parser — tidy is std-only):
+//! the workspace's manifests are machine-edited and keep one dependency
+//! per line, which is itself part of the hygiene contract.
+
+use crate::diag::{Code, Diagnostic};
+
+/// Dependency sections whose entries must inherit from
+/// `[workspace.dependencies]`.
+const DEP_SECTIONS: [&str; 3] = ["dependencies", "dev-dependencies", "build-dependencies"];
+
+/// The deny header every library root must carry within its first lines:
+/// missing docs are treated as build breaks, not warnings.
+pub const LIB_DENY_HEADER: &str = "#![deny(missing_docs)]";
+
+/// How many lines from the top of `lib.rs` the deny header may sit.
+pub const LIB_HEADER_WINDOW: usize = 30;
+
+/// Check one crate manifest: every dependency must be
+/// `workspace = true`-inherited, and a `[lints] workspace = true` table
+/// must be present.
+pub fn check_manifest(rel_path: &str, content: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    let mut lints_section_line = 0usize;
+    let mut lints_workspace = false;
+    for (idx, raw) in content.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = section_header(line) {
+            section = name.to_string();
+            if section == "lints" {
+                lints_section_line = idx + 1;
+            }
+            continue;
+        }
+        if section == "lints" && normalized(line).contains("workspace=true") {
+            lints_workspace = true;
+        }
+        if DEP_SECTIONS.contains(&section.as_str()) && line.contains('=') {
+            let dep = line.split(['=', '.']).next().unwrap_or("").trim();
+            if !normalized(line).contains("workspace=true") {
+                out.push(Diagnostic {
+                    code: Code::Mcsd006,
+                    path: rel_path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "dependency `{dep}` must inherit from [workspace.dependencies] via `workspace = true`"
+                    ),
+                });
+            }
+        }
+    }
+    if lints_section_line == 0 || !lints_workspace {
+        out.push(Diagnostic {
+            code: Code::Mcsd006,
+            path: rel_path.to_string(),
+            line: lints_section_line,
+            message:
+                "manifest must carry `[lints]\\nworkspace = true` so workspace lint policy applies"
+                    .to_string(),
+        });
+    }
+    out
+}
+
+/// Check that a library root carries [`LIB_DENY_HEADER`] within its first
+/// [`LIB_HEADER_WINDOW`] lines.
+pub fn check_lib_header(rel_path: &str, content: &str) -> Vec<Diagnostic> {
+    let found = content
+        .lines()
+        .take(LIB_HEADER_WINDOW)
+        .any(|l| l.trim() == LIB_DENY_HEADER);
+    if found {
+        Vec::new()
+    } else {
+        vec![Diagnostic {
+            code: Code::Mcsd006,
+            path: rel_path.to_string(),
+            line: 1,
+            message: format!(
+                "library root must carry `{LIB_DENY_HEADER}` within its first {LIB_HEADER_WINDOW} lines"
+            ),
+        }]
+    }
+}
+
+fn section_header(line: &str) -> Option<&str> {
+    let inner = line.strip_prefix('[')?.strip_suffix(']')?;
+    Some(inner.trim().trim_matches(|c| c == '[' || c == ']'))
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // Good enough for this workspace: no `#` appears inside manifest
+    // strings, so the first `#` starts a comment.
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn normalized(line: &str) -> String {
+    line.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conforming_manifest_passes() {
+        let toml = "[package]\nname = \"x\"\n\n[dependencies]\nrand = { workspace = true }\nserde.workspace = true\n\n[lints]\nworkspace = true\n";
+        assert!(check_manifest("crates/x/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn non_workspace_dep_flagged() {
+        let toml = "[dependencies]\nrand = \"0.8\"\n\n[lints]\nworkspace = true\n";
+        let diags = check_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::Mcsd006);
+        assert!(diags[0].message.contains("`rand`"));
+    }
+
+    #[test]
+    fn missing_lints_table_flagged() {
+        let toml = "[package]\nname = \"x\"\n";
+        let diags = check_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("[lints]"));
+    }
+
+    #[test]
+    fn lib_header_enforced() {
+        assert!(check_lib_header("src/lib.rs", "//! docs\n#![deny(missing_docs)]\n").is_empty());
+        let diags = check_lib_header("src/lib.rs", "//! docs\n#![warn(missing_docs)]\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::Mcsd006);
+    }
+}

@@ -1,0 +1,202 @@
+//! Filesystem walk and orchestration: discovers the files in scope, runs
+//! the scanner and checks, and aggregates a [`TidyReport`].
+//!
+//! Scope (matching ISSUE/DESIGN): `crates/*/src/**/*.rs`,
+//! `crates/*/examples/**/*.rs`, root `src/**/*.rs`, root
+//! `examples/**/*.rs`, and every `crates/*/Cargo.toml`. Shim crates under
+//! `shims/` mirror third-party APIs (including their panicking contracts)
+//! and are deliberately out of scope.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::checks::check_scanned;
+use crate::diag::Diagnostic;
+use crate::manifest::{check_lib_header, check_manifest};
+use crate::scan::{scan_source, FileContext, FileKind};
+
+/// A fatal tidy failure (I/O, bad root) — distinct from diagnostics, which
+/// are findings about the code.
+#[derive(Debug)]
+pub struct TidyError {
+    /// Human-readable description including the path involved.
+    pub message: String,
+}
+
+impl fmt::Display for TidyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TidyError {}
+
+fn io_err(path: &Path, err: std::io::Error) -> TidyError {
+    TidyError {
+        message: format!("{}: {err}", path.display()),
+    }
+}
+
+/// Aggregated result of a tidy run.
+#[derive(Debug)]
+pub struct TidyReport {
+    /// All findings, sorted by path, then line, then code.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of manifests checked.
+    pub manifests_checked: usize,
+    /// Number of well-formed waivers that suppressed at least one finding.
+    pub waivers_honored: usize,
+}
+
+/// Run the full tidy pass over the workspace rooted at `root`.
+pub fn run_tidy(root: &Path) -> Result<TidyReport, TidyError> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(TidyError {
+            message: format!("{}: not a workspace root (no Cargo.toml)", root.display()),
+        });
+    }
+    let mut report = TidyReport {
+        diagnostics: Vec::new(),
+        files_scanned: 0,
+        manifests_checked: 0,
+        waivers_honored: 0,
+    };
+
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for crate_dir in sorted_subdirs(&crates_dir)? {
+            let manifest_path = crate_dir.join("Cargo.toml");
+            if manifest_path.is_file() {
+                let content =
+                    fs::read_to_string(&manifest_path).map_err(|e| io_err(&manifest_path, e))?;
+                report
+                    .diagnostics
+                    .extend(check_manifest(&rel(root, &manifest_path), &content));
+                report.manifests_checked += 1;
+            }
+            scan_tree(root, &crate_dir.join("src"), false, &mut report)?;
+            scan_tree(root, &crate_dir.join("examples"), true, &mut report)?;
+        }
+    }
+    scan_tree(root, &root.join("src"), false, &mut report)?;
+    scan_tree(root, &root.join("examples"), true, &mut report)?;
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.code).cmp(&(&b.path, b.line, b.code)));
+    Ok(report)
+}
+
+/// Scan every `.rs` file under `dir` (tolerating its absence).
+fn scan_tree(
+    root: &Path,
+    dir: &Path,
+    force_bin: bool,
+    report: &mut TidyReport,
+) -> Result<(), TidyError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut files = Vec::new();
+    collect_rs_files(dir, &mut files)?;
+    for file in files {
+        let rel_path = rel(root, &file);
+        let kind = classify(&rel_path, force_bin);
+        let content = fs::read_to_string(&file).map_err(|e| io_err(&file, e))?;
+        if rel_path.ends_with("/src/lib.rs") || rel_path == "src/lib.rs" {
+            report
+                .diagnostics
+                .extend(check_lib_header(&rel_path, &content));
+        }
+        let scanned = scan_source(&content);
+        let ctx = FileContext {
+            path: rel_path,
+            kind,
+        };
+        let outcome = check_scanned(&ctx, &scanned);
+        report.diagnostics.extend(outcome.diagnostics);
+        report.waivers_honored += outcome.waivers_honored;
+        report.files_scanned += 1;
+    }
+    Ok(())
+}
+
+/// Decide how a file participates in the build from its path alone.
+fn classify(rel_path: &str, force_bin: bool) -> FileKind {
+    if force_bin
+        || rel_path.ends_with("/main.rs")
+        || rel_path.contains("/src/bin/")
+        || rel_path.contains("/examples/")
+    {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+fn sorted_subdirs(dir: &Path) -> Result<Vec<PathBuf>, TidyError> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let path = entry.path();
+        if path.is_dir() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), TidyError> {
+    let mut entries = Vec::new();
+    let iter = fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in iter {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated path for reporting.
+fn rel(root: &Path, path: &Path) -> String {
+    let stripped = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in stripped.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_kinds() {
+        assert_eq!(classify("crates/x/src/lib.rs", false), FileKind::Lib);
+        assert_eq!(classify("crates/x/src/main.rs", false), FileKind::Bin);
+        assert_eq!(classify("crates/x/src/bin/tool.rs", false), FileKind::Bin);
+        assert_eq!(classify("examples/demo.rs", true), FileKind::Bin);
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        let err = run_tidy(Path::new("/nonexistent-tidy-root")).err();
+        assert!(err.is_some());
+    }
+}

@@ -1,0 +1,421 @@
+//! Source scanning: masking of strings/comments, `cfg(test)` region
+//! tracking, and waiver parsing.
+//!
+//! The scanner is a lightweight character-level state machine, not a real
+//! lexer. It understands enough Rust surface syntax to mask out the places
+//! where lint patterns must never fire — string literals (including raw
+//! strings), char literals (distinguished from lifetimes), and comments —
+//! and to tell test code (`#[cfg(test)]` modules, `#[test]` functions)
+//! apart from shipping code.
+
+use crate::diag::Code;
+
+/// How a file participates in the build, which decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: the full rule set applies.
+    Lib,
+    /// Binary or example code: exempt from MCSD002/MCSD005 (CLIs print and
+    /// may panic on bad invocations), still subject to MCSD004.
+    Bin,
+}
+
+/// Identity of a file being checked: its workspace-relative path and kind.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators, e.g.
+    /// `crates/phoenix/src/runtime.rs`.
+    pub path: String,
+    /// Whether this is library or binary/example code.
+    pub kind: FileKind,
+}
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct LineInfo {
+    /// The line with string/char-literal contents and comments replaced by
+    /// spaces; lint patterns match against this, never the raw text.
+    pub code: String,
+    /// True when the line sits inside a `#[cfg(test)]` region or a
+    /// `#[test]` function.
+    pub in_test: bool,
+}
+
+/// A parsed `// tidy:allow(...)` waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line the waiver comment appears on. It suppresses matching
+    /// diagnostics on this line and the one directly below it.
+    pub line: usize,
+    /// Codes the waiver names (empty when malformed).
+    pub codes: Vec<Code>,
+    /// `Some(explanation)` when the waiver fails to parse; such waivers
+    /// suppress nothing and are reported as MCSD000.
+    pub malformed: Option<String>,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Per-line masked code plus test-region flags, in file order.
+    pub lines: Vec<LineInfo>,
+    /// All waiver comments found, in file order.
+    pub waivers: Vec<Waiver>,
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(usize),
+    CharLit,
+}
+
+/// Scan Rust source text into masked lines and waivers.
+pub fn scan_source(source: &str) -> ScannedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut mode = Mode::Code;
+    let mut masked = String::new();
+    let mut comment = String::new();
+    let mut raw_lines: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            raw_lines.push((std::mem::take(&mut masked), std::mem::take(&mut comment)));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                let prev_ident = i > 0 && is_ident_char(chars[i - 1]);
+                if c == '/' && next == Some('/') {
+                    mode = Mode::LineComment;
+                    masked.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(1);
+                    masked.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    mode = Mode::Str;
+                    masked.push(' ');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_ident {
+                    if let Some(consumed) = try_raw_or_byte_start(&chars, i, &mut mode) {
+                        for _ in 0..consumed {
+                            masked.push(' ');
+                        }
+                        i += consumed;
+                    } else {
+                        masked.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    if next == Some('\\') {
+                        mode = Mode::CharLit;
+                        masked.push_str("  ");
+                        i += 2;
+                    } else if chars.get(i + 2).copied() == Some('\'') && next != Some('\'') {
+                        // 'x' char literal: mask all three characters.
+                        masked.push_str("   ");
+                        i += 3;
+                    } else {
+                        // Lifetime such as 'a — keep as code.
+                        masked.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    masked.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                comment.push(c);
+                masked.push(' ');
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    masked.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    masked.push_str("  ");
+                    i += 2;
+                } else {
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                let next = chars.get(i + 1).copied();
+                if c == '\\' && next.is_some() {
+                    masked.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    mode = Mode::Code;
+                    masked.push(' ');
+                    i += 1;
+                } else {
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && count_hashes(&chars, i + 1) >= hashes {
+                    mode = Mode::Code;
+                    for _ in 0..(1 + hashes) {
+                        masked.push(' ');
+                    }
+                    i += 1 + hashes;
+                } else {
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::CharLit => {
+                let next = chars.get(i + 1).copied();
+                if c == '\\' && next.is_some() {
+                    masked.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    mode = Mode::Code;
+                    masked.push(' ');
+                    i += 1;
+                } else {
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !masked.is_empty() || !comment.is_empty() {
+        raw_lines.push((masked, comment));
+    }
+
+    let mut lines = Vec::with_capacity(raw_lines.len());
+    let mut waivers = Vec::new();
+    let mut pending_test = false;
+    let mut depth: i64 = 0;
+    let mut region_starts: Vec<i64> = Vec::new();
+
+    for (idx, (code, comment)) in raw_lines.into_iter().enumerate() {
+        let line_no = idx + 1;
+        let has_test_attr = code.contains("#[cfg(test)]") || code.contains("#[test]");
+        if has_test_attr {
+            pending_test = true;
+        }
+        let in_test = pending_test || !region_starts.is_empty();
+        for ch in code.chars() {
+            if ch == '{' {
+                if pending_test {
+                    region_starts.push(depth);
+                    pending_test = false;
+                }
+                depth += 1;
+            } else if ch == '}' {
+                depth -= 1;
+                if region_starts.last() == Some(&depth) {
+                    region_starts.pop();
+                }
+            }
+        }
+        let trimmed = comment.trim();
+        if trimmed.starts_with("tidy:allow") {
+            waivers.push(parse_waiver(line_no, trimmed));
+        }
+        lines.push(LineInfo { code, in_test });
+    }
+
+    ScannedFile { lines, waivers }
+}
+
+/// True for characters that can appear in a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> usize {
+    let mut n = 0;
+    while chars.get(i).copied() == Some('#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+/// Detect `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, and `b'x'` starts
+/// at position `i`. Returns the number of prefix characters consumed (up
+/// to and including the opening quote) and sets `mode`, or `None` when the
+/// characters are ordinary code (e.g. a raw identifier `r#match`).
+fn try_raw_or_byte_start(chars: &[char], i: usize, mode: &mut Mode) -> Option<usize> {
+    let c = chars[i];
+    let mut j = i + 1;
+    if c == 'b' {
+        match chars.get(j).copied() {
+            Some('\'') => {
+                *mode = Mode::CharLit;
+                return Some(2);
+            }
+            Some('"') => {
+                *mode = Mode::Str;
+                return Some(2);
+            }
+            Some('r') => {
+                j += 1;
+            }
+            _ => return None,
+        }
+    }
+    // At this point we expect `#`* then `"` for a raw string.
+    let hashes = count_hashes(chars, j);
+    if chars.get(j + hashes).copied() == Some('"') {
+        *mode = Mode::RawStr(hashes);
+        Some(j + hashes + 1 - i)
+    } else {
+        None
+    }
+}
+
+fn parse_waiver(line: usize, text: &str) -> Waiver {
+    let malformed = |msg: &str| Waiver {
+        line,
+        codes: Vec::new(),
+        malformed: Some(msg.to_string()),
+    };
+    let Some(rest) = text.strip_prefix("tidy:allow") else {
+        return malformed("waiver must start with `tidy:allow`");
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return malformed("expected `(` after `tidy:allow`");
+    };
+    let Some(close) = rest.find(')') else {
+        return malformed("unclosed `(` in waiver");
+    };
+    let (code_list, tail) = rest.split_at(close);
+    let tail = &tail[1..];
+    let mut codes = Vec::new();
+    for part in code_list.split(',') {
+        let part = part.trim();
+        match Code::parse(part) {
+            Some(Code::Mcsd000) => {
+                return malformed("MCSD000 cannot be waived");
+            }
+            Some(code) => codes.push(code),
+            None => {
+                return malformed("unknown diagnostic code in waiver");
+            }
+        }
+    }
+    if codes.is_empty() {
+        return malformed("waiver names no diagnostic codes");
+    }
+    let tail = tail.trim_start();
+    match tail.strip_prefix("--") {
+        Some(reason) if !reason.trim().is_empty() => Waiver {
+            line,
+            codes,
+            malformed: None,
+        },
+        _ => malformed("waiver must end with `-- reason`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(src: &str) -> Vec<String> {
+        scan_source(src).lines.into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let lines = masked("let x = \"panic!(\"; // .unwrap()\nfoo();");
+        assert!(!lines[0].contains("panic!("));
+        assert!(!lines[0].contains(".unwrap()"));
+        assert!(lines[0].contains("let x ="));
+        assert_eq!(lines[1], "foo();");
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let lines = masked("let s = r#\"thread_rng\"#; let c = 'x'; let lt: &'static str = s;");
+        assert!(!lines[0].contains("thread_rng"));
+        assert!(lines[0].contains("&'static str"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let lines = masked("let s = \"a\\\"b.unwrap()\"; bar();");
+        assert!(!lines[0].contains(".unwrap()"));
+        assert!(lines[0].contains("bar();"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = masked("/* outer /* inner */ still.unwrap() */ code();");
+        assert!(!lines[0].contains(".unwrap()"));
+        assert!(lines[0].contains("code();"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let scanned = scan_source(src);
+        let flags: Vec<bool> = scanned.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_fn_region_tracked() {
+        let src = "fn lib() {}\n#[test]\nfn t() {\n    boom();\n}\nfn lib2() {}\n";
+        let scanned = scan_source(src);
+        let flags: Vec<bool> = scanned.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn waiver_parses() {
+        let src = "// tidy:allow(MCSD001, MCSD002) -- real I/O timing\nfoo();\n";
+        let scanned = scan_source(src);
+        assert_eq!(scanned.waivers.len(), 1);
+        let w = &scanned.waivers[0];
+        assert!(w.malformed.is_none());
+        assert_eq!(w.codes, vec![Code::Mcsd001, Code::Mcsd002]);
+        assert_eq!(w.line, 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_malformed() {
+        let scanned = scan_source("// tidy:allow(MCSD001)\n");
+        assert!(scanned.waivers[0].malformed.is_some());
+    }
+
+    #[test]
+    fn waiver_with_unknown_code_is_malformed() {
+        let scanned = scan_source("// tidy:allow(MCSD042) -- because\n");
+        assert!(scanned.waivers[0].malformed.is_some());
+    }
+
+    #[test]
+    fn doc_comment_does_not_become_waiver() {
+        let scanned = scan_source("/// tidy:allow(MCSD001) -- mentioned in docs\n");
+        assert!(scanned.waivers.is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: time flows through the sanctioned stopwatch shim.
+use mcsd_phoenix::Stopwatch;
+
+pub fn measure() -> std::time::Duration {
+    let t0 = Stopwatch::start();
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    // Wall-clock reads are fine inside test code.
+    #[test]
+    fn timing_in_tests_is_exempt() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 1);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: wall-clock reads in simulation-crate library code.
+use std::time::Instant;
+
+pub fn measure() -> std::time::Duration {
+    let t0 = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    t0.elapsed()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

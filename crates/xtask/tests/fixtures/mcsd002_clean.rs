@@ -1,0 +1,16 @@
+// Fixture: errors propagate instead of panicking.
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+// The pattern inside a string literal must not fire: ".unwrap()" here is
+// masked text, not code.
+pub const HINT: &str = "never call .unwrap() in library code";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: panicking escapes in library code.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("at least two elements")
+}
+
+pub fn boom() {
+    panic!("library code must not abort");
+}
+
+pub fn later() {
+    todo!()
+}

@@ -1,0 +1,12 @@
+// Fixture: hash-map contents are sorted before they reach output.
+use std::collections::HashMap;
+
+pub fn report(counts: HashMap<String, u64>) -> String {
+    let mut rows: Vec<(&String, &u64)> = counts.iter().collect();
+    rows.sort();
+    let mut out = String::new();
+    for (k, v) in rows {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

@@ -1,0 +1,10 @@
+// Fixture: hash-map iteration feeding output with no ordering step.
+use std::collections::HashMap;
+
+pub fn report(counts: HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

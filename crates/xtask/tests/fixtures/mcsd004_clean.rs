@@ -1,0 +1,6 @@
+// Fixture: RNG state derives from an explicit experiment seed.
+use rand::{rngs::StdRng, SeedableRng};
+
+pub fn noise(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,5 @@
+// Fixture: unseeded randomness breaks run-to-run reproducibility.
+pub fn noise() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

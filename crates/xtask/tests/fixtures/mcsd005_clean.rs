@@ -1,0 +1,9 @@
+// Fixture: library code returns data; rendering happens in binaries.
+// eprintln! is deliberately not banned (it is the error channel), and the
+// pattern must not false-positive on it.
+pub fn compute(x: u32) -> u32 {
+    if x == u32::MAX {
+        eprintln!("saturating");
+    }
+    x.saturating_mul(2)
+}

@@ -1,0 +1,5 @@
+// Fixture: stray debug output in library code.
+pub fn compute(x: u32) -> u32 {
+    println!("computing {x}");
+    dbg!(x * 2)
+}

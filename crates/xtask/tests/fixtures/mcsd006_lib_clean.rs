@@ -1,0 +1,6 @@
+#![deny(missing_docs)]
+
+//! Fixture: a crate root carrying the agreed lint header.
+
+/// A documented item.
+pub fn item() {}

@@ -1,0 +1,6 @@
+#![warn(missing_docs)]
+
+//! Fixture: a crate root that only warns on missing docs; the agreed
+//! header denies them.
+
+pub fn item() {}

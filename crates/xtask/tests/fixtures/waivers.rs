@@ -1,0 +1,17 @@
+// Fixture: the waiver lifecycle, all four states.
+pub fn waived_same_line(v: &[u32]) -> u32 {
+    *v.first().unwrap() // tidy:allow(MCSD002) -- fixture: waiver on the violating line itself
+}
+
+pub fn waived_next_line(v: &[u32]) -> u32 {
+    // tidy:allow(MCSD002) -- fixture: waiver covering the line below
+    *v.first().unwrap()
+}
+
+pub fn malformed_waiver(v: &[u32]) -> u32 {
+    // tidy:allow(MCSD002)
+    *v.first().unwrap()
+}
+
+// tidy:allow(MCSD005) -- fixture: nothing below prints, so this waiver is unused
+pub fn quiet() {}

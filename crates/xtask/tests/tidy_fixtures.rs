@@ -1,0 +1,230 @@
+//! End-to-end fixture coverage: every diagnostic code has at least one
+//! violating and one conforming fixture, and the waiver lifecycle behaves.
+
+use xtask::checks::{check_scanned, CheckOutcome};
+use xtask::manifest::{check_lib_header, check_manifest};
+use xtask::scan::scan_source;
+use xtask::{Code, FileContext, FileKind};
+
+/// Scan a fixture as library code at `path` and run the source checks.
+fn check(path: &str, source: &str) -> CheckOutcome {
+    let ctx = FileContext {
+        path: path.to_string(),
+        kind: FileKind::Lib,
+    };
+    check_scanned(&ctx, &scan_source(source))
+}
+
+fn codes(outcome: &CheckOutcome) -> Vec<Code> {
+    outcome.diagnostics.iter().map(|d| d.code).collect()
+}
+
+/// A path inside a simulation crate, where MCSD001 applies.
+const SIM_PATH: &str = "crates/phoenix/src/fixture.rs";
+/// A path outside the simulation crates (I/O-adjacent code).
+const PLAIN_PATH: &str = "crates/bench/src/fixture.rs";
+
+#[test]
+fn mcsd001_flags_wall_clock_in_sim_crates() {
+    let out = check(SIM_PATH, include_str!("fixtures/mcsd001_violating.rs"));
+    let found = codes(&out);
+    assert_eq!(
+        found.iter().filter(|c| **c == Code::Mcsd001).count(),
+        3,
+        "Instant::now, thread::sleep and SystemTime::now must all fire: {found:?}"
+    );
+}
+
+#[test]
+fn mcsd001_clean_fixture_passes() {
+    let out = check(SIM_PATH, include_str!("fixtures/mcsd001_clean.rs"));
+    assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+}
+
+#[test]
+fn mcsd001_does_not_apply_outside_sim_crates() {
+    let out = check(PLAIN_PATH, include_str!("fixtures/mcsd001_violating.rs"));
+    assert!(
+        !codes(&out).contains(&Code::Mcsd001),
+        "MCSD001 is scoped to the simulation crates: {:?}",
+        out.diagnostics
+    );
+}
+
+#[test]
+fn mcsd002_flags_panicking_library_code() {
+    let out = check(PLAIN_PATH, include_str!("fixtures/mcsd002_violating.rs"));
+    let found = codes(&out);
+    assert_eq!(
+        found.iter().filter(|c| **c == Code::Mcsd002).count(),
+        4,
+        "unwrap, expect, panic! and todo! must all fire: {found:?}"
+    );
+}
+
+#[test]
+fn mcsd002_clean_fixture_passes() {
+    let out = check(PLAIN_PATH, include_str!("fixtures/mcsd002_clean.rs"));
+    assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+}
+
+#[test]
+fn mcsd002_does_not_apply_to_binaries() {
+    let ctx = FileContext {
+        path: "crates/bench/src/bin/fixture.rs".to_string(),
+        kind: FileKind::Bin,
+    };
+    let out = check_scanned(
+        &ctx,
+        &scan_source(include_str!("fixtures/mcsd002_violating.rs")),
+    );
+    assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+}
+
+#[test]
+fn mcsd003_flags_unordered_hash_iteration() {
+    let out = check(PLAIN_PATH, include_str!("fixtures/mcsd003_violating.rs"));
+    assert!(
+        codes(&out).contains(&Code::Mcsd003),
+        "{:?}",
+        out.diagnostics
+    );
+}
+
+#[test]
+fn mcsd003_clean_fixture_passes() {
+    let out = check(PLAIN_PATH, include_str!("fixtures/mcsd003_clean.rs"));
+    assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+}
+
+#[test]
+fn mcsd004_flags_unseeded_rng() {
+    let out = check(PLAIN_PATH, include_str!("fixtures/mcsd004_violating.rs"));
+    assert!(
+        codes(&out).contains(&Code::Mcsd004),
+        "{:?}",
+        out.diagnostics
+    );
+}
+
+#[test]
+fn mcsd004_applies_to_binaries_too() {
+    let ctx = FileContext {
+        path: "crates/bench/src/bin/fixture.rs".to_string(),
+        kind: FileKind::Bin,
+    };
+    let out = check_scanned(
+        &ctx,
+        &scan_source(include_str!("fixtures/mcsd004_violating.rs")),
+    );
+    assert!(codes(&out).contains(&Code::Mcsd004));
+}
+
+#[test]
+fn mcsd004_clean_fixture_passes() {
+    let out = check(PLAIN_PATH, include_str!("fixtures/mcsd004_clean.rs"));
+    assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+}
+
+#[test]
+fn mcsd005_flags_prints_in_library_code() {
+    let out = check(PLAIN_PATH, include_str!("fixtures/mcsd005_violating.rs"));
+    let found = codes(&out);
+    assert_eq!(
+        found.iter().filter(|c| **c == Code::Mcsd005).count(),
+        2,
+        "println! and dbg! must both fire: {found:?}"
+    );
+}
+
+#[test]
+fn mcsd005_clean_fixture_passes_and_allows_eprintln() {
+    let out = check(PLAIN_PATH, include_str!("fixtures/mcsd005_clean.rs"));
+    assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+}
+
+#[test]
+fn mcsd006_flags_version_pins_and_missing_lints() {
+    let diags = check_manifest(
+        "crates/fixture/Cargo.toml",
+        include_str!("fixtures/mcsd006_violating.toml"),
+    );
+    assert!(
+        diags.iter().filter(|d| d.code == Code::Mcsd006).count() >= 3,
+        "two pinned deps + missing [lints] table: {diags:?}"
+    );
+}
+
+#[test]
+fn mcsd006_clean_manifest_passes() {
+    let diags = check_manifest(
+        "crates/fixture/Cargo.toml",
+        include_str!("fixtures/mcsd006_clean.toml"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn mcsd006_flags_weak_lib_header() {
+    let diags = check_lib_header(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/mcsd006_lib_violating.rs"),
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::Mcsd006);
+}
+
+#[test]
+fn mcsd006_clean_lib_header_passes() {
+    let diags = check_lib_header(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/mcsd006_lib_clean.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn waiver_lifecycle() {
+    let out = check(PLAIN_PATH, include_str!("fixtures/waivers.rs"));
+    // Two well-formed waivers suppress their unwraps; the malformed one
+    // and the unused one each surface as MCSD000, and the unwrap next to
+    // the malformed waiver stays flagged.
+    assert_eq!(out.waivers_honored, 2, "{:?}", out.diagnostics);
+    let found = codes(&out);
+    assert_eq!(
+        found.iter().filter(|c| **c == Code::Mcsd000).count(),
+        2,
+        "malformed + unused waiver: {found:?}"
+    );
+    assert_eq!(
+        found.iter().filter(|c| **c == Code::Mcsd002).count(),
+        1,
+        "the unwrap under the malformed waiver must stay: {found:?}"
+    );
+}
+
+#[test]
+fn real_workspace_is_tidy() {
+    // The repository itself must stay clean: this is the acceptance
+    // criterion "tidy exits 0 on the workspace", enforced as a test.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let report = xtask::run_tidy(root).expect("tidy runs");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has tidy violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "scanned {}",
+        report.files_scanned
+    );
+}

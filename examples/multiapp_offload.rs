@@ -47,7 +47,10 @@ fn main() {
         );
 
         for (label, scenario) in [
-            ("host only (fetch + run)", PairScenario::host_only(ExecMode::Parallel)),
+            (
+                "host only (fetch + run)",
+                PairScenario::host_only(ExecMode::Parallel),
+            ),
             ("traditional 1-core SD", PairScenario::traditional_sd(1.2)),
             ("duo SD, no partition", PairScenario::duo_sd_no_partition()),
         ] {
@@ -60,7 +63,7 @@ fn main() {
                 Err(e) if e.is_memory_overflow() => {
                     println!("{size:<10} {label:<28} {:>12} {:>10}", "OVERFLOW", "-")
                 }
-                Err(e) => println!("{size:<10} {label:<28} error: {e}", ),
+                Err(e) => println!("{size:<10} {label:<28} error: {e}",),
             }
         }
         println!();

@@ -18,7 +18,10 @@ fn main() {
         "input: \"2G\" scaled to {} bytes — a single 2 GB node can only run this partitioned\n",
         input.len()
     );
-    println!("{:<10} {:>12} {:>12} {:>10}", "sd-nodes", "slowest-node", "total", "speedup");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "sd-nodes", "slowest-node", "total", "speedup"
+    );
 
     let mut base: Option<f64> = None;
     for sd_count in [1usize, 2, 3, 4] {

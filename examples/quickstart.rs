@@ -52,9 +52,6 @@ fn main() {
         "\noffload cost: network {:?} (vs {:?} to move the whole corpus), wall {:?}",
         cost.network, full_transfer, cost.overhead
     );
-    println!(
-        "daemon stats: {:?}",
-        framework.sd_node().daemon_stats()
-    );
+    println!("daemon stats: {:?}", framework.sd_node().daemon_stats());
     framework.stop();
 }

@@ -18,18 +18,20 @@ fn main() {
 
     // Preload two "data-intensive processing modules" on the SD side.
     let registry = ModuleRegistry::new();
-    registry.register(Arc::new(FnModule::new("checksum", |params: &[String]| {
-        let sum: u64 = params
-            .iter()
-            .flat_map(|p| p.bytes())
-            .map(u64::from)
-            .sum();
-        Ok(sum.to_string().into_bytes())
-    })));
-    registry.register(Arc::new(FnModule::new("slow-scan", |params: &[String]| {
-        std::thread::sleep(Duration::from_millis(150)); // a long on-disk scan
-        Ok(format!("scanned {} files", params.len()).into_bytes())
-    })));
+    registry.register(Arc::new(FnModule::new(
+        "checksum",
+        |params: &[String]| {
+            let sum: u64 = params.iter().flat_map(|p| p.bytes()).map(u64::from).sum();
+            Ok(sum.to_string().into_bytes())
+        },
+    )));
+    registry.register(Arc::new(FnModule::new(
+        "slow-scan",
+        |params: &[String]| {
+            std::thread::sleep(Duration::from_millis(150)); // a long on-disk scan
+            Ok(format!("scanned {} files", params.len()).into_bytes())
+        },
+    )));
 
     let mut daemon = Daemon::new(DaemonConfig::new(&dir), registry.clone())
         .spawn()
@@ -40,7 +42,11 @@ fn main() {
 
     // 1. A simple synchronous invocation.
     let out = client
-        .invoke("checksum", &["hello".into(), "world".into()], Duration::from_secs(10))
+        .invoke(
+            "checksum",
+            &["hello".into(), "world".into()],
+            Duration::from_secs(10),
+        )
         .expect("invoke succeeds");
     println!(
         "checksum(hello, world) = {} ({} request bytes, {} response bytes through the log file)",
@@ -57,7 +63,9 @@ fn main() {
         .expect("submit succeeds");
     let host_work: u64 = (0..2_000_000u64).map(|x| x.wrapping_mul(x)).sum();
     println!("host computed {host_work:#x} while the SD node scanned");
-    let out = pending.wait(Duration::from_secs(10)).expect("result arrives");
+    let out = pending
+        .wait(Duration::from_secs(10))
+        .expect("result arrives");
     println!(
         "slow-scan -> {:?} (total {:?}; the host never idled)",
         String::from_utf8_lossy(&out.payload),

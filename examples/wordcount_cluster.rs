@@ -31,7 +31,10 @@ fn main() {
         "platform", "size", "sequential", "phoenix", "mcsd-part"
     );
 
-    for (name, node) in [("Quad", cluster.host().clone()), ("Duo", cluster.sd().clone())] {
+    for (name, node) in [
+        ("Quad", cluster.host().clone()),
+        ("Duo", cluster.sd().clone()),
+    ] {
         let runner = NodeRunner::new(node, cluster.disk);
         for size in ["500M", "1G", "1.5G", "2G"] {
             let input = TextGen::with_seed(1).generate(scale.scaled(size).unwrap() as usize);

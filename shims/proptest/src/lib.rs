@@ -1,0 +1,142 @@
+//! Vendored mini property-testing harness with a `proptest`-compatible API.
+//!
+//! Provides the subset the workspace's property suites use: the
+//! `proptest!` macro (with `#![proptest_config(...)]`), `prop_assert*`,
+//! `prop_oneof!`, `Just`, `any::<T>()`, numeric-range strategies,
+//! regex-literal string strategies (character classes + `{m,n}`
+//! repetition), `collection::vec`, and `.prop_map`.
+//!
+//! Differences from the registry crate, by design:
+//! - **No shrinking.** A failing case reports its seed; rerunning the test
+//!   replays the identical input, which is what debugging actually needs.
+//! - **Derandomized.** Case streams are seeded from the test's module path
+//!   and name, so a failure reproduces on every machine and every run.
+//! - Regex strategies support only the class/repeat subset the suites use.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the property suites import.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declare a block of property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item becomes a `#[test]`
+/// that draws `cases` inputs from the strategies and runs the body on
+/// each. An optional leading `#![proptest_config(expr)]` overrides the
+/// default [`ProptestConfig`](crate::test_runner::ProptestConfig).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let base = $crate::test_runner::seed_for(concat!(
+                module_path!(), "::", stringify!($name),
+            ));
+            for case in 0..cfg.cases {
+                let seed = base ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut rng = $crate::strategy::TestRng::new(seed);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{} (replay seed {:#018x}): {}",
+                        stringify!($name), case + 1, cfg.cases, seed, e,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fail the surrounding property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the surrounding property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r,
+                );
+            }
+        }
+    };
+}
+
+/// Fail the surrounding property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: {} != {} (both {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                );
+            }
+        }
+    };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

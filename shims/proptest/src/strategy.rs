@@ -1,0 +1,445 @@
+//! Value-generation strategies.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-process every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn Strategy<Value = V>>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among strategies of a common value type.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Build from `(weight, strategy)` arms; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (weight, strat) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strat.generate(rng);
+            }
+            pick -= weight;
+        }
+        // Unreachable: pick < total and the weights sum to total.
+        self.arms[self.arms.len() - 1].1.generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning a usable magnitude range.
+        (rng.unit_f64() - 0.5) * 2e6
+    }
+}
+
+/// Whole-domain strategy for `T` (`any::<i32>()` etc.).
+pub struct Any<T> {
+    marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy over all values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        marker: PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies: `"[a-e]{1,6}"` and friends.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Explicit character alternatives (expanded from a class).
+    Class(Vec<char>),
+    /// `.` — any printable ASCII character.
+    AnyPrintable,
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Parse the regex subset the suites use: classes `[a-z0-9_]`, `.`,
+/// literals, with optional `{m}`, `{m,n}`, `?`, `*`, `+` quantifiers.
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let mut options = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "inverted class range in {pattern:?}");
+                        let mut c = lo;
+                        loop {
+                            options.push(c);
+                            if c == hi {
+                                break;
+                            }
+                            c = char::from_u32(c as u32 + 1)
+                                .unwrap_or_else(|| panic!("bad class range in {pattern:?}"));
+                        }
+                        j += 3;
+                    } else {
+                        options.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!options.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(options)
+            }
+            '.' => {
+                i += 1;
+                Atom::AnyPrintable
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in {pattern:?}");
+                let c = chars[i + 1];
+                i += 2;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) =
+            if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed quantifier in {pattern:?}"));
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().unwrap_or_else(|_| {
+                            panic!("bad quantifier lower bound in {pattern:?}")
+                        });
+                        let hi = hi.trim().parse().unwrap_or_else(|_| {
+                            panic!("bad quantifier upper bound in {pattern:?}")
+                        });
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = spec
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}"));
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && matches!(chars[i], '?' | '*' | '+') {
+                let q = chars[i];
+                i += 1;
+                match q {
+                    '?' => (0, 1),
+                    '*' => (0, 8),
+                    _ => (1, 8),
+                }
+            } else {
+                (1, 1)
+            };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let span = u64::from(piece.max - piece.min) + 1;
+            let count = piece.min + rng.below(span) as u32;
+            for _ in 0..count {
+                let c = match &piece.atom {
+                    Atom::Class(options) => options[rng.below(options.len() as u64) as usize],
+                    // Printable ASCII: 0x20 ' ' through 0x7E '~'.
+                    Atom::AnyPrintable => {
+                        char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).unwrap_or(' ')
+                    }
+                    Atom::Literal(c) => *c,
+                };
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(0xfeed)
+    }
+
+    #[test]
+    fn class_pattern_respects_alphabet_and_length() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = "[a-e]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_pattern_is_printable() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = ".{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_and_escape() {
+        let mut rng = rng();
+        assert_eq!("abc".generate(&mut rng), "abc");
+        assert_eq!(r"a\.b".generate(&mut rng), "a.b");
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u = Union::new(vec![(9, Just(1u8).boxed()), (1, Just(2u8).boxed())]);
+        let mut rng = rng();
+        let ones = (0..1000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!(ones > 700, "{ones}");
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let v = (1usize..64).generate(&mut rng);
+            assert!((1..64).contains(&v));
+            let f = (0.0f64..0.4).generate(&mut rng);
+            assert!((0.0..0.4).contains(&f));
+            let w = (3u32..=5).generate(&mut rng);
+            assert!((3..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_applies() {
+        let mut rng = rng();
+        let s = (0u8..3).prop_map(|v| v * 10);
+        for _ in 0..50 {
+            assert!(matches!(s.generate(&mut rng), 0 | 10 | 20));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Marker-trait stand-in for `serde`.
+//!
+//! Workspace types derive `Serialize`/`Deserialize` to document that they
+//! are wire-able, but no code path in-tree serializes anything. This shim
+//! provides the trait names and re-exports no-op derives so the workspace
+//! builds offline. Swap in the registry `serde` when a real serializer
+//! lands.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that could be serialized (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized (no methods in the shim).
+pub trait Deserialize<'de>: Sized {}

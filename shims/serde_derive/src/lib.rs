@@ -1,0 +1,23 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace marks model types `#[derive(Serialize, Deserialize)]` to
+//! document wire-ability, but nothing in-tree actually serializes — so the
+//! offline shim derives expand to nothing. If a future PR adds a real
+//! serializer, replace this crate (and the `serde` shim) with the registry
+//! crates.
+
+#![deny(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # McSD — Multicore-Enabled Smart Storage for Clusters
 //!
@@ -56,8 +56,8 @@ pub use mcsd_smartfam as smartfam;
 pub mod prelude {
     pub use mcsd_apps::{MatMul, Matrix, StringMatch, TextGen, WordCount};
     pub use mcsd_cluster::{
-        paper_testbed, Cluster, DiskModel, Fabric, NetworkModel, NodeId, NodeRole, NodeSpec,
-        Scale, TimeBreakdown,
+        paper_testbed, Cluster, DiskModel, Fabric, NetworkModel, NodeId, NodeRole, NodeSpec, Scale,
+        TimeBreakdown,
     };
     pub use mcsd_core::driver::{ExecMode, NodeRunner};
     pub use mcsd_core::offload::{JobProfile, OffloadDecision, OffloadPolicy};
