@@ -11,7 +11,10 @@
 use crate::error::McsdError;
 use crate::modules::{MatMulModule, StringMatchModule, WordCountModule};
 use mcsd_cluster::{Cluster, NfsShare, NodeId, TimeBreakdown};
-use mcsd_smartfam::{Daemon, DaemonConfig, DaemonHandle, DaemonStats, HostClient, ModuleRegistry};
+use mcsd_smartfam::{
+    Daemon, DaemonConfig, DaemonHandle, DaemonStats, FaultInjector, HostClient, ModuleRegistry,
+    ResilienceStats, RetryPolicy,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -28,12 +31,24 @@ pub struct SdNodeServer {
     registry: ModuleRegistry,
     sd_id: NodeId,
     host_id: NodeId,
+    injector: FaultInjector,
 }
 
 impl SdNodeServer {
     /// Boot the SD node of `cluster`: create the NFS export, preload the
     /// three benchmark modules, and start the smartFAM daemon.
     pub fn start(cluster: &Cluster) -> Result<SdNodeServer, McsdError> {
+        SdNodeServer::start_with_faults(cluster, FaultInjector::disabled())
+    }
+
+    /// Like [`SdNodeServer::start`], but with a scripted fault schedule.
+    /// The injector is shared by the daemon and every host client this
+    /// server hands out, so one seeded [`FaultInjector`] disturbs both
+    /// sides of the log-file protocol deterministically.
+    pub fn start_with_faults(
+        cluster: &Cluster,
+        injector: FaultInjector,
+    ) -> Result<SdNodeServer, McsdError> {
         let sd = cluster.sd().clone();
         let host_id = cluster.host().id;
         let share = NfsShare::temp(sd.id, cluster.network, cluster.disk)?;
@@ -46,14 +61,21 @@ impl SdNodeServer {
         registry.register(Arc::new(StringMatchModule::new(&data_root, sd.clone())));
         registry.register(Arc::new(MatMulModule::new(&data_root, sd.clone())));
 
-        let daemon = Daemon::new(DaemonConfig::new(&log_dir), registry.clone()).spawn()?;
+        let config = DaemonConfig::new(&log_dir).with_faults(injector.clone());
+        let daemon = Daemon::new(config, registry.clone()).spawn()?;
         Ok(SdNodeServer {
             share,
             daemon: Some(daemon),
             registry,
             sd_id: sd.id,
             host_id,
+            injector,
         })
+    }
+
+    /// The fault injector shared with the daemon and host clients.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
     }
 
     /// The module registry (to preload additional modules — paper §VI:
@@ -89,7 +111,8 @@ impl SdNodeServer {
     /// A host-side offload client for this node.
     pub fn host_client(&self) -> McsdClient {
         McsdClient {
-            inner: HostClient::new(self.share.root().join(LOG_SUBDIR)),
+            inner: HostClient::new(self.share.root().join(LOG_SUBDIR))
+                .with_faults(self.injector.clone()),
             network_charge_per_byte: 1.0 / self.share.network().effective_bytes_per_sec(),
             latency: self.share.network().fabric.latency(),
         }
@@ -103,12 +126,16 @@ impl SdNodeServer {
     }
 
     /// Kill the daemon *without* answering outstanding requests, then
-    /// restart it over the same log dir — the fault-injection hook used to
-    /// test smartFAM's crash recovery.
+    /// restart it over the same log dir. The replacement incarnation
+    /// replays unanswered requests from the log on startup. For scripted,
+    /// seed-reproducible failures use [`SdNodeServer::start_with_faults`]
+    /// with a [`FaultInjector`] schedule instead of calling this by hand;
+    /// this manual restart remains useful for coarse crash-recovery tests.
     pub fn restart_daemon(&mut self) -> Result<(), McsdError> {
         self.stop();
         let log_dir = self.share.root().join(LOG_SUBDIR);
-        let daemon = Daemon::new(DaemonConfig::new(&log_dir), self.registry.clone()).spawn()?;
+        let config = DaemonConfig::new(&log_dir).with_faults(self.injector.clone());
+        let daemon = Daemon::new(config, self.registry.clone()).spawn()?;
         self.daemon = Some(daemon);
         Ok(())
     }
@@ -144,6 +171,35 @@ impl McsdClient {
         let cost = TimeBreakdown::network(self.latency * 2 + wire)
             + TimeBreakdown::overhead(outcome.elapsed);
         Ok((outcome.payload, cost))
+    }
+
+    /// Like [`McsdClient::invoke`], but self-healing: the deadline is
+    /// split into per-attempt budgets, transient failures are retried with
+    /// deterministic backoff, and the daemon heartbeat is probed before
+    /// each retry (see [`RetryPolicy`]). The recovery counters come back
+    /// alongside the outcome so callers can account for degraded runs even
+    /// when the call ultimately fails.
+    pub fn invoke_resilient(
+        &self,
+        module: &str,
+        params: &[String],
+        deadline: Duration,
+        policy: &RetryPolicy,
+    ) -> (Result<(Vec<u8>, TimeBreakdown), McsdError>, ResilienceStats) {
+        let call = self
+            .inner
+            .invoke_resilient(module, params, deadline, policy);
+        let outcome = match call.outcome {
+            Ok(outcome) => {
+                let bytes = outcome.request_bytes + outcome.response_bytes;
+                let wire = Duration::from_secs_f64(bytes as f64 * self.network_charge_per_byte);
+                let cost = TimeBreakdown::network(self.latency * 2 + wire)
+                    + TimeBreakdown::overhead(outcome.elapsed);
+                Ok((outcome.payload, cost))
+            }
+            Err(e) => Err(McsdError::SmartFam(e)),
+        };
+        (outcome, call.stats)
     }
 
     /// Whether the SD daemon heartbeat is fresh.

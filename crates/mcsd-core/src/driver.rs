@@ -275,6 +275,7 @@ impl NodeRunner {
             input_bytes,
             time,
             stats,
+            resilience: Default::default(),
         };
         NodeRunReport { pairs, report }
     }

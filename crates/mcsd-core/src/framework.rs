@@ -6,6 +6,13 @@
 //! results come back with their virtual-time cost. The offload policy
 //! decides host-vs-SD placement automatically; callers can also force
 //! either side.
+//!
+//! The offload path is *self-healing*: every SD invocation goes through
+//! the retry/liveness machinery of [`RetryPolicy`], and when the SD side
+//! stays broken the framework degrades gracefully — it re-runs the job on
+//! the host ([`OffloadDecision::FallbackToHost`]) instead of surfacing a
+//! timeout, recording the degradation in [`McsdFramework::degradations`]
+//! and counting it in [`McsdFramework::resilience_stats`].
 
 use crate::bridge::{McsdClient, SdNodeServer};
 use crate::driver::NodeRunner;
@@ -14,12 +21,40 @@ use crate::modules::{StringMatchModule, WordCountModule};
 use crate::offload::{JobProfile, OffloadDecision, OffloadPolicy, Offloader};
 use mcsd_apps::{MatMul, Matrix, StringMatch, WordCount};
 use mcsd_cluster::{Cluster, TimeBreakdown};
+use mcsd_smartfam::{FaultInjector, ResilienceStats, RetryPolicy};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Default per-call timeout for offloaded modules.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How the framework behaves when the SD path misbehaves.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Retry/backoff/liveness policy for each offloaded invocation.
+    pub retry: RetryPolicy,
+    /// Fault schedule shared by the daemon and the host client
+    /// (disabled by default; seeded schedules make failures replayable).
+    pub injector: FaultInjector,
+    /// Degrade to host execution when the SD path fails for good
+    /// (`true` by default). When `false`, SD errors surface to the caller.
+    pub fallback_to_host: bool,
+    /// Per-call deadline for offloaded invocations, split into attempt
+    /// budgets by `retry.max_attempts`.
+    pub call_timeout: Duration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> ResilienceConfig {
+        ResilienceConfig {
+            retry: RetryPolicy::default(),
+            injector: FaultInjector::disabled(),
+            fallback_to_host: true,
+            call_timeout: DEFAULT_TIMEOUT,
+        }
+    }
+}
 
 /// The McSD programming framework.
 pub struct McsdFramework {
@@ -28,12 +63,27 @@ pub struct McsdFramework {
     client: McsdClient,
     offloader: Mutex<Offloader>,
     timeout: Duration,
+    resilience: ResilienceConfig,
+    stats: Mutex<ResilienceStats>,
+    degradations: Mutex<Vec<String>>,
+    decision_log: Mutex<Vec<(String, OffloadDecision)>>,
 }
 
 impl McsdFramework {
-    /// Boot the framework on `cluster` with the given offload policy.
+    /// Boot the framework on `cluster` with the given offload policy and
+    /// default resilience (retries on, host fallback on, no faults).
     pub fn start(cluster: Cluster, policy: OffloadPolicy) -> Result<McsdFramework, McsdError> {
-        let server = SdNodeServer::start(&cluster)?;
+        McsdFramework::start_with(cluster, policy, ResilienceConfig::default())
+    }
+
+    /// Boot the framework with explicit resilience settings — the entry
+    /// point the fault-matrix tests drive with seeded injectors.
+    pub fn start_with(
+        cluster: Cluster,
+        policy: OffloadPolicy,
+        resilience: ResilienceConfig,
+    ) -> Result<McsdFramework, McsdError> {
+        let server = SdNodeServer::start_with_faults(&cluster, resilience.injector.clone())?;
         let client = server.host_client();
         let offloader = Mutex::new(Offloader::for_nodes(policy, &cluster.nodes));
         Ok(McsdFramework {
@@ -41,7 +91,11 @@ impl McsdFramework {
             server,
             client,
             offloader,
-            timeout: DEFAULT_TIMEOUT,
+            timeout: resilience.call_timeout,
+            resilience,
+            stats: Mutex::new(ResilienceStats::default()),
+            degradations: Mutex::new(Vec::new()),
+            decision_log: Mutex::new(Vec::new()),
         })
     }
 
@@ -58,6 +112,60 @@ impl McsdFramework {
     /// Ask the policy where a job should run.
     pub fn decide(&self, profile: &JobProfile) -> OffloadDecision {
         self.offloader.lock().decide(profile)
+    }
+
+    /// Recovery counters accumulated so far: the host side's attempts,
+    /// retries, and failovers plus the daemon's replay/quarantine/skip
+    /// counters, merged at read time. The daemon side owns quarantines and
+    /// replays so they are never double-counted here.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        let mut stats = *self.stats.lock();
+        let daemon = self.server.daemon_stats();
+        stats.replayed += daemon.replayed;
+        stats.quarantines += daemon.quarantined;
+        stats.corrupt_skipped_bytes += daemon.corrupt_skipped_bytes;
+        stats
+    }
+
+    /// Human-readable record of every graceful degradation, in order.
+    pub fn degradations(&self) -> Vec<String> {
+        self.degradations.lock().clone()
+    }
+
+    /// Where each typed call actually ran, in call order — including
+    /// [`OffloadDecision::FallbackToHost`] entries for degraded runs.
+    pub fn decision_log(&self) -> Vec<(String, OffloadDecision)> {
+        self.decision_log.lock().clone()
+    }
+
+    fn note_decision(&self, job: &str, decision: OffloadDecision) {
+        self.decision_log.lock().push((job.to_string(), decision));
+    }
+
+    /// One resilient SD invocation: retries inside, counters absorbed.
+    fn invoke_sd(
+        &self,
+        module: &str,
+        params: &[String],
+    ) -> Result<(Vec<u8>, TimeBreakdown), McsdError> {
+        let (outcome, stats) =
+            self.client
+                .invoke_resilient(module, params, self.timeout, &self.resilience.retry);
+        self.stats.lock().absorb(&stats);
+        outcome
+    }
+
+    /// The SD path failed for good. Either degrade to host execution
+    /// (recording the failover) or surface the error, per configuration.
+    fn degrade(&self, job: &str, err: McsdError) -> Result<OffloadDecision, McsdError> {
+        if !self.resilience.fallback_to_host {
+            return Err(err);
+        }
+        self.stats.lock().failovers += 1;
+        self.degradations
+            .lock()
+            .push(format!("{job}: {err}; degraded to host execution"));
+        Ok(OffloadDecision::FallbackToHost)
     }
 
     /// Stage data onto the SD node from the host (pays the network).
@@ -85,25 +193,29 @@ impl McsdFramework {
             compute_per_byte: 10.0,
             data_on_sd: true,
         };
-        match self.decide(&profile) {
-            OffloadDecision::SmartStorage { .. } => {
-                let mut params = vec![file.to_string()];
-                if let Some(p) = partition {
-                    params.push(p.to_string());
-                }
-                let (payload, cost) = self.client.invoke("wordcount", &params, self.timeout)?;
-                let pairs = WordCountModule::decode(&payload)
-                    .map_err(|detail| McsdError::BadScenario { detail })?;
-                Ok((pairs, cost))
+        let mut decision = self.decide(&profile);
+        if let OffloadDecision::SmartStorage { .. } = decision {
+            let mut params = vec![file.to_string()];
+            if let Some(p) = partition {
+                params.push(p.to_string());
             }
-            OffloadDecision::Host => {
-                // Fetch the data across NFS and run on the host.
-                let (data, fetch) = self.read_staged(file)?;
-                let runner = self.host_runner();
-                let out = runner.run_parallel(&WordCount, &data)?;
-                Ok((out.pairs, fetch + out.report.time))
+            match self.invoke_sd("wordcount", &params) {
+                Ok((payload, cost)) => {
+                    self.note_decision("wordcount", decision);
+                    let pairs = WordCountModule::decode(&payload)
+                        .map_err(|detail| McsdError::BadScenario { detail })?;
+                    return Ok((pairs, cost));
+                }
+                Err(e) => decision = self.degrade("wordcount", e)?,
             }
         }
+        self.note_decision("wordcount", decision);
+        // Planned host run or failover: fetch the data across NFS and run
+        // on the host.
+        let (data, fetch) = self.read_staged(file)?;
+        let runner = self.host_runner();
+        let out = runner.run_parallel(&WordCount, &data)?;
+        Ok((out.pairs, fetch + out.report.time))
     }
 
     /// String Match over staged encrypt/keys files.
@@ -120,31 +232,34 @@ impl McsdFramework {
             compute_per_byte: 20.0,
             data_on_sd: true,
         };
-        match self.decide(&profile) {
-            OffloadDecision::SmartStorage { .. } => {
-                let mut params = vec![encrypt_file.to_string(), keys_file.to_string()];
-                if let Some(p) = partition {
-                    params.push(p.to_string());
-                }
-                let (payload, cost) = self.client.invoke("stringmatch", &params, self.timeout)?;
-                let pairs = StringMatchModule::decode(&payload)
-                    .map_err(|detail| McsdError::BadScenario { detail })?;
-                Ok((pairs, cost))
+        let mut decision = self.decide(&profile);
+        if let OffloadDecision::SmartStorage { .. } = decision {
+            let mut params = vec![encrypt_file.to_string(), keys_file.to_string()];
+            if let Some(p) = partition {
+                params.push(p.to_string());
             }
-            OffloadDecision::Host => {
-                let (encrypt, fetch_e) = self.read_staged(encrypt_file)?;
-                let (keys_raw, fetch_k) = self.read_staged(keys_file)?;
-                let keys: Vec<String> = String::from_utf8_lossy(&keys_raw)
-                    .lines()
-                    .filter(|l| !l.is_empty())
-                    .map(str::to_string)
-                    .collect();
-                let job = StringMatch::new(&keys);
-                let runner = self.host_runner();
-                let out = runner.run_parallel(&job, &encrypt)?;
-                Ok((out.pairs, fetch_e + fetch_k + out.report.time))
+            match self.invoke_sd("stringmatch", &params) {
+                Ok((payload, cost)) => {
+                    self.note_decision("stringmatch", decision);
+                    let pairs = StringMatchModule::decode(&payload)
+                        .map_err(|detail| McsdError::BadScenario { detail })?;
+                    return Ok((pairs, cost));
+                }
+                Err(e) => decision = self.degrade("stringmatch", e)?,
             }
         }
+        self.note_decision("stringmatch", decision);
+        let (encrypt, fetch_e) = self.read_staged(encrypt_file)?;
+        let (keys_raw, fetch_k) = self.read_staged(keys_file)?;
+        let keys: Vec<String> = String::from_utf8_lossy(&keys_raw)
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect();
+        let job = StringMatch::new(&keys);
+        let runner = self.host_runner();
+        let out = runner.run_parallel(&job, &encrypt)?;
+        Ok((out.pairs, fetch_e + fetch_k + out.report.time))
     }
 
     /// Matrix multiplication. Dense MM is compute-intensive, so the
@@ -157,27 +272,29 @@ impl McsdFramework {
             compute_per_byte: a.cols as f64, // ~n multiply-adds per stored byte
             data_on_sd: false,
         };
-        match self.decide(&profile) {
-            OffloadDecision::Host => {
-                let job = MatMul::new(Arc::new(a.clone()), b);
-                let runner = self.host_runner();
-                let out = runner.run_parallel(&job, &job.row_input())?;
-                let c = job.assemble(&out.pairs);
-                Ok((c, out.report.time))
-            }
-            OffloadDecision::SmartStorage { .. } => {
-                let stage_a = self.stage_data("mm_a.mat", &a.to_bytes())?;
-                let stage_b = self.stage_data("mm_b.mat", &b.to_bytes())?;
-                let (payload, cost) = self.client.invoke(
-                    "matmul",
-                    &["mm_a.mat".to_string(), "mm_b.mat".to_string()],
-                    self.timeout,
-                )?;
-                let c = Matrix::from_bytes(&payload)
-                    .map_err(|detail| McsdError::BadScenario { detail })?;
-                Ok((c, stage_a + stage_b + cost))
+        let mut decision = self.decide(&profile);
+        if let OffloadDecision::SmartStorage { .. } = decision {
+            let stage_a = self.stage_data("mm_a.mat", &a.to_bytes())?;
+            let stage_b = self.stage_data("mm_b.mat", &b.to_bytes())?;
+            match self.invoke_sd("matmul", &["mm_a.mat".to_string(), "mm_b.mat".to_string()]) {
+                Ok((payload, cost)) => {
+                    self.note_decision("matmul", decision);
+                    let c = Matrix::from_bytes(&payload)
+                        .map_err(|detail| McsdError::BadScenario { detail })?;
+                    return Ok((c, stage_a + stage_b + cost));
+                }
+                Err(e) => decision = self.degrade("matmul", e)?,
             }
         }
+        self.note_decision("matmul", decision);
+        // Planned host run or failover. The operands are still in hand, so
+        // the fallback recomputes directly instead of re-reading the
+        // staged copies.
+        let job = MatMul::new(Arc::new(a.clone()), b);
+        let runner = self.host_runner();
+        let out = runner.run_parallel(&job, &job.row_input())?;
+        let c = job.assemble(&out.pairs);
+        Ok((c, out.report.time))
     }
 
     /// Shut the framework down (daemon, share). Also happens on drop.
@@ -285,6 +402,55 @@ mod tests {
         let (c, _) = fw.matmul(&a, &b).unwrap();
         assert!(c.max_abs_diff(&seq::matmul(&a, &b)) < 1e-9);
         assert_eq!(fw.sd_node().daemon_stats().requests, 0);
+        fw.stop();
+    }
+
+    #[test]
+    fn daemon_crash_degrades_to_host_fallback() {
+        use mcsd_smartfam::{FaultAction, FaultPlan, FaultSite};
+        // The daemon crashes before dispatching the very first request.
+        let plan = FaultPlan::none().with(FaultSite::Dispatch, 0, FaultAction::CrashBefore);
+        let mut resilience = ResilienceConfig {
+            injector: FaultInjector::new(plan),
+            ..ResilienceConfig::default()
+        };
+        // Tight liveness bounds so the dead daemon is detected quickly.
+        resilience.retry.heartbeat_max_age = Duration::from_millis(300);
+        resilience.retry.probe_interval = Duration::from_millis(10);
+        let fw = McsdFramework::start_with(cluster(), OffloadPolicy::DataIntensiveToSd, resilience)
+            .unwrap();
+        let text = TextGen::with_seed(9).generate(20_000);
+        fw.stage_data_local("t.txt", &text).unwrap();
+        let (pairs, _) = fw.wordcount("t.txt", None).unwrap();
+        assert_eq!(pairs, seq::wordcount(&text));
+        let stats = fw.resilience_stats();
+        assert!(stats.failovers >= 1, "no failover recorded: {stats}");
+        assert!(fw.degradations().iter().any(|d| d.contains("wordcount")));
+        assert!(fw
+            .decision_log()
+            .iter()
+            .any(|(j, d)| j == "wordcount" && *d == OffloadDecision::FallbackToHost));
+        fw.stop();
+    }
+
+    #[test]
+    fn fallback_can_be_disabled() {
+        use mcsd_smartfam::{FaultAction, FaultPlan, FaultSite};
+        let plan = FaultPlan::none().with(FaultSite::Dispatch, 0, FaultAction::CrashBefore);
+        let mut resilience = ResilienceConfig {
+            injector: FaultInjector::new(plan),
+            fallback_to_host: false,
+            ..ResilienceConfig::default()
+        };
+        resilience.retry.heartbeat_max_age = Duration::from_millis(300);
+        resilience.retry.probe_interval = Duration::from_millis(10);
+        let fw = McsdFramework::start_with(cluster(), OffloadPolicy::DataIntensiveToSd, resilience)
+            .unwrap();
+        let text = TextGen::with_seed(10).generate(5_000);
+        fw.stage_data_local("t.txt", &text).unwrap();
+        let err = fw.wordcount("t.txt", None).unwrap_err();
+        assert!(err.to_string().contains("daemon"), "{err}");
+        assert!(fw.degradations().is_empty());
         fw.stop();
     }
 

@@ -47,8 +47,14 @@ pub mod scenario;
 pub use driver::{ExecMode, NodeRunReport, NodeRunner};
 pub use error::McsdError;
 pub use footprint::FootprintOverride;
-pub use framework::McsdFramework;
-pub use multisd::{MultiSdReport, MultiSdRunner};
+pub use framework::{McsdFramework, ResilienceConfig};
+pub use multisd::{MultiSdReport, MultiSdRunner, SpanOutcome};
 pub use offload::{JobProfile, OffloadDecision, OffloadPolicy};
 pub use report::RunReport;
 pub use scenario::{PairReport, PairRunner, PairScenario, PairWorkload};
+
+// Fault-injection surface, re-exported so experiment and test code can
+// script failures without depending on mcsd-smartfam directly.
+pub use mcsd_smartfam::{
+    FaultAction, FaultInjector, FaultPlan, FaultSite, ResilienceStats, RetryPolicy,
+};

@@ -18,23 +18,64 @@ use mcsd_cluster::{Cluster, NodeRole, TimeBreakdown};
 use mcsd_phoenix::partition::Merger;
 use mcsd_phoenix::Stopwatch;
 use mcsd_phoenix::{Job, PartitionPlan, PartitionSpec};
+use mcsd_smartfam::{FaultInjector, ResilienceStats};
 use std::time::Duration;
+
+/// How one input span eventually produced its output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Clean first run on the span's primary SD node.
+    Ok {
+        /// Node that ran the span.
+        node: String,
+    },
+    /// The first run failed; a retry on the same node succeeded.
+    Retried {
+        /// Node that ran the span.
+        node: String,
+    },
+    /// The span left its primary node and was re-run elsewhere.
+    Redispatched {
+        /// Failed runs before the successful one.
+        attempts: u32,
+        /// Node (surviving SD or the host) that finally ran the span.
+        node: String,
+    },
+}
+
+impl SpanOutcome {
+    /// The node that produced this span's output.
+    pub fn node(&self) -> &str {
+        match self {
+            SpanOutcome::Ok { node }
+            | SpanOutcome::Retried { node }
+            | SpanOutcome::Redispatched { node, .. } => node,
+        }
+    }
+}
 
 /// Result of a scale-out run.
 #[derive(Debug, Clone)]
 pub struct MultiSdReport<K, V> {
     /// Final merged output pairs (ordered per the job's output order).
     pub pairs: Vec<(K, V)>,
-    /// Per-node run reports, in SD-node order.
+    /// Per-span run reports, in span order (the node that finally ran the
+    /// span is named in the report and in `outcomes`).
     pub per_node: Vec<RunReport>,
-    /// Virtual elapsed time: slowest node + host-side merge.
+    /// Per-span recovery outcome, parallel to `per_node`.
+    pub outcomes: Vec<SpanOutcome>,
+    /// Aggregated recovery counters for the whole scale-out run.
+    pub resilience: ResilienceStats,
+    /// Virtual elapsed time: busiest node timeline + host-side merge.
+    /// Re-dispatched spans charge both the failed runs and the re-run, so
+    /// recovery is never free.
     pub elapsed: Duration,
     /// Host-side merge cost.
     pub merge: TimeBreakdown,
 }
 
 impl<K, V> MultiSdReport<K, V> {
-    /// Number of SD nodes that participated.
+    /// Number of spans (= participating SD nodes on a clean run).
     pub fn nodes(&self) -> usize {
         self.per_node.len()
     }
@@ -92,6 +133,28 @@ impl MultiSdRunner {
         J: Job + Clone,
         M: Merger<J>,
     {
+        self.run_with_faults(job, merger, input, mode, &FaultInjector::disabled())
+    }
+
+    /// Like [`MultiSdRunner::run`], but every SD-side span run consults
+    /// `injector` ([`mcsd_smartfam::FaultSite::Span`]): an injected failure
+    /// loses that run's output and the span is re-dispatched — first a
+    /// retry on its primary node, then the surviving SD nodes in order,
+    /// finally the host, which never consults the injector (so the chain
+    /// always terminates). Real runner errors (memory overflow, bad
+    /// config) still propagate: only injected failures re-dispatch.
+    pub fn run_with_faults<J, M>(
+        &self,
+        job: &J,
+        merger: &M,
+        input: &[u8],
+        mode: ExecMode,
+        injector: &FaultInjector,
+    ) -> Result<MultiSdReport<J::Key, J::Value>, McsdError>
+    where
+        J: Job + Clone,
+        M: Merger<J>,
+    {
         let sd_nodes: Vec<_> = self
             .cluster
             .nodes
@@ -106,22 +169,83 @@ impl MultiSdRunner {
         // (running them as concurrent OS threads would make them contend
         // for this machine's cores and inflate every node's wall time);
         // node-level concurrency is then modelled the same way the pair
-        // scenarios model host/SD concurrency — the elapsed time is the
-        // slowest node. Spans beyond the node count (possible only for
-        // degenerate tiny inputs) fold into the last node.
+        // scenarios model host/SD concurrency — each node accumulates a
+        // virtual timeline and the elapsed time is the busiest timeline.
+        // Spans beyond the node count (possible only for degenerate tiny
+        // inputs) fold into the last node. A failed run still charges its
+        // node's timeline: the work happened, the output was lost.
+        let host_slot = sd_nodes.len();
+        let mut timelines = vec![Duration::ZERO; sd_nodes.len() + 1];
         let mut per_node = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut resilience = ResilienceStats::default();
         let mut acc = merger.empty();
-        let mut slowest = Duration::ZERO;
         let mut merge_wall = Duration::ZERO;
         for (i, span) in spans.iter().enumerate() {
-            let node = sd_nodes[i.min(sd_nodes.len() - 1)].clone();
-            let runner = NodeRunner::new(node, self.cluster.disk);
-            let out = runner.run_mode_at(job, merger, &input[span.clone()], mode, span.start)?;
-            slowest = slowest.max(out.report.elapsed());
+            let primary = i.min(sd_nodes.len() - 1);
+            // Attempt order: primary, retry-in-place, surviving SD nodes,
+            // host.
+            let mut candidates = vec![primary, primary];
+            candidates.extend((0..sd_nodes.len()).filter(|&j| j != primary));
+            candidates.push(host_slot);
+
+            let mut failures: u32 = 0;
+            let mut done = None;
+            for &slot in &candidates {
+                let node = if slot == host_slot {
+                    self.cluster.host().clone()
+                } else {
+                    sd_nodes[slot].clone()
+                };
+                let injected = slot != host_slot && injector.on_span();
+                resilience.attempts += 1;
+                let runner = NodeRunner::new(node, self.cluster.disk);
+                let out =
+                    runner.run_mode_at(job, merger, &input[span.clone()], mode, span.start)?;
+                timelines[slot] += out.report.elapsed();
+                if injected {
+                    failures += 1;
+                    continue;
+                }
+                done = Some((slot, out));
+                break;
+            }
+            let (slot, out) = match done {
+                Some(v) => v,
+                // Unreachable: the host terminates every attempt chain.
+                None => {
+                    return Err(McsdError::BadScenario {
+                        detail: format!("span {i} exhausted its re-dispatch chain"),
+                    })
+                }
+            };
+
+            let node_name = out.report.node.clone();
+            let outcome = if failures == 0 {
+                SpanOutcome::Ok { node: node_name }
+            } else if slot == primary {
+                SpanOutcome::Retried { node: node_name }
+            } else {
+                SpanOutcome::Redispatched {
+                    attempts: failures,
+                    node: node_name,
+                }
+            };
+            resilience.retries += u64::from(failures);
+            if matches!(outcome, SpanOutcome::Redispatched { .. }) {
+                resilience.redispatches += 1;
+            }
+
             let t0 = Stopwatch::start();
             merger.merge(&mut acc, out.pairs);
             merge_wall += t0.elapsed();
-            per_node.push(out.report);
+            let mut report = out.report;
+            report.resilience.attempts = u64::from(failures) + 1;
+            report.resilience.retries = u64::from(failures);
+            report.resilience.redispatches =
+                u64::from(matches!(outcome, SpanOutcome::Redispatched { .. }));
+            per_node.push(report);
+            outcomes.push(outcome);
         }
         let t0 = Stopwatch::start();
         let mut pairs = merger.finish(acc);
@@ -136,11 +260,14 @@ impl MultiSdRunner {
         // The host merge is real compute on the host (fold + final sort).
         let host = mcsd_cluster::NodeExecutor::new(self.cluster.host().clone());
         let merge = TimeBreakdown::compute(host.scale_compute(merge_wall + t0.elapsed()));
+        let busiest = timelines.iter().max().copied().unwrap_or(Duration::ZERO);
 
         Ok(MultiSdReport {
             pairs,
             per_node,
-            elapsed: slowest + merge.total(),
+            outcomes,
+            resilience,
+            elapsed: busiest + merge.total(),
             merge,
         })
     }
@@ -257,6 +384,127 @@ mod tests {
             assert_eq!(report.stats.swapped_bytes, 0);
             assert!(report.stats.fragments > 1);
         }
+    }
+
+    #[test]
+    fn clean_run_reports_all_spans_ok() {
+        let mut cluster = multi_sd_testbed(Scale::smoke(), 3);
+        for n in &mut cluster.nodes {
+            n.memory_bytes = 64 << 20;
+        }
+        let runner = MultiSdRunner::new(cluster).unwrap();
+        let input = text(12_000);
+        let out = runner
+            .run(&WordCount, &WordCount::merger(), &input, ExecMode::Parallel)
+            .unwrap();
+        assert!(out.resilience.is_clean());
+        assert!(out
+            .outcomes
+            .iter()
+            .all(|o| matches!(o, SpanOutcome::Ok { .. })));
+    }
+
+    #[test]
+    fn injected_failure_retries_in_place_then_redispatches() {
+        use mcsd_smartfam::{FaultAction, FaultPlan, FaultSite};
+        let mut cluster = multi_sd_testbed(Scale::smoke(), 3);
+        for n in &mut cluster.nodes {
+            n.memory_bytes = 64 << 20;
+        }
+        let runner = MultiSdRunner::new(cluster).unwrap();
+        let input = text(15_000);
+        // Span-run occurrences: span0 ok (0), span1 primary (1) and its
+        // in-place retry (2) both fail, re-dispatch to sd0 (3) succeeds,
+        // span2 ok (4).
+        let plan = FaultPlan::none()
+            .with(FaultSite::Span, 1, FaultAction::Fail)
+            .with(FaultSite::Span, 2, FaultAction::Fail);
+        let injector = mcsd_smartfam::FaultInjector::new(plan);
+        let out = runner
+            .run_with_faults(
+                &WordCount,
+                &WordCount::merger(),
+                &input,
+                ExecMode::Parallel,
+                &injector,
+            )
+            .unwrap();
+        assert_eq!(out.pairs, seq::wordcount(&input));
+        assert_eq!(
+            out.outcomes[1],
+            SpanOutcome::Redispatched {
+                attempts: 2,
+                node: "sd0".into()
+            }
+        );
+        assert!(matches!(out.outcomes[0], SpanOutcome::Ok { .. }));
+        assert!(matches!(out.outcomes[2], SpanOutcome::Ok { .. }));
+        assert_eq!(out.resilience.retries, 2);
+        assert_eq!(out.resilience.redispatches, 1);
+        assert_eq!(out.per_node[1].resilience.attempts, 3);
+    }
+
+    #[test]
+    fn single_injected_failure_recovers_on_the_same_node() {
+        use mcsd_smartfam::{FaultAction, FaultPlan, FaultSite};
+        let mut cluster = multi_sd_testbed(Scale::smoke(), 2);
+        for n in &mut cluster.nodes {
+            n.memory_bytes = 64 << 20;
+        }
+        let runner = MultiSdRunner::new(cluster).unwrap();
+        let input = text(10_000);
+        let plan = FaultPlan::none().with(FaultSite::Span, 0, FaultAction::Fail);
+        let injector = mcsd_smartfam::FaultInjector::new(plan);
+        let out = runner
+            .run_with_faults(
+                &WordCount,
+                &WordCount::merger(),
+                &input,
+                ExecMode::Parallel,
+                &injector,
+            )
+            .unwrap();
+        assert_eq!(out.pairs, seq::wordcount(&input));
+        assert_eq!(out.outcomes[0], SpanOutcome::Retried { node: "sd0".into() });
+        assert_eq!(out.resilience.retries, 1);
+        assert_eq!(out.resilience.redispatches, 0);
+    }
+
+    #[test]
+    fn every_sd_attempt_failing_falls_back_to_the_host() {
+        use mcsd_smartfam::{FaultAction, FaultPlan, FaultSite};
+        let mut cluster = multi_sd_testbed(Scale::smoke(), 1);
+        for n in &mut cluster.nodes {
+            n.memory_bytes = 64 << 20;
+        }
+        let runner = MultiSdRunner::new(cluster).unwrap();
+        let host_name = runner.cluster().host().name.clone();
+        let input = text(8_000);
+        // The only SD node fails its primary run and its retry; the host
+        // (which never consults the injector) finishes the span.
+        let plan = FaultPlan::none()
+            .with(FaultSite::Span, 0, FaultAction::Fail)
+            .with(FaultSite::Span, 1, FaultAction::Fail);
+        let injector = mcsd_smartfam::FaultInjector::new(plan);
+        let out = runner
+            .run_with_faults(
+                &WordCount,
+                &WordCount::merger(),
+                &input,
+                ExecMode::Parallel,
+                &injector,
+            )
+            .unwrap();
+        assert_eq!(out.pairs, seq::wordcount(&input));
+        assert_eq!(
+            out.outcomes[0],
+            SpanOutcome::Redispatched {
+                attempts: 2,
+                node: host_name
+            }
+        );
+        // The failed runs are charged: elapsed covers three span runs.
+        assert!(out.elapsed > out.per_node[0].elapsed());
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub enum OffloadDecision {
         /// Index into the cluster's SD node list.
         sd_index: usize,
     },
+    /// The policy chose an SD node but the invocation failed and the
+    /// framework degraded gracefully to host execution. Never produced by
+    /// [`Offloader::decide`]; recorded by the framework's self-healing path
+    /// so callers can tell a planned host run from a failover.
+    FallbackToHost,
 }
 
 /// Offload policies (the `ablation_offload_policy` bench compares them).

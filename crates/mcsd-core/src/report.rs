@@ -2,6 +2,7 @@
 
 use mcsd_cluster::TimeBreakdown;
 use mcsd_phoenix::JobStats;
+use mcsd_smartfam::ResilienceStats;
 use std::time::Duration;
 
 /// Summary of one job run on one node under one execution mode — the unit
@@ -20,6 +21,8 @@ pub struct RunReport {
     pub time: TimeBreakdown,
     /// Runtime statistics.
     pub stats: JobStats,
+    /// Recovery counters for this run (all zero on an undisturbed run).
+    pub resilience: ResilienceStats,
 }
 
 impl RunReport {
@@ -33,9 +36,10 @@ impl RunReport {
         baseline.elapsed().as_secs_f64() / self.elapsed().as_secs_f64().max(1e-12)
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. Recovery counters are appended
+    /// only when the run was actually disturbed.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{:<12} {:<14} {:<16} {:>10}B  total={:>9.3?} (cpu={:.3?} net={:.3?} disk={:.3?} ovh={:.3?}) frags={} swapped={}B",
             self.job,
             self.node,
@@ -48,7 +52,11 @@ impl RunReport {
             self.time.overhead,
             self.stats.fragments,
             self.stats.swapped_bytes,
-        )
+        );
+        if !self.resilience.is_clean() {
+            line.push_str(&format!("  [{}]", self.resilience));
+        }
+        line
     }
 }
 
@@ -64,6 +72,7 @@ mod tests {
             input_bytes: 1000,
             time: TimeBreakdown::compute(Duration::from_millis(ms)),
             stats: JobStats::default(),
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -82,5 +91,14 @@ mod tests {
         assert!(s.contains("wc"));
         assert!(s.contains("sd"));
         assert!(s.contains("par"));
+    }
+
+    #[test]
+    fn summary_appends_resilience_only_when_disturbed() {
+        let mut r = report(5);
+        assert!(!r.summary().contains("retries="));
+        r.resilience.retries = 2;
+        r.resilience.attempts = 3;
+        assert!(r.summary().contains("retries=2"));
     }
 }

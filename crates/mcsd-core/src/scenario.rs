@@ -391,6 +391,7 @@ mod tests {
             input_bytes: 0,
             time: TimeBreakdown::compute(Duration::from_millis(ms)),
             stats: Default::default(),
+            resilience: Default::default(),
         };
         let serial = PairReport {
             scenario: "s".into(),

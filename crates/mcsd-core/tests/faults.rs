@@ -1,0 +1,232 @@
+//! Seeded fault-matrix integration test.
+//!
+//! Sweeps a fixed set of seeds through [`FaultPlan::from_seed`] and runs
+//! the three benchmark jobs end-to-end through [`McsdFramework`] under
+//! each schedule. The contract under test:
+//!
+//! * every run ends within its deadline in either the correct output
+//!   (identical to the fault-free oracle) or a typed [`McsdError`] —
+//!   never a hang, never silently wrong data;
+//! * replaying the same seed reproduces the same outputs and the same
+//!   [`ResilienceStats`] counters exactly;
+//! * the chosen seeds jointly cover every injectable fault kind: daemon
+//!   crash mid-request (before and after execution), torn frame, corrupt
+//!   frame, module failure, heartbeat stall, and stale-read hiding.
+
+use mcsd_apps::{datagen, seq, Matrix, TextGen};
+use mcsd_cluster::{paper_testbed, Cluster, Scale};
+use mcsd_core::{
+    FaultAction, FaultInjector, FaultPlan, FaultSite, McsdFramework, OffloadPolicy,
+    ResilienceConfig, ResilienceStats,
+};
+use std::time::Duration;
+
+/// Seeds chosen (see `FaultPlan::from_seed`) so the sweep covers every
+/// fault kind; the coverage test below fails if this drifts.
+const SEEDS: [u64; 10] = [0, 1, 3, 4, 5, 8, 12, 17, 20, 22];
+
+fn cluster() -> Cluster {
+    let mut c = paper_testbed(Scale::default_experiment());
+    for n in &mut c.nodes {
+        n.memory_bytes = 256 << 20;
+    }
+    c
+}
+
+/// Retry policy tuned for the test clock: liveness bounds generous enough
+/// that a stalled heartbeat (≤5 missed 50 ms beats) is never mistaken for
+/// death, yet tight enough that a real crash is detected well inside one
+/// attempt budget — that margin is what makes the counters replay exactly.
+fn resilience_for(seed: u64) -> ResilienceConfig {
+    let mut r = ResilienceConfig {
+        injector: FaultInjector::from_seed(seed),
+        ..ResilienceConfig::default()
+    };
+    r.retry.heartbeat_max_age = Duration::from_millis(800);
+    r.retry.probe_interval = Duration::from_millis(25);
+    r.retry.base_backoff = Duration::from_millis(1);
+    r.call_timeout = Duration::from_secs(6);
+    r
+}
+
+struct SuiteRun {
+    wc: Result<Vec<(String, u64)>, String>,
+    sm: Result<Vec<(u64, u32)>, String>,
+    mm: Result<Vec<u8>, String>,
+    stats: ResilienceStats,
+    degradations: Vec<String>,
+}
+
+/// One full suite: WC, SM, MM offloaded through a framework whose daemon
+/// and host client share the seeded injector. `AlwaysSd` routes all three
+/// jobs through the SD path so every fault site is reachable.
+fn run_suite(resilience: ResilienceConfig) -> SuiteRun {
+    let fw = McsdFramework::start_with(cluster(), OffloadPolicy::AlwaysSd, resilience).unwrap();
+
+    let text = TextGen::with_seed(1234).generate(20_000);
+    fw.stage_data_local("wc.txt", &text).unwrap();
+    let keys = datagen::keys_file(3, 7, 8);
+    let encrypt = datagen::encrypt_file(6_000, &keys, 0.08, 3);
+    fw.stage_data_local("sm.bin", &encrypt).unwrap();
+    fw.stage_data_local("sm.keys", keys.join("\n").as_bytes())
+        .unwrap();
+    let (a, b) = datagen::matrix_pair(8, 9, 7, 5);
+
+    let wc = fw
+        .wordcount("wc.txt", None)
+        .map(|(p, _)| p)
+        .map_err(|e| e.to_string());
+    let sm = fw
+        .stringmatch("sm.bin", "sm.keys", None)
+        .map(|(p, _)| p)
+        .map_err(|e| e.to_string());
+    let mm = fw
+        .matmul(&a, &b)
+        .map(|(c, _)| c.to_bytes())
+        .map_err(|e| e.to_string());
+
+    let stats = fw.resilience_stats();
+    let degradations = fw.degradations();
+    fw.stop();
+    SuiteRun {
+        wc,
+        sm,
+        mm,
+        stats,
+        degradations,
+    }
+}
+
+fn plan_has_dispatch_crash(plan: &FaultPlan) -> bool {
+    plan.faults().iter().any(|f| {
+        f.site == FaultSite::Dispatch
+            && matches!(f.action, FaultAction::CrashBefore | FaultAction::CrashAfter)
+    })
+}
+
+#[test]
+fn fault_free_baseline_is_clean() {
+    let run = run_suite(ResilienceConfig::default());
+    let text = TextGen::with_seed(1234).generate(20_000);
+    let keys = datagen::keys_file(3, 7, 8);
+    let encrypt = datagen::encrypt_file(6_000, &keys, 0.08, 3);
+    let (a, b) = datagen::matrix_pair(8, 9, 7, 5);
+    assert_eq!(run.wc.unwrap(), seq::wordcount(&text));
+    assert_eq!(run.sm.unwrap(), seq::stringmatch(&keys, &encrypt));
+    let mm = Matrix::from_bytes(&run.mm.unwrap()).unwrap();
+    assert!(mm.max_abs_diff(&seq::matmul(&a, &b)) < 1e-9);
+    assert!(run.stats.is_clean(), "baseline not clean: {}", run.stats);
+    assert!(run.degradations.is_empty());
+}
+
+#[test]
+fn seed_sweep_covers_every_fault_kind() {
+    let mut crash = false;
+    let mut torn = false;
+    let mut corrupt = false;
+    let mut fail = false;
+    let mut stall = false;
+    let mut hide = false;
+    for seed in SEEDS {
+        let plan = FaultPlan::from_seed(seed);
+        assert!(!plan.is_empty(), "seed {seed} schedules nothing");
+        for f in plan.faults() {
+            match f.action {
+                FaultAction::CrashBefore | FaultAction::CrashAfter => crash = true,
+                FaultAction::Torn { .. } => torn = true,
+                FaultAction::Corrupt { .. } => corrupt = true,
+                FaultAction::Fail => fail = true,
+                FaultAction::Stall { .. } => stall = true,
+                FaultAction::Hide { .. } => hide = true,
+            }
+        }
+    }
+    assert!(
+        crash && torn && corrupt && fail && stall && hide,
+        "sweep coverage hole: crash={crash} torn={torn} corrupt={corrupt} \
+         fail={fail} stall={stall} hide={hide}"
+    );
+}
+
+#[test]
+fn fault_matrix_correct_or_typed_error_and_exact_replay() {
+    let text = TextGen::with_seed(1234).generate(20_000);
+    let keys = datagen::keys_file(3, 7, 8);
+    let encrypt = datagen::encrypt_file(6_000, &keys, 0.08, 3);
+    let (a, b) = datagen::matrix_pair(8, 9, 7, 5);
+    let wc_oracle = seq::wordcount(&text);
+    let sm_oracle = seq::stringmatch(&keys, &encrypt);
+    let mm_oracle = seq::matmul(&a, &b);
+
+    for seed in SEEDS {
+        let first = run_suite(resilience_for(seed));
+        let replay = run_suite(resilience_for(seed));
+
+        // Correct output or typed error — wrong data is the one outcome
+        // that must never happen.
+        for (name, result, oracle) in [
+            ("wordcount", &first.wc, &wc_oracle),
+            ("wordcount(replay)", &replay.wc, &wc_oracle),
+        ] {
+            match result {
+                Ok(pairs) => assert_eq!(pairs, oracle, "seed {seed}: {name} silently wrong"),
+                Err(e) => assert!(!e.is_empty(), "seed {seed}: {name} untyped error"),
+            }
+        }
+        for (name, result, oracle) in [
+            ("stringmatch", &first.sm, &sm_oracle),
+            ("stringmatch(replay)", &replay.sm, &sm_oracle),
+        ] {
+            match result {
+                Ok(pairs) => assert_eq!(pairs, oracle, "seed {seed}: {name} silently wrong"),
+                Err(e) => assert!(!e.is_empty(), "seed {seed}: {name} untyped error"),
+            }
+        }
+        for (name, result) in [("matmul", &first.mm), ("matmul(replay)", &replay.mm)] {
+            match result {
+                Ok(bytes) => {
+                    let m = Matrix::from_bytes(bytes).unwrap();
+                    assert!(
+                        m.max_abs_diff(&mm_oracle) < 1e-9,
+                        "seed {seed}: {name} silently wrong"
+                    );
+                }
+                Err(e) => assert!(!e.is_empty(), "seed {seed}: {name} untyped error"),
+            }
+        }
+
+        // Same seed ⇒ same outcome and exactly the same counters.
+        assert_eq!(
+            first.wc, replay.wc,
+            "seed {seed}: wordcount outcome not replayable"
+        );
+        assert_eq!(
+            first.sm, replay.sm,
+            "seed {seed}: stringmatch outcome not replayable"
+        );
+        assert_eq!(
+            first.mm, replay.mm,
+            "seed {seed}: matmul outcome not replayable"
+        );
+        assert_eq!(
+            first.stats, replay.stats,
+            "seed {seed}: ResilienceStats not replayable ({} vs {})",
+            first.stats, replay.stats
+        );
+
+        // A daemon crash must surface as recorded host fallback, not as an
+        // error: the framework degrades gracefully.
+        if plan_has_dispatch_crash(&FaultPlan::from_seed(seed)) {
+            assert!(
+                first.stats.failovers >= 1,
+                "seed {seed}: crash injected but no failover recorded ({})",
+                first.stats
+            );
+            assert!(
+                !first.degradations.is_empty(),
+                "seed {seed}: failover not recorded in degradations"
+            );
+            assert!(first.wc.is_ok() && first.sm.is_ok() && first.mm.is_ok());
+        }
+    }
+}

@@ -286,6 +286,67 @@ pub fn decode_stream(data: &[u8], offset: usize) -> Result<(Vec<Frame>, usize), 
     Ok((frames, pos))
 }
 
+/// Result of a recovering stream decode: the frames salvaged, the new
+/// cursor position, and how many provably-corrupt bytes were skipped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecoveredStream {
+    /// Every complete, valid frame found.
+    pub frames: Vec<Frame>,
+    /// Offset of the first byte not consumed.
+    pub new_pos: usize,
+    /// Corrupt bytes the scan jumped over.
+    pub skipped_bytes: usize,
+}
+
+/// Like [`decode_stream`], but corruption does not abort the scan: on a
+/// corrupt frame the decoder searches forward for the next position that
+/// holds a *complete, checksum-valid* frame and resumes there, counting
+/// the skipped bytes. Two safety properties:
+///
+/// - The scan never advances past an `Incomplete` tail, because truncated
+///   garbage is indistinguishable from a concurrent append still in
+///   progress; the cursor holds position and the caller re-polls after
+///   the file grows.
+/// - Bytes are only counted as skipped when the scan actually lands on a
+///   valid frame ahead, so `skipped_bytes` never includes an in-progress
+///   append. (A checksum-valid frame starting inside garbage is
+///   astronomically unlikely but not impossible; the FNV-32 check is the
+///   arbiter.)
+pub fn decode_stream_recovering(data: &[u8], offset: usize) -> RecoveredStream {
+    let mut frames = Vec::new();
+    let mut pos = offset.min(data.len());
+    let mut skipped = 0usize;
+    loop {
+        match decode_frame(&data[pos..]) {
+            DecodeStep::Complete { frame, consumed } => {
+                frames.push(frame);
+                pos += consumed;
+            }
+            DecodeStep::Incomplete => break,
+            DecodeStep::Corrupt { .. } => match next_complete_frame(data, pos + 1) {
+                Some(resync) => {
+                    skipped += resync - pos;
+                    pos = resync;
+                }
+                None => break,
+            },
+        }
+    }
+    RecoveredStream {
+        frames,
+        new_pos: pos,
+        skipped_bytes: skipped,
+    }
+}
+
+/// First offset at or after `from` where a complete, valid frame starts.
+fn next_complete_frame(data: &[u8], from: usize) -> Option<usize> {
+    (from..data.len()).find(|&q| {
+        (data[q] == MAGIC_REQUEST || data[q] == MAGIC_RESPONSE)
+            && matches!(decode_frame(&data[q..]), DecodeStep::Complete { .. })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +480,74 @@ mod tests {
         let mut data = Frame::request(1, vec![]).encode();
         data.extend_from_slice(b"ZZZZ");
         assert!(decode_stream(&data, 0).is_err());
+    }
+
+    #[test]
+    fn recovering_decode_holds_at_torn_tail_then_completes() {
+        // A torn append must NOT be treated as corruption: the recovering
+        // decoder holds position, and once the writer finishes the frame a
+        // re-scan picks it up with zero skipped bytes.
+        let first = Frame::request(1, vec!["a".into()]).encode();
+        let torn = Frame::request(2, vec!["second-parameter".into()]).encode();
+        let mut data = first.clone();
+        data.extend_from_slice(&torn[..torn.len() / 2]);
+        let rec = decode_stream_recovering(&data, 0);
+        assert_eq!(rec.frames.len(), 1);
+        assert_eq!(rec.new_pos, first.len());
+        assert_eq!(rec.skipped_bytes, 0);
+        // Complete the torn frame and rescan from the held position.
+        let mut full = first.clone();
+        full.extend_from_slice(&torn);
+        let rec = decode_stream_recovering(&full, rec.new_pos);
+        assert_eq!(rec.frames.len(), 1);
+        assert_eq!(rec.frames[0].id, 2);
+        assert_eq!(rec.new_pos, full.len());
+        assert_eq!(rec.skipped_bytes, 0);
+    }
+
+    #[test]
+    fn recovering_decode_skips_corrupt_frame_to_next_valid() {
+        // frame1 | corrupted frame2 | frame3 — the recovering decoder
+        // salvages 1 and 3 and reports exactly frame2's bytes as skipped.
+        let f1 = Frame::request(1, vec!["one".into()]).encode();
+        let mut f2 = Frame::request(2, vec!["two".into()]).encode();
+        let mid = f2.len() / 2;
+        f2[mid] ^= 0x5a; // checksum now fails
+        let f3 = Frame::request(3, vec!["three".into()]).encode();
+        let mut data = f1.clone();
+        data.extend_from_slice(&f2);
+        data.extend_from_slice(&f3);
+        let rec = decode_stream_recovering(&data, 0);
+        let ids: Vec<u64> = rec.frames.iter().map(|f| f.id).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(rec.skipped_bytes, f2.len());
+        assert_eq!(rec.new_pos, data.len());
+    }
+
+    #[test]
+    fn recovering_decode_holds_when_no_valid_frame_ahead() {
+        // Corrupt bytes with no complete frame after them could be an
+        // in-progress append — nothing is consumed or counted yet.
+        let f1 = Frame::request(1, vec![]).encode();
+        let mut data = f1.clone();
+        data.extend_from_slice(b"ZZZZZZ");
+        let rec = decode_stream_recovering(&data, 0);
+        assert_eq!(rec.frames.len(), 1);
+        assert_eq!(rec.new_pos, f1.len());
+        assert_eq!(rec.skipped_bytes, 0);
+    }
+
+    #[test]
+    fn recovering_decode_matches_plain_decode_on_clean_streams() {
+        let mut data = Vec::new();
+        for i in 0..4 {
+            data.extend(Frame::request(i, vec![format!("p{i}")]).encode());
+        }
+        let (plain, pos) = decode_stream(&data, 0).unwrap();
+        let rec = decode_stream_recovering(&data, 0);
+        assert_eq!(rec.frames, plain);
+        assert_eq!(rec.new_pos, pos);
+        assert_eq!(rec.skipped_bytes, 0);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! so a daemon crash/restart does not lose offloaded work.
 
 use crate::codec::{Frame, FrameBody};
-use crate::log_file::LogFile;
+use crate::faults::{DispatchFault, FaultInjector, QUARANTINE_TOKEN};
+use crate::log_file::{LogFile, LogRole};
 use crate::module::ModuleRegistry;
 use crate::watch::{FileWatcher, WatchConfig, WatchEventKind};
 use mcsd_phoenix::Stopwatch;
@@ -36,6 +37,13 @@ pub struct DaemonConfig {
     /// Run each module invocation on its own thread, so concurrent
     /// requests to different modules overlap.
     pub dispatch_parallel: bool,
+    /// A module failing this many *consecutive* invocations is
+    /// quarantined: later requests get an immediate error response
+    /// carrying [`QUARANTINE_TOKEN`] so hosts fail over instead of
+    /// burning their deadline. `0` disables quarantine.
+    pub quarantine_threshold: u32,
+    /// Fault injector (disabled by default; tests install seeded plans).
+    pub injector: FaultInjector,
 }
 
 impl DaemonConfig {
@@ -46,7 +54,15 @@ impl DaemonConfig {
             watch: WatchConfig::default(),
             heartbeat_interval: Duration::from_millis(50),
             dispatch_parallel: true,
+            quarantine_threshold: 3,
+            injector: FaultInjector::disabled(),
         }
+    }
+
+    /// Install a fault injector (builder style).
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.injector = injector;
+        self
     }
 }
 
@@ -64,6 +80,15 @@ pub struct DaemonStats {
     pub module_errors: u64,
     /// Requests naming a module that is not registered.
     pub unknown_module: u64,
+    /// Requests answered by the startup replay scan (left over from a
+    /// previous daemon incarnation).
+    pub replayed: u64,
+    /// Modules put into quarantine.
+    pub quarantined: u64,
+    /// Requests refused because their module was quarantined.
+    pub quarantine_rejected: u64,
+    /// Provably-corrupt log bytes the daemon's recovering reads skipped.
+    pub corrupt_skipped_bytes: u64,
 }
 
 #[derive(Default)]
@@ -72,6 +97,10 @@ struct StatsInner {
     ok: AtomicU64,
     module_errors: AtomicU64,
     unknown_module: AtomicU64,
+    replayed: AtomicU64,
+    quarantined: AtomicU64,
+    quarantine_rejected: AtomicU64,
+    corrupt_skipped_bytes: AtomicU64,
 }
 
 impl StatsInner {
@@ -81,7 +110,40 @@ impl StatsInner {
             ok: self.ok.load(Ordering::Relaxed),
             module_errors: self.module_errors.load(Ordering::Relaxed),
             unknown_module: self.unknown_module.load(Ordering::Relaxed),
+            replayed: self.replayed.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            quarantine_rejected: self.quarantine_rejected.load(Ordering::Relaxed),
+            corrupt_skipped_bytes: self.corrupt_skipped_bytes.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Per-module failure tracking for poison-module quarantine.
+#[derive(Default)]
+struct ModuleHealth {
+    consecutive_failures: u32,
+    quarantined: bool,
+}
+
+/// Record one invocation result; flips the module into quarantine when it
+/// crosses `threshold` consecutive failures.
+fn note_result(
+    health: &Mutex<HashMap<String, ModuleHealth>>,
+    stats: &StatsInner,
+    name: &str,
+    failed: bool,
+    threshold: u32,
+) {
+    let mut map = health.lock();
+    let entry = map.entry(name.to_string()).or_default();
+    if failed {
+        entry.consecutive_failures += 1;
+        if !entry.quarantined && threshold > 0 && entry.consecutive_failures >= threshold {
+            entry.quarantined = true;
+            stats.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    } else {
+        entry.consecutive_failures = 0;
     }
 }
 
@@ -105,17 +167,30 @@ impl Daemon {
         Daemon { config, registry }
     }
 
-    /// Start the daemon thread.
+    /// Start the daemon thread. Returns once the startup replay scan has
+    /// finished, so requests submitted after `spawn` are always served by
+    /// the live dispatch loop — never mistaken for replay leftovers.
     pub fn spawn(self) -> std::io::Result<DaemonHandle> {
         std::fs::create_dir_all(&self.config.log_dir)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
         let log_dir = self.config.log_dir.clone();
+        let replay_done: ReplayBarrier =
+            Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
         let handle = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
-            std::thread::spawn(move || daemon_loop(self.config, self.registry, stop, stats))
+            let replay_done = Arc::clone(&replay_done);
+            std::thread::spawn(move || {
+                daemon_loop(self.config, self.registry, stop, stats, replay_done)
+            })
         };
+        let (lock, cvar) = &*replay_done;
+        let mut done = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = cvar.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(done);
         Ok(DaemonHandle {
             stop,
             handle: Some(handle),
@@ -162,11 +237,17 @@ struct LogState {
     handled: HashSet<u64>,
 }
 
+/// Signalled once the startup replay scan is done, so [`Daemon::spawn`]
+/// can return a daemon that will never misattribute fresh requests to
+/// replay.
+type ReplayBarrier = Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>;
+
 fn daemon_loop(
     config: DaemonConfig,
     registry: ModuleRegistry,
     stop: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
+    replay_done: ReplayBarrier,
 ) {
     let watcher = FileWatcher::spawn(&config.log_dir, config.watch);
     let mut logs: HashMap<PathBuf, LogState> = HashMap::new();
@@ -174,29 +255,43 @@ fn daemon_loop(
     let mut last_heartbeat: Option<Stopwatch> = None;
     let mut heartbeat_seq: u64 = 0;
     let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let health: Arc<Mutex<HashMap<String, ModuleHealth>>> = Arc::new(Mutex::new(HashMap::new()));
 
     // Startup replay: answer pending requests left over from a previous
     // daemon incarnation.
     if let Ok(entries) = std::fs::read_dir(&config.log_dir) {
         for entry in entries.flatten() {
             let path = entry.path();
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
             if is_module_log(&path) {
-                process_log(&path, &mut logs, &registry, &stats, &config, &workers);
+                process_log(
+                    &path, &mut logs, &registry, &stats, &config, &workers, &health, &stop, true,
+                );
             }
         }
     }
+    {
+        let (lock, cvar) = &*replay_done;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cvar.notify_all();
+    }
 
     while !stop.load(Ordering::Relaxed) {
-        // Heartbeat.
+        // Heartbeat (an injected stall suppresses the write, so the file
+        // goes stale exactly the way a wedged daemon's would).
         if last_heartbeat
             .as_ref()
             .is_none_or(|sw| sw.expired(config.heartbeat_interval))
         {
             heartbeat_seq += 1;
-            let _ = std::fs::write(
-                config.log_dir.join(HEARTBEAT_FILE),
-                heartbeat_seq.to_le_bytes(),
-            );
+            if !config.injector.on_heartbeat() {
+                let _ = std::fs::write(
+                    config.log_dir.join(HEARTBEAT_FILE),
+                    heartbeat_seq.to_le_bytes(),
+                );
+            }
             last_heartbeat = Some(Stopwatch::start());
         }
         // Wait for file events.
@@ -208,7 +303,17 @@ fn daemon_loop(
         if event.kind == WatchEventKind::Removed || !is_module_log(&event.path) {
             continue;
         }
-        process_log(&event.path, &mut logs, &registry, &stats, &config, &workers);
+        process_log(
+            &event.path,
+            &mut logs,
+            &registry,
+            &stats,
+            &config,
+            &workers,
+            &health,
+            &stop,
+            false,
+        );
     }
 
     // Drain in-flight module invocations before exiting.
@@ -228,6 +333,7 @@ fn module_name(path: &Path) -> String {
         .unwrap_or_default()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn process_log(
     path: &Path,
     logs: &mut HashMap<PathBuf, LogState>,
@@ -235,12 +341,15 @@ fn process_log(
     stats: &Arc<StatsInner>,
     config: &DaemonConfig,
     workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    health: &Arc<Mutex<HashMap<String, ModuleHealth>>>,
+    stop: &Arc<AtomicBool>,
+    replay: bool,
 ) {
     let state = match logs.entry(path.to_path_buf()) {
         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
         std::collections::hash_map::Entry::Vacant(v) => match LogFile::attach_at_start(path) {
             Ok(log) => v.insert(LogState {
-                log,
+                log: log.with_faults(config.injector.clone(), LogRole::Daemon),
                 handled: HashSet::new(),
             }),
             // Unreadable log file (permissions, vanished between the
@@ -249,9 +358,19 @@ fn process_log(
             Err(_) => return,
         },
     };
-    let frames = match state.log.poll() {
-        Ok(f) => f,
-        Err(_) => return, // corrupt or unreadable; skip this round
+    // Recovering poll: provably-corrupt bytes (a host's torn write that
+    // was later retried, or silent NFS corruption) are skipped and
+    // counted instead of wedging the cursor forever.
+    let frames = match state.log.poll_recovering() {
+        Ok((frames, skipped)) => {
+            if skipped > 0 {
+                stats
+                    .corrupt_skipped_bytes
+                    .fetch_add(skipped, Ordering::Relaxed);
+            }
+            frames
+        }
+        Err(_) => return, // truncated or unreadable; skip this round
     };
     // First pass: note responses already present (restart replay).
     for frame in &frames {
@@ -260,6 +379,9 @@ fn process_log(
         }
     }
     for frame in frames {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
         let FrameBody::Request { params } = frame.body else {
             continue;
         };
@@ -268,6 +390,9 @@ fn process_log(
         }
         state.handled.insert(frame.id);
         stats.requests.fetch_add(1, Ordering::Relaxed);
+        if replay {
+            stats.replayed.fetch_add(1, Ordering::Relaxed);
+        }
         let name = module_name(path);
         let Ok(writer) = LogFile::attach_at_start(path) else {
             // Cannot open a writer to respond on: count the failure and
@@ -275,6 +400,21 @@ fn process_log(
             stats.module_errors.fetch_add(1, Ordering::Relaxed);
             continue;
         };
+        let writer = writer.with_faults(config.injector.clone(), LogRole::Daemon);
+        // Poison-module quarantine: refuse fast with a distinguishable
+        // message so the host fails over instead of waiting out its
+        // deadline.
+        if health.lock().get(&name).is_some_and(|h| h.quarantined) {
+            stats.quarantine_rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = writer.append(&Frame::response_err(
+                frame.id,
+                &format!(
+                    "module {name:?} {QUARANTINE_TOKEN} {} consecutive failures",
+                    config.quarantine_threshold
+                ),
+            ));
+            continue;
+        }
         match registry.get(&name) {
             None => {
                 stats.unknown_module.fetch_add(1, Ordering::Relaxed);
@@ -284,7 +424,35 @@ fn process_log(
                 ));
             }
             Some(module) => {
+                // Injected dispatch faults: crash (exit the daemon loop
+                // without answering) or a forced module failure.
+                match config.injector.on_dispatch() {
+                    Some(DispatchFault::CrashBefore) => {
+                        stop.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    Some(DispatchFault::CrashAfter) => {
+                        // Execute the module, then die before the
+                        // response is written — the worst crash window
+                        // for replay idempotency.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            module.invoke(&params)
+                        }));
+                        stop.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    Some(DispatchFault::Fail) => {
+                        stats.module_errors.fetch_add(1, Ordering::Relaxed);
+                        note_result(health, stats, &name, true, config.quarantine_threshold);
+                        let _ = writer
+                            .append(&Frame::response_err(frame.id, "injected module failure"));
+                        continue;
+                    }
+                    None => {}
+                }
                 let stats = Arc::clone(stats);
+                let health = Arc::clone(health);
+                let threshold = config.quarantine_threshold;
                 let id = frame.id;
                 let run = move || {
                     // A panicking module must neither kill the daemon
@@ -293,6 +461,7 @@ fn process_log(
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         module.invoke(&params)
                     }));
+                    let failed = !matches!(outcome, Ok(Ok(_)));
                     let response = match outcome {
                         Ok(Ok(payload)) => {
                             stats.ok.fetch_add(1, Ordering::Relaxed);
@@ -312,6 +481,7 @@ fn process_log(
                             Frame::response_err(id, &format!("module panicked: {msg}"))
                         }
                     };
+                    note_result(&health, &stats, &name, failed, threshold);
                     let _ = writer.append(&response);
                 };
                 if config.dispatch_parallel {
@@ -499,6 +669,164 @@ mod tests {
         daemon2.stop();
         // The replayed request must not be re-dispatched.
         assert_eq!(daemon2.stats().requests, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failing_module_is_quarantined_with_distinguishable_message() {
+        let dir = temp_dir();
+        let mut cfg = DaemonConfig::new(&dir);
+        cfg.quarantine_threshold = 2;
+        cfg.dispatch_parallel = false; // deterministic health ordering
+        let mut daemon = Daemon::new(cfg, registry()).spawn().unwrap();
+        let client = HostClient::new(&dir);
+        // Two real failures cross the threshold...
+        for _ in 0..2 {
+            let err = client.invoke("fail", &[], TIMEOUT).unwrap_err();
+            assert!(!err.is_quarantined(), "real failure misclassified: {err}");
+        }
+        // ...after which the daemon refuses immediately with the token.
+        let err = client.invoke("fail", &[], TIMEOUT).unwrap_err();
+        assert!(err.is_quarantined(), "expected quarantine refusal: {err}");
+        daemon.stop();
+        let stats = daemon.stats();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.quarantine_rejected, 1);
+        assert_eq!(stats.module_errors, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_failure_count() {
+        let dir = temp_dir();
+        let mut cfg = DaemonConfig::new(&dir);
+        cfg.quarantine_threshold = 2;
+        cfg.dispatch_parallel = false;
+        let r = ModuleRegistry::new();
+        let calls = Arc::new(TestCounter::new(0));
+        let c = Arc::clone(&calls);
+        r.register(Arc::new(FnModule::new("blinky", move |_: &[String]| {
+            // fail, succeed, fail, succeed, ... — never two in a row.
+            if c.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+                Err(ModuleError::new("odd call"))
+            } else {
+                Ok(b"ok".to_vec())
+            }
+        })));
+        let mut daemon = Daemon::new(cfg, r).spawn().unwrap();
+        let client = HostClient::new(&dir);
+        for i in 0..6 {
+            let res = client.invoke("blinky", &[], TIMEOUT);
+            if i % 2 == 0 {
+                let err = res.unwrap_err();
+                assert!(
+                    !err.is_quarantined(),
+                    "alternating module quarantined: {err}"
+                );
+            } else {
+                assert_eq!(res.unwrap().payload, b"ok");
+            }
+        }
+        daemon.stop();
+        assert_eq!(daemon.stats().quarantined, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_crash_before_dispatch_is_replayed_by_next_incarnation() {
+        use crate::faults::{FaultAction, FaultPlan, FaultSite};
+        let dir = temp_dir();
+        let plan = FaultPlan::none().with(FaultSite::Dispatch, 0, FaultAction::CrashBefore);
+        let cfg = DaemonConfig::new(&dir).with_faults(FaultInjector::new(plan));
+        let daemon1 = Daemon::new(cfg, registry()).spawn().unwrap();
+        let client = HostClient::new(&dir);
+        let pending = client.submit("upper", &["survivor".into()]).unwrap();
+        // The daemon hits the crash fault and exits without answering.
+        let died = Stopwatch::start();
+        while daemon1.is_running() && !died.expired(TIMEOUT) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!daemon1.is_running(), "crash fault did not stop the daemon");
+        assert_eq!(daemon1.stats().ok, 0);
+        // A fresh incarnation replays the log and answers the orphan.
+        let mut daemon2 = Daemon::new(DaemonConfig::new(&dir), registry())
+            .spawn()
+            .unwrap();
+        let out = pending.wait(TIMEOUT).unwrap();
+        assert_eq!(out.payload, b"SURVIVOR");
+        daemon2.stop();
+        assert_eq!(daemon2.stats().replayed, 1);
+        assert_eq!(daemon2.stats().ok, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_after_execution_reexecutes_on_replay_but_answers_once() {
+        use crate::faults::{FaultAction, FaultPlan, FaultSite};
+        let dir = temp_dir();
+        let invocations = Arc::new(TestCounter::new(0));
+        let mk_registry = |counter: Arc<TestCounter>| {
+            let r = ModuleRegistry::new();
+            r.register(Arc::new(FnModule::new("count", move |_: &[String]| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                Ok(b"done".to_vec())
+            })));
+            r
+        };
+        let plan = FaultPlan::none().with(FaultSite::Dispatch, 0, FaultAction::CrashAfter);
+        let cfg = DaemonConfig::new(&dir).with_faults(FaultInjector::new(plan));
+        let daemon1 = Daemon::new(cfg, mk_registry(Arc::clone(&invocations)))
+            .spawn()
+            .unwrap();
+        let client = HostClient::new(&dir);
+        let pending = client.submit("count", &[]).unwrap();
+        let died = Stopwatch::start();
+        while daemon1.is_running() && !died.expired(TIMEOUT) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!daemon1.is_running());
+        // The module DID run once, but no response was written.
+        assert_eq!(invocations.load(Ordering::Relaxed), 1);
+        // Replay re-executes (at-least-once execution) and the host gets
+        // exactly one response (exactly-once answering).
+        let _daemon2 = Daemon::new(
+            DaemonConfig::new(&dir),
+            mk_registry(Arc::clone(&invocations)),
+        )
+        .spawn()
+        .unwrap();
+        let out = pending.wait(TIMEOUT).unwrap();
+        assert_eq!(out.payload, b"done");
+        assert_eq!(invocations.load(Ordering::Relaxed), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_response_frame_does_not_wedge_the_daemon() {
+        use crate::faults::{FaultAction, FaultPlan, FaultSite};
+        let dir = temp_dir();
+        // The daemon's first response append is corrupted in flight; its
+        // own recovering reads must skip the bad frame, and a retried
+        // request must still be answerable.
+        let plan = FaultPlan::none().with(
+            FaultSite::SdAppend,
+            0,
+            FaultAction::Corrupt { xor_mask: 0x11 },
+        );
+        let cfg = DaemonConfig::new(&dir).with_faults(FaultInjector::new(plan));
+        let mut daemon = Daemon::new(cfg, registry()).spawn().unwrap();
+        let client = HostClient::new(&dir);
+        // First call: the response is corrupt, so the host times out.
+        let res = client.invoke("upper", &["lost".into()], Duration::from_millis(300));
+        assert!(res.is_err(), "corrupted response should not decode");
+        // Second call on the same log: daemon must still be functional.
+        let out = client.invoke("upper", &["alive".into()], TIMEOUT).unwrap();
+        assert_eq!(out.payload, b"ALIVE");
+        daemon.stop();
+        // The corrupt frame sat between the daemon's cursor and the second
+        // request, so the daemon's recovering reader skipped (and counted)
+        // it.
+        assert!(daemon.stats().corrupt_skipped_bytes > 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -35,6 +35,30 @@ pub enum SmartFamError {
         /// The requested module name.
         module: String,
     },
+    /// The daemon's heartbeat went stale (or the daemon never came up),
+    /// so the call was abandoned without burning the full deadline.
+    DaemonDead {
+        /// The module that was being invoked.
+        module: String,
+    },
+    /// An injected fault fired on the host side of the call (torn request
+    /// append). Only produced under an active [`crate::FaultInjector`].
+    FaultInjected {
+        /// What the injector did.
+        detail: String,
+    },
+}
+
+impl SmartFamError {
+    /// Whether this error is the daemon refusing a quarantined module —
+    /// hosts should fail over immediately instead of retrying.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(
+            self,
+            SmartFamError::ModuleFailed { message, .. }
+                if message.contains(crate::faults::QUARANTINE_TOKEN)
+        )
+    }
 }
 
 impl fmt::Display for SmartFamError {
@@ -52,6 +76,15 @@ impl fmt::Display for SmartFamError {
             }
             SmartFamError::UnknownModule { module } => {
                 write!(f, "no module registered under {module:?}")
+            }
+            SmartFamError::DaemonDead { module } => {
+                write!(
+                    f,
+                    "daemon heartbeat stale while invoking {module:?}; declared dead"
+                )
+            }
+            SmartFamError::FaultInjected { detail } => {
+                write!(f, "injected fault: {detail}")
             }
         }
     }
@@ -95,6 +128,28 @@ mod tests {
             detail: "bad checksum".into(),
         };
         assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn quarantine_classification() {
+        let quarantined = SmartFamError::ModuleFailed {
+            module: "wc".into(),
+            message: format!(
+                "module \"wc\" {} 3 consecutive failures",
+                crate::faults::QUARANTINE_TOKEN
+            ),
+        };
+        assert!(quarantined.is_quarantined());
+        let ordinary = SmartFamError::ModuleFailed {
+            module: "wc".into(),
+            message: "out of memory".into(),
+        };
+        assert!(!ordinary.is_quarantined());
+        let dead = SmartFamError::DaemonDead {
+            module: "wc".into(),
+        };
+        assert!(!dead.is_quarantined());
+        assert!(dead.to_string().contains("dead"));
     }
 
     #[test]

@@ -33,10 +33,14 @@
 //! * [`daemon`] — the SD-side daemon: watch log files, dispatch modules,
 //!   write results, heartbeat.
 //! * [`host`] — the host-side client: write parameters, await results.
+//! * [`faults`] — seeded deterministic fault injection (torn/corrupt
+//!   appends, daemon crashes, heartbeat stalls, stale reads) plus the
+//!   [`ResilienceStats`] counters shared by every recovery layer.
 
 pub mod codec;
 pub mod daemon;
 pub mod error;
+pub mod faults;
 pub mod host;
 pub mod log_file;
 pub mod module;
@@ -45,7 +49,11 @@ pub mod watch;
 pub use codec::{Frame, FrameBody, Status};
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle, DaemonStats};
 pub use error::SmartFamError;
-pub use host::{HostClient, InvokeOutcome};
-pub use log_file::LogFile;
+pub use faults::{
+    AppendFault, DispatchFault, FaultAction, FaultInjector, FaultPlan, FaultSite, InjectedFault,
+    ResilienceStats, ScheduledFault,
+};
+pub use host::{HostClient, InvokeOutcome, Liveness, PendingCall, ResilientCall, RetryPolicy};
+pub use log_file::{LogFile, LogRole};
 pub use module::{ModuleError, ModuleRegistry, ProcessingModule};
-pub use watch::{FileWatcher, WatchConfig, WatchEvent, WatchEventKind};
+pub use watch::{FileWait, FileWatcher, WatchConfig, WatchEvent, WatchEventKind};

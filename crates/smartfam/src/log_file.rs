@@ -9,16 +9,46 @@
 //! Both sides append [`Frame`]s; each side keeps its own read cursor and
 //! scans only the bytes appended since its last read.
 
-use crate::codec::{decode_stream, Frame};
+use crate::codec::{decode_stream, decode_stream_recovering, Frame};
 use crate::error::SmartFamError;
+use crate::faults::{AppendFault, FaultInjector, FaultSite};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+
+/// Which side of the log a handle belongs to — selects the fault-injection
+/// sites its appends and polls are counted under, so host and daemon
+/// traffic never race for the same occurrence counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogRole {
+    /// The host client (appends requests, polls for responses).
+    Host,
+    /// The SD daemon (polls for requests, appends responses).
+    Daemon,
+}
+
+impl LogRole {
+    fn append_site(self) -> FaultSite {
+        match self {
+            LogRole::Host => FaultSite::HostAppend,
+            LogRole::Daemon => FaultSite::SdAppend,
+        }
+    }
+
+    fn poll_site(self) -> FaultSite {
+        match self {
+            LogRole::Host => FaultSite::HostPoll,
+            LogRole::Daemon => FaultSite::SdPoll,
+        }
+    }
+}
 
 /// Handle to a module's log file with a private read cursor.
 #[derive(Debug, Clone)]
 pub struct LogFile {
     path: PathBuf,
     cursor: u64,
+    injector: FaultInjector,
+    role: LogRole,
 }
 
 impl LogFile {
@@ -30,7 +60,12 @@ impl LogFile {
         let path = path.into();
         touch(&path)?;
         let len = std::fs::metadata(&path)?.len();
-        Ok(LogFile { path, cursor: len })
+        Ok(LogFile {
+            path,
+            cursor: len,
+            injector: FaultInjector::disabled(),
+            role: LogRole::Host,
+        })
     }
 
     /// Open (creating if necessary) with the cursor at the start — the
@@ -38,7 +73,21 @@ impl LogFile {
     pub fn attach_at_start(path: impl Into<PathBuf>) -> Result<LogFile, SmartFamError> {
         let path = path.into();
         touch(&path)?;
-        Ok(LogFile { path, cursor: 0 })
+        Ok(LogFile {
+            path,
+            cursor: 0,
+            injector: FaultInjector::disabled(),
+            role: LogRole::Host,
+        })
+    }
+
+    /// Attach a fault injector, counting this handle's appends and polls
+    /// under `role`'s sites. Production code keeps the default disabled
+    /// injector, which costs nothing.
+    pub fn with_faults(mut self, injector: FaultInjector, role: LogRole) -> LogFile {
+        self.injector = injector;
+        self.role = role;
+        self
     }
 
     /// The log file's filesystem path.
@@ -53,15 +102,48 @@ impl LogFile {
 
     /// Append one frame. Returns the number of bytes written (for NFS
     /// cost accounting).
+    ///
+    /// Under an active [`FaultInjector`] the write may be torn (a prefix
+    /// is written and the append reports [`SmartFamError::FaultInjected`])
+    /// or corrupted (one mid-body byte flipped; the append "succeeds" the
+    /// way a silent NFS corruption would).
     pub fn append(&self, frame: &Frame) -> Result<u64, SmartFamError> {
-        let bytes = frame.encode();
+        let mut bytes = frame.encode();
+        let fault = self.injector.on_append(self.role.append_site());
+        if let Some(AppendFault::Corrupt { xor_mask }) = fault {
+            // Flip one byte in the middle of the body region so the
+            // frame's length header still parses but the checksum fails.
+            let pos = 5 + (bytes.len().saturating_sub(9)) / 2;
+            if pos < bytes.len() {
+                bytes[pos] ^= xor_mask.max(1);
+            }
+        }
+        let keep = match fault {
+            Some(AppendFault::Torn { keep_sixteenths }) => {
+                let k = (bytes.len() * keep_sixteenths.min(15) as usize / 16)
+                    .clamp(1, bytes.len().saturating_sub(1).max(1));
+                Some(k)
+            }
+            _ => None,
+        };
         let mut f = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&self.path)?;
-        f.write_all(&bytes)?;
-        f.flush()?;
-        Ok(bytes.len() as u64)
+        match keep {
+            Some(k) => {
+                f.write_all(&bytes[..k])?;
+                f.flush()?;
+                Err(SmartFamError::FaultInjected {
+                    detail: format!("torn append: wrote {k} of {} bytes", bytes.len()),
+                })
+            }
+            None => {
+                f.write_all(&bytes)?;
+                f.flush()?;
+                Ok(bytes.len() as u64)
+            }
+        }
     }
 
     /// Read every complete frame appended since the last poll, advancing
@@ -84,6 +166,27 @@ impl LogFile {
         })?;
         self.cursor = new_pos as u64;
         Ok(frames)
+    }
+
+    /// Like [`LogFile::poll`], but corruption does not poison the cursor:
+    /// provably-corrupt bytes are skipped (scan-ahead to the next valid
+    /// frame) and counted. Returns the new frames and the number of bytes
+    /// skipped by this poll. An injected stale read (NFS-visibility
+    /// delay) makes the poll see no new data; the bytes stay for later.
+    pub fn poll_recovering(&mut self) -> Result<(Vec<Frame>, u64), SmartFamError> {
+        if self.injector.on_poll(self.role.poll_site()) {
+            return Ok((Vec::new(), 0));
+        }
+        let data = std::fs::read(&self.path)?;
+        if (data.len() as u64) < self.cursor {
+            return Err(SmartFamError::Corrupt {
+                offset: self.cursor,
+                detail: "log file was truncated".into(),
+            });
+        }
+        let rec = decode_stream_recovering(&data, self.cursor as usize);
+        self.cursor = rec.new_pos as u64;
+        Ok((rec.frames, rec.skipped_bytes as u64))
     }
 
     /// Current length of the log file in bytes.
@@ -223,6 +326,83 @@ mod tests {
         let n = writer.append(&frame).unwrap();
         assert_eq!(n, frame.encode().len() as u64);
         assert_eq!(writer.len().unwrap(), n);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_append_fails_then_reader_recovers() {
+        use crate::faults::{FaultAction, FaultPlan, FaultSite};
+        let path = temp_log();
+        let plan = FaultPlan::none().with(
+            FaultSite::HostAppend,
+            0,
+            FaultAction::Torn { keep_sixteenths: 8 },
+        );
+        let writer = LogFile::attach_at_start(&path)
+            .unwrap()
+            .with_faults(FaultInjector::new(plan), LogRole::Host);
+        let torn = writer.append(&Frame::request(1, vec!["param".into()]));
+        assert!(matches!(torn, Err(SmartFamError::FaultInjected { .. })));
+        // A recovering reader holds at the torn tail (no skip yet)...
+        let mut reader = LogFile::attach_at_start(&path).unwrap();
+        let (frames, skipped) = reader.poll_recovering().unwrap();
+        assert!(frames.is_empty());
+        assert_eq!(skipped, 0);
+        // ...the retry (occurrence 1, not scheduled) goes through, and the
+        // reader skips the torn prefix to reach it.
+        writer
+            .append(&Frame::request(1, vec!["param".into()]))
+            .unwrap();
+        let (frames, skipped) = reader.poll_recovering().unwrap();
+        assert_eq!(frames.len(), 1);
+        assert!(skipped > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_corrupt_append_is_skipped_by_recovering_poll() {
+        use crate::faults::{FaultAction, FaultPlan, FaultSite};
+        let path = temp_log();
+        let plan = FaultPlan::none().with(
+            FaultSite::SdAppend,
+            0,
+            FaultAction::Corrupt { xor_mask: 0x5a },
+        );
+        let writer = LogFile::attach_at_start(&path)
+            .unwrap()
+            .with_faults(FaultInjector::new(plan), LogRole::Daemon);
+        let corrupt_len = writer
+            .append(&Frame::response_ok(1, vec![7u8; 32]))
+            .unwrap();
+        writer
+            .append(&Frame::response_ok(2, vec![8u8; 32]))
+            .unwrap();
+        // Plain poll would poison the cursor; recovering poll salvages
+        // frame 2 and reports frame 1's bytes as skipped.
+        let mut reader = LogFile::attach_at_start(&path).unwrap();
+        let (frames, skipped) = reader.poll_recovering().unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].id, 2);
+        assert_eq!(skipped, corrupt_len);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_hidden_poll_defers_frames() {
+        use crate::faults::{FaultAction, FaultPlan, FaultSite};
+        let path = temp_log();
+        let writer = LogFile::attach_at_start(&path).unwrap();
+        writer.append(&Frame::request(1, vec![])).unwrap();
+        let plan = FaultPlan::none().with(FaultSite::HostPoll, 0, FaultAction::Hide { polls: 2 });
+        let mut reader = LogFile::attach_at_start(&path)
+            .unwrap()
+            .with_faults(FaultInjector::new(plan), LogRole::Host);
+        // Two stale reads, then the data becomes visible.
+        assert!(reader.poll_recovering().unwrap().0.is_empty());
+        assert!(reader.poll_recovering().unwrap().0.is_empty());
+        let (frames, skipped) = reader.poll_recovering().unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(skipped, 0);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -220,23 +220,68 @@ fn list_files(dir: &Path, extra: &Mutex<Vec<PathBuf>>) -> Vec<PathBuf> {
     files
 }
 
-/// Poll `path` until `predicate(len)` holds or `timeout` elapses; returns
-/// whether the predicate was met. A convenience for simple waiters that do
-/// not need a full watcher thread.
-pub fn wait_for_file(path: &Path, timeout: Duration, predicate: impl Fn(u64) -> bool) -> bool {
+/// Why a [`wait_for_file_outcome`] call returned. Distinguishes "the file
+/// was there but never satisfied the predicate" from "we could not even
+/// stat it" — a liveness probe treats those very differently (a daemon
+/// whose heartbeat file is unreadable is not the same as one whose
+/// heartbeat is merely old).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileWait {
+    /// The predicate held before the timeout.
+    Satisfied,
+    /// The file was observable (stat succeeded at least once) but the
+    /// predicate never held within the timeout.
+    TimedOut,
+    /// Every stat attempt failed; the last error kind is carried. For a
+    /// file that simply does not exist this is `ErrorKind::NotFound`.
+    StatFailed(std::io::ErrorKind),
+}
+
+impl FileWait {
+    /// Whether the predicate was satisfied.
+    pub fn satisfied(self) -> bool {
+        self == FileWait::Satisfied
+    }
+}
+
+/// Poll `path` until `predicate(len)` holds or `timeout` elapses,
+/// reporting *why* the wait ended (see [`FileWait`]).
+pub fn wait_for_file_outcome(
+    path: &Path,
+    timeout: Duration,
+    predicate: impl Fn(u64) -> bool,
+) -> FileWait {
     let waited = Stopwatch::start();
+    let mut stat_ok = false;
+    let mut last_err = std::io::ErrorKind::NotFound;
     loop {
-        if let Ok(meta) = std::fs::metadata(path) {
-            if predicate(meta.len()) {
-                return true;
+        match std::fs::metadata(path) {
+            Ok(meta) => {
+                stat_ok = true;
+                if predicate(meta.len()) {
+                    return FileWait::Satisfied;
+                }
             }
+            Err(e) => last_err = e.kind(),
         }
         if waited.expired(timeout) {
-            return false;
+            return if stat_ok {
+                FileWait::TimedOut
+            } else {
+                FileWait::StatFailed(last_err)
+            };
         }
         // tidy:allow(MCSD001) -- real I/O pacing: metadata polling between checks; the 1 ms cadence bounds detection latency, not simulated time
         std::thread::sleep(Duration::from_millis(1));
     }
+}
+
+/// Poll `path` until `predicate(len)` holds or `timeout` elapses; returns
+/// whether the predicate was met. A convenience for simple waiters that do
+/// not need a full watcher thread; use [`wait_for_file_outcome`] when the
+/// failure cause matters.
+pub fn wait_for_file(path: &Path, timeout: Duration, predicate: impl Fn(u64) -> bool) -> bool {
+    wait_for_file_outcome(path, timeout, predicate).satisfied()
 }
 
 #[cfg(test)]
@@ -357,6 +402,31 @@ mod tests {
         let dir = temp_dir();
         let file = dir.join("never.log");
         assert!(!wait_for_file(&file, Duration::from_millis(40), |_| true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wait_outcome_distinguishes_missing_from_unsatisfied() {
+        let dir = temp_dir();
+        // Missing file: every stat fails → StatFailed(NotFound).
+        let missing = dir.join("absent.log");
+        assert_eq!(
+            wait_for_file_outcome(&missing, Duration::from_millis(30), |_| true),
+            FileWait::StatFailed(std::io::ErrorKind::NotFound)
+        );
+        // Present file that never grows → TimedOut, not StatFailed.
+        let present = dir.join("small.log");
+        std::fs::write(&present, b"ab").unwrap();
+        assert_eq!(
+            wait_for_file_outcome(&present, Duration::from_millis(30), |len| len > 100),
+            FileWait::TimedOut
+        );
+        // Present and satisfying → Satisfied.
+        assert_eq!(
+            wait_for_file_outcome(&present, Duration::from_millis(30), |len| len == 2),
+            FileWait::Satisfied
+        );
+        assert!(FileWait::Satisfied.satisfied());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
