@@ -2,13 +2,18 @@
 //! paper's evaluation (§V), plus the DESIGN.md ablations.
 //!
 //! ```text
-//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults]
+//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload]
 //!                  [--scale N] [--quick] [--csv]
 //! ```
 //!
 //! `faults` (not part of `all`) drives seeded fault schedules through the
 //! live SD path and prints the recovery counters — the interactive
 //! counterpart of `crates/mcsd-core/tests/faults.rs`.
+//!
+//! `overload` (not part of `all` either) drives the overload-protection
+//! stack — circuit-breaker steering and memory-budget re-partitioning —
+//! and prints the decision log plus the `OverloadStats` counters, the
+//! interactive counterpart of `crates/mcsd-core/tests/overload.rs`.
 //!
 //! Run in release mode: debug builds inflate per-byte compute cost ~25x
 //! and distort the compute/IO balance the figures depend on.
@@ -19,7 +24,7 @@ use mcsd_cluster::{paper_testbed, SandiaMicroBenchmark, Scale, SmbPattern};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults] \
+        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload] \
          [--scale N] [--quick] [--csv]"
     );
     std::process::exit(2);
@@ -77,6 +82,89 @@ fn fault_sweep(seeds: &[u64]) {
         }
         fw.stop();
     }
+    println!();
+}
+
+/// Overload-protection walkthrough: a failing SD trips its circuit
+/// breaker and subsequent offloads are steered to the host until a
+/// half-open probe re-admits the node; then an over-footprint job is
+/// re-partitioned down to the SD node's memory budget. Both scenarios
+/// are seeded — re-running prints identical decisions and counters.
+fn overload_demo() {
+    use mcsd_apps::{seq, TextGen};
+    use mcsd_cluster::NodeRole;
+    use mcsd_core::{
+        BreakerConfig, FaultAction, FaultInjector, FaultPlan, FaultSite, McsdFramework,
+        OffloadPolicy, ResilienceConfig,
+    };
+    use std::time::Duration;
+
+    println!("### Circuit breaker: failing SD steered around, then re-admitted\n");
+    let plan = FaultPlan::none()
+        .with(FaultSite::Dispatch, 0, FaultAction::Fail)
+        .with(FaultSite::Dispatch, 1, FaultAction::Fail);
+    let mut resilience = ResilienceConfig {
+        injector: FaultInjector::new(plan),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(3),
+            probe_quota: 1,
+        },
+        ..ResilienceConfig::default()
+    };
+    resilience.retry.max_attempts = 1;
+    resilience.retry.base_backoff = Duration::from_millis(1);
+    let mut cluster = paper_testbed(Scale::default_experiment());
+    for n in &mut cluster.nodes {
+        n.memory_bytes = 256 << 20;
+    }
+    let fw = McsdFramework::start_with(cluster, OffloadPolicy::DataIntensiveToSd, resilience)
+        .expect("framework boot");
+    let text = TextGen::with_seed(40).generate(20_000);
+    fw.stage_data_local("wc.txt", &text).expect("stage");
+    let oracle = seq::wordcount(&text);
+    for call in 0..6u32 {
+        let verdict = match fw.wordcount("wc.txt", Some("auto")) {
+            Ok((pairs, _)) if pairs == oracle => "output correct",
+            Ok(_) => "OUTPUT WRONG",
+            Err(_) => "typed error",
+        };
+        let (_, decision) = *fw.decision_log().last().expect("decision");
+        println!("call {call}: {decision:?} ({verdict})");
+    }
+    let stats = fw.resilience_stats();
+    println!("breaker: {:?}; {}", fw.breaker_state(), stats.overload);
+    for d in fw.degradations() {
+        println!("          degraded: {d}");
+    }
+    fw.stop();
+
+    println!("\n### Memory-budget admission: over-footprint job re-partitioned\n");
+    let mut cluster = paper_testbed(Scale::default_experiment());
+    for n in &mut cluster.nodes {
+        n.memory_bytes = if n.role == NodeRole::SmartStorage {
+            1 << 20
+        } else {
+            256 << 20
+        };
+    }
+    let fw = McsdFramework::start(cluster, OffloadPolicy::DataIntensiveToSd).expect("boot");
+    let text = TextGen::with_seed(41).generate(900_000);
+    fw.stage_data_local("big.txt", &text).expect("stage");
+    let verdict = match fw.wordcount("big.txt", None) {
+        Ok((pairs, _)) if pairs == seq::wordcount(&text) => "output correct",
+        Ok(_) => "OUTPUT WRONG",
+        Err(e) => {
+            println!("refused: {e}");
+            "typed error"
+        }
+    };
+    let stats = fw.resilience_stats();
+    println!(
+        "900 kB input on a 1 MiB SD node: {verdict}; {}",
+        stats.overload
+    );
+    fw.stop();
     println!();
 }
 
@@ -251,5 +339,11 @@ fn main() {
     if which.iter().any(|w| w == "faults") {
         println!("## Fault matrix — seeded injection through the live SD path\n");
         fault_sweep(&[0, 3, 12, 17]);
+    }
+    // Same exclusion from `all`: breaker cooldowns and live daemons make
+    // this a demo, not a figure.
+    if which.iter().any(|w| w == "overload") {
+        println!("## Overload protection — breaker steering and memory admission\n");
+        overload_demo();
     }
 }

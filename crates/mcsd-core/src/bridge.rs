@@ -32,6 +32,8 @@ pub struct SdNodeServer {
     sd_id: NodeId,
     host_id: NodeId,
     injector: FaultInjector,
+    max_in_flight: usize,
+    max_queued: usize,
 }
 
 impl SdNodeServer {
@@ -49,6 +51,25 @@ impl SdNodeServer {
         cluster: &Cluster,
         injector: FaultInjector,
     ) -> Result<SdNodeServer, McsdError> {
+        SdNodeServer::start_configured(
+            cluster,
+            injector,
+            mcsd_smartfam::daemon::DEFAULT_MAX_IN_FLIGHT,
+            mcsd_smartfam::daemon::DEFAULT_MAX_QUEUED,
+        )
+    }
+
+    /// Like [`SdNodeServer::start_with_faults`], with explicit daemon
+    /// admission limits: at most `max_in_flight` module invocations run
+    /// concurrently, at most `max_queued` requests wait for a slot, and
+    /// anything beyond that is shed immediately with a typed `Overloaded`
+    /// reply. The limits survive [`SdNodeServer::restart_daemon`].
+    pub fn start_configured(
+        cluster: &Cluster,
+        injector: FaultInjector,
+        max_in_flight: usize,
+        max_queued: usize,
+    ) -> Result<SdNodeServer, McsdError> {
         let sd = cluster.sd().clone();
         let host_id = cluster.host().id;
         let share = NfsShare::temp(sd.id, cluster.network, cluster.disk)?;
@@ -61,7 +82,9 @@ impl SdNodeServer {
         registry.register(Arc::new(StringMatchModule::new(&data_root, sd.clone())));
         registry.register(Arc::new(MatMulModule::new(&data_root, sd.clone())));
 
-        let config = DaemonConfig::new(&log_dir).with_faults(injector.clone());
+        let config = DaemonConfig::new(&log_dir)
+            .with_faults(injector.clone())
+            .with_admission(max_in_flight, max_queued);
         let daemon = Daemon::new(config, registry.clone()).spawn()?;
         Ok(SdNodeServer {
             share,
@@ -70,6 +93,8 @@ impl SdNodeServer {
             sd_id: sd.id,
             host_id,
             injector,
+            max_in_flight,
+            max_queued,
         })
     }
 
@@ -134,7 +159,9 @@ impl SdNodeServer {
     pub fn restart_daemon(&mut self) -> Result<(), McsdError> {
         self.stop();
         let log_dir = self.share.root().join(LOG_SUBDIR);
-        let config = DaemonConfig::new(&log_dir).with_faults(self.injector.clone());
+        let config = DaemonConfig::new(&log_dir)
+            .with_faults(self.injector.clone())
+            .with_admission(self.max_in_flight, self.max_queued);
         let daemon = Daemon::new(config, self.registry.clone()).spawn()?;
         self.daemon = Some(daemon);
         Ok(())

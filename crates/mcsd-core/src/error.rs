@@ -19,6 +19,17 @@ pub enum McsdError {
         /// What was wrong.
         detail: String,
     },
+    /// Memory-budget admission refused the job: even at the minimum
+    /// re-partition fragment the input exceeds the target node's hard
+    /// memory limit, so no adaptive shrinking can make it runnable there.
+    MemoryOverflow {
+        /// The job's input size.
+        input_bytes: u64,
+        /// The node's hard input limit.
+        limit_bytes: u64,
+        /// The re-partition floor that still did not fit.
+        min_fragment_bytes: u64,
+    },
 }
 
 impl fmt::Display for McsdError {
@@ -28,6 +39,16 @@ impl fmt::Display for McsdError {
             McsdError::SmartFam(e) => write!(f, "smartFAM: {e}"),
             McsdError::Io(e) => write!(f, "I/O: {e}"),
             McsdError::BadScenario { detail } => write!(f, "bad scenario: {detail}"),
+            McsdError::MemoryOverflow {
+                input_bytes,
+                limit_bytes,
+                min_fragment_bytes,
+            } => write!(
+                f,
+                "memory admission refused: {input_bytes}B input exceeds the \
+                 {limit_bytes}B hard limit even at the {min_fragment_bytes}B \
+                 re-partition floor"
+            ),
         }
     }
 }
@@ -38,7 +59,7 @@ impl std::error::Error for McsdError {
             McsdError::Phoenix(e) => Some(e),
             McsdError::SmartFam(e) => Some(e),
             McsdError::Io(e) => Some(e),
-            McsdError::BadScenario { .. } => None,
+            McsdError::BadScenario { .. } | McsdError::MemoryOverflow { .. } => None,
         }
     }
 }
@@ -62,12 +83,14 @@ impl From<std::io::Error> for McsdError {
 }
 
 impl McsdError {
-    /// Whether this is the Phoenix out-of-memory failure (the condition
-    /// partitioning exists to fix).
+    /// Whether this is an out-of-memory failure — either the Phoenix
+    /// runtime overflowing mid-run (the condition partitioning exists to
+    /// fix) or memory-budget admission refusing the job up front.
     pub fn is_memory_overflow(&self) -> bool {
         matches!(
             self,
             McsdError::Phoenix(PhoenixError::MemoryOverflow { .. })
+                | McsdError::MemoryOverflow { .. }
         )
     }
 }
@@ -94,6 +117,15 @@ mod tests {
 
         let e: McsdError = std::io::Error::other("disk on fire").into();
         assert!(e.to_string().contains("disk on fire"));
+
+        let e = McsdError::MemoryOverflow {
+            input_bytes: 900,
+            limit_bytes: 750,
+            min_fragment_bytes: 800,
+        };
+        assert!(e.is_memory_overflow());
+        assert!(e.to_string().contains("admission refused"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

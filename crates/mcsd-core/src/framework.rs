@@ -14,6 +14,8 @@
 //! timeout, recording the degradation in [`McsdFramework::degradations`]
 //! and counting it in [`McsdFramework::resilience_stats`].
 
+use crate::admission::{plan_admission, DEFAULT_MIN_FRAGMENT_BYTES};
+use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 use crate::bridge::{McsdClient, SdNodeServer};
 use crate::driver::NodeRunner;
 use crate::error::McsdError;
@@ -21,13 +23,19 @@ use crate::modules::{StringMatchModule, WordCountModule};
 use crate::offload::{JobProfile, OffloadDecision, OffloadPolicy, Offloader};
 use mcsd_apps::{MatMul, Matrix, StringMatch, WordCount};
 use mcsd_cluster::{Cluster, TimeBreakdown};
-use mcsd_smartfam::{FaultInjector, ResilienceStats, RetryPolicy};
+use mcsd_phoenix::Job;
+use mcsd_smartfam::{FaultInjector, OverloadStats, ResilienceStats, RetryPolicy};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Default per-call timeout for offloaded modules.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Logical-clock quantum ticked per SD admission decision (see
+/// [`crate::breaker`]: the breaker runs on decision counts, not wall time,
+/// so seeded runs replay their open/probe/close transitions exactly).
+const BREAKER_QUANTUM: Duration = Duration::from_millis(1);
 
 /// How the framework behaves when the SD path misbehaves.
 #[derive(Debug, Clone)]
@@ -40,9 +48,27 @@ pub struct ResilienceConfig {
     /// Degrade to host execution when the SD path fails for good
     /// (`true` by default). When `false`, SD errors surface to the caller.
     pub fallback_to_host: bool,
-    /// Per-call deadline for offloaded invocations, split into attempt
-    /// budgets by `retry.max_attempts`.
+    /// Per-call deadline for offloaded invocations; each attempt gets the
+    /// remaining deadline divided by the attempts left.
     pub call_timeout: Duration,
+    /// Circuit-breaker tuning for the SD node: consecutive SD-path
+    /// failures trip it open and offloads are steered to the host until a
+    /// half-open probe succeeds.
+    pub breaker: BreakerConfig,
+    /// Daemon admission: module invocations running concurrently before
+    /// new requests queue.
+    pub max_in_flight: usize,
+    /// Daemon admission: requests waiting for a slot before the daemon
+    /// sheds further arrivals with a typed `Overloaded` reply.
+    pub max_queued: usize,
+    /// Steer offloads to the host when the daemon heartbeat reports at
+    /// least this many queued requests (load-aware steering).
+    pub steer_queue_depth: u64,
+    /// Floor for memory-budget admission: an over-footprint job is
+    /// re-partitioned by halving down to this fragment size; if even the
+    /// floor fragment exceeds the SD node's hard memory limit the job is
+    /// refused with [`McsdError::MemoryOverflow`].
+    pub min_fragment_bytes: u64,
 }
 
 impl Default for ResilienceConfig {
@@ -52,6 +78,11 @@ impl Default for ResilienceConfig {
             injector: FaultInjector::disabled(),
             fallback_to_host: true,
             call_timeout: DEFAULT_TIMEOUT,
+            breaker: BreakerConfig::default(),
+            max_in_flight: 64,
+            max_queued: 1024,
+            steer_queue_depth: 64,
+            min_fragment_bytes: DEFAULT_MIN_FRAGMENT_BYTES,
         }
     }
 }
@@ -67,6 +98,9 @@ pub struct McsdFramework {
     stats: Mutex<ResilienceStats>,
     degradations: Mutex<Vec<String>>,
     decision_log: Mutex<Vec<(String, OffloadDecision)>>,
+    breaker: Mutex<CircuitBreaker>,
+    breaker_clock: Mutex<Duration>,
+    overload: Mutex<OverloadStats>,
 }
 
 impl McsdFramework {
@@ -83,7 +117,12 @@ impl McsdFramework {
         policy: OffloadPolicy,
         resilience: ResilienceConfig,
     ) -> Result<McsdFramework, McsdError> {
-        let server = SdNodeServer::start_with_faults(&cluster, resilience.injector.clone())?;
+        let server = SdNodeServer::start_configured(
+            &cluster,
+            resilience.injector.clone(),
+            resilience.max_in_flight,
+            resilience.max_queued,
+        )?;
         let client = server.host_client();
         let offloader = Mutex::new(Offloader::for_nodes(policy, &cluster.nodes));
         Ok(McsdFramework {
@@ -92,6 +131,9 @@ impl McsdFramework {
             client,
             offloader,
             timeout: resilience.call_timeout,
+            breaker: Mutex::new(CircuitBreaker::new(resilience.breaker)),
+            breaker_clock: Mutex::new(Duration::ZERO),
+            overload: Mutex::new(OverloadStats::default()),
             resilience,
             stats: Mutex::new(ResilienceStats::default()),
             degradations: Mutex::new(Vec::new()),
@@ -124,7 +166,21 @@ impl McsdFramework {
         stats.replayed += daemon.replayed;
         stats.quarantines += daemon.quarantined;
         stats.corrupt_skipped_bytes += daemon.corrupt_skipped_bytes;
+        // Overload counters: sheds and expiries are owned by the daemon,
+        // breaker transitions by the framework's breaker, steers and
+        // re-partitions by the offload path.
+        stats.overload.absorb(&self.overload.lock());
+        stats.overload.shed += daemon.shed;
+        stats.overload.expired += daemon.expired;
+        let breaker = self.breaker.lock();
+        stats.overload.breaker_opens += breaker.opens();
+        stats.overload.half_open_probes += breaker.half_open_probes();
         stats
+    }
+
+    /// Current state of the SD node's circuit breaker.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.lock().state()
     }
 
     /// Human-readable record of every graceful degradation, in order.
@@ -142,7 +198,78 @@ impl McsdFramework {
         self.decision_log.lock().push((job.to_string(), decision));
     }
 
-    /// One resilient SD invocation: retries inside, counters absorbed.
+    fn tick(&self) -> Duration {
+        let mut clock = self.breaker_clock.lock();
+        *clock += BREAKER_QUANTUM;
+        *clock
+    }
+
+    /// Overload gate for one offload: consult the SD circuit breaker and
+    /// the daemon's heartbeat-reported load. Returns `false` (and counts a
+    /// steered span) when the job must go to the host instead.
+    fn sd_admitted(&self, job: &str) -> bool {
+        let now = self.tick();
+        let admitted = match self.breaker.lock().admission(now) {
+            Admission::Reject => false,
+            Admission::Allow | Admission::Probe => true,
+        };
+        // Even a closed breaker defers to a saturated daemon: a queue at
+        // the steering threshold means the request would mostly wait (or
+        // be shed), so the host is the faster and kinder choice.
+        let saturated = admitted
+            && self
+                .client
+                .smartfam()
+                .daemon_load()
+                .is_some_and(|load| load.queued >= self.resilience.steer_queue_depth);
+        if admitted && !saturated {
+            return true;
+        }
+        self.overload.lock().steered_spans += 1;
+        self.degradations.lock().push(format!(
+            "{job}: steered to host ({})",
+            if saturated {
+                "daemon queue saturated"
+            } else {
+                "circuit breaker open"
+            }
+        ));
+        false
+    }
+
+    /// Memory-budget admission for an SD offload: decide the partition
+    /// parameter for a job of `input_bytes` with the given footprint
+    /// factor. A caller-supplied partition parameter is honoured verbatim;
+    /// otherwise an over-footprint job is re-partitioned adaptively (the
+    /// halvings are counted) and a job that cannot fit even at the floor
+    /// fragment is refused with the typed error.
+    fn admit_memory(
+        &self,
+        caller_partition: Option<&str>,
+        input_bytes: u64,
+        footprint_factor: f64,
+    ) -> Result<Option<String>, McsdError> {
+        if let Some(p) = caller_partition {
+            return Ok(Some(p.to_string()));
+        }
+        let model = self.cluster.sd().memory_model();
+        let plan = plan_admission(
+            &model,
+            input_bytes,
+            footprint_factor,
+            self.resilience.min_fragment_bytes,
+        )
+        .map_err(|refusal| McsdError::MemoryOverflow {
+            input_bytes: refusal.input_bytes,
+            limit_bytes: refusal.limit_bytes,
+            min_fragment_bytes: refusal.min_fragment_bytes,
+        })?;
+        self.overload.lock().repartitions += plan.repartitions;
+        Ok(plan.partition_param())
+    }
+
+    /// One resilient SD invocation: retries inside, counters absorbed,
+    /// outcome reported to the circuit breaker.
     fn invoke_sd(
         &self,
         module: &str,
@@ -152,6 +279,12 @@ impl McsdFramework {
             self.client
                 .invoke_resilient(module, params, self.timeout, &self.resilience.retry);
         self.stats.lock().absorb(&stats);
+        let now = *self.breaker_clock.lock();
+        let mut breaker = self.breaker.lock();
+        match &outcome {
+            Ok(_) => breaker.on_success(now),
+            Err(_) => breaker.on_failure(now),
+        }
         outcome
     }
 
@@ -194,10 +327,16 @@ impl McsdFramework {
             data_on_sd: true,
         };
         let mut decision = self.decide(&profile);
+        if matches!(decision, OffloadDecision::SmartStorage { .. })
+            && !self.sd_admitted("wordcount")
+        {
+            decision = OffloadDecision::SteeredToHost;
+        }
         if let OffloadDecision::SmartStorage { .. } = decision {
+            let partition = self.admit_memory(partition, data_len, WordCount.footprint_factor())?;
             let mut params = vec![file.to_string()];
             if let Some(p) = partition {
-                params.push(p.to_string());
+                params.push(p);
             }
             match self.invoke_sd("wordcount", &params) {
                 Ok((payload, cost)) => {
@@ -233,10 +372,22 @@ impl McsdFramework {
             data_on_sd: true,
         };
         let mut decision = self.decide(&profile);
+        if matches!(decision, OffloadDecision::SmartStorage { .. })
+            && !self.sd_admitted("stringmatch")
+        {
+            decision = OffloadDecision::SteeredToHost;
+        }
         if let OffloadDecision::SmartStorage { .. } = decision {
+            // String Match's footprint factor does not depend on the key
+            // set, so an empty instance stands in for admission.
+            let partition = self.admit_memory(
+                partition,
+                data_len,
+                StringMatch::new(&[] as &[String]).footprint_factor(),
+            )?;
             let mut params = vec![encrypt_file.to_string(), keys_file.to_string()];
             if let Some(p) = partition {
-                params.push(p.to_string());
+                params.push(p);
             }
             match self.invoke_sd("stringmatch", &params) {
                 Ok((payload, cost)) => {
@@ -273,6 +424,9 @@ impl McsdFramework {
             data_on_sd: false,
         };
         let mut decision = self.decide(&profile);
+        if matches!(decision, OffloadDecision::SmartStorage { .. }) && !self.sd_admitted("matmul") {
+            decision = OffloadDecision::SteeredToHost;
+        }
         if let OffloadDecision::SmartStorage { .. } = decision {
             let stage_a = self.stage_data("mm_a.mat", &a.to_bytes())?;
             let stage_b = self.stage_data("mm_b.mat", &b.to_bytes())?;

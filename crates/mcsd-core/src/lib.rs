@@ -23,6 +23,9 @@
 //!   node's cores, applies the memory model, charges speed-scaled compute
 //!   and swap penalties to the virtual clock.
 //! * [`offload`] — the offload policy: which node should run a job.
+//! * [`breaker`] — per-SD circuit breakers driving health-aware steering.
+//! * [`admission`] — memory-budget admission: adaptive re-partitioning of
+//!   over-footprint jobs before they are offloaded.
 //! * [`scenario`] — the paper's four multi-application execution scenarios
 //!   (§V-C): host-only, traditional single-core SD, duo SD without
 //!   partition, and the full McSD framework.
@@ -33,6 +36,8 @@
 //!   modules, plus the host-side client that offloads through it.
 //! * [`framework`] — the top-level [`framework::McsdFramework`] facade.
 
+pub mod admission;
+pub mod breaker;
 pub mod bridge;
 pub mod driver;
 pub mod error;
@@ -44,6 +49,8 @@ pub mod offload;
 pub mod report;
 pub mod scenario;
 
+pub use admission::{plan_admission, AdmissionPlan, AdmissionRefusal};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use driver::{ExecMode, NodeRunReport, NodeRunner};
 pub use error::McsdError;
 pub use footprint::FootprintOverride;
@@ -56,5 +63,5 @@ pub use scenario::{PairReport, PairRunner, PairScenario, PairWorkload};
 // Fault-injection surface, re-exported so experiment and test code can
 // script failures without depending on mcsd-smartfam directly.
 pub use mcsd_smartfam::{
-    FaultAction, FaultInjector, FaultPlan, FaultSite, ResilienceStats, RetryPolicy,
+    FaultAction, FaultInjector, FaultPlan, FaultSite, OverloadStats, ResilienceStats, RetryPolicy,
 };

@@ -11,6 +11,7 @@
 //! interesting: heterogeneous SD nodes (different core counts or speeds)
 //! bound the speedup.
 
+use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 use crate::driver::{ExecMode, NodeRunner};
 use crate::error::McsdError;
 use crate::report::RunReport;
@@ -19,7 +20,14 @@ use mcsd_phoenix::partition::Merger;
 use mcsd_phoenix::Stopwatch;
 use mcsd_phoenix::{Job, PartitionPlan, PartitionSpec};
 use mcsd_smartfam::{FaultInjector, ResilienceStats};
+use parking_lot::Mutex;
 use std::time::Duration;
+
+/// Logical-clock quantum ticked per breaker consultation. The breakers
+/// never read a wall clock (that would make seeded replays diverge);
+/// instead every admission decision advances this fixed amount, so a
+/// breaker's cooldown is effectively "N decisions later".
+const BREAKER_QUANTUM: Duration = Duration::from_millis(1);
 
 /// How one input span eventually produced its output.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +49,13 @@ pub enum SpanOutcome {
         /// Node (surviving SD or the host) that finally ran the span.
         node: String,
     },
+    /// The span never ran on its primary node: the primary's circuit
+    /// breaker was open, so the span was steered elsewhere *before* any
+    /// attempt was wasted on it.
+    Steered {
+        /// Node (surviving SD or the host) that ran the span.
+        node: String,
+    },
 }
 
 impl SpanOutcome {
@@ -49,7 +64,8 @@ impl SpanOutcome {
         match self {
             SpanOutcome::Ok { node }
             | SpanOutcome::Retried { node }
-            | SpanOutcome::Redispatched { node, .. } => node,
+            | SpanOutcome::Redispatched { node, .. }
+            | SpanOutcome::Steered { node } => node,
         }
     }
 }
@@ -84,26 +100,55 @@ impl<K, V> MultiSdReport<K, V> {
 /// Scale-out runner over every smart-storage node of a cluster.
 pub struct MultiSdRunner {
     cluster: Cluster,
+    /// One breaker per SD node, persistent across runs so a node that
+    /// failed in one run stays avoided in the next until it proves itself.
+    breakers: Mutex<Vec<CircuitBreaker>>,
+    /// Logical clock driving the breakers (one quantum per consultation).
+    clock: Mutex<Duration>,
 }
 
 impl MultiSdRunner {
     /// A runner over `cluster`'s SD nodes. Fails fast if there are none.
     pub fn new(cluster: Cluster) -> Result<MultiSdRunner, McsdError> {
-        if cluster
+        MultiSdRunner::with_breaker_config(cluster, BreakerConfig::default())
+    }
+
+    /// Like [`MultiSdRunner::new`] with explicit breaker tuning.
+    pub fn with_breaker_config(
+        cluster: Cluster,
+        breaker: BreakerConfig,
+    ) -> Result<MultiSdRunner, McsdError> {
+        let sd_count = cluster
             .nodes
             .iter()
-            .all(|n| n.role != NodeRole::SmartStorage)
-        {
+            .filter(|n| n.role == NodeRole::SmartStorage)
+            .count();
+        if sd_count == 0 {
             return Err(McsdError::BadScenario {
                 detail: "cluster has no smart-storage nodes".into(),
             });
         }
-        Ok(MultiSdRunner { cluster })
+        Ok(MultiSdRunner {
+            cluster,
+            breakers: Mutex::new(vec![CircuitBreaker::new(breaker); sd_count]),
+            clock: Mutex::new(Duration::ZERO),
+        })
     }
 
     /// The cluster.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// Current state of each SD node's circuit breaker, in node order.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.breakers.lock().iter().map(|b| b.state()).collect()
+    }
+
+    fn tick(&self) -> Duration {
+        let mut clock = self.clock.lock();
+        *clock += BREAKER_QUANTUM;
+        *clock
     }
 
     /// Split `input` into one contiguous span per SD node, on boundaries
@@ -181,6 +226,15 @@ impl MultiSdRunner {
         let mut resilience = ResilienceStats::default();
         let mut acc = merger.empty();
         let mut merge_wall = Duration::ZERO;
+        // Breaker counters are cumulative across runs; this run's report
+        // carries only its own delta.
+        let (opens_before, probes_before) = {
+            let b = self.breakers.lock();
+            (
+                b.iter().map(CircuitBreaker::opens).sum::<u64>(),
+                b.iter().map(CircuitBreaker::half_open_probes).sum::<u64>(),
+            )
+        };
         for (i, span) in spans.iter().enumerate() {
             let primary = i.min(sd_nodes.len() - 1);
             // Attempt order: primary, retry-in-place, surviving SD nodes,
@@ -190,8 +244,20 @@ impl MultiSdRunner {
             candidates.push(host_slot);
 
             let mut failures: u32 = 0;
+            let mut steered = false;
             let mut done = None;
             for &slot in &candidates {
+                // An SD candidate must get past its circuit breaker; the
+                // host terminates every chain and is never gated.
+                if slot != host_slot {
+                    let now = self.tick();
+                    if self.breakers.lock()[slot].admission(now) == Admission::Reject {
+                        if slot == primary {
+                            steered = true;
+                        }
+                        continue;
+                    }
+                }
                 let node = if slot == host_slot {
                     self.cluster.host().clone()
                 } else {
@@ -203,9 +269,14 @@ impl MultiSdRunner {
                 let out =
                     runner.run_mode_at(job, merger, &input[span.clone()], mode, span.start)?;
                 timelines[slot] += out.report.elapsed();
+                let now = *self.clock.lock();
                 if injected {
                     failures += 1;
+                    self.breakers.lock()[slot].on_failure(now);
                     continue;
+                }
+                if slot != host_slot {
+                    self.breakers.lock()[slot].on_success(now);
                 }
                 done = Some((slot, out));
                 break;
@@ -221,7 +292,10 @@ impl MultiSdRunner {
             };
 
             let node_name = out.report.node.clone();
-            let outcome = if failures == 0 {
+            let left_primary = steered && slot != primary;
+            let outcome = if failures == 0 && left_primary {
+                SpanOutcome::Steered { node: node_name }
+            } else if failures == 0 {
                 SpanOutcome::Ok { node: node_name }
             } else if slot == primary {
                 SpanOutcome::Retried { node: node_name }
@@ -234,6 +308,9 @@ impl MultiSdRunner {
             resilience.retries += u64::from(failures);
             if matches!(outcome, SpanOutcome::Redispatched { .. }) {
                 resilience.redispatches += 1;
+            }
+            if left_primary {
+                resilience.overload.steered_spans += 1;
             }
 
             let t0 = Stopwatch::start();
@@ -261,6 +338,13 @@ impl MultiSdRunner {
         let host = mcsd_cluster::NodeExecutor::new(self.cluster.host().clone());
         let merge = TimeBreakdown::compute(host.scale_compute(merge_wall + t0.elapsed()));
         let busiest = timelines.iter().max().copied().unwrap_or(Duration::ZERO);
+        {
+            let b = self.breakers.lock();
+            resilience.overload.breaker_opens +=
+                b.iter().map(CircuitBreaker::opens).sum::<u64>() - opens_before;
+            resilience.overload.half_open_probes +=
+                b.iter().map(CircuitBreaker::half_open_probes).sum::<u64>() - probes_before;
+        }
 
         Ok(MultiSdReport {
             pairs,
@@ -505,6 +589,78 @@ mod tests {
         );
         // The failed runs are charged: elapsed covers three span runs.
         assert!(out.elapsed > out.per_node[0].elapsed());
+    }
+
+    #[test]
+    fn open_breaker_steers_spans_then_readmits_after_probe() {
+        use crate::breaker::BreakerState;
+        use mcsd_smartfam::{FaultAction, FaultPlan, FaultSite};
+        let mut cluster = multi_sd_testbed(Scale::smoke(), 2);
+        for n in &mut cluster.nodes {
+            n.memory_bytes = 64 << 20;
+        }
+        let runner = MultiSdRunner::with_breaker_config(
+            cluster,
+            BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_millis(6),
+                probe_quota: 1,
+            },
+        )
+        .unwrap();
+        let input = text(10_000);
+
+        // Run 1: sd0 fails span 0's primary attempt -> its breaker opens
+        // (threshold 1), the in-place retry is rejected, sd1 picks it up.
+        let plan = FaultPlan::none().with(FaultSite::Span, 0, FaultAction::Fail);
+        let injector = mcsd_smartfam::FaultInjector::new(plan);
+        let out = runner
+            .run_with_faults(
+                &WordCount,
+                &WordCount::merger(),
+                &input,
+                ExecMode::Parallel,
+                &injector,
+            )
+            .unwrap();
+        assert_eq!(out.pairs, seq::wordcount(&input));
+        assert_eq!(
+            out.outcomes[0],
+            SpanOutcome::Redispatched {
+                attempts: 1,
+                node: "sd1".into()
+            }
+        );
+        assert_eq!(out.resilience.overload.breaker_opens, 1);
+        assert_eq!(runner.breaker_states()[0], BreakerState::Open);
+
+        // Fault-free follow-up runs: while sd0's breaker cools down its
+        // spans are steered to sd1 before any attempt; once the cooldown
+        // elapses a half-open probe runs on sd0, succeeds, and re-admits
+        // the node.
+        let mut saw_steered = false;
+        let mut readmitted = false;
+        for _ in 0..8 {
+            let out = runner
+                .run(&WordCount, &WordCount::merger(), &input, ExecMode::Parallel)
+                .unwrap();
+            assert_eq!(out.pairs, seq::wordcount(&input));
+            match &out.outcomes[0] {
+                SpanOutcome::Steered { node } => {
+                    assert_eq!(node, "sd1");
+                    assert_eq!(out.resilience.overload.steered_spans, 1);
+                    saw_steered = true;
+                }
+                SpanOutcome::Ok { node } if node == "sd0" => {
+                    readmitted = true;
+                    break;
+                }
+                other => panic!("unexpected outcome for span 0: {other:?}"),
+            }
+        }
+        assert!(saw_steered, "no run steered span 0 away from open sd0");
+        assert!(readmitted, "sd0 was never re-admitted after its cooldown");
+        assert_eq!(runner.breaker_states()[0], BreakerState::Closed);
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub enum OffloadDecision {
     /// [`Offloader::decide`]; recorded by the framework's self-healing path
     /// so callers can tell a planned host run from a failover.
     FallbackToHost,
+    /// The policy chose an SD node but overload protection steered the job
+    /// to the host *before* any SD attempt: the node's circuit breaker was
+    /// open or its heartbeat reported a saturated queue. Never produced by
+    /// [`Offloader::decide`]; recorded by the framework so a proactive
+    /// steer is distinguishable from a failover after wasted attempts.
+    SteeredToHost,
 }
 
 /// Offload policies (the `ablation_offload_policy` bench compares them).

@@ -82,7 +82,7 @@ pub use partition::{Merger, PartitionPlan, PartitionSpec, PartitionedRuntime, Su
 pub use runtime::{JobOutput, Runtime};
 pub use splitter::{SplitSpec, Splitter};
 pub use stats::{JobStats, PhaseTimings};
-pub use stopwatch::Stopwatch;
+pub use stopwatch::{wall_clock_ms, Stopwatch};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {

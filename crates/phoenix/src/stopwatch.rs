@@ -15,7 +15,21 @@
 //! loops), and those few sites carry explicit `tidy:allow(MCSD001)`
 //! waivers instead.
 
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Milliseconds since the Unix epoch, for *absolute* deadlines that must
+/// cross a process-ish boundary (the host stamps a request's expiry, the
+/// SD daemon compares against it at dequeue time). `Instant` cannot serve
+/// here — it is process-relative — so this is the one sanctioned
+/// `SystemTime` read. Host and daemon share a machine in this
+/// reproduction, so the comparison is exact, not clock-skew-prone.
+#[must_use]
+pub fn wall_clock_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
 
 /// A started wall-clock measurement.
 ///
@@ -88,5 +102,14 @@ mod tests {
         let sw = Stopwatch::start();
         assert!(sw.expired(Duration::ZERO));
         assert!(!sw.expired(Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn wall_clock_ms_is_monotone_enough() {
+        let a = wall_clock_ms();
+        let b = wall_clock_ms();
+        // Plausibly past 2020 and non-decreasing within one test.
+        assert!(a > 1_577_836_800_000);
+        assert!(b >= a);
     }
 }

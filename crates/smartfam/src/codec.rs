@@ -19,6 +19,7 @@
 //! frame. The checksum is FNV-1a over the body.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::time::Duration;
 
 /// Magic byte of a request frame.
 pub const MAGIC_REQUEST: u8 = b'Q';
@@ -34,6 +35,10 @@ pub enum Status {
     Ok,
     /// The module failed; the payload is a UTF-8 error message.
     Error,
+    /// The daemon shed the request at admission (queue full): it was
+    /// never executed. The payload is the suggested retry delay in
+    /// milliseconds (u64 LE); see [`decode_retry_after`].
+    Overloaded,
 }
 
 /// The body of a frame: a request (host → SD) or a response (SD → host).
@@ -45,6 +50,12 @@ pub enum FrameBody {
     Request {
         /// Input parameters, in order.
         params: Vec<String>,
+        /// Absolute expiry as milliseconds since the Unix epoch, or `0`
+        /// for "no deadline". The daemon drops (never executes) a request
+        /// whose expiry has passed by dequeue time. Encoded as an
+        /// optional 8-byte trailer so deadline-free requests stay
+        /// byte-identical to the legacy format.
+        expires_unix_ms: u64,
     },
     /// SD → host: "Results produced by the module in the McSD node are
     /// written to the module's log file" (§IV-A).
@@ -66,11 +77,19 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Build a request frame.
+    /// Build a request frame with no deadline.
     pub fn request(id: u64, params: Vec<String>) -> Frame {
+        Frame::request_with_deadline(id, params, 0)
+    }
+
+    /// Build a request frame carrying an absolute expiry (`0` = none).
+    pub fn request_with_deadline(id: u64, params: Vec<String>, expires_unix_ms: u64) -> Frame {
         Frame {
             id,
-            body: FrameBody::Request { params },
+            body: FrameBody::Request {
+                params,
+                expires_unix_ms,
+            },
         }
     }
 
@@ -96,6 +115,18 @@ impl Frame {
         }
     }
 
+    /// Build an overload-shed response: the daemon refused admission and
+    /// suggests retrying after `retry_after`.
+    pub fn response_overloaded(id: u64, retry_after: Duration) -> Frame {
+        Frame {
+            id,
+            body: FrameBody::Response {
+                status: Status::Overloaded,
+                payload: Bytes::copy_from_slice(&(retry_after.as_millis() as u64).to_le_bytes()),
+            },
+        }
+    }
+
     /// Whether this is a request frame.
     pub fn is_request(&self) -> bool {
         matches!(self.body, FrameBody::Request { .. })
@@ -105,12 +136,20 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut body = BytesMut::new();
         let magic = match &self.body {
-            FrameBody::Request { params } => {
+            FrameBody::Request {
+                params,
+                expires_unix_ms,
+            } => {
                 body.put_u64_le(self.id);
                 body.put_u32_le(params.len() as u32);
                 for p in params {
                     body.put_u32_le(p.len() as u32);
                     body.put_slice(p.as_bytes());
+                }
+                // Deadline trailer only when set: deadline-free requests
+                // encode byte-identically to the legacy format.
+                if *expires_unix_ms != 0 {
+                    body.put_u64_le(*expires_unix_ms);
                 }
                 MAGIC_REQUEST
             }
@@ -119,6 +158,7 @@ impl Frame {
                 body.put_u8(match status {
                     Status::Ok => 0,
                     Status::Error => 1,
+                    Status::Overloaded => 2,
                 });
                 body.put_u32_le(payload.len() as u32);
                 body.put_slice(payload);
@@ -131,6 +171,76 @@ impl Frame {
         out.extend_from_slice(&body);
         out.extend_from_slice(&fnv1a(&body).to_le_bytes());
         out
+    }
+}
+
+/// Parse the payload of a [`Status::Overloaded`] response back into the
+/// daemon's suggested retry delay. `None` if the payload is malformed.
+pub fn decode_retry_after(payload: &[u8]) -> Option<Duration> {
+    let ms: [u8; 8] = payload.try_into().ok()?;
+    Some(Duration::from_millis(u64::from_le_bytes(ms)))
+}
+
+/// Instantaneous daemon load, published through the heartbeat file so a
+/// host can observe pressure without spending a request round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatLoad {
+    /// Requests currently executing.
+    pub in_flight: u64,
+    /// Requests admitted but waiting for an execution slot.
+    pub queued: u64,
+}
+
+/// One decoded heartbeat file.
+///
+/// Wire layout is bare little-endian u64s: the legacy format is just the
+/// 8-byte beat sequence; the load-bearing format appends `in_flight` and
+/// `queued` (24 bytes total). [`HeartbeatRecord::decode`] accepts both, so
+/// new hosts read old daemons' heartbeats (and vice versa — liveness is
+/// mtime-based and never looks at content).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatRecord {
+    /// Monotonic beat counter.
+    pub seq: u64,
+    /// Load snapshot; `None` when the daemon wrote the legacy format.
+    pub load: Option<HeartbeatLoad>,
+}
+
+impl HeartbeatRecord {
+    /// Encode to the 24-byte load-bearing format (or 8 bytes when
+    /// `load` is `None`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        if let Some(load) = self.load {
+            out.extend_from_slice(&load.in_flight.to_le_bytes());
+            out.extend_from_slice(&load.queued.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode either heartbeat format; `None` for anything else (e.g. a
+    /// torn write observed mid-append).
+    pub fn decode(bytes: &[u8]) -> Option<HeartbeatRecord> {
+        let u64_at = |i: usize| {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[i..i + 8]);
+            u64::from_le_bytes(word)
+        };
+        match bytes.len() {
+            8 => Some(HeartbeatRecord {
+                seq: u64_at(0),
+                load: None,
+            }),
+            24 => Some(HeartbeatRecord {
+                seq: u64_at(0),
+                load: Some(HeartbeatLoad {
+                    in_flight: u64_at(8),
+                    queued: u64_at(16),
+                }),
+            }),
+            _ => None,
+        }
     }
 }
 
@@ -237,10 +347,14 @@ fn decode_body(magic: u8, body: &[u8]) -> Result<Frame, String> {
             params.push(s.to_string());
             cur.advance(len);
         }
-        if !cur.is_empty() {
-            return Err("trailing bytes in request body".into());
-        }
-        Ok(Frame::request(id, params))
+        // Legacy frames end right after the params; deadline-carrying
+        // frames have exactly one more u64 (the absolute expiry).
+        let expires_unix_ms = match cur.len() {
+            0 => 0,
+            8 => take_u64(&mut cur)?,
+            _ => return Err("trailing bytes in request body".into()),
+        };
+        Ok(Frame::request_with_deadline(id, params, expires_unix_ms))
     } else {
         if cur.is_empty() {
             return Err("missing status byte".into());
@@ -248,6 +362,7 @@ fn decode_body(magic: u8, body: &[u8]) -> Result<Frame, String> {
         let status = match cur.get_u8() {
             0 => Status::Ok,
             1 => Status::Error,
+            2 => Status::Overloaded,
             other => return Err(format!("bad status byte {other}")),
         };
         let len = take_u32(&mut cur)? as usize;
@@ -548,6 +663,118 @@ mod tests {
         assert_eq!(rec.frames, plain);
         assert_eq!(rec.new_pos, pos);
         assert_eq!(rec.skipped_bytes, 0);
+    }
+
+    #[test]
+    fn deadline_request_roundtrip() {
+        let f = Frame::request_with_deadline(11, vec!["in.txt".into()], 1_722_000_000_123);
+        let bytes = f.encode();
+        match decode_frame(&bytes) {
+            DecodeStep::Complete { frame, consumed } => {
+                assert_eq!(frame, f);
+                assert_eq!(consumed, bytes.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_free_request_encodes_legacy_bytes() {
+        // A request without a deadline must stay byte-identical to the
+        // pre-deadline wire format: old daemons can read new hosts.
+        let new = Frame::request(5, vec!["a".into(), "b".into()]).encode();
+        let mut legacy = BytesMut::new();
+        legacy.put_u64_le(5);
+        legacy.put_u32_le(2);
+        for p in ["a", "b"] {
+            legacy.put_u32_le(p.len() as u32);
+            legacy.put_slice(p.as_bytes());
+        }
+        let mut expect = vec![MAGIC_REQUEST];
+        expect.extend_from_slice(&(legacy.len() as u32).to_le_bytes());
+        expect.extend_from_slice(&legacy);
+        expect.extend_from_slice(&fnv1a(&legacy).to_le_bytes());
+        assert_eq!(new, expect);
+    }
+
+    #[test]
+    fn request_with_partial_deadline_trailer_is_corrupt() {
+        // 4 trailing bytes is neither legacy (0) nor deadline (8).
+        let mut body = BytesMut::new();
+        body.put_u64_le(1);
+        body.put_u32_le(0);
+        body.put_u32_le(0xdead_beef);
+        let mut bytes = vec![MAGIC_REQUEST];
+        bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), DecodeStep::Corrupt { .. }));
+    }
+
+    #[test]
+    fn overloaded_response_roundtrip() {
+        let f = Frame::response_overloaded(13, Duration::from_millis(250));
+        let bytes = f.encode();
+        match decode_frame(&bytes) {
+            DecodeStep::Complete { frame, .. } => {
+                assert_eq!(frame.id, 13);
+                match frame.body {
+                    FrameBody::Response { status, payload } => {
+                        assert_eq!(status, Status::Overloaded);
+                        assert_eq!(
+                            decode_retry_after(&payload),
+                            Some(Duration::from_millis(250))
+                        );
+                    }
+                    _ => panic!("not a response"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(decode_retry_after(b"short"), None);
+    }
+
+    #[test]
+    fn unknown_status_byte_is_still_corrupt() {
+        let mut body = BytesMut::new();
+        body.put_u64_le(1);
+        body.put_u8(3); // 0/1/2 are the only assigned status bytes
+        body.put_u32_le(0);
+        let mut bytes = vec![MAGIC_RESPONSE];
+        bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), DecodeStep::Corrupt { .. }));
+    }
+
+    #[test]
+    fn heartbeat_roundtrip_with_load() {
+        let hb = HeartbeatRecord {
+            seq: 42,
+            load: Some(HeartbeatLoad {
+                in_flight: 3,
+                queued: 17,
+            }),
+        };
+        let bytes = hb.encode();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(HeartbeatRecord::decode(&bytes), Some(hb));
+    }
+
+    #[test]
+    fn legacy_heartbeat_still_parses() {
+        // Old daemons wrote only the 8-byte beat counter.
+        let legacy = 7u64.to_le_bytes();
+        assert_eq!(
+            HeartbeatRecord::decode(&legacy),
+            Some(HeartbeatRecord { seq: 7, load: None })
+        );
+        // And a load-free record encodes exactly those legacy bytes.
+        let hb = HeartbeatRecord { seq: 7, load: None };
+        assert_eq!(hb.encode(), legacy.to_vec());
+        // Torn / garbage lengths are rejected, not misparsed.
+        assert_eq!(HeartbeatRecord::decode(&legacy[..5]), None);
+        assert_eq!(HeartbeatRecord::decode(&[0u8; 16]), None);
     }
 
     #[test]

@@ -10,20 +10,36 @@
 //! file the host can probe, and on startup it replays each log file from
 //! the beginning, answering any request that never received a response —
 //! so a daemon crash/restart does not lose offloaded work.
+//!
+//! Overload protection: admission is bounded by `max_in_flight` running
+//! invocations plus `max_queued` waiting ones. A request beyond both
+//! limits is *shed* — answered immediately with a typed
+//! [`Status::Overloaded`](crate::codec::Status) frame carrying a retry
+//! delay — rather than silently queued. Requests carrying an absolute
+//! expiry that has already passed by dequeue time are dropped (counted,
+//! never executed): the caller has given up, so burning SD CPU on the
+//! answer only deepens the overload. The heartbeat file publishes the
+//! current load ([`HeartbeatLoad`]) so hosts can observe pressure without
+//! a request round trip.
 
-use crate::codec::{Frame, FrameBody};
+use crate::codec::{Frame, FrameBody, HeartbeatLoad, HeartbeatRecord};
 use crate::faults::{DispatchFault, FaultInjector, QUARANTINE_TOKEN};
 use crate::log_file::{LogFile, LogRole};
 use crate::module::ModuleRegistry;
 use crate::watch::{FileWatcher, WatchConfig, WatchEventKind};
-use mcsd_phoenix::Stopwatch;
+use mcsd_phoenix::{wall_clock_ms, Stopwatch};
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Default [`DaemonConfig::max_in_flight`].
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 64;
+/// Default [`DaemonConfig::max_queued`].
+pub const DEFAULT_MAX_QUEUED: usize = 1024;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -42,6 +58,14 @@ pub struct DaemonConfig {
     /// carrying [`QUARANTINE_TOKEN`] so hosts fail over instead of
     /// burning their deadline. `0` disables quarantine.
     pub quarantine_threshold: u32,
+    /// Admission control: module invocations allowed to run at once.
+    pub max_in_flight: usize,
+    /// Admission control: requests allowed to wait for a free execution
+    /// slot. A request arriving with the queue full is shed with a typed
+    /// `Overloaded` reply instead of queueing unboundedly.
+    pub max_queued: usize,
+    /// Retry delay suggested in shed replies.
+    pub shed_retry_after: Duration,
     /// Fault injector (disabled by default; tests install seeded plans).
     pub injector: FaultInjector,
 }
@@ -55,6 +79,9 @@ impl DaemonConfig {
             heartbeat_interval: Duration::from_millis(50),
             dispatch_parallel: true,
             quarantine_threshold: 3,
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            max_queued: DEFAULT_MAX_QUEUED,
+            shed_retry_after: Duration::from_millis(50),
             injector: FaultInjector::disabled(),
         }
     }
@@ -62,6 +89,13 @@ impl DaemonConfig {
     /// Install a fault injector (builder style).
     pub fn with_faults(mut self, injector: FaultInjector) -> Self {
         self.injector = injector;
+        self
+    }
+
+    /// Set the admission limits (builder style).
+    pub fn with_admission(mut self, max_in_flight: usize, max_queued: usize) -> Self {
+        self.max_in_flight = max_in_flight.max(1);
+        self.max_queued = max_queued;
         self
     }
 }
@@ -89,6 +123,12 @@ pub struct DaemonStats {
     pub quarantine_rejected: u64,
     /// Provably-corrupt log bytes the daemon's recovering reads skipped.
     pub corrupt_skipped_bytes: u64,
+    /// Requests shed at admission (queue full) with a typed `Overloaded`
+    /// reply — never executed.
+    pub shed: u64,
+    /// Requests dropped at dequeue because their deadline had already
+    /// passed — never executed.
+    pub expired: u64,
 }
 
 #[derive(Default)]
@@ -101,6 +141,8 @@ struct StatsInner {
     quarantined: AtomicU64,
     quarantine_rejected: AtomicU64,
     corrupt_skipped_bytes: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
 }
 
 impl StatsInner {
@@ -114,6 +156,8 @@ impl StatsInner {
             quarantined: self.quarantined.load(Ordering::Relaxed),
             quarantine_rejected: self.quarantine_rejected.load(Ordering::Relaxed),
             corrupt_skipped_bytes: self.corrupt_skipped_bytes.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -242,6 +286,30 @@ struct LogState {
 /// replay.
 type ReplayBarrier = Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>;
 
+/// One admitted-but-not-yet-dispatched request. The frame itself already
+/// sits in the log file; this is just the dispatch ticket.
+struct QueuedRequest {
+    path: PathBuf,
+    name: String,
+    id: u64,
+    params: Vec<String>,
+    expires_unix_ms: u64,
+}
+
+/// Everything the dispatch side of the daemon owns: log cursors, the
+/// admission queue, and the shared handles worker threads need.
+struct DaemonCtx {
+    config: DaemonConfig,
+    registry: ModuleRegistry,
+    stats: Arc<StatsInner>,
+    stop: Arc<AtomicBool>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    health: Arc<Mutex<HashMap<String, ModuleHealth>>>,
+    in_flight: Arc<AtomicU64>,
+    logs: HashMap<PathBuf, LogState>,
+    queue: VecDeque<QueuedRequest>,
+}
+
 fn daemon_loop(
     config: DaemonConfig,
     registry: ModuleRegistry,
@@ -250,25 +318,33 @@ fn daemon_loop(
     replay_done: ReplayBarrier,
 ) {
     let watcher = FileWatcher::spawn(&config.log_dir, config.watch);
-    let mut logs: HashMap<PathBuf, LogState> = HashMap::new();
     // `None` = no heartbeat written yet, so the first loop turn emits one.
     let mut last_heartbeat: Option<Stopwatch> = None;
     let mut heartbeat_seq: u64 = 0;
-    let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-    let health: Arc<Mutex<HashMap<String, ModuleHealth>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut ctx = DaemonCtx {
+        config,
+        registry,
+        stats,
+        stop,
+        workers: Arc::new(Mutex::new(Vec::new())),
+        health: Arc::new(Mutex::new(HashMap::new())),
+        in_flight: Arc::new(AtomicU64::new(0)),
+        logs: HashMap::new(),
+        queue: VecDeque::new(),
+    };
 
     // Startup replay: answer pending requests left over from a previous
-    // daemon incarnation.
-    if let Ok(entries) = std::fs::read_dir(&config.log_dir) {
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if stop.load(Ordering::Relaxed) {
+    // daemon incarnation. Sorted so multi-log replay admits in a stable
+    // order regardless of directory-iteration order.
+    if let Ok(entries) = std::fs::read_dir(&ctx.config.log_dir) {
+        let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        paths.sort();
+        for path in paths {
+            if ctx.stop.load(Ordering::Relaxed) {
                 break;
             }
             if is_module_log(&path) {
-                process_log(
-                    &path, &mut logs, &registry, &stats, &config, &workers, &health, &stop, true,
-                );
+                ctx.process_log(&path, true);
             }
         }
     }
@@ -278,46 +354,47 @@ fn daemon_loop(
         cvar.notify_all();
     }
 
-    while !stop.load(Ordering::Relaxed) {
+    while !ctx.stop.load(Ordering::Relaxed) {
         // Heartbeat (an injected stall suppresses the write, so the file
-        // goes stale exactly the way a wedged daemon's would).
+        // goes stale exactly the way a wedged daemon's would). Carries
+        // the load snapshot hosts use for pressure-aware steering.
         if last_heartbeat
             .as_ref()
-            .is_none_or(|sw| sw.expired(config.heartbeat_interval))
+            .is_none_or(|sw| sw.expired(ctx.config.heartbeat_interval))
         {
             heartbeat_seq += 1;
-            if !config.injector.on_heartbeat() {
-                let _ = std::fs::write(
-                    config.log_dir.join(HEARTBEAT_FILE),
-                    heartbeat_seq.to_le_bytes(),
-                );
+            if !ctx.config.injector.on_heartbeat() {
+                let record = HeartbeatRecord {
+                    seq: heartbeat_seq,
+                    load: Some(HeartbeatLoad {
+                        in_flight: ctx.in_flight.load(Ordering::Relaxed),
+                        queued: ctx.queue.len() as u64,
+                    }),
+                };
+                let _ = std::fs::write(ctx.config.log_dir.join(HEARTBEAT_FILE), record.encode());
             }
             last_heartbeat = Some(Stopwatch::start());
         }
+        // Dispatch queued work into freed execution slots.
+        ctx.drain_queue();
         // Wait for file events.
         let Some(event) =
-            watcher.next_event(config.watch.poll_interval.max(Duration::from_millis(1)))
+            watcher.next_event(ctx.config.watch.poll_interval.max(Duration::from_millis(1)))
         else {
             continue;
         };
         if event.kind == WatchEventKind::Removed || !is_module_log(&event.path) {
             continue;
         }
-        process_log(
-            &event.path,
-            &mut logs,
-            &registry,
-            &stats,
-            &config,
-            &workers,
-            &health,
-            &stop,
-            false,
-        );
+        let path = event.path;
+        ctx.process_log(&path, false);
+        ctx.drain_queue();
     }
 
-    // Drain in-flight module invocations before exiting.
-    let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *workers.lock());
+    // Drain in-flight module invocations before exiting. (Queued but
+    // never-dispatched requests stay unanswered in the log; the next
+    // incarnation's replay scan picks them up.)
+    let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *ctx.workers.lock());
     for h in handles {
         let _ = h.join();
     }
@@ -333,166 +410,237 @@ fn module_name(path: &Path) -> String {
         .unwrap_or_default()
 }
 
-#[allow(clippy::too_many_arguments)]
-fn process_log(
-    path: &Path,
-    logs: &mut HashMap<PathBuf, LogState>,
-    registry: &ModuleRegistry,
-    stats: &Arc<StatsInner>,
-    config: &DaemonConfig,
-    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    health: &Arc<Mutex<HashMap<String, ModuleHealth>>>,
-    stop: &Arc<AtomicBool>,
-    replay: bool,
-) {
-    let state = match logs.entry(path.to_path_buf()) {
-        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-        std::collections::hash_map::Entry::Vacant(v) => match LogFile::attach_at_start(path) {
-            Ok(log) => v.insert(LogState {
-                log: log.with_faults(config.injector.clone(), LogRole::Daemon),
-                handled: HashSet::new(),
-            }),
-            // Unreadable log file (permissions, vanished between the
-            // watch event and now): skip this round; the next event on
-            // the file retries the attach.
-            Err(_) => return,
-        },
-    };
-    // Recovering poll: provably-corrupt bytes (a host's torn write that
-    // was later retried, or silent NFS corruption) are skipped and
-    // counted instead of wedging the cursor forever.
-    let frames = match state.log.poll_recovering() {
-        Ok((frames, skipped)) => {
-            if skipped > 0 {
-                stats
-                    .corrupt_skipped_bytes
-                    .fetch_add(skipped, Ordering::Relaxed);
+impl DaemonCtx {
+    fn slots_busy(&self) -> bool {
+        self.in_flight.load(Ordering::Relaxed) >= self.config.max_in_flight as u64
+    }
+
+    /// Poll one module log and run every not-yet-handled request through
+    /// admission.
+    fn process_log(&mut self, path: &Path, replay: bool) {
+        let state = match self.logs.entry(path.to_path_buf()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => match LogFile::attach_at_start(path) {
+                Ok(log) => v.insert(LogState {
+                    log: log.with_faults(self.config.injector.clone(), LogRole::Daemon),
+                    handled: HashSet::new(),
+                }),
+                // Unreadable log file (permissions, vanished between the
+                // watch event and now): skip this round; the next event on
+                // the file retries the attach.
+                Err(_) => return,
+            },
+        };
+        // Recovering poll: provably-corrupt bytes (a host's torn write
+        // that was later retried, or silent NFS corruption) are skipped
+        // and counted instead of wedging the cursor forever.
+        let frames = match state.log.poll_recovering() {
+            Ok((frames, skipped)) => {
+                if skipped > 0 {
+                    self.stats
+                        .corrupt_skipped_bytes
+                        .fetch_add(skipped, Ordering::Relaxed);
+                }
+                frames
             }
-            frames
+            Err(_) => return, // truncated or unreadable; skip this round
+        };
+        // First pass: note responses already present (restart replay).
+        for frame in &frames {
+            if let FrameBody::Response { .. } = frame.body {
+                state.handled.insert(frame.id);
+            }
         }
-        Err(_) => return, // truncated or unreadable; skip this round
-    };
-    // First pass: note responses already present (restart replay).
-    for frame in &frames {
-        if let FrameBody::Response { .. } = frame.body {
+        // Collect the fresh requests first so the log-state borrow ends
+        // before admission (which needs `&mut self`).
+        let name = module_name(path);
+        let mut fresh: Vec<QueuedRequest> = Vec::new();
+        for frame in frames {
+            let FrameBody::Request {
+                params,
+                expires_unix_ms,
+            } = frame.body
+            else {
+                continue;
+            };
+            if state.handled.contains(&frame.id) {
+                continue;
+            }
             state.handled.insert(frame.id);
+            fresh.push(QueuedRequest {
+                path: path.to_path_buf(),
+                name: name.clone(),
+                id: frame.id,
+                params,
+                expires_unix_ms,
+            });
+        }
+        for req in fresh {
+            if self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            self.stats.requests.fetch_add(1, Ordering::Relaxed);
+            if replay {
+                self.stats.replayed.fetch_add(1, Ordering::Relaxed);
+            }
+            self.admit(req);
         }
     }
-    for frame in frames {
-        if stop.load(Ordering::Relaxed) {
-            return;
+
+    /// Admission control: dispatch now when a slot is free and nothing is
+    /// ahead in line, queue when the queue has room, shed otherwise.
+    fn admit(&mut self, req: QueuedRequest) {
+        if !self.slots_busy() && self.queue.is_empty() {
+            self.dispatch(req);
+        } else if self.queue.len() < self.config.max_queued {
+            self.queue.push_back(req);
+        } else {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            if let Ok(writer) = LogFile::attach_at_start(&req.path) {
+                let writer = writer.with_faults(self.config.injector.clone(), LogRole::Daemon);
+                let _ = writer.append(&Frame::response_overloaded(
+                    req.id,
+                    self.config.shed_retry_after,
+                ));
+            }
         }
-        let FrameBody::Request { params } = frame.body else {
-            continue;
-        };
-        if state.handled.contains(&frame.id) {
-            continue;
+    }
+
+    /// Move queued requests into freed execution slots, FIFO.
+    fn drain_queue(&mut self) {
+        while !self.stop.load(Ordering::Relaxed) && !self.slots_busy() {
+            let Some(req) = self.queue.pop_front() else {
+                break;
+            };
+            self.dispatch(req);
         }
-        state.handled.insert(frame.id);
-        stats.requests.fetch_add(1, Ordering::Relaxed);
-        if replay {
-            stats.replayed.fetch_add(1, Ordering::Relaxed);
-        }
-        let name = module_name(path);
-        let Ok(writer) = LogFile::attach_at_start(path) else {
+    }
+
+    /// Run one admitted request: deadline check, quarantine check,
+    /// registry lookup, injected faults, then the module itself (on a
+    /// worker thread when `dispatch_parallel`).
+    fn dispatch(&mut self, req: QueuedRequest) {
+        let QueuedRequest {
+            path,
+            name,
+            id,
+            params,
+            expires_unix_ms,
+        } = req;
+        let Ok(writer) = LogFile::attach_at_start(&path) else {
             // Cannot open a writer to respond on: count the failure and
             // let the host's timeout surface it.
-            stats.module_errors.fetch_add(1, Ordering::Relaxed);
-            continue;
+            self.stats.module_errors.fetch_add(1, Ordering::Relaxed);
+            return;
         };
-        let writer = writer.with_faults(config.injector.clone(), LogRole::Daemon);
+        let writer = writer.with_faults(self.config.injector.clone(), LogRole::Daemon);
+        // Deadline check at dequeue: the caller has already given up, so
+        // the request is dropped — counted, answered, never executed.
+        if expires_unix_ms != 0 && wall_clock_ms() >= expires_unix_ms {
+            self.stats.expired.fetch_add(1, Ordering::Relaxed);
+            let _ = writer.append(&Frame::response_err(
+                id,
+                "deadline expired before dispatch; request dropped",
+            ));
+            return;
+        }
         // Poison-module quarantine: refuse fast with a distinguishable
         // message so the host fails over instead of waiting out its
         // deadline.
-        if health.lock().get(&name).is_some_and(|h| h.quarantined) {
-            stats.quarantine_rejected.fetch_add(1, Ordering::Relaxed);
+        if self.health.lock().get(&name).is_some_and(|h| h.quarantined) {
+            self.stats
+                .quarantine_rejected
+                .fetch_add(1, Ordering::Relaxed);
             let _ = writer.append(&Frame::response_err(
-                frame.id,
+                id,
                 &format!(
                     "module {name:?} {QUARANTINE_TOKEN} {} consecutive failures",
-                    config.quarantine_threshold
+                    self.config.quarantine_threshold
                 ),
             ));
-            continue;
+            return;
         }
-        match registry.get(&name) {
-            None => {
-                stats.unknown_module.fetch_add(1, Ordering::Relaxed);
-                let _ = writer.append(&Frame::response_err(
-                    frame.id,
-                    &format!("no module registered under {name:?}"),
-                ));
+        let Some(module) = self.registry.get(&name) else {
+            self.stats.unknown_module.fetch_add(1, Ordering::Relaxed);
+            let _ = writer.append(&Frame::response_err(
+                id,
+                &format!("no module registered under {name:?}"),
+            ));
+            return;
+        };
+        // Injected dispatch faults: crash (exit the daemon loop without
+        // answering) or a forced module failure.
+        match self.config.injector.on_dispatch() {
+            Some(DispatchFault::CrashBefore) => {
+                self.stop.store(true, Ordering::Relaxed);
+                return;
             }
-            Some(module) => {
-                // Injected dispatch faults: crash (exit the daemon loop
-                // without answering) or a forced module failure.
-                match config.injector.on_dispatch() {
-                    Some(DispatchFault::CrashBefore) => {
-                        stop.store(true, Ordering::Relaxed);
-                        return;
-                    }
-                    Some(DispatchFault::CrashAfter) => {
-                        // Execute the module, then die before the
-                        // response is written — the worst crash window
-                        // for replay idempotency.
-                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            module.invoke(&params)
-                        }));
-                        stop.store(true, Ordering::Relaxed);
-                        return;
-                    }
-                    Some(DispatchFault::Fail) => {
-                        stats.module_errors.fetch_add(1, Ordering::Relaxed);
-                        note_result(health, stats, &name, true, config.quarantine_threshold);
-                        let _ = writer
-                            .append(&Frame::response_err(frame.id, "injected module failure"));
-                        continue;
-                    }
-                    None => {}
-                }
-                let stats = Arc::clone(stats);
-                let health = Arc::clone(health);
-                let threshold = config.quarantine_threshold;
-                let id = frame.id;
-                let run = move || {
-                    // A panicking module must neither kill the daemon
-                    // (sequential dispatch) nor leave the host waiting
-                    // forever: convert the panic into an error response.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        module.invoke(&params)
-                    }));
-                    let failed = !matches!(outcome, Ok(Ok(_)));
-                    let response = match outcome {
-                        Ok(Ok(payload)) => {
-                            stats.ok.fetch_add(1, Ordering::Relaxed);
-                            Frame::response_ok(id, payload)
-                        }
-                        Ok(Err(e)) => {
-                            stats.module_errors.fetch_add(1, Ordering::Relaxed);
-                            Frame::response_err(id, &e.message)
-                        }
-                        Err(panic) => {
-                            stats.module_errors.fetch_add(1, Ordering::Relaxed);
-                            let msg = panic
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| panic.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "module panicked".into());
-                            Frame::response_err(id, &format!("module panicked: {msg}"))
-                        }
-                    };
-                    note_result(&health, &stats, &name, failed, threshold);
-                    let _ = writer.append(&response);
-                };
-                if config.dispatch_parallel {
-                    let mut w = workers.lock();
-                    // Reap finished workers opportunistically.
-                    w.retain(|h| !h.is_finished());
-                    w.push(std::thread::spawn(run));
-                } else {
-                    run();
-                }
+            Some(DispatchFault::CrashAfter) => {
+                // Execute the module, then die before the response is
+                // written — the worst crash window for replay
+                // idempotency.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    module.invoke(&params)
+                }));
+                self.stop.store(true, Ordering::Relaxed);
+                return;
             }
+            Some(DispatchFault::Fail) => {
+                self.stats.module_errors.fetch_add(1, Ordering::Relaxed);
+                note_result(
+                    &self.health,
+                    &self.stats,
+                    &name,
+                    true,
+                    self.config.quarantine_threshold,
+                );
+                let _ = writer.append(&Frame::response_err(id, "injected module failure"));
+                return;
+            }
+            None => {}
+        }
+        let stats = Arc::clone(&self.stats);
+        let health = Arc::clone(&self.health);
+        let in_flight = Arc::clone(&self.in_flight);
+        let threshold = self.config.quarantine_threshold;
+        in_flight.fetch_add(1, Ordering::Relaxed);
+        let run = move || {
+            // A panicking module must neither kill the daemon (sequential
+            // dispatch) nor leave the host waiting forever: convert the
+            // panic into an error response.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| module.invoke(&params)));
+            let failed = !matches!(outcome, Ok(Ok(_)));
+            let response = match outcome {
+                Ok(Ok(payload)) => {
+                    stats.ok.fetch_add(1, Ordering::Relaxed);
+                    Frame::response_ok(id, payload)
+                }
+                Ok(Err(e)) => {
+                    stats.module_errors.fetch_add(1, Ordering::Relaxed);
+                    Frame::response_err(id, &e.message)
+                }
+                Err(panic) => {
+                    stats.module_errors.fetch_add(1, Ordering::Relaxed);
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "module panicked".into());
+                    Frame::response_err(id, &format!("module panicked: {msg}"))
+                }
+            };
+            note_result(&health, &stats, &name, failed, threshold);
+            let _ = writer.append(&response);
+            in_flight.fetch_sub(1, Ordering::Relaxed);
+        };
+        if self.config.dispatch_parallel {
+            let mut w = self.workers.lock();
+            // Reap finished workers opportunistically.
+            w.retain(|h| !h.is_finished());
+            w.push(std::thread::spawn(run));
+        } else {
+            run();
         }
     }
 }
@@ -625,14 +773,15 @@ mod tests {
         cfg.heartbeat_interval = Duration::from_millis(5);
         let _daemon = Daemon::new(cfg, registry()).spawn().unwrap();
         let hb = dir.join(HEARTBEAT_FILE);
-        assert!(crate::watch::wait_for_file(&hb, TIMEOUT, |len| len == 8));
-        let first = std::fs::read(&hb).unwrap();
+        assert!(crate::watch::wait_for_file(&hb, TIMEOUT, |len| len == 24));
+        let first = HeartbeatRecord::decode(&std::fs::read(&hb).unwrap()).unwrap();
         std::thread::sleep(Duration::from_millis(40));
-        let later = std::fs::read(&hb).unwrap();
-        assert!(
-            u64::from_le_bytes(later.try_into().unwrap())
-                > u64::from_le_bytes(first.try_into().unwrap())
-        );
+        let later = HeartbeatRecord::decode(&std::fs::read(&hb).unwrap()).unwrap();
+        assert!(later.seq > first.seq);
+        // An idle daemon publishes a zero load snapshot.
+        let load = later.load.expect("load field");
+        assert_eq!(load.in_flight, 0);
+        assert_eq!(load.queued, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -827,6 +976,91 @@ mod tests {
         // request, so the daemon's recovering reader skipped (and counted)
         // it.
         assert!(daemon.stats().corrupt_skipped_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// One saturation run: 6 requests to a gated module under
+    /// `max_in_flight = 1, max_queued = 2`, all submitted *before* the
+    /// daemon starts so the (single-threaded) replay scan makes every
+    /// admission decision before any worker can finish — the shed count
+    /// is decided by arithmetic, not timing.
+    fn saturation_run() -> DaemonStats {
+        let dir = temp_dir();
+        let release = dir.join("release.gate");
+        let r = ModuleRegistry::new();
+        let gate = release.clone();
+        r.register(Arc::new(FnModule::new("gate", move |p: &[String]| {
+            let waited = Stopwatch::start();
+            while !gate.exists() && !waited.expired(TIMEOUT) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(p.join("").into_bytes())
+        })));
+        let client = HostClient::new(&dir);
+        let pendings: Vec<_> = (0..6)
+            .map(|i| client.submit("gate", &[format!("r{i}")]).unwrap())
+            .collect();
+        let mut cfg = DaemonConfig::new(&dir).with_admission(1, 2);
+        cfg.shed_retry_after = Duration::from_millis(25);
+        let mut daemon = Daemon::new(cfg, r).spawn().unwrap();
+        // Every admission decision is already made; open the gate and
+        // collect the outcomes.
+        std::fs::write(&release, b"go").unwrap();
+        for (i, pending) in pendings.into_iter().enumerate() {
+            match pending.wait(TIMEOUT) {
+                Ok(out) => {
+                    assert!(i < 3, "request {i} should have been shed");
+                    assert_eq!(out.payload, format!("r{i}").into_bytes());
+                }
+                Err(crate::error::SmartFamError::Overloaded { retry_after, .. }) => {
+                    assert!(i >= 3, "request {i} should have been served");
+                    assert_eq!(retry_after, Duration::from_millis(25));
+                }
+                Err(other) => panic!("request {i}: unexpected error {other}"),
+            }
+        }
+        daemon.stop();
+        let stats = daemon.stats();
+        std::fs::remove_dir_all(&dir).unwrap();
+        stats
+    }
+
+    #[test]
+    fn saturated_queue_sheds_typed_and_deterministically() {
+        let first = saturation_run();
+        assert_eq!(first.requests, 6);
+        assert_eq!(first.ok, 3);
+        assert_eq!(first.shed, 3);
+        assert_eq!(first.expired, 0);
+        // No hangs, no lost accepted requests — and the counters replay
+        // exactly on an identical run.
+        let second = saturation_run();
+        assert_eq!(first, second, "shed counts must replay exactly");
+    }
+
+    #[test]
+    fn expired_request_is_dropped_at_dequeue_without_executing() {
+        let dir = temp_dir();
+        let invocations = Arc::new(TestCounter::new(0));
+        let r = ModuleRegistry::new();
+        let c = Arc::clone(&invocations);
+        r.register(Arc::new(FnModule::new("count", move |_: &[String]| {
+            c.fetch_add(1, Ordering::Relaxed);
+            Ok(b"ran".to_vec())
+        })));
+        let client = HostClient::new(&dir);
+        // expires_unix_ms = 1 is maximally in the past (0 = no deadline).
+        let expired = client.submit_with_deadline("count", &[], 1).unwrap();
+        let fresh = client.submit("count", &[]).unwrap();
+        let mut daemon = Daemon::new(DaemonConfig::new(&dir), r).spawn().unwrap();
+        // The expired request is answered (typed), never executed.
+        let err = expired.wait(TIMEOUT).unwrap_err();
+        assert!(err.to_string().contains("deadline expired"), "{err}");
+        // The deadline-free request still runs normally.
+        assert_eq!(fresh.wait(TIMEOUT).unwrap().payload, b"ran");
+        daemon.stop();
+        assert_eq!(daemon.stats().expired, 1);
+        assert_eq!(invocations.load(Ordering::Relaxed), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::io;
+use std::time::Duration;
 
 /// Errors produced by the smartFAM mechanism.
 #[derive(Debug)]
@@ -47,6 +48,15 @@ pub enum SmartFamError {
         /// What the injector did.
         detail: String,
     },
+    /// The daemon shed the request at admission: its in-flight and queue
+    /// capacity were both full, so the request was rejected immediately
+    /// (never executed) with a suggested retry delay.
+    Overloaded {
+        /// The module that was being invoked.
+        module: String,
+        /// The daemon's suggested retry delay.
+        retry_after: Duration,
+    },
 }
 
 impl SmartFamError {
@@ -58,6 +68,12 @@ impl SmartFamError {
             SmartFamError::ModuleFailed { message, .. }
                 if message.contains(crate::faults::QUARANTINE_TOKEN)
         )
+    }
+
+    /// Whether this error is the daemon shedding load. Retryable — but
+    /// callers should honour the carried `retry_after` before trying.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, SmartFamError::Overloaded { .. })
     }
 }
 
@@ -85,6 +101,16 @@ impl fmt::Display for SmartFamError {
             }
             SmartFamError::FaultInjected { detail } => {
                 write!(f, "injected fault: {detail}")
+            }
+            SmartFamError::Overloaded {
+                module,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "daemon overloaded; request to module {module:?} shed \
+                     (retry after {retry_after:?})"
+                )
             }
         }
     }
@@ -150,6 +176,20 @@ mod tests {
         };
         assert!(!dead.is_quarantined());
         assert!(dead.to_string().contains("dead"));
+    }
+
+    #[test]
+    fn overload_classification() {
+        let shed = SmartFamError::Overloaded {
+            module: "wc".into(),
+            retry_after: Duration::from_millis(50),
+        };
+        assert!(shed.is_overloaded());
+        assert!(shed.to_string().contains("shed"));
+        let dead = SmartFamError::DaemonDead {
+            module: "wc".into(),
+        };
+        assert!(!dead.is_overloaded());
     }
 
     #[test]

@@ -161,7 +161,11 @@ impl FaultPlan {
                     rng.next_u64() % 2,
                     FaultAction::CrashBefore,
                 ),
-                1 => (FaultSite::Dispatch, rng.next_u64() % 2, FaultAction::CrashAfter),
+                1 => (
+                    FaultSite::Dispatch,
+                    rng.next_u64() % 2,
+                    FaultAction::CrashAfter,
+                ),
                 2 => (FaultSite::Dispatch, rng.next_u64() % 2, FaultAction::Fail),
                 3 => (
                     FaultSite::SdAppend,
@@ -445,6 +449,61 @@ impl FaultInjector {
     }
 }
 
+/// Counters describing what the overload-protection machinery did:
+/// admission control, deadline enforcement, circuit breaking, and
+/// pressure-driven repartitioning. Additive like [`ResilienceStats`]
+/// (which embeds one of these per run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Requests the daemon rejected at admission (queue full) with a
+    /// typed `Overloaded` reply.
+    pub shed: u64,
+    /// Requests dropped at dequeue because their deadline had already
+    /// passed — counted, never executed.
+    pub expired: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_opens: u64,
+    /// Probe dispatches admitted by half-open breakers.
+    pub half_open_probes: u64,
+    /// Jobs re-partitioned (partition size shrunk) to fit a node's
+    /// memory budget before submission.
+    pub repartitions: u64,
+    /// Spans or calls steered away from an open/saturated node.
+    pub steered_spans: u64,
+}
+
+impl OverloadStats {
+    /// Merge another layer's counters into this one.
+    pub fn absorb(&mut self, other: &OverloadStats) {
+        self.shed += other.shed;
+        self.expired += other.expired;
+        self.breaker_opens += other.breaker_opens;
+        self.half_open_probes += other.half_open_probes;
+        self.repartitions += other.repartitions;
+        self.steered_spans += other.steered_spans;
+    }
+
+    /// Whether overload protection never had to act.
+    pub fn is_clean(&self) -> bool {
+        *self == OverloadStats::default()
+    }
+}
+
+impl fmt::Display for OverloadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shed={} expired={} breaker_opens={} half_open_probes={} repartitions={} steered={}",
+            self.shed,
+            self.expired,
+            self.breaker_opens,
+            self.half_open_probes,
+            self.repartitions,
+            self.steered_spans
+        )
+    }
+}
+
 /// Counters describing what the resilience machinery did for one call,
 /// run, or job. Additive: [`ResilienceStats::absorb`] merges layers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -463,6 +522,8 @@ pub struct ResilienceStats {
     pub redispatches: u64,
     /// Provably-corrupt log bytes skipped by recovering readers.
     pub corrupt_skipped_bytes: u64,
+    /// Overload-protection counters (admission, deadlines, breakers).
+    pub overload: OverloadStats,
 }
 
 impl ResilienceStats {
@@ -475,6 +536,7 @@ impl ResilienceStats {
         self.replayed += other.replayed;
         self.redispatches += other.redispatches;
         self.corrupt_skipped_bytes += other.corrupt_skipped_bytes;
+        self.overload.absorb(&other.overload);
     }
 
     /// Whether the run was undisturbed. `attempts` is ignored: a clean
@@ -489,6 +551,7 @@ impl ResilienceStats {
             replayed,
             redispatches,
             corrupt_skipped_bytes,
+            overload,
         } = *self;
         retries == 0
             && failovers == 0
@@ -496,6 +559,7 @@ impl ResilienceStats {
             && replayed == 0
             && redispatches == 0
             && corrupt_skipped_bytes == 0
+            && overload.is_clean()
     }
 }
 
@@ -511,7 +575,11 @@ impl fmt::Display for ResilienceStats {
             self.replayed,
             self.redispatches,
             self.corrupt_skipped_bytes
-        )
+        )?;
+        if !self.overload.is_clean() {
+            write!(f, " {}", self.overload)?;
+        }
+        Ok(())
     }
 }
 
@@ -691,6 +759,38 @@ mod tests {
         assert!(s.contains("attempts=3"));
         assert!(s.contains("failovers=1"));
         assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn overload_stats_absorb_and_display() {
+        let mut a = OverloadStats {
+            shed: 2,
+            steered_spans: 1,
+            ..Default::default()
+        };
+        let b = OverloadStats {
+            shed: 1,
+            expired: 3,
+            breaker_opens: 1,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.shed, 3);
+        assert_eq!(a.expired, 3);
+        assert_eq!(a.breaker_opens, 1);
+        assert_eq!(a.steered_spans, 1);
+        assert!(!a.is_clean());
+        assert!(OverloadStats::default().is_clean());
+
+        // Overload counters surface in the ResilienceStats line only when
+        // protection actually acted, and never break the one-line shape.
+        let mut rs = ResilienceStats::default();
+        assert!(!rs.to_string().contains("shed="));
+        rs.overload.shed = 3;
+        let line = rs.to_string();
+        assert!(line.contains("shed=3"));
+        assert!(!line.contains('\n'));
+        assert!(!rs.is_clean());
     }
 
     #[test]

@@ -46,12 +46,12 @@ pub mod log_file;
 pub mod module;
 pub mod watch;
 
-pub use codec::{Frame, FrameBody, Status};
+pub use codec::{Frame, FrameBody, HeartbeatLoad, HeartbeatRecord, Status};
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle, DaemonStats};
 pub use error::SmartFamError;
 pub use faults::{
     AppendFault, DispatchFault, FaultAction, FaultInjector, FaultPlan, FaultSite, InjectedFault,
-    ResilienceStats, ScheduledFault,
+    OverloadStats, ResilienceStats, ScheduledFault,
 };
 pub use host::{HostClient, InvokeOutcome, Liveness, PendingCall, ResilientCall, RetryPolicy};
 pub use log_file::{LogFile, LogRole};
