@@ -2,8 +2,8 @@
 //! paper's evaluation (§V), plus the DESIGN.md ablations.
 //!
 //! ```text
-//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload]
-//!                  [--scale N] [--quick] [--csv]
+//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace]
+//!                  [--scale N] [--seed N] [--quick] [--csv]
 //! ```
 //!
 //! `faults` (not part of `all`) drives seeded fault schedules through the
@@ -15,6 +15,12 @@
 //! and prints the decision log plus the `OverloadStats` counters, the
 //! interactive counterpart of `crates/mcsd-core/tests/overload.rs`.
 //!
+//! `trace` (not part of `all` either) runs a seeded four-phase
+//! observability scenario with the DESIGN.md §12 virtual-clock tracer on
+//! and writes `trace-<seed>.jsonl` plus `trace-<seed>.chrome.json` — two
+//! runs with the same `--seed` produce byte-identical files, which CI
+//! asserts with a plain `diff`.
+//!
 //! Run in release mode: debug builds inflate per-byte compute cost ~25x
 //! and distort the compute/IO balance the figures depend on.
 
@@ -24,8 +30,8 @@ use mcsd_cluster::{paper_testbed, SandiaMicroBenchmark, Scale, SmbPattern};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload] \
-         [--scale N] [--quick] [--csv]"
+        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace] \
+         [--scale N] [--seed N] [--quick] [--csv]"
     );
     std::process::exit(2);
 }
@@ -168,11 +174,213 @@ fn overload_demo() {
     println!();
 }
 
+/// Deterministic observability walkthrough (DESIGN.md §12): one shared
+/// virtual-clock tracer follows four seeded phases — daemon saturation
+/// (typed sheds plus a deadline expiry), circuit-breaker steering, a
+/// torn-append retry, and memory-budget re-partitioning — then exports
+/// the whole run as JSON-lines and Chrome `trace_event` files.
+/// Same seed, same bytes: CI runs this twice and diffs the outputs.
+fn trace_run(seed: u64) {
+    use mcsd_apps::TextGen;
+    use mcsd_cluster::NodeRole;
+    use mcsd_core::{
+        BreakerConfig, FaultAction, FaultInjector, FaultPlan, FaultSite, McsdFramework,
+        OffloadPolicy, ResilienceConfig, ResilienceStats,
+    };
+    use mcsd_obs::export::{chrome, jsonl_with, JsonlOptions};
+    use mcsd_obs::{MetricsRegistry, Tracer};
+    use mcsd_smartfam::module::FnModule;
+    use mcsd_smartfam::{DaemonStats, SmartFamError};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const TIMEOUT: Duration = Duration::from_secs(60);
+    let tracer = Tracer::enabled();
+    let mut daemon_totals = DaemonStats::default();
+    let mut resilience_totals = ResilienceStats::default();
+    let cluster = || {
+        let mut c = paper_testbed(Scale::default_experiment());
+        for n in &mut c.nodes {
+            n.memory_bytes = 256 << 20;
+        }
+        c
+    };
+
+    println!("### Phase A — saturation: 5 requests into 1 slot + 1 queue spot\n");
+    let resilience = ResilienceConfig {
+        max_in_flight: 1,
+        max_queued: 1,
+        tracer: tracer.clone(),
+        ..ResilienceConfig::default()
+    };
+    let fw = McsdFramework::start_with(cluster(), OffloadPolicy::DataIntensiveToSd, resilience)
+        .expect("framework boot");
+    let release = fw.sd_node().data_root().join("release.gate");
+    let gate = release.clone();
+    fw.sd_node()
+        .registry()
+        .register(Arc::new(FnModule::new("gate", move |p: &[String]| {
+            let t0 = Instant::now();
+            while !gate.exists() && t0.elapsed() < TIMEOUT {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(p.join("").into_bytes())
+        })));
+    let client = fw.sd_node().host_client();
+    let smartfam = client.smartfam();
+    let mut pendings: Vec<_> = (0..5)
+        .map(|i| {
+            smartfam
+                .submit("gate", &[format!("r{i}")])
+                .expect("submit request")
+        })
+        .collect();
+    // r0 pins the only slot and r1 the only queue spot while the gate is
+    // shut, so the daemon must shed r2..r4 with typed replies.
+    let mut sheds = 0;
+    for pending in pendings.drain(2..) {
+        if let Err(SmartFamError::Overloaded { .. }) = pending.wait(TIMEOUT) {
+            sheds += 1;
+        }
+    }
+    println!("gate shut: {sheds} of 5 requests shed at admission (typed Overloaded)");
+    std::fs::write(&release, b"go").expect("open gate");
+    for pending in pendings {
+        pending.wait(TIMEOUT).expect("admitted request served");
+    }
+    let expired = smartfam
+        .submit_with_deadline("gate", &[], 1)
+        .expect("submit expired request");
+    let _ = expired.wait(TIMEOUT);
+    println!("gate open: admitted requests served; 1 expired deadline dropped at dequeue");
+    daemon_totals.absorb(&fw.sd_node().daemon_stats());
+    resilience_totals.absorb(&fw.resilience_stats());
+    fw.stop();
+
+    println!("\n### Phase B — breaker: failing SD steered around, then re-admitted\n");
+    // The §11 breaker scenario: two dispatch failures trip the breaker
+    // (threshold 2), the 3 ms cooldown steers two calls to the host, and
+    // a half-open probe re-admits the node for the rest.
+    let plan = FaultPlan::none()
+        .with(FaultSite::Dispatch, 0, FaultAction::Fail)
+        .with(FaultSite::Dispatch, 1, FaultAction::Fail);
+    let mut resilience = ResilienceConfig {
+        injector: FaultInjector::new(plan),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(3),
+            probe_quota: 1,
+        },
+        tracer: tracer.clone(),
+        ..ResilienceConfig::default()
+    };
+    resilience.retry.max_attempts = 1;
+    resilience.retry.base_backoff = Duration::from_millis(1);
+    let fw = McsdFramework::start_with(cluster(), OffloadPolicy::DataIntensiveToSd, resilience)
+        .expect("framework boot");
+    let text = TextGen::with_seed(seed).generate(20_000);
+    fw.stage_data_local("wc.txt", &text).expect("stage");
+    for _ in 0..6 {
+        fw.wordcount("wc.txt", Some("auto")).expect("wordcount");
+    }
+    for (job, decision) in fw.decision_log() {
+        println!("{job}: {decision:?}");
+    }
+    for d in fw.degradations() {
+        println!("degraded: {d}");
+    }
+    daemon_totals.absorb(&fw.sd_node().daemon_stats());
+    resilience_totals.absorb(&fw.resilience_stats());
+    fw.stop();
+
+    println!("\n### Phase C — retry: a torn request append recovered on the second attempt\n");
+    // The host's first append is torn mid-frame; the typed FaultInjected
+    // error is transient, so the resilient client backs off, retries, and
+    // the daemon's recovering reader skips the corrupt bytes.
+    let plan = FaultPlan::none().with(
+        FaultSite::HostAppend,
+        0,
+        FaultAction::Torn { keep_sixteenths: 8 },
+    );
+    let mut resilience = ResilienceConfig {
+        injector: FaultInjector::new(plan),
+        tracer: tracer.clone(),
+        ..ResilienceConfig::default()
+    };
+    resilience.retry.max_attempts = 2;
+    resilience.retry.base_backoff = Duration::from_millis(1);
+    let fw = McsdFramework::start_with(cluster(), OffloadPolicy::DataIntensiveToSd, resilience)
+        .expect("framework boot");
+    let text = TextGen::with_seed(seed).generate(20_000);
+    fw.stage_data_local("wc.txt", &text).expect("stage");
+    fw.wordcount("wc.txt", Some("auto")).expect("wordcount");
+    let stats = fw.resilience_stats();
+    println!(
+        "call served on attempt 2: {} retry, {} corrupt bytes skipped",
+        stats.retries, stats.corrupt_skipped_bytes
+    );
+    daemon_totals.absorb(&fw.sd_node().daemon_stats());
+    resilience_totals.absorb(&stats);
+    fw.stop();
+
+    println!("\n### Phase D — memory admission: 900 kB job onto a 1 MiB SD node\n");
+    let mut tight = paper_testbed(Scale::default_experiment());
+    for n in &mut tight.nodes {
+        n.memory_bytes = if n.role == NodeRole::SmartStorage {
+            1 << 20
+        } else {
+            256 << 20
+        };
+    }
+    let resilience = ResilienceConfig {
+        tracer: tracer.clone(),
+        ..ResilienceConfig::default()
+    };
+    let fw = McsdFramework::start_with(tight, OffloadPolicy::DataIntensiveToSd, resilience)
+        .expect("framework boot");
+    let text = TextGen::with_seed(seed.wrapping_add(1)).generate(900_000);
+    fw.stage_data_local("big.txt", &text).expect("stage");
+    fw.wordcount("big.txt", None).expect("wordcount");
+    let halvings = fw.resilience_stats().overload.repartitions;
+    println!("fragment halved {halvings}x to fit the SD node's memory budget");
+    daemon_totals.absorb(&fw.sd_node().daemon_stats());
+    resilience_totals.absorb(&fw.resilience_stats());
+    fw.stop();
+
+    // One unified registry for the whole run, filled through the typed
+    // single-owner publish methods.
+    let registry = MetricsRegistry::new();
+    daemon_totals
+        .publish(&registry)
+        .expect("publish daemon counters");
+    resilience_totals
+        .publish(&registry)
+        .expect("publish resilience counters");
+    let jsonl = jsonl_with(
+        &tracer,
+        JsonlOptions {
+            include_volatile: false,
+            metrics: Some(&registry),
+        },
+    );
+    let chrome_json = chrome(&tracer);
+    let jsonl_path = format!("trace-{seed}.jsonl");
+    let chrome_path = format!("trace-{seed}.chrome.json");
+    std::fs::write(&jsonl_path, &jsonl).expect("write jsonl trace");
+    std::fs::write(&chrome_path, &chrome_json).expect("write chrome trace");
+    println!(
+        "\nwrote {jsonl_path} ({} lines) and {chrome_path} — same seed, same bytes",
+        jsonl.lines().count()
+    );
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut cfg = ExperimentConfig::default_run();
     let mut csv = false;
+    let mut seed: u64 = 42;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -187,6 +395,13 @@ fn main() {
                 cfg.scale = Scale {
                     divisor: divisor.max(1),
                 };
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| usage());
             }
             flag if flag.starts_with('-') => usage(),
             name => which.push(name.to_string()),
@@ -345,5 +560,10 @@ fn main() {
     if which.iter().any(|w| w == "overload") {
         println!("## Overload protection — breaker steering and memory admission\n");
         overload_demo();
+    }
+    // Excluded from `all`: writes trace files into the working directory.
+    if which.iter().any(|w| w == "trace") {
+        println!("## Deterministic trace — four-phase observability walkthrough (seed {seed})\n");
+        trace_run(seed);
     }
 }

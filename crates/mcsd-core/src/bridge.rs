@@ -11,6 +11,7 @@
 use crate::error::McsdError;
 use crate::modules::{MatMulModule, StringMatchModule, WordCountModule};
 use mcsd_cluster::{Cluster, NfsShare, NodeId, TimeBreakdown};
+use mcsd_obs::Tracer;
 use mcsd_smartfam::{
     Daemon, DaemonConfig, DaemonHandle, DaemonStats, FaultInjector, HostClient, ModuleRegistry,
     ResilienceStats, RetryPolicy,
@@ -34,6 +35,7 @@ pub struct SdNodeServer {
     injector: FaultInjector,
     max_in_flight: usize,
     max_queued: usize,
+    tracer: Tracer,
 }
 
 impl SdNodeServer {
@@ -70,6 +72,25 @@ impl SdNodeServer {
         max_in_flight: usize,
         max_queued: usize,
     ) -> Result<SdNodeServer, McsdError> {
+        SdNodeServer::start_observed(
+            cluster,
+            injector,
+            max_in_flight,
+            max_queued,
+            Tracer::disabled(),
+        )
+    }
+
+    /// Like [`SdNodeServer::start_configured`], with a [`Tracer`] shared
+    /// by the daemon and every host client this server hands out, so one
+    /// trace carries both sides of the offload protocol (DESIGN.md §12).
+    pub fn start_observed(
+        cluster: &Cluster,
+        injector: FaultInjector,
+        max_in_flight: usize,
+        max_queued: usize,
+        tracer: Tracer,
+    ) -> Result<SdNodeServer, McsdError> {
         let sd = cluster.sd().clone();
         let host_id = cluster.host().id;
         let share = NfsShare::temp(sd.id, cluster.network, cluster.disk)?;
@@ -84,7 +105,8 @@ impl SdNodeServer {
 
         let config = DaemonConfig::new(&log_dir)
             .with_faults(injector.clone())
-            .with_admission(max_in_flight, max_queued);
+            .with_admission(max_in_flight, max_queued)
+            .with_tracer(tracer.clone());
         let daemon = Daemon::new(config, registry.clone()).spawn()?;
         Ok(SdNodeServer {
             share,
@@ -95,6 +117,7 @@ impl SdNodeServer {
             injector,
             max_in_flight,
             max_queued,
+            tracer,
         })
     }
 
@@ -137,7 +160,8 @@ impl SdNodeServer {
     pub fn host_client(&self) -> McsdClient {
         McsdClient {
             inner: HostClient::new(self.share.root().join(LOG_SUBDIR))
-                .with_faults(self.injector.clone()),
+                .with_faults(self.injector.clone())
+                .with_tracer(self.tracer.clone()),
             network_charge_per_byte: 1.0 / self.share.network().effective_bytes_per_sec(),
             latency: self.share.network().fabric.latency(),
         }
@@ -161,7 +185,8 @@ impl SdNodeServer {
         let log_dir = self.share.root().join(LOG_SUBDIR);
         let config = DaemonConfig::new(&log_dir)
             .with_faults(self.injector.clone())
-            .with_admission(self.max_in_flight, self.max_queued);
+            .with_admission(self.max_in_flight, self.max_queued)
+            .with_tracer(self.tracer.clone());
         let daemon = Daemon::new(config, self.registry.clone()).spawn()?;
         self.daemon = Some(daemon);
         Ok(())

@@ -11,6 +11,7 @@ use crate::error::McsdError;
 use crate::footprint::FootprintOverride;
 use crate::report::RunReport;
 use mcsd_cluster::{DiskModel, NodeExecutor, NodeSpec, TimeBreakdown};
+use mcsd_obs::Tracer;
 use mcsd_phoenix::partition::Merger;
 use mcsd_phoenix::Stopwatch;
 use mcsd_phoenix::{Job, PartitionSpec, PartitionedRuntime, PhoenixConfig, Runtime};
@@ -73,6 +74,7 @@ impl<K, V> NodeRunReport<K, V> {
 pub struct NodeRunner {
     exec: NodeExecutor,
     disk: DiskModel,
+    tracer: Tracer,
 }
 
 impl NodeRunner {
@@ -81,7 +83,15 @@ impl NodeRunner {
         NodeRunner {
             exec: NodeExecutor::new(node),
             disk,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer; every Phoenix runtime this runner builds records
+    /// its span tree on the shared `phoenix` work track.
+    pub fn with_tracer(mut self, tracer: Tracer) -> NodeRunner {
+        self.tracer = tracer;
+        self
     }
 
     /// The node this runner models.
@@ -114,7 +124,7 @@ impl NodeRunner {
         base_offset: usize,
     ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError> {
         let cfg = PhoenixConfig::with_workers(1).memory(self.node().memory_model());
-        let runtime = Runtime::new(cfg);
+        let runtime = Runtime::new(cfg).with_tracer(self.tracer.clone());
         let wrapped = FootprintOverride::new(job.clone(), footprint_factor);
         let t0 = Stopwatch::start();
         let out = runtime.run_at(&wrapped, input, base_offset)?;
@@ -146,7 +156,7 @@ impl NodeRunner {
         input: &[u8],
         base_offset: usize,
     ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError> {
-        let runtime = Runtime::new(self.exec.phoenix_config());
+        let runtime = Runtime::new(self.exec.phoenix_config()).with_tracer(self.tracer.clone());
         let t0 = Stopwatch::start();
         let out = runtime.run_at(job, input, base_offset)?;
         let wall = t0.elapsed();
@@ -194,7 +204,7 @@ impl NodeRunner {
             Some(b) => PartitionSpec::new(b),
             None => PartitionSpec::auto(&memory, job.footprint_factor()),
         };
-        let runtime = Runtime::new(self.exec.phoenix_config());
+        let runtime = Runtime::new(self.exec.phoenix_config()).with_tracer(self.tracer.clone());
         let part = PartitionedRuntime::new(runtime, spec);
         let t0 = Stopwatch::start();
         let out = part.run_at(job, input, base_offset, merger)?;

@@ -83,6 +83,19 @@ impl From<std::io::Error> for McsdError {
 }
 
 impl McsdError {
+    /// Stable short name of the error variant for trace attributes —
+    /// never embeds run-varying detail such as request ids (DESIGN.md
+    /// §12). smartFAM errors delegate to [`SmartFamError::kind`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            McsdError::Phoenix(_) => "phoenix",
+            McsdError::SmartFam(e) => e.kind(),
+            McsdError::Io(_) => "io",
+            McsdError::BadScenario { .. } => "bad_scenario",
+            McsdError::MemoryOverflow { .. } => "memory_overflow",
+        }
+    }
+
     /// Whether this is an out-of-memory failure — either the Phoenix
     /// runtime overflowing mid-run (the condition partitioning exists to
     /// fix) or memory-budget admission refusing the job up front.

@@ -23,6 +23,12 @@ use crate::modules::{StringMatchModule, WordCountModule};
 use crate::offload::{JobProfile, OffloadDecision, OffloadPolicy, Offloader};
 use mcsd_apps::{MatMul, Matrix, StringMatch, WordCount};
 use mcsd_cluster::{Cluster, TimeBreakdown};
+use mcsd_obs::names::{
+    EVENT_MCSD_BREAKER_OPEN, EVENT_MCSD_BREAKER_PROBE, EVENT_MCSD_FALLBACK, EVENT_MCSD_OFFLOAD,
+    EVENT_MCSD_REPARTITION, EVENT_MCSD_STEER, SPAN_CLUSTER_FETCH, SPAN_CLUSTER_STAGE,
+    SPAN_MCSD_CALL,
+};
+use mcsd_obs::{ClockDomain, SpanId, Tracer, TrackId};
 use mcsd_phoenix::Job;
 use mcsd_smartfam::{FaultInjector, OverloadStats, ResilienceStats, RetryPolicy};
 use parking_lot::Mutex;
@@ -36,6 +42,14 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
 /// [`crate::breaker`]: the breaker runs on decision counts, not wall time,
 /// so seeded runs replay their open/probe/close transitions exactly).
 const BREAKER_QUANTUM: Duration = Duration::from_millis(1);
+
+/// Trace track carrying the framework's placement decisions (`mcsd.*`
+/// events and [`SPAN_MCSD_CALL`] spans; DESIGN.md §12).
+pub const MCSD_TRACE_TRACK: &str = "mcsd";
+
+/// Trace track carrying analytic data-movement spans ([`SPAN_CLUSTER_STAGE`]
+/// and [`SPAN_CLUSTER_FETCH`], widths in virtual µs of network+disk time).
+pub const CLUSTER_TRACE_TRACK: &str = "cluster";
 
 /// How the framework behaves when the SD path misbehaves.
 #[derive(Debug, Clone)]
@@ -69,6 +83,11 @@ pub struct ResilienceConfig {
     /// floor fragment exceeds the SD node's hard memory limit the job is
     /// refused with [`McsdError::MemoryOverflow`].
     pub min_fragment_bytes: u64,
+    /// Deterministic tracer shared by every layer the framework boots:
+    /// the daemon, the host client, the host-fallback Phoenix runtime,
+    /// and the framework's own decision events. Disabled by default
+    /// (zero-cost); pass [`Tracer::enabled`] to record a run.
+    pub tracer: Tracer,
 }
 
 impl Default for ResilienceConfig {
@@ -83,6 +102,7 @@ impl Default for ResilienceConfig {
             max_queued: 1024,
             steer_queue_depth: 64,
             min_fragment_bytes: DEFAULT_MIN_FRAGMENT_BYTES,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -101,6 +121,7 @@ pub struct McsdFramework {
     breaker: Mutex<CircuitBreaker>,
     breaker_clock: Mutex<Duration>,
     overload: Mutex<OverloadStats>,
+    tracer: Tracer,
 }
 
 impl McsdFramework {
@@ -117,11 +138,12 @@ impl McsdFramework {
         policy: OffloadPolicy,
         resilience: ResilienceConfig,
     ) -> Result<McsdFramework, McsdError> {
-        let server = SdNodeServer::start_configured(
+        let server = SdNodeServer::start_observed(
             &cluster,
             resilience.injector.clone(),
             resilience.max_in_flight,
             resilience.max_queued,
+            resilience.tracer.clone(),
         )?;
         let client = server.host_client();
         let offloader = Mutex::new(Offloader::for_nodes(policy, &cluster.nodes));
@@ -134,6 +156,7 @@ impl McsdFramework {
             breaker: Mutex::new(CircuitBreaker::new(resilience.breaker)),
             breaker_clock: Mutex::new(Duration::ZERO),
             overload: Mutex::new(OverloadStats::default()),
+            tracer: resilience.tracer.clone(),
             resilience,
             stats: Mutex::new(ResilienceStats::default()),
             degradations: Mutex::new(Vec::new()),
@@ -195,7 +218,48 @@ impl McsdFramework {
     }
 
     fn note_decision(&self, job: &str, decision: OffloadDecision) {
+        if matches!(decision, OffloadDecision::SmartStorage { .. }) {
+            self.tracer
+                .event(self.trace_track(), EVENT_MCSD_OFFLOAD, &[("job", job)]);
+        }
         self.decision_log.lock().push((job.to_string(), decision));
+    }
+
+    fn trace_track(&self) -> TrackId {
+        self.tracer.track(MCSD_TRACE_TRACK, ClockDomain::Decision)
+    }
+
+    /// Open the end-to-end span for one typed call; `None` when tracing
+    /// is off.
+    fn open_call_span(&self, job: &str) -> Option<(TrackId, SpanId)> {
+        if !self.tracer.is_enabled() {
+            return None;
+        }
+        let track = self.trace_track();
+        let span = self.tracer.open(track, SPAN_MCSD_CALL, &[("job", job)]);
+        Some((track, span))
+    }
+
+    fn close_call_span(&self, span: Option<(TrackId, SpanId)>) {
+        if let Some((track, span)) = span {
+            self.tracer.close(track, span);
+        }
+    }
+
+    /// Record an analytic data-movement span on the cluster track; its
+    /// width is the virtual network+disk time in microseconds.
+    fn record_transfer(&self, name: &'static str, file: &str, bytes: u64, cost: &TimeBreakdown) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let track = self.tracer.track(CLUSTER_TRACE_TRACK, ClockDomain::Cluster);
+        let ticks = (cost.network + cost.disk).as_micros() as u64;
+        self.tracer.leaf(
+            track,
+            name,
+            ticks,
+            &[("file", file), ("bytes", &bytes.to_string())],
+        );
     }
 
     fn tick(&self) -> Duration {
@@ -209,7 +273,15 @@ impl McsdFramework {
     /// steered span) when the job must go to the host instead.
     fn sd_admitted(&self, job: &str) -> bool {
         let now = self.tick();
-        let admitted = match self.breaker.lock().admission(now) {
+        let admission = self.breaker.lock().admission(now);
+        if matches!(admission, Admission::Probe) {
+            self.tracer.event(
+                self.trace_track(),
+                EVENT_MCSD_BREAKER_PROBE,
+                &[("job", job)],
+            );
+        }
+        let admitted = match admission {
             Admission::Reject => false,
             Admission::Allow | Admission::Probe => true,
         };
@@ -226,14 +298,19 @@ impl McsdFramework {
             return true;
         }
         self.overload.lock().steered_spans += 1;
-        self.degradations.lock().push(format!(
-            "{job}: steered to host ({})",
-            if saturated {
-                "daemon queue saturated"
-            } else {
-                "circuit breaker open"
-            }
-        ));
+        let reason = if saturated {
+            "daemon queue saturated"
+        } else {
+            "circuit breaker open"
+        };
+        self.tracer.event(
+            self.trace_track(),
+            EVENT_MCSD_STEER,
+            &[("job", job), ("reason", reason)],
+        );
+        self.degradations
+            .lock()
+            .push(format!("{job}: steered to host ({reason})"));
         false
     }
 
@@ -245,6 +322,7 @@ impl McsdFramework {
     /// fragment is refused with the typed error.
     fn admit_memory(
         &self,
+        job: &str,
         caller_partition: Option<&str>,
         input_bytes: u64,
         footprint_factor: f64,
@@ -264,6 +342,13 @@ impl McsdFramework {
             limit_bytes: refusal.limit_bytes,
             min_fragment_bytes: refusal.min_fragment_bytes,
         })?;
+        if plan.repartitions > 0 {
+            self.tracer.event(
+                self.trace_track(),
+                EVENT_MCSD_REPARTITION,
+                &[("job", job), ("halvings", &plan.repartitions.to_string())],
+            );
+        }
         self.overload.lock().repartitions += plan.repartitions;
         Ok(plan.partition_param())
     }
@@ -275,15 +360,30 @@ impl McsdFramework {
         module: &str,
         params: &[String],
     ) -> Result<(Vec<u8>, TimeBreakdown), McsdError> {
-        let (outcome, stats) =
+        let (outcome, mut stats) =
             self.client
                 .invoke_resilient(module, params, self.timeout, &self.resilience.retry);
+        // The daemon owns corrupt-skip accounting (DESIGN.md §10/§12): the
+        // host's recovering reader skips the same corrupt bytes in the same
+        // shared log the daemon's scan skips, and `resilience_stats()`
+        // merges the daemon's count at read time — absorbing the host's
+        // count here would double it. Per-call outcomes still carry the
+        // host-side count for direct `HostClient` callers.
+        stats.corrupt_skipped_bytes = 0;
         self.stats.lock().absorb(&stats);
         let now = *self.breaker_clock.lock();
         let mut breaker = self.breaker.lock();
+        let opens_before = breaker.opens();
         match &outcome {
             Ok(_) => breaker.on_success(now),
             Err(_) => breaker.on_failure(now),
+        }
+        if breaker.opens() > opens_before {
+            self.tracer.event(
+                self.trace_track(),
+                EVENT_MCSD_BREAKER_OPEN,
+                &[("module", module)],
+            );
         }
         outcome
     }
@@ -295,6 +395,14 @@ impl McsdFramework {
             return Err(err);
         }
         self.stats.lock().failovers += 1;
+        // The event carries the stable error *kind*, not the rendered
+        // message — Display output can embed request ids, which would
+        // break byte-identical traces.
+        self.tracer.event(
+            self.trace_track(),
+            EVENT_MCSD_FALLBACK,
+            &[("job", job), ("error", err.kind())],
+        );
         self.degradations
             .lock()
             .push(format!("{job}: {err}; degraded to host execution"));
@@ -303,18 +411,33 @@ impl McsdFramework {
 
     /// Stage data onto the SD node from the host (pays the network).
     pub fn stage_data(&self, name: &str, data: &[u8]) -> Result<TimeBreakdown, McsdError> {
-        self.server.stage_from_host(name, data)
+        let cost = self.server.stage_from_host(name, data)?;
+        self.record_transfer(SPAN_CLUSTER_STAGE, name, data.len() as u64, &cost);
+        Ok(cost)
     }
 
     /// Stage data that already lives on the SD node (disk cost only).
     pub fn stage_data_local(&self, name: &str, data: &[u8]) -> Result<TimeBreakdown, McsdError> {
-        self.server.stage_local(name, data)
+        let cost = self.server.stage_local(name, data)?;
+        self.record_transfer(SPAN_CLUSTER_STAGE, name, data.len() as u64, &cost);
+        Ok(cost)
     }
 
     /// Word Count over a staged file. The policy picks the node; the
     /// McSD path offloads to the SD module with the given partition
     /// parameter (`None` = native, `Some("auto")` = runtime-sized).
     pub fn wordcount(
+        &self,
+        file: &str,
+        partition: Option<&str>,
+    ) -> Result<(Vec<(String, u64)>, TimeBreakdown), McsdError> {
+        let span = self.open_call_span("wordcount");
+        let out = self.wordcount_impl(file, partition);
+        self.close_call_span(span);
+        out
+    }
+
+    fn wordcount_impl(
         &self,
         file: &str,
         partition: Option<&str>,
@@ -333,7 +456,12 @@ impl McsdFramework {
             decision = OffloadDecision::SteeredToHost;
         }
         if let OffloadDecision::SmartStorage { .. } = decision {
-            let partition = self.admit_memory(partition, data_len, WordCount.footprint_factor())?;
+            let partition = self.admit_memory(
+                "wordcount",
+                partition,
+                data_len,
+                WordCount.footprint_factor(),
+            )?;
             let mut params = vec![file.to_string()];
             if let Some(p) = partition {
                 params.push(p);
@@ -364,6 +492,18 @@ impl McsdFramework {
         keys_file: &str,
         partition: Option<&str>,
     ) -> Result<(Vec<(u64, u32)>, TimeBreakdown), McsdError> {
+        let span = self.open_call_span("stringmatch");
+        let out = self.stringmatch_impl(encrypt_file, keys_file, partition);
+        self.close_call_span(span);
+        out
+    }
+
+    fn stringmatch_impl(
+        &self,
+        encrypt_file: &str,
+        keys_file: &str,
+        partition: Option<&str>,
+    ) -> Result<(Vec<(u64, u32)>, TimeBreakdown), McsdError> {
         let data_len = self.staged_len(encrypt_file)?;
         let profile = JobProfile {
             name: "stringmatch".into(),
@@ -381,6 +521,7 @@ impl McsdFramework {
             // String Match's footprint factor does not depend on the key
             // set, so an empty instance stands in for admission.
             let partition = self.admit_memory(
+                "stringmatch",
                 partition,
                 data_len,
                 StringMatch::new(&[] as &[String]).footprint_factor(),
@@ -417,6 +558,13 @@ impl McsdFramework {
     /// default policy keeps it on the host; `AlwaysSd` forces the module
     /// path.
     pub fn matmul(&self, a: &Matrix, b: &Matrix) -> Result<(Matrix, TimeBreakdown), McsdError> {
+        let span = self.open_call_span("matmul");
+        let out = self.matmul_impl(a, b);
+        self.close_call_span(span);
+        out
+    }
+
+    fn matmul_impl(&self, a: &Matrix, b: &Matrix) -> Result<(Matrix, TimeBreakdown), McsdError> {
         let profile = JobProfile {
             name: "matmul".into(),
             input_bytes: (a.byte_len() + b.byte_len()) as u64,
@@ -458,6 +606,7 @@ impl McsdFramework {
 
     fn host_runner(&self) -> NodeRunner {
         NodeRunner::new(self.cluster.host().clone(), self.cluster.disk)
+            .with_tracer(self.tracer.clone())
     }
 
     fn staged_len(&self, file: &str) -> Result<u64, McsdError> {
@@ -471,6 +620,7 @@ impl McsdFramework {
         // The host reads through NFS: network + disk.
         let cost = self.cluster.network.charge_transfer(data.len() as u64)
             + self.cluster.disk.charge_sequential(data.len() as u64);
+        self.record_transfer(SPAN_CLUSTER_FETCH, file, data.len() as u64, &cost);
         Ok((data, cost))
     }
 }

@@ -119,6 +119,65 @@ fn fault_free_baseline_is_clean() {
     assert!(run.degradations.is_empty());
 }
 
+/// Regression: corrupt log bytes must be counted exactly once in the
+/// merged view. The host's recovering reader and the daemon's log scan
+/// both skip the *same* corrupt frame in the *same* shared log file;
+/// DESIGN.md §10 gives the daemon ownership of corrupt-skip accounting,
+/// so `resilience_stats()` must report the daemon's count, not the sum.
+///
+/// Construction: call 1's response frame is corrupted. Its recovering
+/// reader can only *prove* the corruption (and count the bytes) once a
+/// valid frame lands behind it, so a second, overlapping call is issued
+/// after the corrupt response is on disk — its request append is the
+/// resync point. Call 1's reader counts the corrupt bytes, times out,
+/// retries, and succeeds; the daemon's own scan skips (and counts) the
+/// same bytes on its way to call 2's request.
+#[test]
+fn corrupt_skipped_bytes_are_counted_once() {
+    let mut r = ResilienceConfig {
+        injector: FaultInjector::new(FaultPlan::none().with(
+            FaultSite::SdAppend,
+            0,
+            FaultAction::Corrupt { xor_mask: 0x20 },
+        )),
+        ..ResilienceConfig::default()
+    };
+    r.retry.base_backoff = Duration::from_millis(1);
+    r.call_timeout = Duration::from_millis(1500);
+
+    let fw = McsdFramework::start_with(cluster(), OffloadPolicy::AlwaysSd, r).unwrap();
+    let text = TextGen::with_seed(1234).generate(20_000);
+    fw.stage_data_local("wc.txt", &text).unwrap();
+
+    std::thread::scope(|s| {
+        let first = s.spawn(|| fw.wordcount("wc.txt", None));
+        // Wait until the daemon has executed call 1 and written its
+        // (corrupted) response, then overlap a second call whose request
+        // append lets call 1's reader prove the corruption.
+        while fw.sd_node().daemon_stats().ok < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let second = fw.wordcount("wc.txt", None);
+        assert!(second.is_ok(), "clean second call should succeed");
+        let first = first.join().expect("call 1 panicked");
+        assert!(first.is_ok(), "call 1 should recover via retry");
+    });
+
+    let merged = fw.resilience_stats();
+    let daemon = fw.sd_node().daemon_stats();
+    fw.stop();
+
+    assert!(
+        daemon.corrupt_skipped_bytes > 0,
+        "the corrupt response was never observed by the daemon scan"
+    );
+    assert_eq!(
+        merged.corrupt_skipped_bytes, daemon.corrupt_skipped_bytes,
+        "host and daemon both counted the same corrupt bytes (merged {} vs daemon-owned {})",
+        merged.corrupt_skipped_bytes, daemon.corrupt_skipped_bytes
+    );
+}
+
 #[test]
 fn seed_sweep_covers_every_fault_kind() {
     let mut crash = false;

@@ -1,0 +1,53 @@
+//! Logical clock domains.
+//!
+//! A trace must replay byte-for-byte under the same seed, so no timestamp
+//! may come from the wall clock. Each track picks the logical clock that
+//! matches its layer; the domain is recorded in the exported track header
+//! so a reader knows what the tick unit means.
+
+/// Which logical clock a track's `at` timestamps are stamped on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ClockDomain {
+    /// Virtual microseconds of simulated cluster time — the analytic
+    /// network/disk components of `TimeBreakdown`. Measured (wall-clock)
+    /// compute and overhead components are never charged to a trace.
+    Cluster,
+    /// Control-plane decision quanta: one tick per admission decision or
+    /// lifecycle event. This is the same logical clock the SD circuit
+    /// breaker runs on (a fixed quantum per decision, never wall time).
+    Decision,
+    /// Work-proportional ticks for the Phoenix runtime: a phase span's
+    /// width is its deterministic work volume (bytes mapped, pairs
+    /// reduced), not its measured duration.
+    Work,
+}
+
+impl ClockDomain {
+    /// Stable lowercase name used in exported traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClockDomain::Cluster => "cluster",
+            ClockDomain::Decision => "decision",
+            ClockDomain::Work => "work",
+        }
+    }
+}
+
+impl std::fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ClockDomain::Cluster.as_str(), "cluster");
+        assert_eq!(ClockDomain::Decision.as_str(), "decision");
+        assert_eq!(ClockDomain::Work.as_str(), "work");
+        assert_eq!(ClockDomain::Work.to_string(), "work");
+    }
+}

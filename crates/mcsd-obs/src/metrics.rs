@@ -1,0 +1,228 @@
+//! The unified metrics registry.
+//!
+//! Counters scattered across `ResilienceStats`, `OverloadStats`,
+//! `DaemonStats`, and `phoenix::stats::JobStats` register here behind one
+//! typed API with a **single-owner rule**: a key may be registered by
+//! exactly one owner, and a second owner attempting to claim it is a typed
+//! error instead of a silent merge. That rule is what makes double-owned
+//! counters *visible* — the class of bug where two layers both count the
+//! same underlying occurrence and a read-time merge adds them together
+//! (see the corrupt-skip accounting fix in `mcsd-core`).
+//!
+//! The existing stats structs stay unchanged as public API; each grows a
+//! `publish` method in its own crate that registers its counters here, so
+//! the registry is a view over them, not a replacement.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One snapshot row: key, owning layer, current value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricSample {
+    /// Catalogued metric key (see [`crate::names`]).
+    pub key: &'static str,
+    /// The single layer allowed to write this key.
+    pub owner: &'static str,
+    /// Current counter value.
+    pub value: u64,
+}
+
+/// Typed registry errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsError {
+    /// A second owner tried to register an already-owned key — the
+    /// double-ownership the single-owner rule exists to catch.
+    DuplicateOwner {
+        /// The contested key.
+        key: &'static str,
+        /// The owner that lost the race.
+        owner: &'static str,
+        /// The owner already registered.
+        prior: &'static str,
+    },
+    /// A write or read targeted a key nobody registered.
+    UnknownKey {
+        /// The missing key.
+        key: &'static str,
+    },
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::DuplicateOwner { key, owner, prior } => write!(
+                f,
+                "metric `{key}`: owner `{owner}` conflicts with registered owner `{prior}` \
+                 (single-owner rule)"
+            ),
+            MetricsError::UnknownKey { key } => write!(f, "metric `{key}` is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    owner: &'static str,
+    value: u64,
+}
+
+/// The registry. Clone freely — clones share the same table.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<&'static str, Entry>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register `key` under `owner`. Re-registering by the *same* owner is
+    /// idempotent (so `publish` can run repeatedly); a different owner is
+    /// refused with [`MetricsError::DuplicateOwner`].
+    pub fn register(&self, key: &'static str, owner: &'static str) -> Result<(), MetricsError> {
+        let mut map = self.inner.lock();
+        match map.get(key) {
+            Some(entry) if entry.owner != owner => Err(MetricsError::DuplicateOwner {
+                key,
+                owner,
+                prior: entry.owner,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                map.insert(key, Entry { owner, value: 0 });
+                Ok(())
+            }
+        }
+    }
+
+    /// Set a registered counter to `value`.
+    pub fn set(&self, key: &'static str, value: u64) -> Result<(), MetricsError> {
+        let mut map = self.inner.lock();
+        match map.get_mut(key) {
+            Some(entry) => {
+                entry.value = value;
+                Ok(())
+            }
+            None => Err(MetricsError::UnknownKey { key }),
+        }
+    }
+
+    /// Add `delta` to a registered counter.
+    pub fn add(&self, key: &'static str, delta: u64) -> Result<(), MetricsError> {
+        let mut map = self.inner.lock();
+        match map.get_mut(key) {
+            Some(entry) => {
+                entry.value += delta;
+                Ok(())
+            }
+            None => Err(MetricsError::UnknownKey { key }),
+        }
+    }
+
+    /// Register under `owner` (enforcing the single-owner rule) and set in
+    /// one step — the shape every `publish` method uses.
+    pub fn publish(
+        &self,
+        key: &'static str,
+        owner: &'static str,
+        value: u64,
+    ) -> Result<(), MetricsError> {
+        self.register(key, owner)?;
+        self.set(key, value)
+    }
+
+    /// Current value of a key, if registered.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.inner.lock().get(key).map(|e| e.value)
+    }
+
+    /// Registered owner of a key, if any.
+    pub fn owner(&self, key: &str) -> Option<&'static str> {
+        self.inner.lock().get(key).map(|e| e.owner)
+    }
+
+    /// Every registered counter, sorted by key (the `BTreeMap` order), so
+    /// snapshots are deterministic and exportable byte-for-byte.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(key, entry)| MetricSample {
+                key,
+                owner: entry.owner,
+                value: entry.value,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_set_add_get() {
+        let reg = MetricsRegistry::new();
+        reg.register("sd.shed", "smartfam.daemon").unwrap();
+        reg.set("sd.shed", 3).unwrap();
+        reg.add("sd.shed", 2).unwrap();
+        assert_eq!(reg.get("sd.shed"), Some(5));
+        assert_eq!(reg.owner("sd.shed"), Some("smartfam.daemon"));
+    }
+
+    #[test]
+    fn single_owner_rule_rejects_a_second_owner() {
+        let reg = MetricsRegistry::new();
+        reg.register("sd.shed", "smartfam.daemon").unwrap();
+        // Same owner again: idempotent.
+        reg.register("sd.shed", "smartfam.daemon").unwrap();
+        // A different layer claiming the same key is the bug class the
+        // registry exists to surface.
+        let err = reg.register("sd.shed", "mcsd.framework").unwrap_err();
+        assert_eq!(
+            err,
+            MetricsError::DuplicateOwner {
+                key: "sd.shed",
+                owner: "mcsd.framework",
+                prior: "smartfam.daemon",
+            }
+        );
+        assert!(err.to_string().contains("single-owner"));
+    }
+
+    #[test]
+    fn writes_to_unregistered_keys_are_typed_errors() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(
+            reg.set("nope", 1),
+            Err(MetricsError::UnknownKey { key: "nope" })
+        );
+        assert_eq!(
+            reg.add("nope", 1),
+            Err(MetricsError::UnknownKey { key: "nope" })
+        );
+        assert_eq!(reg.get("nope"), None);
+    }
+
+    #[test]
+    fn snapshot_is_key_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.publish("z.last", "t", 1).unwrap();
+        reg.publish("a.first", "t", 2).unwrap();
+        let keys: Vec<&str> = reg.snapshot().iter().map(|s| s.key).collect();
+        assert_eq!(keys, vec!["a.first", "z.last"]);
+    }
+
+    #[test]
+    fn clones_share_the_table() {
+        let reg = MetricsRegistry::new();
+        let view = reg.clone();
+        reg.publish("sd.ok", "smartfam.daemon", 7).unwrap();
+        assert_eq!(view.get("sd.ok"), Some(7));
+    }
+}

@@ -1,0 +1,261 @@
+//! The versioned catalog of every span name, event type, and metric key
+//! the stack may emit.
+//!
+//! Emission sites across `phoenix`, `smartfam`, `mcsd-core`, and `bench`
+//! must reference these constants instead of string literals, and DESIGN.md
+//! §12 must list every entry — a test in this crate cross-checks the two so
+//! the documentation can never drift from the code (the same sync idea as
+//! `mcsd-tidy`'s waiver budget).
+
+/// Version of the exported trace format. Bump on any change to the JSONL
+/// line schema, the Chrome mapping, or the semantics of a catalogued name.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------- spans
+
+/// Out-of-core Partition→Merge wrapper around per-fragment jobs (work).
+pub const SPAN_PHOENIX_PARTITIONED: &str = "phoenix.partitioned";
+/// One Phoenix MapReduce job (work).
+pub const SPAN_PHOENIX_JOB: &str = "phoenix.job";
+/// Input splitting phase; width = map tasks produced (work).
+pub const SPAN_PHOENIX_SPLIT: &str = "phoenix.split";
+/// Map phase; width = input bytes mapped (work).
+pub const SPAN_PHOENIX_MAP: &str = "phoenix.map";
+/// Partition/sort/reduce phase; width = pairs entering reduce (work).
+pub const SPAN_PHOENIX_REDUCE: &str = "phoenix.reduce";
+/// Final merge/sort phase; width = output pairs (work).
+pub const SPAN_PHOENIX_MERGE: &str = "phoenix.merge";
+/// One typed framework call (wordcount/stringmatch/matmul) end to end
+/// (decision).
+pub const SPAN_MCSD_CALL: &str = "mcsd.call";
+/// Staging data onto the SD node; width = analytic network+disk µs
+/// (cluster).
+pub const SPAN_CLUSTER_STAGE: &str = "cluster.stage";
+/// Host fetching staged data over NFS; width = analytic network+disk µs
+/// (cluster).
+pub const SPAN_CLUSTER_FETCH: &str = "cluster.fetch";
+
+/// Every span name the stack may emit.
+pub const ALL_SPANS: [&str; 9] = [
+    SPAN_PHOENIX_PARTITIONED,
+    SPAN_PHOENIX_JOB,
+    SPAN_PHOENIX_SPLIT,
+    SPAN_PHOENIX_MAP,
+    SPAN_PHOENIX_REDUCE,
+    SPAN_PHOENIX_MERGE,
+    SPAN_MCSD_CALL,
+    SPAN_CLUSTER_STAGE,
+    SPAN_CLUSTER_FETCH,
+];
+
+// --------------------------------------------------------------- events
+
+/// Host wrote a request frame into a module's log file.
+pub const EVENT_HOST_SUBMIT: &str = "host.submit";
+/// Host started one resilient attempt.
+pub const EVENT_HOST_ATTEMPT: &str = "host.attempt";
+/// Host scheduled a retry after a failed attempt.
+pub const EVENT_HOST_RETRY: &str = "host.retry";
+/// Final outcome of a resilient invocation (`status` attr: ok/error).
+pub const EVENT_HOST_OUTCOME: &str = "host.outcome";
+/// Daemon scanned a fresh request from a log file.
+pub const EVENT_SD_REQUEST: &str = "sd.request";
+/// Daemon re-processed an already-seen request during startup replay.
+pub const EVENT_SD_REPLAY: &str = "sd.replay";
+/// Daemon dispatched a request to its module.
+pub const EVENT_SD_DISPATCH: &str = "sd.dispatch";
+/// Daemon queued a request behind busy execution slots.
+pub const EVENT_SD_QUEUE: &str = "sd.queue";
+/// Daemon shed a request with a typed `Overloaded` reply.
+pub const EVENT_SD_SHED: &str = "sd.shed";
+/// Daemon dropped a request whose deadline had expired at dequeue.
+pub const EVENT_SD_EXPIRED: &str = "sd.expired";
+/// A module crossed its failure threshold and entered quarantine.
+pub const EVENT_SD_QUARANTINE: &str = "sd.quarantine";
+/// Daemon refused a request because its module is quarantined.
+pub const EVENT_SD_QUARANTINE_REJECTED: &str = "sd.quarantine_rejected";
+/// Daemon received a request for a module it does not know.
+pub const EVENT_SD_UNKNOWN_MODULE: &str = "sd.unknown_module";
+/// A dispatched request completed (`status` attr: ok/error).
+pub const EVENT_SD_COMPLETE: &str = "sd.complete";
+/// Daemon heartbeat write (volatile: wall-cadenced).
+pub const EVENT_SD_HEARTBEAT: &str = "sd.heartbeat";
+/// Daemon log-file poll (volatile: wall-cadenced).
+pub const EVENT_SD_POLL: &str = "sd.poll";
+/// Framework placed a job on the SD node.
+pub const EVENT_MCSD_OFFLOAD: &str = "mcsd.offload";
+/// Framework steered a job to the host before any SD attempt.
+pub const EVENT_MCSD_STEER: &str = "mcsd.steer";
+/// Framework degraded a failed SD call to host execution.
+pub const EVENT_MCSD_FALLBACK: &str = "mcsd.fallback";
+/// Memory-budget admission re-partitioned an over-footprint job.
+pub const EVENT_MCSD_REPARTITION: &str = "mcsd.repartition";
+/// The SD circuit breaker tripped open.
+pub const EVENT_MCSD_BREAKER_OPEN: &str = "mcsd.breaker_open";
+/// The SD circuit breaker admitted a half-open probe.
+pub const EVENT_MCSD_BREAKER_PROBE: &str = "mcsd.breaker_probe";
+
+/// Every event type the stack may emit.
+pub const ALL_EVENTS: [&str; 22] = [
+    EVENT_HOST_SUBMIT,
+    EVENT_HOST_ATTEMPT,
+    EVENT_HOST_RETRY,
+    EVENT_HOST_OUTCOME,
+    EVENT_SD_REQUEST,
+    EVENT_SD_REPLAY,
+    EVENT_SD_DISPATCH,
+    EVENT_SD_QUEUE,
+    EVENT_SD_SHED,
+    EVENT_SD_EXPIRED,
+    EVENT_SD_QUARANTINE,
+    EVENT_SD_QUARANTINE_REJECTED,
+    EVENT_SD_UNKNOWN_MODULE,
+    EVENT_SD_COMPLETE,
+    EVENT_SD_HEARTBEAT,
+    EVENT_SD_POLL,
+    EVENT_MCSD_OFFLOAD,
+    EVENT_MCSD_STEER,
+    EVENT_MCSD_FALLBACK,
+    EVENT_MCSD_REPARTITION,
+    EVENT_MCSD_BREAKER_OPEN,
+    EVENT_MCSD_BREAKER_PROBE,
+];
+
+// -------------------------------------------------------------- metrics
+
+/// Requests the daemon scanned (owner: `smartfam.daemon`).
+pub const METRIC_SD_REQUESTS: &str = "sd.requests";
+/// Module runs that succeeded (owner: `smartfam.daemon`).
+pub const METRIC_SD_OK: &str = "sd.ok";
+/// Module runs that failed (owner: `smartfam.daemon`).
+pub const METRIC_SD_MODULE_ERRORS: &str = "sd.module_errors";
+/// Requests for unregistered modules (owner: `smartfam.daemon`).
+pub const METRIC_SD_UNKNOWN_MODULE: &str = "sd.unknown_module";
+/// Requests re-processed by startup replay (owner: `smartfam.daemon`).
+pub const METRIC_SD_REPLAYED: &str = "sd.replayed";
+/// Modules quarantined (owner: `smartfam.daemon`).
+pub const METRIC_SD_QUARANTINED: &str = "sd.quarantined";
+/// Requests refused on a quarantined module (owner: `smartfam.daemon`).
+pub const METRIC_SD_QUARANTINE_REJECTED: &str = "sd.quarantine_rejected";
+/// Corrupt log bytes the daemon's scan skipped (owner: `smartfam.daemon`).
+pub const METRIC_SD_CORRUPT_SKIPPED_BYTES: &str = "sd.corrupt_skipped_bytes";
+/// Requests shed by admission control (owner: `smartfam.daemon`).
+pub const METRIC_SD_SHED: &str = "sd.shed";
+/// Requests dropped expired at dequeue (owner: `smartfam.daemon`).
+pub const METRIC_SD_EXPIRED: &str = "sd.expired";
+
+/// Invocation attempts (owner: `mcsd.framework`).
+pub const METRIC_RESILIENCE_ATTEMPTS: &str = "resilience.attempts";
+/// Retries after failed attempts (owner: `mcsd.framework`).
+pub const METRIC_RESILIENCE_RETRIES: &str = "resilience.retries";
+/// Degradations to host execution (owner: `mcsd.framework`).
+pub const METRIC_RESILIENCE_FAILOVERS: &str = "resilience.failovers";
+/// Quarantines, merged from the daemon (owner: `mcsd.framework`).
+pub const METRIC_RESILIENCE_QUARANTINES: &str = "resilience.quarantines";
+/// Replays, merged from the daemon (owner: `mcsd.framework`).
+pub const METRIC_RESILIENCE_REPLAYED: &str = "resilience.replayed";
+/// Multi-SD re-dispatches (owner: `mcsd.framework`).
+pub const METRIC_RESILIENCE_REDISPATCHES: &str = "resilience.redispatches";
+/// Corrupt log bytes skipped, daemon-owned count (owner: `mcsd.framework`).
+pub const METRIC_RESILIENCE_CORRUPT_SKIPPED_BYTES: &str = "resilience.corrupt_skipped_bytes";
+
+/// Requests shed (owner: `mcsd.framework`).
+pub const METRIC_OVERLOAD_SHED: &str = "overload.shed";
+/// Requests expired (owner: `mcsd.framework`).
+pub const METRIC_OVERLOAD_EXPIRED: &str = "overload.expired";
+/// Breaker open transitions (owner: `mcsd.framework`).
+pub const METRIC_OVERLOAD_BREAKER_OPENS: &str = "overload.breaker_opens";
+/// Half-open probes admitted (owner: `mcsd.framework`).
+pub const METRIC_OVERLOAD_HALF_OPEN_PROBES: &str = "overload.half_open_probes";
+/// Admission re-partitionings (owner: `mcsd.framework`).
+pub const METRIC_OVERLOAD_REPARTITIONS: &str = "overload.repartitions";
+/// Spans steered to the host (owner: `mcsd.framework`).
+pub const METRIC_OVERLOAD_STEERED_SPANS: &str = "overload.steered_spans";
+
+/// Input bytes processed (owner: `phoenix`).
+pub const METRIC_PHOENIX_INPUT_BYTES: &str = "phoenix.input_bytes";
+/// Map tasks run (owner: `phoenix`).
+pub const METRIC_PHOENIX_MAP_TASKS: &str = "phoenix.map_tasks";
+/// Intermediate pairs emitted by map (owner: `phoenix`).
+pub const METRIC_PHOENIX_EMITTED_PAIRS: &str = "phoenix.emitted_pairs";
+/// Intermediate pairs after combining (owner: `phoenix`).
+pub const METRIC_PHOENIX_COMBINED_PAIRS: &str = "phoenix.combined_pairs";
+/// Distinct keys reduced (owner: `phoenix`).
+pub const METRIC_PHOENIX_DISTINCT_KEYS: &str = "phoenix.distinct_keys";
+/// Final output pairs (owner: `phoenix`).
+pub const METRIC_PHOENIX_OUTPUT_PAIRS: &str = "phoenix.output_pairs";
+/// Out-of-core fragments run (owner: `phoenix`).
+pub const METRIC_PHOENIX_FRAGMENTS: &str = "phoenix.fragments";
+/// Bytes the memory model says would swap (owner: `phoenix`).
+pub const METRIC_PHOENIX_SWAPPED_BYTES: &str = "phoenix.swapped_bytes";
+
+/// Every metric key the stack may register.
+pub const ALL_METRICS: [&str; 31] = [
+    METRIC_SD_REQUESTS,
+    METRIC_SD_OK,
+    METRIC_SD_MODULE_ERRORS,
+    METRIC_SD_UNKNOWN_MODULE,
+    METRIC_SD_REPLAYED,
+    METRIC_SD_QUARANTINED,
+    METRIC_SD_QUARANTINE_REJECTED,
+    METRIC_SD_CORRUPT_SKIPPED_BYTES,
+    METRIC_SD_SHED,
+    METRIC_SD_EXPIRED,
+    METRIC_RESILIENCE_ATTEMPTS,
+    METRIC_RESILIENCE_RETRIES,
+    METRIC_RESILIENCE_FAILOVERS,
+    METRIC_RESILIENCE_QUARANTINES,
+    METRIC_RESILIENCE_REPLAYED,
+    METRIC_RESILIENCE_REDISPATCHES,
+    METRIC_RESILIENCE_CORRUPT_SKIPPED_BYTES,
+    METRIC_OVERLOAD_SHED,
+    METRIC_OVERLOAD_EXPIRED,
+    METRIC_OVERLOAD_BREAKER_OPENS,
+    METRIC_OVERLOAD_HALF_OPEN_PROBES,
+    METRIC_OVERLOAD_REPARTITIONS,
+    METRIC_OVERLOAD_STEERED_SPANS,
+    METRIC_PHOENIX_INPUT_BYTES,
+    METRIC_PHOENIX_MAP_TASKS,
+    METRIC_PHOENIX_EMITTED_PAIRS,
+    METRIC_PHOENIX_COMBINED_PAIRS,
+    METRIC_PHOENIX_DISTINCT_KEYS,
+    METRIC_PHOENIX_OUTPUT_PAIRS,
+    METRIC_PHOENIX_FRAGMENTS,
+    METRIC_PHOENIX_SWAPPED_BYTES,
+];
+
+/// Whether `name` is a catalogued span or event name.
+pub fn is_cataloged(name: &str) -> bool {
+    ALL_SPANS.contains(&name) || ALL_EVENTS.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Spans and events share the trace-record namespace and must never
+    /// collide. Metric keys live in their own namespace (a counter may
+    /// legitimately mirror the event it counts, e.g. `sd.shed`), but must
+    /// be unique among themselves.
+    #[test]
+    fn catalog_has_no_duplicates_per_namespace() {
+        let mut records: Vec<&str> = ALL_SPANS.iter().chain(ALL_EVENTS.iter()).copied().collect();
+        let n = records.len();
+        records.sort_unstable();
+        records.dedup();
+        assert_eq!(records.len(), n, "span/event names must be unique");
+
+        let mut metrics: Vec<&str> = ALL_METRICS.to_vec();
+        let n = metrics.len();
+        metrics.sort_unstable();
+        metrics.dedup();
+        assert_eq!(metrics.len(), n, "metric keys must be unique");
+    }
+
+    #[test]
+    fn is_cataloged_covers_spans_and_events() {
+        assert!(is_cataloged("phoenix.map"));
+        assert!(is_cataloged("sd.shed"));
+        assert!(!is_cataloged("made.up"));
+    }
+}

@@ -1,0 +1,399 @@
+//! The tracer: hierarchical spans and typed events on per-track logical
+//! clocks.
+//!
+//! A [`Tracer`] is a cheap-to-clone handle (the [`Tracer::disabled`]
+//! variant holds no allocation at all and every operation is a no-op, the
+//! same fast-path idiom as `FaultInjector::disabled`). Producers across
+//! threads append to per-track record buffers; export sorts tracks by name
+//! so registration races between threads cannot change the output bytes.
+//!
+//! ## Clock rules
+//!
+//! * Every durable record — span open, span close, instant event —
+//!   advances its track's clock by one tick before stamping, so `at`
+//!   values are strictly increasing per track.
+//! * [`Tracer::advance`] adds extra ticks between open and close, which is
+//!   how Phoenix phase spans get work-proportional widths.
+//! * [`Tracer::volatile_event`] stamps at the *current* tick without
+//!   advancing: volatile records (heartbeats, polls) are wall-cadenced, so
+//!   letting them consume ticks would leak wall-clock variance into every
+//!   later timestamp.
+//!
+//! ## Nesting guarantee
+//!
+//! [`Tracer::close`] closes every span opened after its argument first
+//! (innermost-out), so exported span open/close records always nest
+//! properly no matter how callers interleave — the property the crate's
+//! proptest pins down.
+
+use crate::clock::ClockDomain;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Handle to one named timeline inside a [`Tracer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackId(pub(crate) usize);
+
+/// Handle to one open span on a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub(crate) u64);
+
+/// One durable or volatile record on a track.
+#[derive(Debug, Clone)]
+pub(crate) enum RecordKind {
+    /// A span opened.
+    Open {
+        /// Per-track span id.
+        span: u64,
+        /// Catalogued span name.
+        name: &'static str,
+        /// Key/value attributes, in call-site order.
+        attrs: Vec<(&'static str, String)>,
+    },
+    /// A span closed.
+    Close {
+        /// Per-track span id.
+        span: u64,
+        /// Catalogued span name (mirrored from the open for readability).
+        name: &'static str,
+    },
+    /// An instant event.
+    Instant {
+        /// Catalogued event name.
+        name: &'static str,
+        /// Key/value attributes, in call-site order.
+        attrs: Vec<(&'static str, String)>,
+        /// Wall-cadenced record: excluded from the default export and
+        /// stamped without advancing the track clock.
+        volatile: bool,
+    },
+}
+
+/// A record plus the tick it was stamped at.
+#[derive(Debug, Clone)]
+pub(crate) struct Record {
+    pub(crate) at: u64,
+    pub(crate) kind: RecordKind,
+}
+
+/// Mutable state of one track.
+#[derive(Debug)]
+struct TrackState {
+    name: String,
+    domain: ClockDomain,
+    clock: u64,
+    next_span: u64,
+    open: Vec<(u64, &'static str)>,
+    records: Vec<Record>,
+}
+
+/// Read-only copy of a track handed to the exporters.
+#[derive(Debug, Clone)]
+pub(crate) struct TrackSnapshot {
+    pub(crate) name: String,
+    pub(crate) domain: ClockDomain,
+    pub(crate) records: Vec<Record>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    tracks: Mutex<Vec<TrackState>>,
+}
+
+/// The deterministic tracer.
+///
+/// Clone freely — clones share the same buffers. The [`Default`] value is
+/// the disabled tracer, so embedding a `Tracer` field in an existing
+/// struct changes nothing until a caller opts in with
+/// [`Tracer::enabled`].
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Tracer {
+    /// A recording tracer.
+    pub fn enabled() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                tracks: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The no-op tracer: holds no allocation, every call returns
+    /// immediately. This is the [`Default`], so tracing is strictly
+    /// opt-in.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register (or look up) a track by name. The first registration wins
+    /// the clock domain; a repeat call with the same name returns the
+    /// existing track regardless of domain. On a disabled tracer this
+    /// returns a dummy id.
+    pub fn track(&self, name: &str, domain: ClockDomain) -> TrackId {
+        let Some(inner) = &self.inner else {
+            return TrackId(0);
+        };
+        let mut tracks = inner.tracks.lock();
+        if let Some(i) = tracks.iter().position(|t| t.name == name) {
+            return TrackId(i);
+        }
+        tracks.push(TrackState {
+            name: name.to_string(),
+            domain,
+            clock: 0,
+            next_span: 1,
+            open: Vec::new(),
+            records: Vec::new(),
+        });
+        TrackId(tracks.len() - 1)
+    }
+
+    /// Open a span: advances the track clock one tick and stamps the open
+    /// record there. Returns the span's id for [`Tracer::close`].
+    pub fn open(
+        &self,
+        track: TrackId,
+        name: &'static str,
+        attrs: &[(&'static str, &str)],
+    ) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId(0);
+        };
+        let mut tracks = inner.tracks.lock();
+        let Some(t) = tracks.get_mut(track.0) else {
+            return SpanId(0);
+        };
+        t.clock += 1;
+        let span = t.next_span;
+        t.next_span += 1;
+        t.open.push((span, name));
+        t.records.push(Record {
+            at: t.clock,
+            kind: RecordKind::Open {
+                span,
+                name,
+                attrs: own_attrs(attrs),
+            },
+        });
+        SpanId(span)
+    }
+
+    /// Close a span. Any spans opened after it (its children) are closed
+    /// first, innermost-out, each at its own tick — so open/close records
+    /// always nest properly. Closing an unknown or already-closed span is
+    /// a no-op.
+    pub fn close(&self, track: TrackId, span: SpanId) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut tracks = inner.tracks.lock();
+        let Some(t) = tracks.get_mut(track.0) else {
+            return;
+        };
+        if !t.open.iter().any(|(id, _)| *id == span.0) {
+            return;
+        }
+        while let Some((id, name)) = t.open.pop() {
+            t.clock += 1;
+            t.records.push(Record {
+                at: t.clock,
+                kind: RecordKind::Close { span: id, name },
+            });
+            if id == span.0 {
+                break;
+            }
+        }
+    }
+
+    /// Advance a track's clock by `ticks` without recording anything —
+    /// the width of whatever span is currently open grows by `ticks`.
+    pub fn advance(&self, track: TrackId, ticks: u64) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut tracks = inner.tracks.lock();
+        if let Some(t) = tracks.get_mut(track.0) {
+            t.clock += ticks;
+        }
+    }
+
+    /// Convenience: open a span, advance `ticks`, close it — the shape of
+    /// a Phoenix phase span whose width is its deterministic work volume.
+    pub fn leaf(
+        &self,
+        track: TrackId,
+        name: &'static str,
+        ticks: u64,
+        attrs: &[(&'static str, &str)],
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let span = self.open(track, name, attrs);
+        self.advance(track, ticks);
+        self.close(track, span);
+    }
+
+    /// Record a durable instant event: advances the track clock one tick
+    /// and stamps the event there.
+    pub fn event(&self, track: TrackId, name: &'static str, attrs: &[(&'static str, &str)]) {
+        self.instant(track, name, attrs, false);
+    }
+
+    /// Record a volatile instant event — one whose real-world cadence is
+    /// wall-clock-driven (heartbeats, watcher polls). Stamped at the
+    /// *current* tick without advancing the clock, and excluded from the
+    /// default export, so run-to-run count variance cannot perturb the
+    /// durable trace bytes.
+    pub fn volatile_event(
+        &self,
+        track: TrackId,
+        name: &'static str,
+        attrs: &[(&'static str, &str)],
+    ) {
+        self.instant(track, name, attrs, true);
+    }
+
+    fn instant(
+        &self,
+        track: TrackId,
+        name: &'static str,
+        attrs: &[(&'static str, &str)],
+        volatile: bool,
+    ) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut tracks = inner.tracks.lock();
+        let Some(t) = tracks.get_mut(track.0) else {
+            return;
+        };
+        if !volatile {
+            t.clock += 1;
+        }
+        t.records.push(Record {
+            at: t.clock,
+            kind: RecordKind::Instant {
+                name,
+                attrs: own_attrs(attrs),
+                volatile,
+            },
+        });
+    }
+
+    /// Copy out every track, sorted by name so thread races over
+    /// registration order cannot change export bytes.
+    pub(crate) fn snapshot(&self) -> Vec<TrackSnapshot> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let tracks = inner.tracks.lock();
+        let mut out: Vec<TrackSnapshot> = tracks
+            .iter()
+            .map(|t| TrackSnapshot {
+                name: t.name.clone(),
+                domain: t.domain,
+                records: t.records.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+fn own_attrs(attrs: &[(&'static str, &str)]) -> Vec<(&'static str, String)> {
+    attrs.iter().map(|(k, v)| (*k, (*v).to_string())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_a_no_op() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let t = tracer.track("x", ClockDomain::Work);
+        let s = tracer.open(t, "phoenix.job", &[]);
+        tracer.advance(t, 10);
+        tracer.event(t, "sd.request", &[]);
+        tracer.close(t, s);
+        assert!(tracer.snapshot().is_empty());
+        assert!(!Tracer::default().is_enabled());
+    }
+
+    #[test]
+    fn clock_advances_once_per_durable_record() {
+        let tracer = Tracer::enabled();
+        let t = tracer.track("work", ClockDomain::Work);
+        let a = tracer.open(t, "phoenix.job", &[]); // at 1
+        tracer.event(t, "sd.request", &[]); // at 2
+        tracer.close(t, a); // at 3
+        let snap = tracer.snapshot();
+        let ats: Vec<u64> = snap[0].records.iter().map(|r| r.at).collect();
+        assert_eq!(ats, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn close_auto_closes_children_innermost_first() {
+        let tracer = Tracer::enabled();
+        let t = tracer.track("work", ClockDomain::Work);
+        let outer = tracer.open(t, "phoenix.job", &[]);
+        let _mid = tracer.open(t, "phoenix.map", &[]);
+        let _inner = tracer.open(t, "phoenix.reduce", &[]);
+        tracer.close(t, outer);
+        let snap = tracer.snapshot();
+        let closes: Vec<u64> = snap[0]
+            .records
+            .iter()
+            .filter_map(|r| match &r.kind {
+                RecordKind::Close { span, .. } => Some(*span),
+                _ => None,
+            })
+            .collect();
+        // Innermost (3) first, outer (1) last.
+        assert_eq!(closes, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn closing_twice_is_a_no_op() {
+        let tracer = Tracer::enabled();
+        let t = tracer.track("work", ClockDomain::Work);
+        let s = tracer.open(t, "phoenix.job", &[]);
+        tracer.close(t, s);
+        tracer.close(t, s);
+        let snap = tracer.snapshot();
+        assert_eq!(snap[0].records.len(), 2);
+    }
+
+    #[test]
+    fn volatile_events_do_not_advance_the_clock() {
+        let tracer = Tracer::enabled();
+        let t = tracer.track("decision", ClockDomain::Decision);
+        tracer.event(t, "sd.request", &[]); // at 1
+        tracer.volatile_event(t, "sd.heartbeat", &[("seq", "9")]); // at 1, volatile
+        tracer.event(t, "sd.dispatch", &[]); // at 2
+        let snap = tracer.snapshot();
+        let ats: Vec<u64> = snap[0].records.iter().map(|r| r.at).collect();
+        assert_eq!(ats, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn track_registration_is_idempotent_and_snapshot_sorted() {
+        let tracer = Tracer::enabled();
+        let b = tracer.track("zeta", ClockDomain::Work);
+        let a = tracer.track("alpha", ClockDomain::Decision);
+        assert_eq!(tracer.track("zeta", ClockDomain::Decision), b);
+        assert_ne!(a, b);
+        let names: Vec<String> = tracer.snapshot().into_iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property test: no matter how callers interleave open/close/event/advance,
+//! the exported trace always has properly nested span records and strictly
+//! increasing per-track timestamps.
+
+use mcsd_obs::export::jsonl;
+use mcsd_obs::{ClockDomain, SpanId, Tracer};
+use proptest::prelude::*;
+
+/// Extract the string value of `"key":"..."` from a JSONL line. Good
+/// enough for the escaped-free names these tests emit.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Extract the numeric value of `"key":N` from a JSONL line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+proptest! {
+    #[test]
+    fn exported_spans_always_nest(ops in proptest::collection::vec(any::<u32>(), 0..80)) {
+        let tracer = Tracer::enabled();
+        let t = tracer.track("prop", ClockDomain::Work);
+        // Shadow model of the open stack: closing index i also closes
+        // everything opened after it (the tracer's auto-close rule).
+        let mut shadow: Vec<SpanId> = Vec::new();
+        let mut retired: Vec<SpanId> = Vec::new();
+        for op in ops {
+            match op % 6 {
+                0 | 1 => shadow.push(tracer.open(t, "phoenix.map", &[])),
+                2 => {
+                    if !shadow.is_empty() {
+                        let i = (op / 6) as usize % shadow.len();
+                        tracer.close(t, shadow[i]);
+                        retired.extend(shadow.drain(i..));
+                    }
+                }
+                3 => tracer.event(t, "sd.request", &[]),
+                4 => tracer.advance(t, u64::from(op / 6) % 7),
+                _ => {
+                    // Closing an already-closed span must be a no-op.
+                    if let Some(&stale) = retired.last() {
+                        tracer.close(t, stale);
+                    }
+                }
+            }
+        }
+        if let Some(&root) = shadow.first() {
+            tracer.close(t, root);
+        }
+
+        let out = jsonl(&tracer);
+        let mut stack: Vec<u64> = Vec::new();
+        let mut last_at = 0u64;
+        let mut opens = 0u32;
+        let mut closes = 0u32;
+        for line in out.lines() {
+            let Some(ty) = field_str(line, "type") else { continue };
+            if ty == "header" || ty == "track" {
+                continue;
+            }
+            let at = field_u64(line, "at");
+            prop_assert!(at.is_some(), "record without `at`: {}", line);
+            let at = at.unwrap_or(0);
+            prop_assert!(at > last_at, "timestamps must strictly increase: {}", line);
+            last_at = at;
+            match ty {
+                "span_open" => {
+                    let span = field_u64(line, "span");
+                    prop_assert!(span.is_some(), "open without `span`: {}", line);
+                    stack.push(span.unwrap_or(0));
+                    opens += 1;
+                }
+                "span_close" => {
+                    let span = field_u64(line, "span");
+                    let top = stack.pop();
+                    prop_assert!(
+                        top == span,
+                        "close {:?} does not match innermost open {:?}: {}",
+                        span,
+                        top,
+                        line
+                    );
+                    closes += 1;
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(stack.is_empty(), "spans left open in export");
+        prop_assert_eq!(opens, closes);
+    }
+}

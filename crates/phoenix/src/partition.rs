@@ -18,11 +18,13 @@ use crate::emitter::Emitter;
 use crate::error::PhoenixError;
 use crate::job::{InputChunk, Job, ValueIter};
 use crate::memory::MemoryModel;
-use crate::runtime::{JobOutput, Runtime};
+use crate::runtime::{JobOutput, Runtime, TRACE_TRACK};
 use crate::sort::parallel_sort_by;
 use crate::splitter::SplitSpec;
 use crate::stats::JobStats;
 use crate::stopwatch::Stopwatch;
+use mcsd_obs::names::SPAN_PHOENIX_PARTITIONED;
+use mcsd_obs::ClockDomain;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::ops::Range;
@@ -324,6 +326,34 @@ impl PartitionedRuntime {
         self.spec
     }
 
+    /// Open the `phoenix.partitioned` span wrapping a fragment sweep on the
+    /// inner runtime's tracer (no-op when tracing is disabled). Each
+    /// fragment's own `phoenix.job` tree nests inside it.
+    fn open_partitioned_span(
+        &self,
+        job: &str,
+        fragments: usize,
+    ) -> Option<(mcsd_obs::TrackId, mcsd_obs::SpanId)> {
+        let tracer = self.runtime.tracer();
+        if !tracer.is_enabled() {
+            return None;
+        }
+        let track = tracer.track(TRACE_TRACK, ClockDomain::Work);
+        let span = tracer.open(
+            track,
+            SPAN_PHOENIX_PARTITIONED,
+            &[("job", job), ("fragments", &fragments.to_string())],
+        );
+        Some((track, span))
+    }
+
+    /// Close a span opened by [`PartitionedRuntime::open_partitioned_span`].
+    fn close_partitioned_span(&self, span: Option<(mcsd_obs::TrackId, mcsd_obs::SpanId)>) {
+        if let Some((track, span)) = span {
+            self.runtime.tracer().close(track, span);
+        }
+    }
+
     /// Run `job` over `input` fragment by fragment, folding outputs with
     /// `merger`.
     pub fn run<J, M>(
@@ -370,22 +400,28 @@ impl PartitionedRuntime {
         };
         agg_stats.timings.split += plan_time;
 
-        let mut file = std::fs::File::open(path)?;
+        let span = self.open_partitioned_span(job.name(), on_file.plan.len());
         let mut acc = merger.empty();
         let mut merge_time = std::time::Duration::ZERO;
         let fragment_job = UnsortedFragment(job);
-        let mut buf = Vec::new();
-        for range in &on_file.plan.fragments {
-            buf.clear();
-            buf.resize(range.len(), 0);
-            file.seek(SeekFrom::Start(range.start as u64))?;
-            file.read_exact(&mut buf)?;
-            let out = self.runtime.run_at(&fragment_job, &buf, range.start)?;
-            agg_stats.accumulate(&out.stats);
-            let t0 = Stopwatch::start();
-            merger.merge(&mut acc, out.pairs);
-            merge_time += t0.elapsed();
-        }
+        let fragment_loop = (|| -> Result<(), PhoenixError> {
+            let mut file = std::fs::File::open(path)?;
+            let mut buf = Vec::new();
+            for range in &on_file.plan.fragments {
+                buf.clear();
+                buf.resize(range.len(), 0);
+                file.seek(SeekFrom::Start(range.start as u64))?;
+                file.read_exact(&mut buf)?;
+                let out = self.runtime.run_at(&fragment_job, &buf, range.start)?;
+                agg_stats.accumulate(&out.stats);
+                let t0 = Stopwatch::start();
+                merger.merge(&mut acc, out.pairs);
+                merge_time += t0.elapsed();
+            }
+            Ok(())
+        })();
+        self.close_partitioned_span(span);
+        fragment_loop?;
 
         let t0 = Stopwatch::start();
         let mut pairs = merger.finish(acc);
@@ -438,20 +474,26 @@ impl PartitionedRuntime {
         };
         agg_stats.timings.split += plan_time;
 
+        let span = self.open_partitioned_span(job.name(), plan.len());
         let mut acc = merger.empty();
         let mut merge_time = std::time::Duration::ZERO;
         let fragment_job = UnsortedFragment(job);
-        for range in &plan.fragments {
-            let out = self.runtime.run_at(
-                &fragment_job,
-                &input[range.clone()],
-                base_offset + range.start,
-            )?;
-            agg_stats.accumulate(&out.stats);
-            let t0 = Stopwatch::start();
-            merger.merge(&mut acc, out.pairs);
-            merge_time += t0.elapsed();
-        }
+        let fragment_loop = (|| -> Result<(), PhoenixError> {
+            for range in &plan.fragments {
+                let out = self.runtime.run_at(
+                    &fragment_job,
+                    &input[range.clone()],
+                    base_offset + range.start,
+                )?;
+                agg_stats.accumulate(&out.stats);
+                let t0 = Stopwatch::start();
+                merger.merge(&mut acc, out.pairs);
+                merge_time += t0.elapsed();
+            }
+            Ok(())
+        })();
+        self.close_partitioned_span(span);
+        fragment_loop?;
 
         let t0 = Stopwatch::start();
         let mut pairs = merger.finish(acc);
@@ -586,6 +628,32 @@ mod tests {
             pos = f.end;
         }
         assert_eq!(pos, data.len());
+    }
+
+    #[test]
+    fn partitioned_span_wraps_fragment_jobs() {
+        let data = text(2000);
+        let tracer = mcsd_obs::Tracer::enabled();
+        let rt = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(256))
+            .with_tracer(tracer.clone());
+        let part = PartitionedRuntime::new(rt, PartitionSpec::new(1024));
+        let merger = SumMerger::new(|acc: &mut u64, v: u64| *acc += v);
+        let out = part.run(&Wc, &data, &merger).unwrap();
+        let trace = mcsd_obs::export::jsonl(&tracer);
+        let opens: Vec<&str> = trace
+            .lines()
+            .filter(|l| l.contains("\"type\":\"span_open\""))
+            .collect();
+        assert!(
+            opens[0].contains(SPAN_PHOENIX_PARTITIONED),
+            "outermost span must be the partitioned wrapper: {}",
+            opens[0]
+        );
+        let jobs = opens
+            .iter()
+            .filter(|l| l.contains("\"name\":\"phoenix.job\""))
+            .count() as u64;
+        assert_eq!(jobs, out.stats.fragments, "one phoenix.job per fragment");
     }
 
     #[test]

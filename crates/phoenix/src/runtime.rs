@@ -15,6 +15,10 @@ use crate::sort::{kway_merge_by, parallel_sort_by};
 use crate::splitter::Splitter;
 use crate::stats::{JobStats, PhaseTimings};
 use crate::stopwatch::Stopwatch;
+use mcsd_obs::names::{
+    SPAN_PHOENIX_JOB, SPAN_PHOENIX_MAP, SPAN_PHOENIX_MERGE, SPAN_PHOENIX_REDUCE, SPAN_PHOENIX_SPLIT,
+};
+use mcsd_obs::{ClockDomain, Tracer};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -81,21 +85,45 @@ where
     }
 }
 
+/// Name of the work-domain track the runtime's span tree is recorded on.
+pub const TRACE_TRACK: &str = "phoenix";
+
 /// The Phoenix MapReduce runtime.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Runtime {
     config: PhoenixConfig,
+    tracer: Tracer,
 }
 
 impl Runtime {
-    /// Create a runtime with the given configuration.
+    /// Create a runtime with the given configuration (tracing disabled).
     pub fn new(config: PhoenixConfig) -> Self {
-        Runtime { config }
+        Runtime {
+            config,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attach a tracer: every job run records its
+    /// `phoenix.job`/`phoenix.split`/`phoenix.map`/`phoenix.reduce`/
+    /// `phoenix.merge` span tree on the [`TRACE_TRACK`] work-domain track.
+    /// Span widths are work-proportional ticks derived from the
+    /// deterministic [`JobStats`] counters — never the wall-clock
+    /// [`PhaseTimings`], which are banned from traces (DESIGN.md §12).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The runtime's configuration.
     pub fn config(&self) -> &PhoenixConfig {
         &self.config
+    }
+
+    /// The runtime's tracer (disabled unless [`Runtime::with_tracer`] was
+    /// called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Run `job` over `input`, enforcing the memory model.
@@ -271,7 +299,56 @@ impl Runtime {
             swapped_bytes,
             timings,
         };
+        self.record_span_tree(&stats);
         Ok(JobOutput { pairs, stats })
+    }
+
+    /// Record the finished job's span tree. Emitted after the run from the
+    /// deterministic counters (not live from inside the worker pool), so
+    /// thread scheduling can never reorder the records: same input, same
+    /// config ⇒ same trace bytes.
+    fn record_span_tree(&self, stats: &JobStats) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let track = self.tracer.track(TRACE_TRACK, ClockDomain::Work);
+        let workers = stats.workers.to_string();
+        let job = self.tracer.open(
+            track,
+            SPAN_PHOENIX_JOB,
+            &[("job", stats.job.as_str()), ("workers", &workers)],
+        );
+        self.tracer.leaf(
+            track,
+            SPAN_PHOENIX_SPLIT,
+            stats.map_tasks,
+            &[("map_tasks", &stats.map_tasks.to_string())],
+        );
+        self.tracer.leaf(
+            track,
+            SPAN_PHOENIX_MAP,
+            stats.input_bytes,
+            &[
+                ("input_bytes", &stats.input_bytes.to_string()),
+                ("emitted_pairs", &stats.emitted_pairs.to_string()),
+            ],
+        );
+        self.tracer.leaf(
+            track,
+            SPAN_PHOENIX_REDUCE,
+            stats.combined_pairs,
+            &[
+                ("combined_pairs", &stats.combined_pairs.to_string()),
+                ("distinct_keys", &stats.distinct_keys.to_string()),
+            ],
+        );
+        self.tracer.leaf(
+            track,
+            SPAN_PHOENIX_MERGE,
+            stats.output_pairs,
+            &[("output_pairs", &stats.output_pairs.to_string())],
+        );
+        self.tracer.close(track, job);
     }
 }
 
@@ -615,6 +692,45 @@ mod tests {
         assert_eq!(out.pairs, vec![(2, 3), (4, 1)]);
         assert_eq!(out.stats.distinct_keys, 4);
         assert_eq!(out.stats.output_pairs, 2);
+    }
+
+    #[test]
+    fn tracer_records_the_span_tree() {
+        let text = sample_text();
+        let tracer = Tracer::enabled();
+        let runtime = Runtime::new(PhoenixConfig::with_workers(2).chunk_bytes(256))
+            .with_tracer(tracer.clone());
+        let out = runtime.run(&MiniWordCount, &text).unwrap();
+        let trace = mcsd_obs::export::jsonl(&tracer);
+        for name in [
+            SPAN_PHOENIX_JOB,
+            SPAN_PHOENIX_SPLIT,
+            SPAN_PHOENIX_MAP,
+            SPAN_PHOENIX_REDUCE,
+            SPAN_PHOENIX_MERGE,
+        ] {
+            assert!(
+                trace.contains(&format!("\"name\":\"{name}\"")),
+                "missing {name} in trace:\n{trace}"
+            );
+        }
+        // The map leaf is input_bytes ticks wide: work-proportional, never
+        // wall-clock.
+        assert!(trace.contains(&format!("\"input_bytes\":\"{}\"", out.stats.input_bytes)));
+    }
+
+    #[test]
+    fn traced_runs_are_byte_identical() {
+        let text = sample_text();
+        let mut traces = Vec::new();
+        for _ in 0..2 {
+            let tracer = Tracer::enabled();
+            let runtime = Runtime::new(PhoenixConfig::with_workers(4).chunk_bytes(97))
+                .with_tracer(tracer.clone());
+            runtime.run(&MiniWordCount, &text).unwrap();
+            traces.push(mcsd_obs::export::jsonl(&tracer));
+        }
+        assert_eq!(traces[0], traces[1], "trace must not depend on scheduling");
     }
 
     #[test]

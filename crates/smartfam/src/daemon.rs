@@ -27,6 +27,12 @@ use crate::faults::{DispatchFault, FaultInjector, QUARANTINE_TOKEN};
 use crate::log_file::{LogFile, LogRole};
 use crate::module::ModuleRegistry;
 use crate::watch::{FileWatcher, WatchConfig, WatchEventKind};
+use mcsd_obs::names::{
+    EVENT_SD_COMPLETE, EVENT_SD_DISPATCH, EVENT_SD_EXPIRED, EVENT_SD_HEARTBEAT, EVENT_SD_POLL,
+    EVENT_SD_QUARANTINE, EVENT_SD_QUARANTINE_REJECTED, EVENT_SD_QUEUE, EVENT_SD_REPLAY,
+    EVENT_SD_REQUEST, EVENT_SD_SHED, EVENT_SD_UNKNOWN_MODULE,
+};
+use mcsd_obs::{ClockDomain, Tracer, TrackId};
 use mcsd_phoenix::{wall_clock_ms, Stopwatch};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -68,6 +74,10 @@ pub struct DaemonConfig {
     pub shed_retry_after: Duration,
     /// Fault injector (disabled by default; tests install seeded plans).
     pub injector: FaultInjector,
+    /// Tracer for daemon lifecycle events (disabled by default). Durable
+    /// events land on the `sd.daemon` decision-domain track in log-scan
+    /// order; heartbeats and polls are recorded volatile (DESIGN.md §12).
+    pub tracer: Tracer,
 }
 
 impl DaemonConfig {
@@ -83,12 +93,19 @@ impl DaemonConfig {
             max_queued: DEFAULT_MAX_QUEUED,
             shed_retry_after: Duration::from_millis(50),
             injector: FaultInjector::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Install a fault injector (builder style).
     pub fn with_faults(mut self, injector: FaultInjector) -> Self {
         self.injector = injector;
+        self
+    }
+
+    /// Attach a tracer (builder style).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -102,6 +119,9 @@ impl DaemonConfig {
 
 /// Name of the heartbeat file inside the log dir.
 pub const HEARTBEAT_FILE: &str = "daemon.heartbeat";
+
+/// Name of the decision-domain track daemon lifecycle events land on.
+pub const SD_TRACE_TRACK: &str = "sd.daemon";
 
 /// Snapshot of daemon counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -129,6 +149,57 @@ pub struct DaemonStats {
     /// Requests dropped at dequeue because their deadline had already
     /// passed — never executed.
     pub expired: u64,
+}
+
+impl DaemonStats {
+    /// Merge another daemon's counters into this one — for reporting
+    /// paths that aggregate several daemon incarnations (or several
+    /// scenario phases) into one set of totals.
+    pub fn absorb(&mut self, other: &DaemonStats) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.module_errors += other.module_errors;
+        self.unknown_module += other.unknown_module;
+        self.replayed += other.replayed;
+        self.quarantined += other.quarantined;
+        self.quarantine_rejected += other.quarantine_rejected;
+        self.corrupt_skipped_bytes += other.corrupt_skipped_bytes;
+        self.shed += other.shed;
+        self.expired += other.expired;
+    }
+
+    /// Publish this snapshot into a unified registry under the `sd.*`
+    /// keys, owner `smartfam.daemon` (DESIGN.md §12). Set-semantics: the
+    /// snapshot is already cumulative, so re-publishing overwrites rather
+    /// than accumulates.
+    pub fn publish(
+        &self,
+        registry: &mcsd_obs::MetricsRegistry,
+    ) -> Result<(), mcsd_obs::MetricsError> {
+        use mcsd_obs::names;
+        const OWNER: &str = "smartfam.daemon";
+        for (key, value) in [
+            (names::METRIC_SD_REQUESTS, self.requests),
+            (names::METRIC_SD_OK, self.ok),
+            (names::METRIC_SD_MODULE_ERRORS, self.module_errors),
+            (names::METRIC_SD_UNKNOWN_MODULE, self.unknown_module),
+            (names::METRIC_SD_REPLAYED, self.replayed),
+            (names::METRIC_SD_QUARANTINED, self.quarantined),
+            (
+                names::METRIC_SD_QUARANTINE_REJECTED,
+                self.quarantine_rejected,
+            ),
+            (
+                names::METRIC_SD_CORRUPT_SKIPPED_BYTES,
+                self.corrupt_skipped_bytes,
+            ),
+            (names::METRIC_SD_SHED, self.shed),
+            (names::METRIC_SD_EXPIRED, self.expired),
+        ] {
+            registry.publish(key, OWNER, value)?;
+        }
+        Ok(())
+    }
 }
 
 #[derive(Default)]
@@ -174,6 +245,7 @@ struct ModuleHealth {
 fn note_result(
     health: &Mutex<HashMap<String, ModuleHealth>>,
     stats: &StatsInner,
+    trace: &(Tracer, TrackId),
     name: &str,
     failed: bool,
     threshold: u32,
@@ -185,6 +257,9 @@ fn note_result(
         if !entry.quarantined && threshold > 0 && entry.consecutive_failures >= threshold {
             entry.quarantined = true;
             stats.quarantined.fetch_add(1, Ordering::Relaxed);
+            trace
+                .0
+                .event(trace.1, EVENT_SD_QUARANTINE, &[("module", name)]);
         }
     } else {
         entry.consecutive_failures = 0;
@@ -308,6 +383,8 @@ struct DaemonCtx {
     in_flight: Arc<AtomicU64>,
     logs: HashMap<PathBuf, LogState>,
     queue: VecDeque<QueuedRequest>,
+    /// Tracer handle plus the `sd.daemon` track it emits on.
+    trace: (Tracer, TrackId),
 }
 
 fn daemon_loop(
@@ -321,6 +398,8 @@ fn daemon_loop(
     // `None` = no heartbeat written yet, so the first loop turn emits one.
     let mut last_heartbeat: Option<Stopwatch> = None;
     let mut heartbeat_seq: u64 = 0;
+    let tracer = config.tracer.clone();
+    let track = tracer.track(SD_TRACE_TRACK, ClockDomain::Decision);
     let mut ctx = DaemonCtx {
         config,
         registry,
@@ -331,6 +410,7 @@ fn daemon_loop(
         in_flight: Arc::new(AtomicU64::new(0)),
         logs: HashMap::new(),
         queue: VecDeque::new(),
+        trace: (tracer, track),
     };
 
     // Startup replay: answer pending requests left over from a previous
@@ -363,6 +443,9 @@ fn daemon_loop(
             .is_none_or(|sw| sw.expired(ctx.config.heartbeat_interval))
         {
             heartbeat_seq += 1;
+            ctx.trace
+                .0
+                .volatile_event(ctx.trace.1, EVENT_SD_HEARTBEAT, &[]);
             if !ctx.config.injector.on_heartbeat() {
                 let record = HeartbeatRecord {
                     seq: heartbeat_seq,
@@ -371,7 +454,14 @@ fn daemon_loop(
                         queued: ctx.queue.len() as u64,
                     }),
                 };
-                let _ = std::fs::write(ctx.config.log_dir.join(HEARTBEAT_FILE), record.encode());
+                // Write-then-rename so a host probing the heartbeat can
+                // never observe a torn record: `fs::write` truncates in
+                // place, and a reader catching the file mid-rewrite would
+                // decode garbage and wrongly declare the daemon dead.
+                let tmp = ctx.config.log_dir.join("daemon.heartbeat.tmp");
+                if std::fs::write(&tmp, record.encode()).is_ok() {
+                    let _ = std::fs::rename(&tmp, ctx.config.log_dir.join(HEARTBEAT_FILE));
+                }
             }
             last_heartbeat = Some(Stopwatch::start());
         }
@@ -418,6 +508,9 @@ impl DaemonCtx {
     /// Poll one module log and run every not-yet-handled request through
     /// admission.
     fn process_log(&mut self, path: &Path, replay: bool) {
+        self.trace
+            .0
+            .volatile_event(self.trace.1, EVENT_SD_POLL, &[]);
         let state = match self.logs.entry(path.to_path_buf()) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(v) => match LogFile::attach_at_start(path) {
@@ -480,8 +573,17 @@ impl DaemonCtx {
                 return;
             }
             self.stats.requests.fetch_add(1, Ordering::Relaxed);
+            // No request-id attr: raw ids embed the pid and a
+            // process-global counter, which would break byte-identical
+            // traces (DESIGN.md §12).
+            self.trace
+                .0
+                .event(self.trace.1, EVENT_SD_REQUEST, &[("module", &req.name)]);
             if replay {
                 self.stats.replayed.fetch_add(1, Ordering::Relaxed);
+                self.trace
+                    .0
+                    .event(self.trace.1, EVENT_SD_REPLAY, &[("module", &req.name)]);
             }
             self.admit(req);
         }
@@ -493,9 +595,15 @@ impl DaemonCtx {
         if !self.slots_busy() && self.queue.is_empty() {
             self.dispatch(req);
         } else if self.queue.len() < self.config.max_queued {
+            self.trace
+                .0
+                .event(self.trace.1, EVENT_SD_QUEUE, &[("module", &req.name)]);
             self.queue.push_back(req);
         } else {
             self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            self.trace
+                .0
+                .event(self.trace.1, EVENT_SD_SHED, &[("module", &req.name)]);
             if let Ok(writer) = LogFile::attach_at_start(&req.path) {
                 let writer = writer.with_faults(self.config.injector.clone(), LogRole::Daemon);
                 let _ = writer.append(&Frame::response_overloaded(
@@ -538,6 +646,9 @@ impl DaemonCtx {
         // the request is dropped — counted, answered, never executed.
         if expires_unix_ms != 0 && wall_clock_ms() >= expires_unix_ms {
             self.stats.expired.fetch_add(1, Ordering::Relaxed);
+            self.trace
+                .0
+                .event(self.trace.1, EVENT_SD_EXPIRED, &[("module", &name)]);
             let _ = writer.append(&Frame::response_err(
                 id,
                 "deadline expired before dispatch; request dropped",
@@ -551,6 +662,11 @@ impl DaemonCtx {
             self.stats
                 .quarantine_rejected
                 .fetch_add(1, Ordering::Relaxed);
+            self.trace.0.event(
+                self.trace.1,
+                EVENT_SD_QUARANTINE_REJECTED,
+                &[("module", &name)],
+            );
             let _ = writer.append(&Frame::response_err(
                 id,
                 &format!(
@@ -562,12 +678,18 @@ impl DaemonCtx {
         }
         let Some(module) = self.registry.get(&name) else {
             self.stats.unknown_module.fetch_add(1, Ordering::Relaxed);
+            self.trace
+                .0
+                .event(self.trace.1, EVENT_SD_UNKNOWN_MODULE, &[("module", &name)]);
             let _ = writer.append(&Frame::response_err(
                 id,
                 &format!("no module registered under {name:?}"),
             ));
             return;
         };
+        self.trace
+            .0
+            .event(self.trace.1, EVENT_SD_DISPATCH, &[("module", &name)]);
         // Injected dispatch faults: crash (exit the daemon loop without
         // answering) or a forced module failure.
         match self.config.injector.on_dispatch() {
@@ -590,9 +712,15 @@ impl DaemonCtx {
                 note_result(
                     &self.health,
                     &self.stats,
+                    &self.trace,
                     &name,
                     true,
                     self.config.quarantine_threshold,
+                );
+                self.trace.0.event(
+                    self.trace.1,
+                    EVENT_SD_COMPLETE,
+                    &[("module", &name), ("status", "error")],
                 );
                 let _ = writer.append(&Frame::response_err(id, "injected module failure"));
                 return;
@@ -603,6 +731,7 @@ impl DaemonCtx {
         let health = Arc::clone(&self.health);
         let in_flight = Arc::clone(&self.in_flight);
         let threshold = self.config.quarantine_threshold;
+        let trace = self.trace.clone();
         in_flight.fetch_add(1, Ordering::Relaxed);
         let run = move || {
             // A panicking module must neither kill the daemon (sequential
@@ -630,7 +759,18 @@ impl DaemonCtx {
                     Frame::response_err(id, &format!("module panicked: {msg}"))
                 }
             };
-            note_result(&health, &stats, &name, failed, threshold);
+            note_result(&health, &stats, &trace, &name, failed, threshold);
+            // Emitted BEFORE the response append so the host can never
+            // observe a completion whose daemon-side trace record is still
+            // pending (the determinism argument of DESIGN.md §12).
+            trace.0.event(
+                trace.1,
+                EVENT_SD_COMPLETE,
+                &[
+                    ("module", &name),
+                    ("status", if failed { "error" } else { "ok" }),
+                ],
+            );
             let _ = writer.append(&response);
             in_flight.fetch_sub(1, Ordering::Relaxed);
         };
@@ -696,6 +836,41 @@ mod tests {
         assert!(out.response_bytes > 0);
         daemon.stop();
         assert_eq!(daemon.stats().ok, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn traced_invoke_emits_cataloged_lifecycle_events() {
+        let dir = temp_dir();
+        let tracer = Tracer::enabled();
+        let mut daemon = Daemon::new(
+            DaemonConfig::new(&dir).with_tracer(tracer.clone()),
+            registry(),
+        )
+        .spawn()
+        .unwrap();
+        let client = HostClient::new(&dir).with_tracer(tracer.clone());
+        let out = client.invoke("upper", &["trace".into()], TIMEOUT).unwrap();
+        assert_eq!(out.payload, b"TRACE");
+        daemon.stop();
+        let trace = mcsd_obs::export::jsonl(&tracer);
+        // sd.queue is absent here on purpose: an uncontended request skips
+        // the queue and dispatches straight from admission.
+        for name in [
+            "host.submit",
+            EVENT_SD_REQUEST,
+            EVENT_SD_DISPATCH,
+            EVENT_SD_COMPLETE,
+        ] {
+            assert!(
+                trace.contains(&format!("\"name\":\"{name}\"")),
+                "missing {name} in:\n{trace}"
+            );
+            assert!(mcsd_obs::names::is_cataloged(name), "{name} not cataloged");
+        }
+        // Volatile polls/heartbeats are excluded from the default export.
+        assert!(!trace.contains(EVENT_SD_POLL));
+        assert!(!trace.contains(EVENT_SD_HEARTBEAT));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -771,7 +946,7 @@ mod tests {
         let dir = temp_dir();
         let mut cfg = DaemonConfig::new(&dir);
         cfg.heartbeat_interval = Duration::from_millis(5);
-        let _daemon = Daemon::new(cfg, registry()).spawn().unwrap();
+        let mut daemon = Daemon::new(cfg, registry()).spawn().unwrap();
         let hb = dir.join(HEARTBEAT_FILE);
         assert!(crate::watch::wait_for_file(&hb, TIMEOUT, |len| len == 24));
         let first = HeartbeatRecord::decode(&std::fs::read(&hb).unwrap()).unwrap();
@@ -782,6 +957,9 @@ mod tests {
         let load = later.load.expect("load field");
         assert_eq!(load.in_flight, 0);
         assert_eq!(load.queued, 0);
+        // Stop before deleting the dir: a live daemon re-creating its
+        // heartbeat file races `remove_dir_all`.
+        daemon.stop();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

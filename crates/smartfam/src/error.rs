@@ -75,6 +75,22 @@ impl SmartFamError {
     pub fn is_overloaded(&self) -> bool {
         matches!(self, SmartFamError::Overloaded { .. })
     }
+
+    /// Stable short name of the error variant. Unlike [`fmt::Display`],
+    /// this never embeds run-varying detail (request ids, offsets), so it
+    /// is safe to put in a deterministic trace attribute (DESIGN.md §12).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SmartFamError::Io(_) => "io",
+            SmartFamError::Corrupt { .. } => "corrupt",
+            SmartFamError::Timeout { .. } => "timeout",
+            SmartFamError::ModuleFailed { .. } => "module_failed",
+            SmartFamError::UnknownModule { .. } => "unknown_module",
+            SmartFamError::DaemonDead { .. } => "daemon_dead",
+            SmartFamError::FaultInjected { .. } => "fault_injected",
+            SmartFamError::Overloaded { .. } => "overloaded",
+        }
+    }
 }
 
 impl fmt::Display for SmartFamError {
@@ -190,6 +206,23 @@ mod tests {
             module: "wc".into(),
         };
         assert!(!dead.is_overloaded());
+    }
+
+    #[test]
+    fn kind_is_stable_and_id_free() {
+        let e = SmartFamError::Timeout {
+            module: "wc".into(),
+            request_id: 12345,
+        };
+        assert_eq!(e.kind(), "timeout");
+        assert!(!e.kind().contains("12345"));
+        assert_eq!(
+            SmartFamError::DaemonDead {
+                module: "wc".into()
+            }
+            .kind(),
+            "daemon_dead"
+        );
     }
 
     #[test]

@@ -487,6 +487,31 @@ impl OverloadStats {
     pub fn is_clean(&self) -> bool {
         *self == OverloadStats::default()
     }
+
+    /// Publish this snapshot into a unified registry under the
+    /// `overload.*` keys, owner `mcsd.framework` (DESIGN.md §12).
+    /// Set-semantics: the snapshot is already cumulative.
+    pub fn publish(
+        &self,
+        registry: &mcsd_obs::MetricsRegistry,
+    ) -> Result<(), mcsd_obs::MetricsError> {
+        use mcsd_obs::names;
+        const OWNER: &str = "mcsd.framework";
+        for (key, value) in [
+            (names::METRIC_OVERLOAD_SHED, self.shed),
+            (names::METRIC_OVERLOAD_EXPIRED, self.expired),
+            (names::METRIC_OVERLOAD_BREAKER_OPENS, self.breaker_opens),
+            (
+                names::METRIC_OVERLOAD_HALF_OPEN_PROBES,
+                self.half_open_probes,
+            ),
+            (names::METRIC_OVERLOAD_REPARTITIONS, self.repartitions),
+            (names::METRIC_OVERLOAD_STEERED_SPANS, self.steered_spans),
+        ] {
+            registry.publish(key, OWNER, value)?;
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for OverloadStats {
@@ -560,6 +585,33 @@ impl ResilienceStats {
             && redispatches == 0
             && corrupt_skipped_bytes == 0
             && overload.is_clean()
+    }
+
+    /// Publish this snapshot (including its [`OverloadStats`]) into a
+    /// unified registry under the `resilience.*` and `overload.*` keys,
+    /// owner `mcsd.framework` (DESIGN.md §12). Set-semantics: the
+    /// snapshot is already cumulative.
+    pub fn publish(
+        &self,
+        registry: &mcsd_obs::MetricsRegistry,
+    ) -> Result<(), mcsd_obs::MetricsError> {
+        use mcsd_obs::names;
+        const OWNER: &str = "mcsd.framework";
+        for (key, value) in [
+            (names::METRIC_RESILIENCE_ATTEMPTS, self.attempts),
+            (names::METRIC_RESILIENCE_RETRIES, self.retries),
+            (names::METRIC_RESILIENCE_FAILOVERS, self.failovers),
+            (names::METRIC_RESILIENCE_QUARANTINES, self.quarantines),
+            (names::METRIC_RESILIENCE_REPLAYED, self.replayed),
+            (names::METRIC_RESILIENCE_REDISPATCHES, self.redispatches),
+            (
+                names::METRIC_RESILIENCE_CORRUPT_SKIPPED_BYTES,
+                self.corrupt_skipped_bytes,
+            ),
+        ] {
+            registry.publish(key, OWNER, value)?;
+        }
+        self.overload.publish(registry)
     }
 }
 

@@ -9,11 +9,12 @@ use crate::scan::{is_ident_char, FileContext, FileKind, ScannedFile};
 
 /// Library-code subtrees of the simulation crates: wall-clock reads here
 /// corrupt the virtual-time ledger that the paper's figures are built on.
-const SIM_CRATE_PREFIXES: [&str; 4] = [
+const SIM_CRATE_PREFIXES: [&str; 5] = [
     "crates/cluster/src/",
     "crates/phoenix/src/",
     "crates/mcsd-core/src/",
     "crates/smartfam/src/",
+    "crates/mcsd-obs/src/",
 ];
 
 /// The one sanctioned wall-clock surface: the calibrated stopwatch shim.

@@ -17,6 +17,7 @@
 //! | [`smartfam`] | `mcsd-smartfam` | The file-alteration-monitor invocation mechanism: log files + watcher + daemon (paper §IV-A, Fig. 5) |
 //! | [`framework`] | `mcsd-core` | The McSD framework: offload policy, node job driver, evaluation scenarios, live SD-node bridge |
 //! | [`apps`] | `mcsd-apps` | Word Count, String Match, Matrix Multiplication + workload generators (paper §V-A) |
+//! | [`obs`] | `mcsd-obs` | Deterministic observability: virtual-clock span tracing, the unified metrics registry, JSONL/Chrome trace exporters (DESIGN.md §12) |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@
 pub use mcsd_apps as apps;
 pub use mcsd_cluster as cluster;
 pub use mcsd_core as framework;
+pub use mcsd_obs as obs;
 pub use mcsd_phoenix as phoenix;
 pub use mcsd_smartfam as smartfam;
 
