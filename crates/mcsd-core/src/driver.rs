@@ -124,19 +124,11 @@ impl NodeRunner {
         base_offset: usize,
     ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError> {
         let cfg = PhoenixConfig::with_workers(1).memory(self.node().memory_model());
-        let runtime = Runtime::new(cfg).with_tracer(self.tracer.clone());
         let wrapped = FootprintOverride::new(job.clone(), footprint_factor);
-        let t0 = Stopwatch::start();
-        let out = runtime.run_at(&wrapped, input, base_offset)?;
-        let wall = t0.elapsed();
-        Ok(self.assemble(
-            out.pairs,
-            out.stats,
-            wall,
-            1,
-            input.len() as u64,
-            ExecMode::Sequential { footprint_factor }.label(),
-        ))
+        let label = ExecMode::Sequential { footprint_factor }.label();
+        self.measured_run(cfg, 1, input.len() as u64, label, |runtime| {
+            runtime.run_at(&wrapped, input, base_offset)
+        })
     }
 
     /// Run in [`ExecMode::Parallel`] (stock Phoenix on all cores).
@@ -156,18 +148,15 @@ impl NodeRunner {
         input: &[u8],
         base_offset: usize,
     ) -> Result<NodeRunReport<J::Key, J::Value>, McsdError> {
-        let runtime = Runtime::new(self.exec.phoenix_config()).with_tracer(self.tracer.clone());
-        let t0 = Stopwatch::start();
-        let out = runtime.run_at(job, input, base_offset)?;
-        let wall = t0.elapsed();
-        Ok(self.assemble(
-            out.pairs,
-            out.stats,
-            wall,
+        let cfg = self.exec.phoenix_config();
+        let label = ExecMode::Parallel.label();
+        self.measured_run(
+            cfg,
             self.node().cores,
             input.len() as u64,
-            ExecMode::Parallel.label(),
-        ))
+            label,
+            |runtime| runtime.run_at(job, input, base_offset),
+        )
     }
 
     /// Run in [`ExecMode::Partitioned`].
@@ -204,22 +193,20 @@ impl NodeRunner {
             Some(b) => PartitionSpec::new(b),
             None => PartitionSpec::auto(&memory, job.footprint_factor()),
         };
-        let runtime = Runtime::new(self.exec.phoenix_config()).with_tracer(self.tracer.clone());
-        let part = PartitionedRuntime::new(runtime, spec);
-        let t0 = Stopwatch::start();
-        let out = part.run_at(job, input, base_offset, merger)?;
-        let wall = t0.elapsed();
-        Ok(self.assemble(
-            out.pairs,
-            out.stats,
-            wall,
+        let label = ExecMode::Partitioned {
+            fragment_bytes: Some(spec.fragment_bytes),
+        }
+        .label();
+        let cfg = self.exec.phoenix_config();
+        self.measured_run(
+            cfg,
             self.node().cores,
             input.len() as u64,
-            ExecMode::Partitioned {
-                fragment_bytes: Some(spec.fragment_bytes),
-            }
-            .label(),
-        ))
+            label,
+            |runtime| {
+                PartitionedRuntime::new(runtime, spec).run_at(job, input, base_offset, merger)
+            },
+        )
     }
 
     /// Dispatch on an [`ExecMode`] value.
@@ -261,6 +248,30 @@ impl NodeRunner {
                 self.run_partitioned_at(job, merger, input, fragment_bytes, base_offset)
             }
         }
+    }
+
+    /// The shared execution core of every mode: build a traced runtime
+    /// from `cfg`, measure `run` on it, and assemble the node report.
+    fn measured_run<K, V>(
+        &self,
+        cfg: PhoenixConfig,
+        emulated_workers: usize,
+        input_bytes: u64,
+        mode: String,
+        run: impl FnOnce(Runtime) -> Result<mcsd_phoenix::JobOutput<K, V>, mcsd_phoenix::PhoenixError>,
+    ) -> Result<NodeRunReport<K, V>, McsdError> {
+        let runtime = Runtime::new(cfg).with_tracer(self.tracer.clone());
+        let t0 = Stopwatch::start();
+        let out = run(runtime)?;
+        let wall = t0.elapsed();
+        Ok(self.assemble(
+            out.pairs,
+            out.stats,
+            wall,
+            emulated_workers,
+            input_bytes,
+            mode,
+        ))
     }
 
     /// Convert a finished Phoenix run into a node report: scale the

@@ -1,0 +1,735 @@
+//! The unified offload scheduling engine.
+//!
+//! One decision engine owns the full per-call state machine the paper's
+//! framework describes — profile → [`OffloadDecision`] via memory-budget
+//! admission ([`plan_admission`]) + per-SD [`CircuitBreaker`]s +
+//! heartbeat-load steering → dispatch → bounded retry/re-dispatch → host
+//! fallback → stats/trace/decision-log recording — and both front-ends
+//! are thin shells over it: [`crate::framework::McsdFramework`] drives
+//! [`Engine::run_call`] (one typed call against the live SD node) and
+//! [`crate::multisd::MultiSdRunner`] drives [`Engine::run_span`] (one
+//! input span against a pool of modelled SD nodes). A single-SD
+//! `MultiSdRunner` and a `McsdFramework` therefore make *identical*
+//! decisions — the engine-parity test asserts exactly that.
+//!
+//! The engine is also the sole owner of the scheduler-side overload
+//! counters ([`OverloadStats`]: steered spans, re-partitions, breaker
+//! opens and probes); the daemon keeps owning sheds, expiries and
+//! replay/quarantine/skip accounting, merged at read time by
+//! [`Engine::resilience_report`]. DESIGN.md §13 has the state-machine
+//! diagram and the counter-ownership table; tidy rule MCSD007 keeps the
+//! policy primitives from re-leaking into the front-ends.
+
+use crate::admission::plan_admission;
+use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+use crate::error::McsdError;
+use crate::offload::{JobProfile, OffloadDecision, Offloader};
+use mcsd_cluster::TimeBreakdown;
+use mcsd_obs::names::{
+    EVENT_MCSD_BREAKER_OPEN, EVENT_MCSD_BREAKER_PROBE, EVENT_MCSD_FALLBACK, EVENT_MCSD_OFFLOAD,
+    EVENT_MCSD_REPARTITION, EVENT_MCSD_STEER, SPAN_MCSD_CALL,
+};
+use mcsd_obs::{ClockDomain, SpanId, Tracer, TrackId};
+use mcsd_phoenix::MemoryModel;
+use mcsd_smartfam::{DaemonStats, OverloadStats, ResilienceStats};
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Logical-clock quantum ticked per scheduling decision (see
+/// [`crate::breaker`]: the breakers run on decision counts, not wall
+/// time, so seeded runs replay their open/probe/close transitions
+/// exactly).
+const BREAKER_QUANTUM: Duration = Duration::from_millis(1);
+
+/// Trace track carrying the engine's placement decisions (`mcsd.*`
+/// events and [`SPAN_MCSD_CALL`] spans; DESIGN.md §12).
+pub const MCSD_TRACE_TRACK: &str = "mcsd";
+
+/// Trace track carrying analytic data-movement spans (stage/fetch spans,
+/// widths in virtual µs of network+disk time).
+pub const CLUSTER_TRACE_TRACK: &str = "cluster";
+
+/// Scheduling knobs the engine needs from its front-end's configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Circuit-breaker tuning applied to every SD slot.
+    pub breaker: BreakerConfig,
+    /// Degrade to host execution when the SD path fails for good; when
+    /// `false`, SD errors surface to the caller.
+    pub fallback_to_host: bool,
+    /// Steer offloads to the host when the daemon heartbeat reports at
+    /// least this many queued requests.
+    pub steer_queue_depth: u64,
+    /// Floor for memory-budget admission re-partitioning.
+    pub min_fragment_bytes: u64,
+    /// Deterministic tracer for the engine's decision events.
+    pub tracer: Tracer,
+}
+
+/// Memory-budget admission request for one SD offload.
+#[derive(Debug, Clone)]
+pub struct MemoryAdmission {
+    /// Memory model of the target SD node.
+    pub model: MemoryModel,
+    /// Caller-supplied partition parameter, honoured verbatim when
+    /// present (no planning happens).
+    pub caller_partition: Option<String>,
+    /// Bytes of input the job reads.
+    pub input_bytes: u64,
+    /// Working-set-to-input ratio of the job.
+    pub footprint_factor: f64,
+}
+
+/// The host-side outcome of one resilient SD dispatch: payload + virtual
+/// cost (or the terminal error), alongside the recovery counters the
+/// attempt chain accumulated.
+pub type SdDispatch = (Result<(Vec<u8>, TimeBreakdown), McsdError>, ResilienceStats);
+
+/// Job-specific hooks [`Engine::run_call`] drives. A front-end implements
+/// one spec per typed call (Word Count, String Match, MM…); the engine
+/// owns the placement pipeline around the hooks.
+pub trait OffloadCall {
+    /// Final output type of the call.
+    type Output;
+
+    /// Job (and module) name used in decision logs, trace events, and
+    /// degradation strings.
+    fn job(&self) -> &'static str;
+
+    /// Placement profile the offload policy decides on.
+    fn profile(&self) -> JobProfile;
+
+    /// Memory-budget admission request for the SD path; `None` (the
+    /// default) for jobs that stage their operands in
+    /// [`OffloadCall::prepare`] instead of reading already-staged input.
+    fn admission(&self) -> Option<MemoryAdmission> {
+        None
+    }
+
+    /// Stage operands and build the module invocation parameters (the
+    /// engine appends the admission-planned partition parameter last).
+    /// The returned [`TimeBreakdown`] is the staging cost, added to the
+    /// dispatch cost on success.
+    fn prepare(&mut self) -> Result<(Vec<String>, TimeBreakdown), McsdError>;
+
+    /// Decode the module's response payload into the typed output.
+    fn decode(&self, payload: &[u8]) -> Result<Self::Output, McsdError>;
+
+    /// Run the job on the host — a planned host placement or a failover
+    /// after the SD path failed for good.
+    fn run_host(&mut self) -> Result<(Self::Output, TimeBreakdown), McsdError>;
+}
+
+/// How one input span eventually produced its output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Clean first run on the span's primary SD node.
+    Ok {
+        /// Node that ran the span.
+        node: String,
+    },
+    /// The first run failed; a retry on the same node succeeded.
+    Retried {
+        /// Node that ran the span.
+        node: String,
+    },
+    /// The span left its primary node and was re-run elsewhere.
+    Redispatched {
+        /// Failed runs before the successful one.
+        attempts: u32,
+        /// Node (surviving SD or the host) that finally ran the span.
+        node: String,
+    },
+    /// The span never ran on its primary node: the primary's circuit
+    /// breaker was open, so the span was steered elsewhere *before* any
+    /// attempt was wasted on it.
+    Steered {
+        /// Node (surviving SD or the host) that ran the span.
+        node: String,
+    },
+}
+
+impl SpanOutcome {
+    /// The node that produced this span's output.
+    pub fn node(&self) -> &str {
+        match self {
+            SpanOutcome::Ok { node }
+            | SpanOutcome::Retried { node }
+            | SpanOutcome::Redispatched { node, .. }
+            | SpanOutcome::Steered { node } => node,
+        }
+    }
+}
+
+/// How one multi-SD span eventually produced its output; the raw
+/// classification [`Engine::run_span`] hands back to the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanDisposition {
+    /// Slot (SD index, or the host slot = SD count) that ran the span.
+    pub slot: usize,
+    /// Failed runs before the successful one.
+    pub failures: u32,
+    /// Whether the span's primary node rejected it at its breaker gate.
+    pub steered: bool,
+}
+
+impl SpanDisposition {
+    /// Whether the span never ran on `primary` because the breaker
+    /// steered it away before any attempt.
+    pub fn left_primary(&self, primary: usize) -> bool {
+        self.steered && self.slot != primary
+    }
+
+    /// Classify this disposition as the caller-facing [`SpanOutcome`],
+    /// naming the node that finally ran the span.
+    pub fn outcome(&self, primary: usize, node: String) -> SpanOutcome {
+        if self.failures == 0 && self.left_primary(primary) {
+            SpanOutcome::Steered { node }
+        } else if self.failures == 0 {
+            SpanOutcome::Ok { node }
+        } else if self.slot == primary {
+            SpanOutcome::Retried { node }
+        } else {
+            SpanOutcome::Redispatched {
+                attempts: self.failures,
+                node,
+            }
+        }
+    }
+
+    /// Whether the span's output came from a re-dispatch (failed runs
+    /// followed by success away from the primary).
+    pub fn redispatched(&self, primary: usize) -> bool {
+        self.failures > 0 && self.slot != primary
+    }
+
+    /// Per-span recovery counters for the span's report: the successful
+    /// run plus every failed one, counted as retries, with the
+    /// re-dispatch flagged.
+    pub fn span_stats(&self, primary: usize) -> ResilienceStats {
+        ResilienceStats {
+            attempts: u64::from(self.failures) + 1,
+            retries: u64::from(self.failures),
+            redispatches: u64::from(self.redispatched(primary)),
+            ..ResilienceStats::default()
+        }
+    }
+}
+
+/// The unified offload scheduler: decision state shared by every
+/// front-end path (see the module docs).
+pub struct Engine {
+    offloader: Mutex<Offloader>,
+    /// One breaker per SD slot, persistent across calls/runs so a node
+    /// that failed stays avoided until it proves itself.
+    breakers: Mutex<Vec<CircuitBreaker>>,
+    /// Logical clock driving the breakers (one quantum per decision).
+    clock: Mutex<Duration>,
+    /// Scheduler-owned overload counters (steers, re-partitions); breaker
+    /// opens/probes live in the breakers and are merged at read time.
+    overload: Mutex<OverloadStats>,
+    /// Host-side recovery counters absorbed from dispatch outcomes.
+    stats: Mutex<ResilienceStats>,
+    degradations: Mutex<Vec<String>>,
+    decision_log: Mutex<Vec<(String, OffloadDecision)>>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine over `offloader` with `sd_slots` breaker-gated SD slots
+    /// (the framework gates its single live SD node with one slot; the
+    /// multi-SD runner gives every modelled SD node its own).
+    pub fn new(offloader: Offloader, sd_slots: usize, config: EngineConfig) -> Engine {
+        Engine {
+            offloader: Mutex::new(offloader),
+            breakers: Mutex::new(vec![CircuitBreaker::new(config.breaker); sd_slots.max(1)]),
+            clock: Mutex::new(Duration::ZERO),
+            overload: Mutex::new(OverloadStats::default()),
+            stats: Mutex::new(ResilienceStats::default()),
+            degradations: Mutex::new(Vec::new()),
+            decision_log: Mutex::new(Vec::new()),
+            config,
+        }
+    }
+
+    /// Ask the policy where a job should run.
+    pub fn decide(&self, profile: &JobProfile) -> OffloadDecision {
+        self.offloader.lock().decide(profile)
+    }
+
+    /// Current state of each SD slot's circuit breaker, in slot order.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.breakers.lock().iter().map(|b| b.state()).collect()
+    }
+
+    /// Current state of one slot's breaker (clamped to the last slot).
+    pub fn breaker_state(&self, slot: usize) -> BreakerState {
+        let breakers = self.breakers.lock();
+        breakers[slot.min(breakers.len() - 1)].state()
+    }
+
+    /// Human-readable record of every graceful degradation, in order.
+    pub fn degradations(&self) -> Vec<String> {
+        self.degradations.lock().clone()
+    }
+
+    /// Where each call actually ran, in call order — including
+    /// [`OffloadDecision::FallbackToHost`] entries for degraded runs.
+    pub fn decision_log(&self) -> Vec<(String, OffloadDecision)> {
+        self.decision_log.lock().clone()
+    }
+
+    /// Scheduler-side overload totals: the engine's own counters plus the
+    /// breakers' cumulative opens and half-open probes.
+    pub fn overload_totals(&self) -> OverloadStats {
+        let mut totals = *self.overload.lock();
+        let breakers = self.breakers.lock();
+        totals.breaker_opens += breakers.iter().map(CircuitBreaker::opens).sum::<u64>();
+        totals.half_open_probes += breakers
+            .iter()
+            .map(CircuitBreaker::half_open_probes)
+            .sum::<u64>();
+        totals
+    }
+
+    /// Overload counters accumulated since `baseline` (a prior
+    /// [`Engine::overload_totals`] snapshot) — how a front-end scopes the
+    /// engine's cumulative counters to one run's report.
+    pub fn overload_delta(&self, baseline: &OverloadStats) -> OverloadStats {
+        let totals = self.overload_totals();
+        OverloadStats {
+            shed: totals.shed - baseline.shed,
+            expired: totals.expired - baseline.expired,
+            breaker_opens: totals.breaker_opens - baseline.breaker_opens,
+            half_open_probes: totals.half_open_probes - baseline.half_open_probes,
+            repartitions: totals.repartitions - baseline.repartitions,
+            steered_spans: totals.steered_spans - baseline.steered_spans,
+        }
+    }
+
+    /// Recovery counters merged for a caller-facing report: the engine's
+    /// dispatch/overload counters plus the daemon-owned replay, quarantine,
+    /// skip, shed and expiry counts (owned there so they are never
+    /// double-counted; DESIGN.md §13).
+    pub fn resilience_report(&self, daemon: &DaemonStats) -> ResilienceStats {
+        let mut stats = *self.stats.lock();
+        stats.replayed += daemon.replayed;
+        stats.quarantines += daemon.quarantined;
+        stats.corrupt_skipped_bytes += daemon.corrupt_skipped_bytes;
+        stats.overload.absorb(&self.overload_totals());
+        stats.overload.shed += daemon.shed;
+        stats.overload.expired += daemon.expired;
+        stats
+    }
+
+    /// The engine's decision trace track.
+    pub fn trace_track(&self) -> TrackId {
+        self.config
+            .tracer
+            .track(MCSD_TRACE_TRACK, ClockDomain::Decision)
+    }
+
+    /// Open the end-to-end span for one typed call; `None` when tracing
+    /// is off.
+    pub fn open_call_span(&self, job: &str) -> Option<(TrackId, SpanId)> {
+        if !self.config.tracer.is_enabled() {
+            return None;
+        }
+        let track = self.trace_track();
+        let span = self
+            .config
+            .tracer
+            .open(track, SPAN_MCSD_CALL, &[("job", job)]);
+        Some((track, span))
+    }
+
+    /// Close a span opened by [`Engine::open_call_span`].
+    pub fn close_call_span(&self, span: Option<(TrackId, SpanId)>) {
+        if let Some((track, span)) = span {
+            self.config.tracer.close(track, span);
+        }
+    }
+
+    /// Record an analytic data-movement span on the cluster track; its
+    /// width is the virtual network+disk time in microseconds.
+    pub fn record_transfer(
+        &self,
+        name: &'static str,
+        file: &str,
+        bytes: u64,
+        cost: &TimeBreakdown,
+    ) {
+        if !self.config.tracer.is_enabled() {
+            return;
+        }
+        let track = self
+            .config
+            .tracer
+            .track(CLUSTER_TRACE_TRACK, ClockDomain::Cluster);
+        let ticks = (cost.network + cost.disk).as_micros() as u64;
+        self.config.tracer.leaf(
+            track,
+            name,
+            ticks,
+            &[("file", file), ("bytes", &bytes.to_string())],
+        );
+    }
+
+    fn tick(&self) -> Duration {
+        let mut clock = self.clock.lock();
+        *clock += BREAKER_QUANTUM;
+        *clock
+    }
+
+    fn now(&self) -> Duration {
+        *self.clock.lock()
+    }
+
+    fn note_decision(&self, job: &str, decision: OffloadDecision) {
+        if matches!(decision, OffloadDecision::SmartStorage { .. }) {
+            self.config
+                .tracer
+                .event(self.trace_track(), EVENT_MCSD_OFFLOAD, &[("job", job)]);
+        }
+        self.decision_log.lock().push((job.to_string(), decision));
+    }
+
+    /// Overload gate for one offload: consult the slot's circuit breaker
+    /// and the daemon's heartbeat-reported load. Returns `false` (and
+    /// counts a steered span) when the job must go to the host instead.
+    fn sd_admitted(
+        &self,
+        job: &str,
+        slot: usize,
+        queued_load: impl FnOnce() -> Option<u64>,
+    ) -> bool {
+        let now = self.tick();
+        let admission = {
+            let mut breakers = self.breakers.lock();
+            let slot = slot.min(breakers.len() - 1);
+            breakers[slot].admission(now)
+        };
+        if matches!(admission, Admission::Probe) {
+            self.config.tracer.event(
+                self.trace_track(),
+                EVENT_MCSD_BREAKER_PROBE,
+                &[("job", job)],
+            );
+        }
+        let admitted = match admission {
+            Admission::Reject => false,
+            Admission::Allow | Admission::Probe => true,
+        };
+        // Even a closed breaker defers to a saturated daemon: a queue at
+        // the steering threshold means the request would mostly wait (or
+        // be shed), so the host is the faster and kinder choice.
+        let saturated =
+            admitted && queued_load().is_some_and(|queued| queued >= self.config.steer_queue_depth);
+        if admitted && !saturated {
+            return true;
+        }
+        self.overload.lock().steered_spans += 1;
+        let reason = if saturated {
+            "daemon queue saturated"
+        } else {
+            "circuit breaker open"
+        };
+        self.config.tracer.event(
+            self.trace_track(),
+            EVENT_MCSD_STEER,
+            &[("job", job), ("reason", reason)],
+        );
+        self.degradations
+            .lock()
+            .push(format!("{job}: steered to host ({reason})"));
+        false
+    }
+
+    /// Memory-budget admission for an SD offload: decide the partition
+    /// parameter. A caller-supplied partition parameter is honoured
+    /// verbatim; otherwise an over-footprint job is re-partitioned
+    /// adaptively (the halvings are counted) and a job that cannot fit
+    /// even at the floor fragment is refused with the typed error.
+    fn admit_memory(
+        &self,
+        job: &str,
+        request: &MemoryAdmission,
+    ) -> Result<Option<String>, McsdError> {
+        if let Some(p) = &request.caller_partition {
+            return Ok(Some(p.clone()));
+        }
+        let plan = plan_admission(
+            &request.model,
+            request.input_bytes,
+            request.footprint_factor,
+            self.config.min_fragment_bytes,
+        )
+        .map_err(|refusal| McsdError::MemoryOverflow {
+            input_bytes: refusal.input_bytes,
+            limit_bytes: refusal.limit_bytes,
+            min_fragment_bytes: refusal.min_fragment_bytes,
+        })?;
+        if plan.repartitions > 0 {
+            self.config.tracer.event(
+                self.trace_track(),
+                EVENT_MCSD_REPARTITION,
+                &[("job", job), ("halvings", &plan.repartitions.to_string())],
+            );
+        }
+        self.overload.lock().repartitions += plan.repartitions;
+        Ok(plan.partition_param())
+    }
+
+    /// Report one dispatch outcome to a slot's breaker (at the current
+    /// clock, without ticking: the decision already paid its quantum) and
+    /// trace a trip when it opens.
+    fn breaker_feedback(&self, module: &str, slot: usize, ok: bool) {
+        let now = self.now();
+        let mut breakers = self.breakers.lock();
+        let slot = slot.min(breakers.len() - 1);
+        let opens_before = breakers[slot].opens();
+        if ok {
+            breakers[slot].on_success(now);
+        } else {
+            breakers[slot].on_failure(now);
+        }
+        if breakers[slot].opens() > opens_before {
+            self.config.tracer.event(
+                self.trace_track(),
+                EVENT_MCSD_BREAKER_OPEN,
+                &[("module", module)],
+            );
+        }
+    }
+
+    /// The SD path failed for good. Either degrade to host execution
+    /// (recording the failover) or surface the error, per configuration.
+    fn degrade(&self, job: &str, err: McsdError) -> Result<OffloadDecision, McsdError> {
+        if !self.config.fallback_to_host {
+            return Err(err);
+        }
+        self.stats.lock().failovers += 1;
+        // The event carries the stable error *kind*, not the rendered
+        // message — Display output can embed request ids, which would
+        // break byte-identical traces.
+        self.config.tracer.event(
+            self.trace_track(),
+            EVENT_MCSD_FALLBACK,
+            &[("job", job), ("error", err.kind())],
+        );
+        self.degradations
+            .lock()
+            .push(format!("{job}: {err}; degraded to host execution"));
+        Ok(OffloadDecision::FallbackToHost)
+    }
+
+    /// Drive the full per-call state machine for one typed offload call:
+    /// decide → breaker/load gate → memory admission → stage + dispatch →
+    /// breaker feedback → decode, degrading to [`OffloadCall::run_host`]
+    /// on steer, host placement, or terminal SD failure.
+    ///
+    /// `queued_load` reads the daemon heartbeat's queued-request count
+    /// (`None` when no heartbeat is available); `dispatch` performs one
+    /// resilient module invocation. Both are closures so the engine stays
+    /// ignorant of the transport.
+    pub fn run_call<C: OffloadCall>(
+        &self,
+        call: &mut C,
+        queued_load: impl FnOnce() -> Option<u64>,
+        dispatch: impl FnOnce(&str, &[String]) -> SdDispatch,
+    ) -> Result<(C::Output, TimeBreakdown), McsdError> {
+        let job = call.job();
+        let profile = call.profile();
+        let mut decision = self.decide(&profile);
+        if let OffloadDecision::SmartStorage { sd_index } = decision {
+            if !self.sd_admitted(job, sd_index, queued_load) {
+                decision = OffloadDecision::SteeredToHost;
+            }
+        }
+        if let OffloadDecision::SmartStorage { sd_index } = decision {
+            let partition = match call.admission() {
+                Some(request) => self.admit_memory(job, &request)?,
+                None => None,
+            };
+            let (mut params, staging) = call.prepare()?;
+            // Protocol rule, one copy here: the admission-planned partition
+            // parameter always rides as the final module parameter.
+            params.extend(partition);
+            let (outcome, mut stats) = dispatch(job, &params);
+            // The daemon owns corrupt-skip accounting (DESIGN.md §10/§12):
+            // the host's recovering reader skips the same corrupt bytes in
+            // the same shared log the daemon's scan skips, and
+            // `resilience_report` merges the daemon's count at read time —
+            // absorbing the host's count here would double it. Per-call
+            // outcomes still carry the host-side count for direct
+            // `HostClient` callers.
+            stats.corrupt_skipped_bytes = 0;
+            self.stats.lock().absorb(&stats);
+            self.breaker_feedback(job, sd_index, outcome.is_ok());
+            match outcome {
+                Ok((payload, cost)) => {
+                    self.note_decision(job, decision);
+                    let out = call.decode(&payload)?;
+                    return Ok((out, staging + cost));
+                }
+                Err(e) => decision = self.degrade(job, e)?,
+            }
+        }
+        self.note_decision(job, decision);
+        call.run_host()
+    }
+
+    /// Drive the re-dispatch chain for one multi-SD input span: primary
+    /// slot, in-place retry, surviving SD slots in order, finally the
+    /// host slot (= SD count), which is never breaker-gated and so
+    /// terminates every chain.
+    ///
+    /// `attempt(slot)` runs the span once on `slot` and reports whether
+    /// an *injected* failure ate the output (`true` loses the run and
+    /// moves down the chain; real errors propagate and abort the run).
+    /// Consecutive gates of the same slot (the in-place retry) re-check
+    /// the breaker at the current clock without ticking it, so one span
+    /// costs exactly one decision quantum on its primary — the same
+    /// budget a framework call pays, which is what keeps the two
+    /// front-ends' breaker timelines aligned.
+    pub fn run_span<T>(
+        &self,
+        span_index: usize,
+        primary: usize,
+        mut attempt: impl FnMut(usize) -> Result<(bool, T), McsdError>,
+    ) -> Result<(SpanDisposition, T), McsdError> {
+        let host_slot = self.breakers.lock().len();
+        let mut candidates = vec![primary, primary];
+        candidates.extend((0..host_slot).filter(|&j| j != primary));
+        candidates.push(host_slot);
+
+        let mut failures: u32 = 0;
+        let mut steered = false;
+        let mut gated: Option<usize> = None;
+        for &slot in &candidates {
+            // An SD candidate must get past its circuit breaker; the host
+            // terminates every chain and is never gated.
+            if slot != host_slot {
+                let now = if gated == Some(slot) {
+                    self.now()
+                } else {
+                    self.tick()
+                };
+                gated = Some(slot);
+                if self.breakers.lock()[slot].admission(now) == Admission::Reject {
+                    if slot == primary {
+                        steered = true;
+                    }
+                    continue;
+                }
+            }
+            let (injected, out) = attempt(slot)?;
+            if injected {
+                failures += 1;
+                self.breakers.lock()[slot].on_failure(self.now());
+                continue;
+            }
+            if slot != host_slot {
+                self.breakers.lock()[slot].on_success(self.now());
+            }
+            let disposition = SpanDisposition {
+                slot,
+                failures,
+                steered,
+            };
+            if disposition.left_primary(primary) {
+                self.overload.lock().steered_spans += 1;
+            }
+            return Ok((disposition, out));
+        }
+        // Unreachable: the host terminates every attempt chain.
+        Err(McsdError::BadScenario {
+            detail: format!("span {span_index} exhausted its re-dispatch chain"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offload::OffloadPolicy;
+
+    fn engine(slots: usize) -> Engine {
+        Engine::new(
+            Offloader::new(OffloadPolicy::AlwaysSd, slots),
+            slots,
+            EngineConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 1,
+                    cooldown: Duration::from_millis(4),
+                    probe_quota: 1,
+                },
+                fallback_to_host: true,
+                steer_queue_depth: 64,
+                min_fragment_bytes: 4096,
+                tracer: Tracer::disabled(),
+            },
+        )
+    }
+
+    #[test]
+    fn span_chain_walks_primary_retry_others_host() {
+        let e = engine(3);
+        let mut visited = Vec::new();
+        // Every SD attempt reports an injected failure; the host ends it.
+        let (d, ()) = e
+            .run_span(0, 1, |slot| {
+                visited.push(slot);
+                Ok((slot != 3, ()))
+            })
+            .unwrap();
+        // Primary fails, its breaker (threshold 1) opens, the in-place
+        // retry is rejected at the gate, the survivors fail, host runs.
+        assert_eq!(visited, vec![1, 0, 2, 3]);
+        assert_eq!(d.slot, 3);
+        assert_eq!(d.failures, 3);
+        assert!(
+            d.steered,
+            "post-failure re-gate rejection counts as a steer"
+        );
+    }
+
+    #[test]
+    fn clean_span_costs_one_quantum_and_no_steer() {
+        let e = engine(2);
+        let (d, ()) = e.run_span(0, 0, |_| Ok((false, ()))).unwrap();
+        assert_eq!((d.slot, d.failures, d.steered), (0, 0, false));
+        assert!(!d.left_primary(0));
+        assert_eq!(e.overload_totals(), OverloadStats::default());
+        assert_eq!(e.now(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn open_primary_steers_without_attempting() {
+        let e = engine(2);
+        // Trip slot 0: one failed attempt at threshold 1.
+        let _ = e.run_span(0, 0, |slot| Ok((slot == 0, ())));
+        // Next span never attempts slot 0.
+        let (d, ()) = e
+            .run_span(1, 0, |slot| {
+                assert_ne!(slot, 0, "open breaker must gate the primary");
+                Ok((false, ()))
+            })
+            .unwrap();
+        assert!(d.left_primary(0));
+        assert_eq!(e.overload_totals().steered_spans, 2);
+        assert_eq!(e.breaker_state(0), BreakerState::Open);
+    }
+
+    #[test]
+    fn overload_delta_scopes_cumulative_counters_to_one_run() {
+        let e = engine(1);
+        let _ = e.run_span(0, 0, |slot| Ok((slot == 0, ())));
+        let baseline = e.overload_totals();
+        assert_eq!(baseline.breaker_opens, 1);
+        let _ = e.run_span(1, 0, |_| Ok((false, ())));
+        let delta = e.overload_delta(&baseline);
+        assert_eq!(delta.breaker_opens, 0);
+        assert_eq!(delta.steered_spans, 1);
+    }
+}

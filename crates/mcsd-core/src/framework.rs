@@ -3,53 +3,40 @@
 //! [`McsdFramework`] is the API a cluster application programs against: it
 //! owns the modelled cluster, boots the live SD node (NFS share + smartFAM
 //! daemon + preloaded modules), and exposes typed offload calls whose
-//! results come back with their virtual-time cost. The offload policy
-//! decides host-vs-SD placement automatically; callers can also force
-//! either side.
+//! results come back with their virtual-time cost. Placement is decided by
+//! the unified scheduler in [`crate::engine`] — the framework contributes
+//! only the transport (the smartFAM host client) and one [`OffloadCall`]
+//! spec per application; callers can also force either side via the
+//! policy.
 //!
 //! The offload path is *self-healing*: every SD invocation goes through
 //! the retry/liveness machinery of [`RetryPolicy`], and when the SD side
-//! stays broken the framework degrades gracefully — it re-runs the job on
+//! stays broken the engine degrades gracefully — it re-runs the job on
 //! the host ([`OffloadDecision::FallbackToHost`]) instead of surfacing a
 //! timeout, recording the degradation in [`McsdFramework::degradations`]
 //! and counting it in [`McsdFramework::resilience_stats`].
 
-use crate::admission::{plan_admission, DEFAULT_MIN_FRAGMENT_BYTES};
-use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+use crate::admission::DEFAULT_MIN_FRAGMENT_BYTES;
+use crate::breaker::{BreakerConfig, BreakerState};
 use crate::bridge::{McsdClient, SdNodeServer};
 use crate::driver::NodeRunner;
+use crate::engine::{Engine, EngineConfig, MemoryAdmission, OffloadCall};
 use crate::error::McsdError;
 use crate::modules::{StringMatchModule, WordCountModule};
 use crate::offload::{JobProfile, OffloadDecision, OffloadPolicy, Offloader};
 use mcsd_apps::{MatMul, Matrix, StringMatch, WordCount};
 use mcsd_cluster::{Cluster, TimeBreakdown};
-use mcsd_obs::names::{
-    EVENT_MCSD_BREAKER_OPEN, EVENT_MCSD_BREAKER_PROBE, EVENT_MCSD_FALLBACK, EVENT_MCSD_OFFLOAD,
-    EVENT_MCSD_REPARTITION, EVENT_MCSD_STEER, SPAN_CLUSTER_FETCH, SPAN_CLUSTER_STAGE,
-    SPAN_MCSD_CALL,
-};
-use mcsd_obs::{ClockDomain, SpanId, Tracer, TrackId};
+use mcsd_obs::names::{SPAN_CLUSTER_FETCH, SPAN_CLUSTER_STAGE};
+use mcsd_obs::Tracer;
 use mcsd_phoenix::Job;
-use mcsd_smartfam::{FaultInjector, OverloadStats, ResilienceStats, RetryPolicy};
-use parking_lot::Mutex;
+use mcsd_smartfam::{FaultInjector, ResilienceStats, RetryPolicy};
 use std::sync::Arc;
 use std::time::Duration;
 
+pub use crate::engine::{CLUSTER_TRACE_TRACK, MCSD_TRACE_TRACK};
+
 /// Default per-call timeout for offloaded modules.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
-
-/// Logical-clock quantum ticked per SD admission decision (see
-/// [`crate::breaker`]: the breaker runs on decision counts, not wall time,
-/// so seeded runs replay their open/probe/close transitions exactly).
-const BREAKER_QUANTUM: Duration = Duration::from_millis(1);
-
-/// Trace track carrying the framework's placement decisions (`mcsd.*`
-/// events and [`SPAN_MCSD_CALL`] spans; DESIGN.md §12).
-pub const MCSD_TRACE_TRACK: &str = "mcsd";
-
-/// Trace track carrying analytic data-movement spans ([`SPAN_CLUSTER_STAGE`]
-/// and [`SPAN_CLUSTER_FETCH`], widths in virtual µs of network+disk time).
-pub const CLUSTER_TRACE_TRACK: &str = "cluster";
 
 /// How the framework behaves when the SD path misbehaves.
 #[derive(Debug, Clone)]
@@ -85,7 +72,7 @@ pub struct ResilienceConfig {
     pub min_fragment_bytes: u64,
     /// Deterministic tracer shared by every layer the framework boots:
     /// the daemon, the host client, the host-fallback Phoenix runtime,
-    /// and the framework's own decision events. Disabled by default
+    /// and the engine's decision events. Disabled by default
     /// (zero-cost); pass [`Tracer::enabled`] to record a run.
     pub tracer: Tracer,
 }
@@ -112,16 +99,8 @@ pub struct McsdFramework {
     cluster: Cluster,
     server: SdNodeServer,
     client: McsdClient,
-    offloader: Mutex<Offloader>,
-    timeout: Duration,
     resilience: ResilienceConfig,
-    stats: Mutex<ResilienceStats>,
-    degradations: Mutex<Vec<String>>,
-    decision_log: Mutex<Vec<(String, OffloadDecision)>>,
-    breaker: Mutex<CircuitBreaker>,
-    breaker_clock: Mutex<Duration>,
-    overload: Mutex<OverloadStats>,
-    tracer: Tracer,
+    engine: Engine,
 }
 
 impl McsdFramework {
@@ -146,21 +125,24 @@ impl McsdFramework {
             resilience.tracer.clone(),
         )?;
         let client = server.host_client();
-        let offloader = Mutex::new(Offloader::for_nodes(policy, &cluster.nodes));
+        // One breaker slot: the framework offloads to one live SD node.
+        let engine = Engine::new(
+            Offloader::for_nodes(policy, &cluster.nodes),
+            1,
+            EngineConfig {
+                breaker: resilience.breaker,
+                fallback_to_host: resilience.fallback_to_host,
+                steer_queue_depth: resilience.steer_queue_depth,
+                min_fragment_bytes: resilience.min_fragment_bytes,
+                tracer: resilience.tracer.clone(),
+            },
+        );
         Ok(McsdFramework {
             cluster,
             server,
             client,
-            offloader,
-            timeout: resilience.call_timeout,
-            breaker: Mutex::new(CircuitBreaker::new(resilience.breaker)),
-            breaker_clock: Mutex::new(Duration::ZERO),
-            overload: Mutex::new(OverloadStats::default()),
-            tracer: resilience.tracer.clone(),
             resilience,
-            stats: Mutex::new(ResilienceStats::default()),
-            degradations: Mutex::new(Vec::new()),
-            decision_log: Mutex::new(Vec::new()),
+            engine,
         })
     }
 
@@ -176,7 +158,7 @@ impl McsdFramework {
 
     /// Ask the policy where a job should run.
     pub fn decide(&self, profile: &JobProfile) -> OffloadDecision {
-        self.offloader.lock().decide(profile)
+        self.engine.decide(profile)
     }
 
     /// Recovery counters accumulated so far: the host side's attempts,
@@ -184,243 +166,59 @@ impl McsdFramework {
     /// counters, merged at read time. The daemon side owns quarantines and
     /// replays so they are never double-counted here.
     pub fn resilience_stats(&self) -> ResilienceStats {
-        let mut stats = *self.stats.lock();
-        let daemon = self.server.daemon_stats();
-        stats.replayed += daemon.replayed;
-        stats.quarantines += daemon.quarantined;
-        stats.corrupt_skipped_bytes += daemon.corrupt_skipped_bytes;
-        // Overload counters: sheds and expiries are owned by the daemon,
-        // breaker transitions by the framework's breaker, steers and
-        // re-partitions by the offload path.
-        stats.overload.absorb(&self.overload.lock());
-        stats.overload.shed += daemon.shed;
-        stats.overload.expired += daemon.expired;
-        let breaker = self.breaker.lock();
-        stats.overload.breaker_opens += breaker.opens();
-        stats.overload.half_open_probes += breaker.half_open_probes();
-        stats
+        self.engine.resilience_report(&self.server.daemon_stats())
     }
 
     /// Current state of the SD node's circuit breaker.
     pub fn breaker_state(&self) -> BreakerState {
-        self.breaker.lock().state()
+        self.engine.breaker_state(0)
     }
 
     /// Human-readable record of every graceful degradation, in order.
     pub fn degradations(&self) -> Vec<String> {
-        self.degradations.lock().clone()
+        self.engine.degradations()
     }
 
     /// Where each typed call actually ran, in call order — including
     /// [`OffloadDecision::FallbackToHost`] entries for degraded runs.
     pub fn decision_log(&self) -> Vec<(String, OffloadDecision)> {
-        self.decision_log.lock().clone()
-    }
-
-    fn note_decision(&self, job: &str, decision: OffloadDecision) {
-        if matches!(decision, OffloadDecision::SmartStorage { .. }) {
-            self.tracer
-                .event(self.trace_track(), EVENT_MCSD_OFFLOAD, &[("job", job)]);
-        }
-        self.decision_log.lock().push((job.to_string(), decision));
-    }
-
-    fn trace_track(&self) -> TrackId {
-        self.tracer.track(MCSD_TRACE_TRACK, ClockDomain::Decision)
-    }
-
-    /// Open the end-to-end span for one typed call; `None` when tracing
-    /// is off.
-    fn open_call_span(&self, job: &str) -> Option<(TrackId, SpanId)> {
-        if !self.tracer.is_enabled() {
-            return None;
-        }
-        let track = self.trace_track();
-        let span = self.tracer.open(track, SPAN_MCSD_CALL, &[("job", job)]);
-        Some((track, span))
-    }
-
-    fn close_call_span(&self, span: Option<(TrackId, SpanId)>) {
-        if let Some((track, span)) = span {
-            self.tracer.close(track, span);
-        }
-    }
-
-    /// Record an analytic data-movement span on the cluster track; its
-    /// width is the virtual network+disk time in microseconds.
-    fn record_transfer(&self, name: &'static str, file: &str, bytes: u64, cost: &TimeBreakdown) {
-        if !self.tracer.is_enabled() {
-            return;
-        }
-        let track = self.tracer.track(CLUSTER_TRACE_TRACK, ClockDomain::Cluster);
-        let ticks = (cost.network + cost.disk).as_micros() as u64;
-        self.tracer.leaf(
-            track,
-            name,
-            ticks,
-            &[("file", file), ("bytes", &bytes.to_string())],
-        );
-    }
-
-    fn tick(&self) -> Duration {
-        let mut clock = self.breaker_clock.lock();
-        *clock += BREAKER_QUANTUM;
-        *clock
-    }
-
-    /// Overload gate for one offload: consult the SD circuit breaker and
-    /// the daemon's heartbeat-reported load. Returns `false` (and counts a
-    /// steered span) when the job must go to the host instead.
-    fn sd_admitted(&self, job: &str) -> bool {
-        let now = self.tick();
-        let admission = self.breaker.lock().admission(now);
-        if matches!(admission, Admission::Probe) {
-            self.tracer.event(
-                self.trace_track(),
-                EVENT_MCSD_BREAKER_PROBE,
-                &[("job", job)],
-            );
-        }
-        let admitted = match admission {
-            Admission::Reject => false,
-            Admission::Allow | Admission::Probe => true,
-        };
-        // Even a closed breaker defers to a saturated daemon: a queue at
-        // the steering threshold means the request would mostly wait (or
-        // be shed), so the host is the faster and kinder choice.
-        let saturated = admitted
-            && self
-                .client
-                .smartfam()
-                .daemon_load()
-                .is_some_and(|load| load.queued >= self.resilience.steer_queue_depth);
-        if admitted && !saturated {
-            return true;
-        }
-        self.overload.lock().steered_spans += 1;
-        let reason = if saturated {
-            "daemon queue saturated"
-        } else {
-            "circuit breaker open"
-        };
-        self.tracer.event(
-            self.trace_track(),
-            EVENT_MCSD_STEER,
-            &[("job", job), ("reason", reason)],
-        );
-        self.degradations
-            .lock()
-            .push(format!("{job}: steered to host ({reason})"));
-        false
-    }
-
-    /// Memory-budget admission for an SD offload: decide the partition
-    /// parameter for a job of `input_bytes` with the given footprint
-    /// factor. A caller-supplied partition parameter is honoured verbatim;
-    /// otherwise an over-footprint job is re-partitioned adaptively (the
-    /// halvings are counted) and a job that cannot fit even at the floor
-    /// fragment is refused with the typed error.
-    fn admit_memory(
-        &self,
-        job: &str,
-        caller_partition: Option<&str>,
-        input_bytes: u64,
-        footprint_factor: f64,
-    ) -> Result<Option<String>, McsdError> {
-        if let Some(p) = caller_partition {
-            return Ok(Some(p.to_string()));
-        }
-        let model = self.cluster.sd().memory_model();
-        let plan = plan_admission(
-            &model,
-            input_bytes,
-            footprint_factor,
-            self.resilience.min_fragment_bytes,
-        )
-        .map_err(|refusal| McsdError::MemoryOverflow {
-            input_bytes: refusal.input_bytes,
-            limit_bytes: refusal.limit_bytes,
-            min_fragment_bytes: refusal.min_fragment_bytes,
-        })?;
-        if plan.repartitions > 0 {
-            self.tracer.event(
-                self.trace_track(),
-                EVENT_MCSD_REPARTITION,
-                &[("job", job), ("halvings", &plan.repartitions.to_string())],
-            );
-        }
-        self.overload.lock().repartitions += plan.repartitions;
-        Ok(plan.partition_param())
-    }
-
-    /// One resilient SD invocation: retries inside, counters absorbed,
-    /// outcome reported to the circuit breaker.
-    fn invoke_sd(
-        &self,
-        module: &str,
-        params: &[String],
-    ) -> Result<(Vec<u8>, TimeBreakdown), McsdError> {
-        let (outcome, mut stats) =
-            self.client
-                .invoke_resilient(module, params, self.timeout, &self.resilience.retry);
-        // The daemon owns corrupt-skip accounting (DESIGN.md §10/§12): the
-        // host's recovering reader skips the same corrupt bytes in the same
-        // shared log the daemon's scan skips, and `resilience_stats()`
-        // merges the daemon's count at read time — absorbing the host's
-        // count here would double it. Per-call outcomes still carry the
-        // host-side count for direct `HostClient` callers.
-        stats.corrupt_skipped_bytes = 0;
-        self.stats.lock().absorb(&stats);
-        let now = *self.breaker_clock.lock();
-        let mut breaker = self.breaker.lock();
-        let opens_before = breaker.opens();
-        match &outcome {
-            Ok(_) => breaker.on_success(now),
-            Err(_) => breaker.on_failure(now),
-        }
-        if breaker.opens() > opens_before {
-            self.tracer.event(
-                self.trace_track(),
-                EVENT_MCSD_BREAKER_OPEN,
-                &[("module", module)],
-            );
-        }
-        outcome
-    }
-
-    /// The SD path failed for good. Either degrade to host execution
-    /// (recording the failover) or surface the error, per configuration.
-    fn degrade(&self, job: &str, err: McsdError) -> Result<OffloadDecision, McsdError> {
-        if !self.resilience.fallback_to_host {
-            return Err(err);
-        }
-        self.stats.lock().failovers += 1;
-        // The event carries the stable error *kind*, not the rendered
-        // message — Display output can embed request ids, which would
-        // break byte-identical traces.
-        self.tracer.event(
-            self.trace_track(),
-            EVENT_MCSD_FALLBACK,
-            &[("job", job), ("error", err.kind())],
-        );
-        self.degradations
-            .lock()
-            .push(format!("{job}: {err}; degraded to host execution"));
-        Ok(OffloadDecision::FallbackToHost)
+        self.engine.decision_log()
     }
 
     /// Stage data onto the SD node from the host (pays the network).
     pub fn stage_data(&self, name: &str, data: &[u8]) -> Result<TimeBreakdown, McsdError> {
-        let cost = self.server.stage_from_host(name, data)?;
-        self.record_transfer(SPAN_CLUSTER_STAGE, name, data.len() as u64, &cost);
-        Ok(cost)
+        Ok(self.record_stage(name, data.len(), self.server.stage_from_host(name, data)?))
     }
 
     /// Stage data that already lives on the SD node (disk cost only).
     pub fn stage_data_local(&self, name: &str, data: &[u8]) -> Result<TimeBreakdown, McsdError> {
-        let cost = self.server.stage_local(name, data)?;
-        self.record_transfer(SPAN_CLUSTER_STAGE, name, data.len() as u64, &cost);
-        Ok(cost)
+        Ok(self.record_stage(name, data.len(), self.server.stage_local(name, data)?))
+    }
+
+    fn record_stage(&self, name: &str, len: usize, cost: TimeBreakdown) -> TimeBreakdown {
+        self.engine
+            .record_transfer(SPAN_CLUSTER_STAGE, name, len as u64, &cost);
+        cost
+    }
+
+    /// Drive one typed call through the engine's state machine, wrapped
+    /// in its end-to-end trace span. The closures hand the engine its
+    /// transport: the daemon heartbeat's queue depth for load steering
+    /// and the resilient smartFAM invocation for dispatch.
+    fn run_offloaded<C: OffloadCall>(
+        &self,
+        call: &mut C,
+    ) -> Result<(C::Output, TimeBreakdown), McsdError> {
+        let span = self.engine.open_call_span(call.job());
+        let timeout = self.resilience.call_timeout;
+        let retry = &self.resilience.retry;
+        let out = self.engine.run_call(
+            call,
+            || self.client.smartfam().daemon_load().map(|load| load.queued),
+            |module, params| self.client.invoke_resilient(module, params, timeout, retry),
+        );
+        self.engine.close_call_span(span);
+        out
     }
 
     /// Word Count over a staged file. The policy picks the node; the
@@ -431,58 +229,17 @@ impl McsdFramework {
         file: &str,
         partition: Option<&str>,
     ) -> Result<(Vec<(String, u64)>, TimeBreakdown), McsdError> {
-        let span = self.open_call_span("wordcount");
-        let out = self.wordcount_impl(file, partition);
-        self.close_call_span(span);
-        out
-    }
-
-    fn wordcount_impl(
-        &self,
-        file: &str,
-        partition: Option<&str>,
-    ) -> Result<(Vec<(String, u64)>, TimeBreakdown), McsdError> {
-        let data_len = self.staged_len(file)?;
-        let profile = JobProfile {
-            name: "wordcount".into(),
-            input_bytes: data_len,
+        self.run_offloaded(&mut StagedCall {
+            fw: self,
+            job: "wordcount",
+            files: vec![file.to_string()],
+            partition,
+            data_len: self.staged_len(file)?,
             compute_per_byte: 10.0,
-            data_on_sd: true,
-        };
-        let mut decision = self.decide(&profile);
-        if matches!(decision, OffloadDecision::SmartStorage { .. })
-            && !self.sd_admitted("wordcount")
-        {
-            decision = OffloadDecision::SteeredToHost;
-        }
-        if let OffloadDecision::SmartStorage { .. } = decision {
-            let partition = self.admit_memory(
-                "wordcount",
-                partition,
-                data_len,
-                WordCount.footprint_factor(),
-            )?;
-            let mut params = vec![file.to_string()];
-            if let Some(p) = partition {
-                params.push(p);
-            }
-            match self.invoke_sd("wordcount", &params) {
-                Ok((payload, cost)) => {
-                    self.note_decision("wordcount", decision);
-                    let pairs = WordCountModule::decode(&payload)
-                        .map_err(|detail| McsdError::BadScenario { detail })?;
-                    return Ok((pairs, cost));
-                }
-                Err(e) => decision = self.degrade("wordcount", e)?,
-            }
-        }
-        self.note_decision("wordcount", decision);
-        // Planned host run or failover: fetch the data across NFS and run
-        // on the host.
-        let (data, fetch) = self.read_staged(file)?;
-        let runner = self.host_runner();
-        let out = runner.run_parallel(&WordCount, &data)?;
-        Ok((out.pairs, fetch + out.report.time))
+            footprint_factor: WordCount.footprint_factor(),
+            decode: WordCountModule::decode,
+            run_host: wordcount_host,
+        })
     }
 
     /// String Match over staged encrypt/keys files.
@@ -492,111 +249,26 @@ impl McsdFramework {
         keys_file: &str,
         partition: Option<&str>,
     ) -> Result<(Vec<(u64, u32)>, TimeBreakdown), McsdError> {
-        let span = self.open_call_span("stringmatch");
-        let out = self.stringmatch_impl(encrypt_file, keys_file, partition);
-        self.close_call_span(span);
-        out
-    }
-
-    fn stringmatch_impl(
-        &self,
-        encrypt_file: &str,
-        keys_file: &str,
-        partition: Option<&str>,
-    ) -> Result<(Vec<(u64, u32)>, TimeBreakdown), McsdError> {
-        let data_len = self.staged_len(encrypt_file)?;
-        let profile = JobProfile {
-            name: "stringmatch".into(),
-            input_bytes: data_len,
+        self.run_offloaded(&mut StagedCall {
+            fw: self,
+            job: "stringmatch",
+            files: vec![encrypt_file.to_string(), keys_file.to_string()],
+            partition,
+            data_len: self.staged_len(encrypt_file)?,
             compute_per_byte: 20.0,
-            data_on_sd: true,
-        };
-        let mut decision = self.decide(&profile);
-        if matches!(decision, OffloadDecision::SmartStorage { .. })
-            && !self.sd_admitted("stringmatch")
-        {
-            decision = OffloadDecision::SteeredToHost;
-        }
-        if let OffloadDecision::SmartStorage { .. } = decision {
             // String Match's footprint factor does not depend on the key
             // set, so an empty instance stands in for admission.
-            let partition = self.admit_memory(
-                "stringmatch",
-                partition,
-                data_len,
-                StringMatch::new(&[] as &[String]).footprint_factor(),
-            )?;
-            let mut params = vec![encrypt_file.to_string(), keys_file.to_string()];
-            if let Some(p) = partition {
-                params.push(p);
-            }
-            match self.invoke_sd("stringmatch", &params) {
-                Ok((payload, cost)) => {
-                    self.note_decision("stringmatch", decision);
-                    let pairs = StringMatchModule::decode(&payload)
-                        .map_err(|detail| McsdError::BadScenario { detail })?;
-                    return Ok((pairs, cost));
-                }
-                Err(e) => decision = self.degrade("stringmatch", e)?,
-            }
-        }
-        self.note_decision("stringmatch", decision);
-        let (encrypt, fetch_e) = self.read_staged(encrypt_file)?;
-        let (keys_raw, fetch_k) = self.read_staged(keys_file)?;
-        let keys: Vec<String> = String::from_utf8_lossy(&keys_raw)
-            .lines()
-            .filter(|l| !l.is_empty())
-            .map(str::to_string)
-            .collect();
-        let job = StringMatch::new(&keys);
-        let runner = self.host_runner();
-        let out = runner.run_parallel(&job, &encrypt)?;
-        Ok((out.pairs, fetch_e + fetch_k + out.report.time))
+            footprint_factor: StringMatch::new(&[] as &[String]).footprint_factor(),
+            decode: StringMatchModule::decode,
+            run_host: stringmatch_host,
+        })
     }
 
     /// Matrix multiplication. Dense MM is compute-intensive, so the
     /// default policy keeps it on the host; `AlwaysSd` forces the module
     /// path.
     pub fn matmul(&self, a: &Matrix, b: &Matrix) -> Result<(Matrix, TimeBreakdown), McsdError> {
-        let span = self.open_call_span("matmul");
-        let out = self.matmul_impl(a, b);
-        self.close_call_span(span);
-        out
-    }
-
-    fn matmul_impl(&self, a: &Matrix, b: &Matrix) -> Result<(Matrix, TimeBreakdown), McsdError> {
-        let profile = JobProfile {
-            name: "matmul".into(),
-            input_bytes: (a.byte_len() + b.byte_len()) as u64,
-            compute_per_byte: a.cols as f64, // ~n multiply-adds per stored byte
-            data_on_sd: false,
-        };
-        let mut decision = self.decide(&profile);
-        if matches!(decision, OffloadDecision::SmartStorage { .. }) && !self.sd_admitted("matmul") {
-            decision = OffloadDecision::SteeredToHost;
-        }
-        if let OffloadDecision::SmartStorage { .. } = decision {
-            let stage_a = self.stage_data("mm_a.mat", &a.to_bytes())?;
-            let stage_b = self.stage_data("mm_b.mat", &b.to_bytes())?;
-            match self.invoke_sd("matmul", &["mm_a.mat".to_string(), "mm_b.mat".to_string()]) {
-                Ok((payload, cost)) => {
-                    self.note_decision("matmul", decision);
-                    let c = Matrix::from_bytes(&payload)
-                        .map_err(|detail| McsdError::BadScenario { detail })?;
-                    return Ok((c, stage_a + stage_b + cost));
-                }
-                Err(e) => decision = self.degrade("matmul", e)?,
-            }
-        }
-        self.note_decision("matmul", decision);
-        // Planned host run or failover. The operands are still in hand, so
-        // the fallback recomputes directly instead of re-reading the
-        // staged copies.
-        let job = MatMul::new(Arc::new(a.clone()), b);
-        let runner = self.host_runner();
-        let out = runner.run_parallel(&job, &job.row_input())?;
-        let c = job.assemble(&out.pairs);
-        Ok((c, out.report.time))
+        self.run_offloaded(&mut MatMulCall { fw: self, a, b })
     }
 
     /// Shut the framework down (daemon, share). Also happens on drop.
@@ -606,7 +278,7 @@ impl McsdFramework {
 
     fn host_runner(&self) -> NodeRunner {
         NodeRunner::new(self.cluster.host().clone(), self.cluster.disk)
-            .with_tracer(self.tracer.clone())
+            .with_tracer(self.resilience.tracer.clone())
     }
 
     fn staged_len(&self, file: &str) -> Result<u64, McsdError> {
@@ -620,8 +292,146 @@ impl McsdFramework {
         // The host reads through NFS: network + disk.
         let cost = self.cluster.network.charge_transfer(data.len() as u64)
             + self.cluster.disk.charge_sequential(data.len() as u64);
-        self.record_transfer(SPAN_CLUSTER_FETCH, file, data.len() as u64, &cost);
+        self.engine
+            .record_transfer(SPAN_CLUSTER_FETCH, file, data.len() as u64, &cost);
         Ok((data, cost))
+    }
+}
+
+/// Host-side hook of a [`StagedCall`]: re-run the job from staged files.
+type HostRun<O> = fn(&McsdFramework, &[String]) -> Result<(O, TimeBreakdown), McsdError>;
+
+/// Call spec shared by the staged-input applications (Word Count, String
+/// Match): the module reads files already staged on the SD node and the
+/// data input's size drives both the profile and memory-planned
+/// partitioning. The per-app residue is pure data: the module parameters,
+/// the profile constants, and the decode/host-path hooks.
+struct StagedCall<'a, O> {
+    fw: &'a McsdFramework,
+    job: &'static str,
+    /// Staged file parameters in module order; the first is the data
+    /// input whose size drives the profile and admission.
+    files: Vec<String>,
+    partition: Option<&'a str>,
+    data_len: u64,
+    compute_per_byte: f64,
+    footprint_factor: f64,
+    decode: fn(&[u8]) -> Result<O, String>,
+    run_host: HostRun<O>,
+}
+
+impl<O> OffloadCall for StagedCall<'_, O> {
+    type Output = O;
+
+    fn job(&self) -> &'static str {
+        self.job
+    }
+
+    fn profile(&self) -> JobProfile {
+        JobProfile {
+            name: self.job.into(),
+            input_bytes: self.data_len,
+            compute_per_byte: self.compute_per_byte,
+            data_on_sd: true,
+        }
+    }
+
+    fn admission(&self) -> Option<MemoryAdmission> {
+        Some(MemoryAdmission {
+            model: self.fw.cluster.sd().memory_model(),
+            caller_partition: self.partition.map(str::to_string),
+            input_bytes: self.data_len,
+            footprint_factor: self.footprint_factor,
+        })
+    }
+
+    fn prepare(&mut self) -> Result<(Vec<String>, TimeBreakdown), McsdError> {
+        Ok((self.files.clone(), TimeBreakdown::default()))
+    }
+
+    fn decode(&self, payload: &[u8]) -> Result<O, McsdError> {
+        (self.decode)(payload).map_err(|detail| McsdError::BadScenario { detail })
+    }
+
+    fn run_host(&mut self) -> Result<(O, TimeBreakdown), McsdError> {
+        (self.run_host)(self.fw, &self.files)
+    }
+}
+
+/// Word Count host path: fetch the staged input across NFS, run the
+/// parallel job on the host (planned host run or failover).
+fn wordcount_host(
+    fw: &McsdFramework,
+    files: &[String],
+) -> Result<(Vec<(String, u64)>, TimeBreakdown), McsdError> {
+    let (data, fetch) = fw.read_staged(&files[0])?;
+    let out = fw.host_runner().run_parallel(&WordCount, &data)?;
+    Ok((out.pairs, fetch + out.report.time))
+}
+
+/// String Match host path: fetch both staged inputs, parse the key set,
+/// run the parallel job on the host.
+fn stringmatch_host(
+    fw: &McsdFramework,
+    files: &[String],
+) -> Result<(Vec<(u64, u32)>, TimeBreakdown), McsdError> {
+    let (encrypt, fetch_e) = fw.read_staged(&files[0])?;
+    let (keys_raw, fetch_k) = fw.read_staged(&files[1])?;
+    let keys: Vec<String> = String::from_utf8_lossy(&keys_raw)
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect();
+    let job = StringMatch::new(&keys);
+    let out = fw.host_runner().run_parallel(&job, &encrypt)?;
+    Ok((out.pairs, fetch_e + fetch_k + out.report.time))
+}
+
+/// Matrix multiplication call spec: operands staged by `prepare`, no
+/// memory admission (the module path works on whole matrices).
+struct MatMulCall<'a> {
+    fw: &'a McsdFramework,
+    a: &'a Matrix,
+    b: &'a Matrix,
+}
+
+impl OffloadCall for MatMulCall<'_> {
+    type Output = Matrix;
+
+    fn job(&self) -> &'static str {
+        "matmul"
+    }
+
+    fn profile(&self) -> JobProfile {
+        JobProfile {
+            name: "matmul".into(),
+            input_bytes: (self.a.byte_len() + self.b.byte_len()) as u64,
+            compute_per_byte: self.a.cols as f64, // ~n multiply-adds per stored byte
+            data_on_sd: false,
+        }
+    }
+
+    fn prepare(&mut self) -> Result<(Vec<String>, TimeBreakdown), McsdError> {
+        let stage_a = self.fw.stage_data("mm_a.mat", &self.a.to_bytes())?;
+        let stage_b = self.fw.stage_data("mm_b.mat", &self.b.to_bytes())?;
+        Ok((
+            vec!["mm_a.mat".to_string(), "mm_b.mat".to_string()],
+            stage_a + stage_b,
+        ))
+    }
+
+    fn decode(&self, payload: &[u8]) -> Result<Self::Output, McsdError> {
+        Matrix::from_bytes(payload).map_err(|detail| McsdError::BadScenario { detail })
+    }
+
+    fn run_host(&mut self) -> Result<(Self::Output, TimeBreakdown), McsdError> {
+        // Planned host run or failover. The operands are still in hand, so
+        // the fallback recomputes directly instead of re-reading the
+        // staged copies.
+        let job = MatMul::new(Arc::new(self.a.clone()), self.b);
+        let out = self.fw.host_runner().run_parallel(&job, &job.row_input())?;
+        let c = job.assemble(&out.pairs);
+        Ok((c, out.report.time))
     }
 }
 

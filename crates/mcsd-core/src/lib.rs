@@ -26,6 +26,9 @@
 //! * [`breaker`] — per-SD circuit breakers driving health-aware steering.
 //! * [`admission`] — memory-budget admission: adaptive re-partitioning of
 //!   over-footprint jobs before they are offloaded.
+//! * [`engine`] — the unified offload scheduler: the one copy of the
+//!   decide → admit → steer → dispatch → retry → fallback → record state
+//!   machine that both [`framework`] and [`multisd`] drive.
 //! * [`scenario`] — the paper's four multi-application execution scenarios
 //!   (§V-C): host-only, traditional single-core SD, duo SD without
 //!   partition, and the full McSD framework.
@@ -40,6 +43,7 @@ pub mod admission;
 pub mod breaker;
 pub mod bridge;
 pub mod driver;
+pub mod engine;
 pub mod error;
 pub mod footprint;
 pub mod framework;
@@ -52,6 +56,7 @@ pub mod scenario;
 pub use admission::{plan_admission, AdmissionPlan, AdmissionRefusal};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use driver::{ExecMode, NodeRunReport, NodeRunner};
+pub use engine::{Engine, EngineConfig, MemoryAdmission, OffloadCall, SpanDisposition};
 pub use error::McsdError;
 pub use footprint::FootprintOverride;
 pub use framework::{McsdFramework, ResilienceConfig};

@@ -10,65 +10,27 @@
 //! is the *slowest node* plus the merge — which is what makes the scale-out
 //! interesting: heterogeneous SD nodes (different core counts or speeds)
 //! bound the speedup.
+//!
+//! Placement, breaker gating and the re-dispatch chain are owned by the
+//! unified scheduler ([`crate::engine`]); this front-end contributes the
+//! span planning, the per-node execution and timeline accounting, and the
+//! merge.
 
-use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+use crate::breaker::BreakerConfig;
 use crate::driver::{ExecMode, NodeRunner};
+use crate::engine::{Engine, EngineConfig};
 use crate::error::McsdError;
+use crate::offload::{OffloadPolicy, Offloader};
 use crate::report::RunReport;
 use mcsd_cluster::{Cluster, NodeRole, TimeBreakdown};
+use mcsd_obs::Tracer;
 use mcsd_phoenix::partition::Merger;
 use mcsd_phoenix::Stopwatch;
 use mcsd_phoenix::{Job, PartitionPlan, PartitionSpec};
 use mcsd_smartfam::{FaultInjector, ResilienceStats};
-use parking_lot::Mutex;
 use std::time::Duration;
 
-/// Logical-clock quantum ticked per breaker consultation. The breakers
-/// never read a wall clock (that would make seeded replays diverge);
-/// instead every admission decision advances this fixed amount, so a
-/// breaker's cooldown is effectively "N decisions later".
-const BREAKER_QUANTUM: Duration = Duration::from_millis(1);
-
-/// How one input span eventually produced its output.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SpanOutcome {
-    /// Clean first run on the span's primary SD node.
-    Ok {
-        /// Node that ran the span.
-        node: String,
-    },
-    /// The first run failed; a retry on the same node succeeded.
-    Retried {
-        /// Node that ran the span.
-        node: String,
-    },
-    /// The span left its primary node and was re-run elsewhere.
-    Redispatched {
-        /// Failed runs before the successful one.
-        attempts: u32,
-        /// Node (surviving SD or the host) that finally ran the span.
-        node: String,
-    },
-    /// The span never ran on its primary node: the primary's circuit
-    /// breaker was open, so the span was steered elsewhere *before* any
-    /// attempt was wasted on it.
-    Steered {
-        /// Node (surviving SD or the host) that ran the span.
-        node: String,
-    },
-}
-
-impl SpanOutcome {
-    /// The node that produced this span's output.
-    pub fn node(&self) -> &str {
-        match self {
-            SpanOutcome::Ok { node }
-            | SpanOutcome::Retried { node }
-            | SpanOutcome::Redispatched { node, .. }
-            | SpanOutcome::Steered { node } => node,
-        }
-    }
-}
+pub use crate::engine::SpanOutcome;
 
 /// Result of a scale-out run.
 #[derive(Debug, Clone)]
@@ -100,11 +62,10 @@ impl<K, V> MultiSdReport<K, V> {
 /// Scale-out runner over every smart-storage node of a cluster.
 pub struct MultiSdRunner {
     cluster: Cluster,
-    /// One breaker per SD node, persistent across runs so a node that
-    /// failed in one run stays avoided in the next until it proves itself.
-    breakers: Mutex<Vec<CircuitBreaker>>,
-    /// Logical clock driving the breakers (one quantum per consultation).
-    clock: Mutex<Duration>,
+    /// The unified scheduler: one breaker slot per SD node, persistent
+    /// across runs so a node that failed in one run stays avoided in the
+    /// next until it proves itself.
+    engine: Engine,
 }
 
 impl MultiSdRunner {
@@ -128,11 +89,21 @@ impl MultiSdRunner {
                 detail: "cluster has no smart-storage nodes".into(),
             });
         }
-        Ok(MultiSdRunner {
-            cluster,
-            breakers: Mutex::new(vec![CircuitBreaker::new(breaker); sd_count]),
-            clock: Mutex::new(Duration::ZERO),
-        })
+        // Placement here is positional (span i → SD node i), so the
+        // offloader is a formality; the engine contributes the breaker
+        // gates and the re-dispatch chain.
+        let engine = Engine::new(
+            Offloader::new(OffloadPolicy::AlwaysSd, sd_count),
+            sd_count,
+            EngineConfig {
+                breaker,
+                fallback_to_host: true,
+                steer_queue_depth: u64::MAX,
+                min_fragment_bytes: crate::admission::DEFAULT_MIN_FRAGMENT_BYTES,
+                tracer: Tracer::disabled(),
+            },
+        );
+        Ok(MultiSdRunner { cluster, engine })
     }
 
     /// The cluster.
@@ -141,25 +112,23 @@ impl MultiSdRunner {
     }
 
     /// Current state of each SD node's circuit breaker, in node order.
-    pub fn breaker_states(&self) -> Vec<BreakerState> {
-        self.breakers.lock().iter().map(|b| b.state()).collect()
+    pub fn breaker_states(&self) -> Vec<crate::breaker::BreakerState> {
+        self.engine.breaker_states()
     }
 
-    fn tick(&self) -> Duration {
-        let mut clock = self.clock.lock();
-        *clock += BREAKER_QUANTUM;
-        *clock
+    fn sd_nodes(&self) -> Vec<mcsd_cluster::NodeSpec> {
+        self.cluster
+            .nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::SmartStorage)
+            .cloned()
+            .collect()
     }
 
     /// Split `input` into one contiguous span per SD node, on boundaries
     /// legal for `job`.
     pub fn plan_spans<J: Job>(&self, job: &J, input: &[u8]) -> Vec<std::ops::Range<usize>> {
-        let sd_count = self
-            .cluster
-            .nodes
-            .iter()
-            .filter(|n| n.role == NodeRole::SmartStorage)
-            .count();
+        let sd_count = self.sd_nodes().len();
         let span = input.len().div_ceil(sd_count.max(1)).max(1);
         PartitionPlan::plan(input, PartitionSpec::new(span), &job.split_spec()).fragments
     }
@@ -200,13 +169,7 @@ impl MultiSdRunner {
         J: Job + Clone,
         M: Merger<J>,
     {
-        let sd_nodes: Vec<_> = self
-            .cluster
-            .nodes
-            .iter()
-            .filter(|n| n.role == NodeRole::SmartStorage)
-            .cloned()
-            .collect();
+        let sd_nodes = self.sd_nodes();
         let spans = self.plan_spans(job, input);
 
         // Each node's span runs through its own NodeRunner. The spans are
@@ -226,38 +189,12 @@ impl MultiSdRunner {
         let mut resilience = ResilienceStats::default();
         let mut acc = merger.empty();
         let mut merge_wall = Duration::ZERO;
-        // Breaker counters are cumulative across runs; this run's report
-        // carries only its own delta.
-        let (opens_before, probes_before) = {
-            let b = self.breakers.lock();
-            (
-                b.iter().map(CircuitBreaker::opens).sum::<u64>(),
-                b.iter().map(CircuitBreaker::half_open_probes).sum::<u64>(),
-            )
-        };
+        // Engine counters (breaker opens/probes, steers) are cumulative
+        // across runs; this run's report carries only its own delta.
+        let overload_baseline = self.engine.overload_totals();
         for (i, span) in spans.iter().enumerate() {
             let primary = i.min(sd_nodes.len() - 1);
-            // Attempt order: primary, retry-in-place, surviving SD nodes,
-            // host.
-            let mut candidates = vec![primary, primary];
-            candidates.extend((0..sd_nodes.len()).filter(|&j| j != primary));
-            candidates.push(host_slot);
-
-            let mut failures: u32 = 0;
-            let mut steered = false;
-            let mut done = None;
-            for &slot in &candidates {
-                // An SD candidate must get past its circuit breaker; the
-                // host terminates every chain and is never gated.
-                if slot != host_slot {
-                    let now = self.tick();
-                    if self.breakers.lock()[slot].admission(now) == Admission::Reject {
-                        if slot == primary {
-                            steered = true;
-                        }
-                        continue;
-                    }
-                }
+            let (disposition, out) = self.engine.run_span(i, primary, |slot| {
                 let node = if slot == host_slot {
                     self.cluster.host().clone()
                 } else {
@@ -269,82 +206,32 @@ impl MultiSdRunner {
                 let out =
                     runner.run_mode_at(job, merger, &input[span.clone()], mode, span.start)?;
                 timelines[slot] += out.report.elapsed();
-                let now = *self.clock.lock();
-                if injected {
-                    failures += 1;
-                    self.breakers.lock()[slot].on_failure(now);
-                    continue;
-                }
-                if slot != host_slot {
-                    self.breakers.lock()[slot].on_success(now);
-                }
-                done = Some((slot, out));
-                break;
-            }
-            let (slot, out) = match done {
-                Some(v) => v,
-                // Unreachable: the host terminates every attempt chain.
-                None => {
-                    return Err(McsdError::BadScenario {
-                        detail: format!("span {i} exhausted its re-dispatch chain"),
-                    })
-                }
-            };
+                Ok((injected, out))
+            })?;
 
-            let node_name = out.report.node.clone();
-            let left_primary = steered && slot != primary;
-            let outcome = if failures == 0 && left_primary {
-                SpanOutcome::Steered { node: node_name }
-            } else if failures == 0 {
-                SpanOutcome::Ok { node: node_name }
-            } else if slot == primary {
-                SpanOutcome::Retried { node: node_name }
-            } else {
-                SpanOutcome::Redispatched {
-                    attempts: failures,
-                    node: node_name,
-                }
-            };
-            resilience.retries += u64::from(failures);
-            if matches!(outcome, SpanOutcome::Redispatched { .. }) {
-                resilience.redispatches += 1;
-            }
-            if left_primary {
-                resilience.overload.steered_spans += 1;
-            }
+            let outcome = disposition.outcome(primary, out.report.node.clone());
+            resilience.retries += u64::from(disposition.failures);
+            resilience.redispatches += u64::from(disposition.redispatched(primary));
 
             let t0 = Stopwatch::start();
             merger.merge(&mut acc, out.pairs);
             merge_wall += t0.elapsed();
             let mut report = out.report;
-            report.resilience.attempts = u64::from(failures) + 1;
-            report.resilience.retries = u64::from(failures);
-            report.resilience.redispatches =
-                u64::from(matches!(outcome, SpanOutcome::Redispatched { .. }));
+            report.resilience = disposition.span_stats(primary);
             per_node.push(report);
             outcomes.push(outcome);
         }
         let t0 = Stopwatch::start();
         let mut pairs = merger.finish(acc);
-        // Host-side final ordering.
-        match job.output_order() {
-            mcsd_phoenix::OutputOrder::ByKey => pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0)),
-            mcsd_phoenix::OutputOrder::Custom => {
-                pairs.sort_unstable_by(|a, b| job.compare_output(a, b))
-            }
-            mcsd_phoenix::OutputOrder::Unsorted => {}
-        }
+        // Host-side final ordering (single-threaded: the fold is host work).
+        mcsd_phoenix::partition::sort_output(job, &mut pairs, 1);
         // The host merge is real compute on the host (fold + final sort).
         let host = mcsd_cluster::NodeExecutor::new(self.cluster.host().clone());
         let merge = TimeBreakdown::compute(host.scale_compute(merge_wall + t0.elapsed()));
         let busiest = timelines.iter().max().copied().unwrap_or(Duration::ZERO);
-        {
-            let b = self.breakers.lock();
-            resilience.overload.breaker_opens +=
-                b.iter().map(CircuitBreaker::opens).sum::<u64>() - opens_before;
-            resilience.overload.half_open_probes +=
-                b.iter().map(CircuitBreaker::half_open_probes).sum::<u64>() - probes_before;
-        }
+        resilience
+            .overload
+            .absorb(&self.engine.overload_delta(&overload_baseline));
 
         Ok(MultiSdReport {
             pairs,

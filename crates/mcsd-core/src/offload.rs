@@ -215,6 +215,45 @@ mod tests {
     }
 
     #[test]
+    fn intensity_threshold_is_strict() {
+        // Exactly 100 flop-equivalents per byte is compute-intensive: the
+        // classification is a strict `<`, so the boundary job stays on the
+        // host under the default policy.
+        let mut p = wc_profile();
+        p.compute_per_byte = DATA_INTENSITY_THRESHOLD;
+        assert!(!p.is_data_intensive());
+        let mut o = Offloader::new(OffloadPolicy::DataIntensiveToSd, 1);
+        assert_eq!(o.decide(&p), OffloadDecision::Host);
+        // One ulp under the threshold flips the classification.
+        p.compute_per_byte = DATA_INTENSITY_THRESHOLD.next_down();
+        assert!(p.is_data_intensive());
+        assert_eq!(o.decide(&p), OffloadDecision::SmartStorage { sd_index: 0 });
+    }
+
+    #[test]
+    fn balanced_cursor_ignores_host_placements_and_wraps() {
+        // Interleave compute-intensive (host) jobs between data jobs: the
+        // round-robin cursor must advance only on actual SD placements,
+        // and wrap around after the last SD node.
+        let mut o = Offloader::new(OffloadPolicy::Balanced, 2);
+        assert_eq!(
+            o.decide(&wc_profile()),
+            OffloadDecision::SmartStorage { sd_index: 0 }
+        );
+        assert_eq!(o.decide(&mm_profile()), OffloadDecision::Host);
+        assert_eq!(
+            o.decide(&wc_profile()),
+            OffloadDecision::SmartStorage { sd_index: 1 }
+        );
+        assert_eq!(o.decide(&mm_profile()), OffloadDecision::Host);
+        assert_eq!(
+            o.decide(&wc_profile()),
+            OffloadDecision::SmartStorage { sd_index: 0 },
+            "the cursor wraps to the first SD node"
+        );
+    }
+
+    #[test]
     fn data_not_on_sd_stays_on_host() {
         let mut o = Offloader::new(OffloadPolicy::DataIntensiveToSd, 1);
         let mut p = wc_profile();

@@ -382,9 +382,8 @@ mod tests {
             .starts_with("host-only"));
     }
 
-    #[test]
-    fn elapsed_semantics() {
-        let mk = |ms: u64| RunReport {
+    fn mk(ms: u64) -> RunReport {
+        RunReport {
             job: "j".into(),
             node: "n".into(),
             mode: "m".into(),
@@ -392,7 +391,11 @@ mod tests {
             time: TimeBreakdown::compute(Duration::from_millis(ms)),
             stats: Default::default(),
             resilience: Default::default(),
-        };
+        }
+    }
+
+    #[test]
+    fn elapsed_semantics() {
         let serial = PairReport {
             scenario: "s".into(),
             compute: mk(10),
@@ -406,6 +409,48 @@ mod tests {
             ..serial
         };
         assert_eq!(conc.elapsed(), Duration::from_millis(25));
+    }
+
+    #[test]
+    fn concurrent_elapsed_tie_charges_one_side() {
+        // Compute side exactly equals data + coupling: the concurrent
+        // elapsed time is that common value, never the sum.
+        let tie = PairReport {
+            scenario: "s".into(),
+            compute: mk(20),
+            data: mk(15),
+            coupling: TimeBreakdown::network(Duration::from_millis(5)),
+            serialized: false,
+        };
+        assert_eq!(tie.elapsed(), Duration::from_millis(20));
+        // And a report's speedup over itself is exactly 1.
+        assert_eq!(tie.speedup_over(&tie), 1.0);
+    }
+
+    #[test]
+    fn speedup_over_a_zero_elapsed_report_stays_finite() {
+        // A degenerate baseline (all-zero timings) must not divide by
+        // zero: the guard clamps the denominator, so the ratio is finite
+        // in both directions.
+        let zero = PairReport {
+            scenario: "z".into(),
+            compute: mk(0),
+            data: mk(0),
+            coupling: TimeBreakdown::default(),
+            serialized: false,
+        };
+        assert_eq!(zero.elapsed(), Duration::ZERO);
+        let real = PairReport {
+            scenario: "r".into(),
+            compute: mk(10),
+            data: mk(5),
+            coupling: TimeBreakdown::default(),
+            serialized: true,
+        };
+        let blown_up = real.speedup_over(&zero);
+        assert!(blown_up.is_finite() && blown_up > 0.0, "{blown_up}");
+        assert_eq!(zero.speedup_over(&real), 0.0);
+        assert!(zero.speedup_over(&zero).is_finite());
     }
 
     #[test]

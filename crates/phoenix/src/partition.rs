@@ -66,6 +66,17 @@ impl PartitionSpec {
     }
 }
 
+/// Final ordering of merged output pairs, per the job's declared
+/// [`OutputOrder`] — shared by the in-memory and on-file partition paths
+/// (and by the multi-SD host merge, which sorts with one worker).
+pub fn sort_output<J: Job>(job: &J, pairs: &mut Vec<(J::Key, J::Value)>, workers: usize) {
+    match job.output_order() {
+        OutputOrder::ByKey => parallel_sort_by(pairs, workers, |a, b| a.0.cmp(&b.0)),
+        OutputOrder::Custom => parallel_sort_by(pairs, workers, |a, b| job.compare_output(a, b)),
+        OutputOrder::Unsorted => {}
+    }
+}
+
 /// The fragment layout the Partition function chose for an input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionPlan {
@@ -425,16 +436,7 @@ impl PartitionedRuntime {
 
         let t0 = Stopwatch::start();
         let mut pairs = merger.finish(acc);
-        let workers = self.runtime.config().workers;
-        match job.output_order() {
-            OutputOrder::ByKey => {
-                parallel_sort_by(&mut pairs, workers, |a, b| a.0.cmp(&b.0));
-            }
-            OutputOrder::Custom => {
-                parallel_sort_by(&mut pairs, workers, |a, b| job.compare_output(a, b));
-            }
-            OutputOrder::Unsorted => {}
-        }
+        sort_output(job, &mut pairs, self.runtime.config().workers);
         merge_time += t0.elapsed();
 
         agg_stats.timings.merge += merge_time;
@@ -497,16 +499,7 @@ impl PartitionedRuntime {
 
         let t0 = Stopwatch::start();
         let mut pairs = merger.finish(acc);
-        let workers = self.runtime.config().workers;
-        match job.output_order() {
-            OutputOrder::ByKey => {
-                parallel_sort_by(&mut pairs, workers, |a, b| a.0.cmp(&b.0));
-            }
-            OutputOrder::Custom => {
-                parallel_sort_by(&mut pairs, workers, |a, b| job.compare_output(a, b));
-            }
-            OutputOrder::Unsorted => {}
-        }
+        sort_output(job, &mut pairs, self.runtime.config().workers);
         merge_time += t0.elapsed();
 
         agg_stats.timings.merge += merge_time;

@@ -1,4 +1,4 @@
-//! The MCSD001–MCSD005 source checks and waiver application.
+//! The MCSD001–MCSD005 and MCSD007 source checks and waiver application.
 //!
 //! Each check walks the masked lines of a [`ScannedFile`] and produces raw
 //! diagnostics; [`check_scanned`] then filters them through the file's
@@ -50,6 +50,28 @@ const MCSD003_NEUTRAL: [&str; 9] = [
 /// sort before MCSD003 fires.
 const MCSD003_WINDOW: usize = 3;
 
+/// MCSD007 (DESIGN.md §13): the unified offload scheduler owns placement
+/// policy. Only these mcsd-core modules may reference the circuit breaker,
+/// memory admission, or overload-counter mutation; anywhere else under the
+/// scope prefix means policy is re-leaking into a front-end.
+const MCSD007_SCOPE: &str = "crates/mcsd-core/src/";
+const MCSD007_ALLOWED: [&str; 4] = [
+    "crates/mcsd-core/src/engine.rs",
+    "crates/mcsd-core/src/breaker.rs",
+    "crates/mcsd-core/src/admission.rs",
+    "crates/mcsd-core/src/lib.rs",
+];
+const MCSD007_PATTERNS: [&str; 8] = [
+    "CircuitBreaker",
+    "plan_admission",
+    ".shed +=",
+    ".expired +=",
+    ".breaker_opens +=",
+    ".half_open_probes +=",
+    ".repartitions +=",
+    ".steered_spans +=",
+];
+
 /// Result of checking one scanned file.
 #[derive(Debug)]
 pub struct CheckOutcome {
@@ -81,6 +103,7 @@ pub fn check_scanned(ctx: &FileContext, file: &ScannedFile) -> CheckOutcome {
         ctx.kind == FileKind::Lib,
         &mut raw,
     );
+    check_mcsd007(ctx, file, &mut raw);
 
     let mut used = vec![false; file.waivers.len()];
     let mut diagnostics = Vec::new();
@@ -176,6 +199,37 @@ fn check_patterns_simple(
                     path: ctx.path.clone(),
                     line: idx + 1,
                     message: format!("found `{pat}`: {}", code.summary()),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// MCSD007: scheduler policy referenced outside the engine-owned modules
+/// of mcsd-core. Breaker gating, admission planning, and overload-counter
+/// mutation must stay inside `engine.rs` (and the modules that define
+/// them) so a front-end cannot grow its own copy of the decision pipeline.
+fn check_mcsd007(ctx: &FileContext, file: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if ctx.kind != FileKind::Lib
+        || !ctx.path.starts_with(MCSD007_SCOPE)
+        || MCSD007_ALLOWED.contains(&ctx.path.as_str())
+    {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in MCSD007_PATTERNS {
+            if contains_pattern(&line.code, pat) {
+                out.push(Diagnostic {
+                    code: Code::Mcsd007,
+                    path: ctx.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{pat}` is engine-owned scheduler policy; route through crate::engine::Engine or waive with a reason"
+                    ),
                 });
                 break;
             }

@@ -23,10 +23,15 @@ pub enum Code {
     /// `[workspace.dependencies]`, missing `[lints] workspace = true`, or
     /// a `lib.rs` missing the agreed deny header.
     Mcsd006,
+    /// Scheduler policy leak: `CircuitBreaker`, `plan_admission`, or
+    /// overload-counter mutation referenced from an mcsd-core module other
+    /// than the engine-owned ones (engine.rs, breaker.rs, admission.rs,
+    /// lib.rs re-exports).
+    Mcsd007,
 }
 
 /// Every enforceable code, in reporting order.
-pub const ALL_CODES: [Code; 7] = [
+pub const ALL_CODES: [Code; 8] = [
     Code::Mcsd000,
     Code::Mcsd001,
     Code::Mcsd002,
@@ -34,6 +39,7 @@ pub const ALL_CODES: [Code; 7] = [
     Code::Mcsd004,
     Code::Mcsd005,
     Code::Mcsd006,
+    Code::Mcsd007,
 ];
 
 impl Code {
@@ -47,6 +53,7 @@ impl Code {
             Code::Mcsd004 => "MCSD004",
             Code::Mcsd005 => "MCSD005",
             Code::Mcsd006 => "MCSD006",
+            Code::Mcsd007 => "MCSD007",
         }
     }
 
@@ -65,6 +72,9 @@ impl Code {
             Code::Mcsd004 => "unseeded randomness outside test code",
             Code::Mcsd005 => "stdout debugging (println!/print!/dbg!) in library code",
             Code::Mcsd006 => "workspace hygiene (workspace deps, lints table, lib.rs header)",
+            Code::Mcsd007 => {
+                "scheduler policy (breaker/admission/overload counters) outside engine.rs"
+            }
         }
     }
 }

@@ -1,0 +1,11 @@
+//! MCSD007 fixture: a front-end that stays on the engine's API surface.
+
+use crate::breaker::{BreakerConfig, BreakerState};
+use crate::engine::Engine;
+
+fn front_end(engine: &Engine, config: BreakerConfig) -> (Vec<BreakerState>, u64) {
+    let states = engine.breaker_states();
+    let totals = engine.overload_totals();
+    let _ = config;
+    (states, totals.steered_spans)
+}

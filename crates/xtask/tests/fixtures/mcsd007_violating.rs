@@ -1,0 +1,11 @@
+//! MCSD007 fixture: scheduler policy leaking into a front-end module.
+
+use crate::breaker::CircuitBreaker;
+
+fn leak(stats: &mut OverloadStats, model: &MemoryModel) {
+    let breaker = CircuitBreaker::new(Default::default());
+    let plan = plan_admission(model, 1024, 2.0, 4096);
+    stats.steered_spans += 1;
+    stats.breaker_opens += 1;
+    let _ = (breaker, plan);
+}

@@ -183,6 +183,65 @@ fn mcsd006_clean_lib_header_passes() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+/// A non-engine module inside the MCSD007 scope.
+const ENGINE_SCOPE_PATH: &str = "crates/mcsd-core/src/fixture.rs";
+
+#[test]
+fn mcsd007_flags_policy_outside_engine() {
+    let out = check(
+        ENGINE_SCOPE_PATH,
+        include_str!("fixtures/mcsd007_violating.rs"),
+    );
+    let found = codes(&out);
+    assert_eq!(
+        found.iter().filter(|c| **c == Code::Mcsd007).count(),
+        5,
+        "the import, breaker ctor, plan_admission call and both counter \
+         mutations must all fire: {found:?}"
+    );
+}
+
+#[test]
+fn mcsd007_exempts_the_engine_itself() {
+    for exempt in [
+        "crates/mcsd-core/src/engine.rs",
+        "crates/mcsd-core/src/breaker.rs",
+        "crates/mcsd-core/src/admission.rs",
+        "crates/mcsd-core/src/lib.rs",
+    ] {
+        let out = check(exempt, include_str!("fixtures/mcsd007_violating.rs"));
+        assert!(
+            !codes(&out).contains(&Code::Mcsd007),
+            "{exempt} owns the policy and must be exempt: {:?}",
+            out.diagnostics
+        );
+    }
+}
+
+#[test]
+fn mcsd007_does_not_apply_outside_mcsd_core() {
+    let out = check(PLAIN_PATH, include_str!("fixtures/mcsd007_violating.rs"));
+    assert!(
+        !codes(&out).contains(&Code::Mcsd007),
+        "MCSD007 is scoped to crates/mcsd-core/src/: {:?}",
+        out.diagnostics
+    );
+}
+
+#[test]
+fn mcsd007_clean_fixture_passes() {
+    let out = check(ENGINE_SCOPE_PATH, include_str!("fixtures/mcsd007_clean.rs"));
+    assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+}
+
+#[test]
+fn mcsd007_is_waivable() {
+    let src = "fn f(b: &mut OverloadStats) {\n    // tidy:allow(MCSD007) -- fixture demonstrates the waiver path\n    b.steered_spans += 1;\n}\n";
+    let out = check(ENGINE_SCOPE_PATH, src);
+    assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    assert_eq!(out.waivers_honored, 1);
+}
+
 #[test]
 fn waiver_lifecycle() {
     let out = check(PLAIN_PATH, include_str!("fixtures/waivers.rs"));
