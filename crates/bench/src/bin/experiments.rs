@@ -2,8 +2,8 @@
 //! paper's evaluation (§V), plus the DESIGN.md ablations.
 //!
 //! ```text
-//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace]
-//!                  [--scale N] [--seed N] [--quick] [--csv]
+//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|throughput]
+//!                  [--scale N] [--seed N] [--quick] [--csv] [--json]
 //! ```
 //!
 //! `faults` (not part of `all`) drives seeded fault schedules through the
@@ -21,6 +21,12 @@
 //! runs with the same `--seed` produce byte-identical files, which CI
 //! asserts with a plain `diff`.
 //!
+//! `throughput` (not part of `all` either) times the same four-phase
+//! scenario and reports jobs/sec, engine decisions/sec through
+//! `engine::run_call`, and wall-clock; `throughput --json` additionally
+//! writes `BENCH_6.json` into the working directory — the first perf
+//! baseline toward ROADMAP item 1.
+//!
 //! Run in release mode: debug builds inflate per-byte compute cost ~25x
 //! and distort the compute/IO balance the figures depend on.
 
@@ -30,8 +36,8 @@ use mcsd_cluster::{paper_testbed, SandiaMicroBenchmark, Scale, SmbPattern};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace] \
-         [--scale N] [--seed N] [--quick] [--csv]"
+        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|throughput] \
+         [--scale N] [--seed N] [--quick] [--csv] [--json]"
     );
     std::process::exit(2);
 }
@@ -174,30 +180,43 @@ fn overload_demo() {
     println!();
 }
 
-/// Deterministic observability walkthrough (DESIGN.md §12): one shared
-/// virtual-clock tracer follows four seeded phases — daemon saturation
-/// (typed sheds plus a deadline expiry), circuit-breaker steering, a
-/// torn-append retry, and memory-budget re-partitioning — then exports
-/// the whole run as JSON-lines and Chrome `trace_event` files.
-/// Same seed, same bytes: CI runs this twice and diffs the outputs.
-fn trace_run(seed: u64) {
+/// Aggregate outcome of one four-phase scenario run: the merged counter
+/// families plus the work volume the run pushed through the stack, so
+/// the `throughput` baseline and the `trace` walkthrough share one
+/// scenario definition.
+struct PhaseTotals {
+    daemon: mcsd_smartfam::DaemonStats,
+    resilience: mcsd_core::ResilienceStats,
+    /// Requests resolved end-to-end: daemon submissions (served, shed,
+    /// or expired) plus framework offload calls.
+    jobs: u64,
+    /// Offload decisions recorded by `engine::run_call` (the framework's
+    /// decision log), i.e. calls that went through the decision engine.
+    decisions: u64,
+}
+
+/// The seeded four-phase scenario behind `trace` and `throughput`:
+/// daemon saturation (typed sheds plus a deadline expiry),
+/// circuit-breaker steering, a torn-append retry, and memory-budget
+/// re-partitioning. `verbose` gates the narration; the traced event
+/// stream is identical either way.
+fn four_phases(seed: u64, tracer: &mcsd_obs::Tracer, verbose: bool) -> PhaseTotals {
     use mcsd_apps::TextGen;
     use mcsd_cluster::NodeRole;
     use mcsd_core::{
         BreakerConfig, FaultAction, FaultInjector, FaultPlan, FaultSite, McsdFramework,
         OffloadPolicy, ResilienceConfig, ResilienceStats,
     };
-    use mcsd_obs::export::{chrome, jsonl_with, JsonlOptions};
-    use mcsd_obs::{MetricsRegistry, Tracer};
     use mcsd_smartfam::module::FnModule;
     use mcsd_smartfam::{DaemonStats, SmartFamError};
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
     const TIMEOUT: Duration = Duration::from_secs(60);
-    let tracer = Tracer::enabled();
     let mut daemon_totals = DaemonStats::default();
     let mut resilience_totals = ResilienceStats::default();
+    let mut jobs: u64 = 0;
+    let mut decisions: u64 = 0;
     let cluster = || {
         let mut c = paper_testbed(Scale::default_experiment());
         for n in &mut c.nodes {
@@ -206,7 +225,9 @@ fn trace_run(seed: u64) {
         c
     };
 
-    println!("### Phase A — saturation: 5 requests into 1 slot + 1 queue spot\n");
+    if verbose {
+        println!("### Phase A — saturation: 5 requests into 1 slot + 1 queue spot\n");
+    }
     let resilience = ResilienceConfig {
         max_in_flight: 1,
         max_queued: 1,
@@ -243,7 +264,9 @@ fn trace_run(seed: u64) {
             sheds += 1;
         }
     }
-    println!("gate shut: {sheds} of 5 requests shed at admission (typed Overloaded)");
+    if verbose {
+        println!("gate shut: {sheds} of 5 requests shed at admission (typed Overloaded)");
+    }
     std::fs::write(&release, b"go").expect("open gate");
     for pending in pendings {
         pending.wait(TIMEOUT).expect("admitted request served");
@@ -252,12 +275,18 @@ fn trace_run(seed: u64) {
         .submit_with_deadline("gate", &[], 1)
         .expect("submit expired request");
     let _ = expired.wait(TIMEOUT);
-    println!("gate open: admitted requests served; 1 expired deadline dropped at dequeue");
+    if verbose {
+        println!("gate open: admitted requests served; 1 expired deadline dropped at dequeue");
+    }
+    jobs += 6; // 5 gated submissions (2 served, 3 shed) + 1 expired deadline
+    decisions += fw.decision_log().len() as u64;
     daemon_totals.absorb(&fw.sd_node().daemon_stats());
     resilience_totals.absorb(&fw.resilience_stats());
     fw.stop();
 
-    println!("\n### Phase B — breaker: failing SD steered around, then re-admitted\n");
+    if verbose {
+        println!("\n### Phase B — breaker: failing SD steered around, then re-admitted\n");
+    }
     // The §11 breaker scenario: two dispatch failures trip the breaker
     // (threshold 2), the 3 ms cooldown steers two calls to the host, and
     // a half-open probe re-admits the node for the rest.
@@ -283,17 +312,23 @@ fn trace_run(seed: u64) {
     for _ in 0..6 {
         fw.wordcount("wc.txt", Some("auto")).expect("wordcount");
     }
-    for (job, decision) in fw.decision_log() {
-        println!("{job}: {decision:?}");
+    if verbose {
+        for (job, decision) in fw.decision_log() {
+            println!("{job}: {decision:?}");
+        }
+        for d in fw.degradations() {
+            println!("degraded: {d}");
+        }
     }
-    for d in fw.degradations() {
-        println!("degraded: {d}");
-    }
+    jobs += 6;
+    decisions += fw.decision_log().len() as u64;
     daemon_totals.absorb(&fw.sd_node().daemon_stats());
     resilience_totals.absorb(&fw.resilience_stats());
     fw.stop();
 
-    println!("\n### Phase C — retry: a torn request append recovered on the second attempt\n");
+    if verbose {
+        println!("\n### Phase C — retry: a torn request append recovered on the second attempt\n");
+    }
     // The host's first append is torn mid-frame; the typed FaultInjected
     // error is transient, so the resilient client backs off, retries, and
     // the daemon's recovering reader skips the corrupt bytes.
@@ -315,15 +350,21 @@ fn trace_run(seed: u64) {
     fw.stage_data_local("wc.txt", &text).expect("stage");
     fw.wordcount("wc.txt", Some("auto")).expect("wordcount");
     let stats = fw.resilience_stats();
-    println!(
-        "call served on attempt 2: {} retry, {} corrupt bytes skipped",
-        stats.retries, stats.corrupt_skipped_bytes
-    );
+    if verbose {
+        println!(
+            "call served on attempt 2: {} retry, {} corrupt bytes skipped",
+            stats.retries, stats.corrupt_skipped_bytes
+        );
+    }
+    jobs += 1;
+    decisions += fw.decision_log().len() as u64;
     daemon_totals.absorb(&fw.sd_node().daemon_stats());
     resilience_totals.absorb(&stats);
     fw.stop();
 
-    println!("\n### Phase D — memory admission: 900 kB job onto a 1 MiB SD node\n");
+    if verbose {
+        println!("\n### Phase D — memory admission: 900 kB job onto a 1 MiB SD node\n");
+    }
     let mut tight = paper_testbed(Scale::default_experiment());
     for n in &mut tight.nodes {
         n.memory_bytes = if n.role == NodeRole::SmartStorage {
@@ -342,18 +383,43 @@ fn trace_run(seed: u64) {
     fw.stage_data_local("big.txt", &text).expect("stage");
     fw.wordcount("big.txt", None).expect("wordcount");
     let halvings = fw.resilience_stats().overload.repartitions;
-    println!("fragment halved {halvings}x to fit the SD node's memory budget");
+    if verbose {
+        println!("fragment halved {halvings}x to fit the SD node's memory budget");
+    }
+    jobs += 1;
+    decisions += fw.decision_log().len() as u64;
     daemon_totals.absorb(&fw.sd_node().daemon_stats());
     resilience_totals.absorb(&fw.resilience_stats());
     fw.stop();
 
+    PhaseTotals {
+        daemon: daemon_totals,
+        resilience: resilience_totals,
+        jobs,
+        decisions,
+    }
+}
+
+/// Deterministic observability walkthrough (DESIGN.md §12): one shared
+/// virtual-clock tracer follows the four seeded phases, then exports the
+/// whole run as JSON-lines and Chrome `trace_event` files.
+/// Same seed, same bytes: CI runs this twice and diffs the outputs.
+fn trace_run(seed: u64) {
+    use mcsd_obs::export::{chrome, jsonl_with, JsonlOptions};
+    use mcsd_obs::{MetricsRegistry, Tracer};
+
+    let tracer = Tracer::enabled();
+    let totals = four_phases(seed, &tracer, true);
+
     // One unified registry for the whole run, filled through the typed
     // single-owner publish methods.
     let registry = MetricsRegistry::new();
-    daemon_totals
+    totals
+        .daemon
         .publish(&registry)
         .expect("publish daemon counters");
-    resilience_totals
+    totals
+        .resilience
         .publish(&registry)
         .expect("publish resilience counters");
     let jsonl = jsonl_with(
@@ -375,17 +441,57 @@ fn trace_run(seed: u64) {
     println!();
 }
 
+/// First perf baseline toward ROADMAP item 1: run the seeded four-phase
+/// scenario (tracer on, exports off) and report jobs/sec, engine
+/// decisions/sec through `engine::run_call`, and wall-clock. With
+/// `--json`, also write `BENCH_6.json` into the working directory — run
+/// from the repo root to refresh the committed baseline. The absolute
+/// numbers include the scenario's deliberate stalls (gate polling,
+/// breaker cooldowns), so they are a trajectory marker, not a peak-rate
+/// claim; later PRs must beat this same command's output.
+fn throughput_run(seed: u64, json: bool) {
+    use mcsd_obs::Tracer;
+    use std::time::Instant;
+
+    let tracer = Tracer::enabled();
+    let t0 = Instant::now();
+    let totals = four_phases(seed, &tracer, false);
+    let wall = t0.elapsed().as_secs_f64();
+    let jobs_per_sec = totals.jobs as f64 / wall;
+    let decisions_per_sec = totals.decisions as f64 / wall;
+    println!(
+        "jobs: {} ({jobs_per_sec:.2}/s); engine decisions: {} ({decisions_per_sec:.2}/s); \
+         wall-clock: {wall:.3}s",
+        totals.jobs, totals.decisions
+    );
+    if json {
+        let body = format!(
+            "{{\n  \"bench\": \"throughput\",\n  \"pr\": 6,\n  \"seed\": {seed},\n  \
+             \"scenario\": \"four-phase trace scenario (DESIGN.md section 12)\",\n  \
+             \"jobs\": {},\n  \"engine_decisions\": {},\n  \"wall_clock_secs\": {wall:.3},\n  \
+             \"jobs_per_sec\": {jobs_per_sec:.2},\n  \
+             \"engine_decisions_per_sec\": {decisions_per_sec:.2}\n}}\n",
+            totals.jobs, totals.decisions
+        );
+        std::fs::write("BENCH_6.json", body).expect("write BENCH_6.json");
+        println!("wrote BENCH_6.json");
+    }
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut cfg = ExperimentConfig::default_run();
     let mut csv = false;
+    let mut json = false;
     let mut seed: u64 = 42;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => cfg = ExperimentConfig::quick(),
             "--csv" => csv = true,
+            "--json" => json = true,
             "--scale" => {
                 i += 1;
                 let divisor = args
@@ -565,5 +671,10 @@ fn main() {
     if which.iter().any(|w| w == "trace") {
         println!("## Deterministic trace — four-phase observability walkthrough (seed {seed})\n");
         trace_run(seed);
+    }
+    // Excluded from `all`: a timing baseline, not a paper figure.
+    if which.iter().any(|w| w == "throughput") {
+        println!("## Throughput baseline — seeded four-phase scenario (seed {seed})\n");
+        throughput_run(seed, json);
     }
 }

@@ -212,9 +212,12 @@ fn list_files(dir: &Path, extra: &Mutex<Vec<PathBuf>>) -> Vec<PathBuf> {
             }
         }
     }
-    for p in extra.lock().iter() {
-        if p.is_file() && !files.contains(p) {
-            files.push(p.clone());
+    // Snapshot the extra paths first: stat-ing while holding the lock
+    // would stall every registrar behind slow storage (MCSD008).
+    let extras: Vec<PathBuf> = extra.lock().clone();
+    for p in extras {
+        if p.is_file() && !files.contains(&p) {
+            files.push(p);
         }
     }
     files

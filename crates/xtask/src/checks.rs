@@ -1,8 +1,13 @@
-//! The MCSD001–MCSD005 and MCSD007 source checks and waiver application.
+//! The per-file pattern checks (MCSD001–005, 007) and waiver application.
 //!
 //! Each check walks the masked lines of a [`ScannedFile`] and produces raw
-//! diagnostics; [`check_scanned`] then filters them through the file's
-//! waivers and reports malformed or unused waivers as MCSD000.
+//! diagnostics. The runner merges those with the workspace-level findings
+//! (MCSD008–010) for the same file and hands everything to
+//! [`apply_waivers`], which filters through the file's waivers and reports
+//! malformed or unused waivers as MCSD000.
+//!
+//! The retired MCSD003 window heuristic used to live here; its flow-aware
+//! replacement is [`crate::determinism`] (MCSD010).
 
 use crate::diag::{Code, Diagnostic};
 use crate::scan::{is_ident_char, FileContext, FileKind, ScannedFile};
@@ -30,25 +35,6 @@ const MCSD002_PATTERNS: [&str; 5] = [
 ];
 const MCSD004_PATTERNS: [&str; 3] = ["thread_rng", "from_entropy", "rand::random"];
 const MCSD005_PATTERNS: [&str; 3] = ["println!(", "print!(", "dbg!("];
-
-/// Tokens within the neutralization window that prove hash-order cannot
-/// reach output: an explicit sort, an ordered collection, or an
-/// order-insensitive reduction.
-const MCSD003_NEUTRAL: [&str; 9] = [
-    "sort",
-    "BTreeMap",
-    "BTreeSet",
-    ".len()",
-    ".count()",
-    ".sum",
-    ".contains",
-    ".get(",
-    ".min(",
-];
-
-/// How many lines after a flagged iteration may carry the neutralizing
-/// sort before MCSD003 fires.
-const MCSD003_WINDOW: usize = 3;
 
 /// MCSD007 (DESIGN.md §13): the unified offload scheduler owns placement
 /// policy. Only these mcsd-core modules may reference the circuit breaker,
@@ -81,8 +67,9 @@ pub struct CheckOutcome {
     pub waivers_honored: usize,
 }
 
-/// Run every source check on a scanned file and apply its waivers.
-pub fn check_scanned(ctx: &FileContext, file: &ScannedFile) -> CheckOutcome {
+/// Run the per-file pattern checks on a scanned file. The result is raw:
+/// waivers have not been applied yet.
+pub fn raw_checks(ctx: &FileContext, file: &ScannedFile) -> Vec<Diagnostic> {
     let mut raw = Vec::new();
     check_patterns_mcsd001(ctx, file, &mut raw);
     check_patterns_simple(
@@ -93,7 +80,6 @@ pub fn check_scanned(ctx: &FileContext, file: &ScannedFile) -> CheckOutcome {
         ctx.kind == FileKind::Lib,
         &mut raw,
     );
-    check_mcsd003(ctx, file, &mut raw);
     check_patterns_simple(ctx, file, Code::Mcsd004, &MCSD004_PATTERNS, true, &mut raw);
     check_patterns_simple(
         ctx,
@@ -104,14 +90,28 @@ pub fn check_scanned(ctx: &FileContext, file: &ScannedFile) -> CheckOutcome {
         &mut raw,
     );
     check_mcsd007(ctx, file, &mut raw);
+    raw
+}
 
+/// Does this waiver's code list cover the diagnostic? MCSD003 is accepted
+/// as an alias for MCSD010 so waivers written against the retired window
+/// heuristic keep suppressing the findings that replaced them.
+fn waiver_covers_code(codes: &[Code], diag: Code) -> bool {
+    codes.contains(&diag) || (diag == Code::Mcsd010 && codes.contains(&Code::Mcsd003))
+}
+
+/// Filter raw diagnostics through the file's waivers and report waiver
+/// hygiene (malformed or unused waivers) as MCSD000. A waiver covers its
+/// own line and the next line.
+pub fn apply_waivers(ctx: &FileContext, file: &ScannedFile, raw: Vec<Diagnostic>) -> CheckOutcome {
     let mut used = vec![false; file.waivers.len()];
     let mut diagnostics = Vec::new();
     for diag in raw {
         let mut waived = false;
         for (idx, waiver) in file.waivers.iter().enumerate() {
             let covers = waiver.line == diag.line || waiver.line + 1 == diag.line;
-            if waiver.malformed.is_none() && covers && waiver.codes.contains(&diag.code) {
+            if waiver.malformed.is_none() && covers && waiver_covers_code(&waiver.codes, diag.code)
+            {
                 used[idx] = true;
                 waived = true;
                 break;
@@ -128,6 +128,7 @@ pub fn check_scanned(ctx: &FileContext, file: &ScannedFile) -> CheckOutcome {
                 code: Code::Mcsd000,
                 path: ctx.path.clone(),
                 line: waiver.line,
+                col: 0,
                 message: format!("malformed waiver: {why}"),
             });
         } else if used[idx] {
@@ -137,6 +138,7 @@ pub fn check_scanned(ctx: &FileContext, file: &ScannedFile) -> CheckOutcome {
                 code: Code::Mcsd000,
                 path: ctx.path.clone(),
                 line: waiver.line,
+                col: 0,
                 message: "waiver suppresses nothing; remove it".to_string(),
             });
         }
@@ -145,6 +147,14 @@ pub fn check_scanned(ctx: &FileContext, file: &ScannedFile) -> CheckOutcome {
         diagnostics,
         waivers_honored,
     }
+}
+
+/// Run the per-file checks and apply waivers in one step. The runner uses
+/// the split [`raw_checks`]/[`apply_waivers`] pair instead so the
+/// workspace-level findings participate in waiver filtering too.
+pub fn check_scanned(ctx: &FileContext, file: &ScannedFile) -> CheckOutcome {
+    let raw = raw_checks(ctx, file);
+    apply_waivers(ctx, file, raw)
 }
 
 /// MCSD001: wall-clock time in simulation-crate library code, outside the
@@ -166,6 +176,7 @@ fn check_patterns_mcsd001(ctx: &FileContext, file: &ScannedFile, out: &mut Vec<D
                     code: Code::Mcsd001,
                     path: ctx.path.clone(),
                     line: idx + 1,
+                    col: 0,
                     message: format!(
                         "`{pat}` bypasses the TimeBreakdown ledger; route through phoenix::stopwatch or waive with a reason"
                     ),
@@ -198,6 +209,7 @@ fn check_patterns_simple(
                     code,
                     path: ctx.path.clone(),
                     line: idx + 1,
+                    col: 0,
                     message: format!("found `{pat}`: {}", code.summary()),
                 });
                 break;
@@ -227,6 +239,7 @@ fn check_mcsd007(ctx: &FileContext, file: &ScannedFile, out: &mut Vec<Diagnostic
                     code: Code::Mcsd007,
                     path: ctx.path.clone(),
                     line: idx + 1,
+                    col: 0,
                     message: format!(
                         "`{pat}` is engine-owned scheduler policy; route through crate::engine::Engine or waive with a reason"
                     ),
@@ -235,139 +248,6 @@ fn check_mcsd007(ctx: &FileContext, file: &ScannedFile, out: &mut Vec<Diagnostic
             }
         }
     }
-}
-
-/// MCSD003: iteration over a `HashMap`/`HashSet` binding with no
-/// neutralizing sort, ordered collection, or order-insensitive reduction
-/// nearby. A deliberate heuristic: it tracks identifiers bound or typed as
-/// hash containers within the same file, so closure parameters and
-/// cross-file flows are out of reach (see DESIGN.md).
-fn check_mcsd003(ctx: &FileContext, file: &ScannedFile, out: &mut Vec<Diagnostic>) {
-    if ctx.kind != FileKind::Lib {
-        return;
-    }
-    let mut idents: Vec<String> = Vec::new();
-    for line in &file.lines {
-        for container in ["HashMap", "HashSet"] {
-            let mut search = 0;
-            while let Some(pos) = line.code[search..].find(container) {
-                let abs = search + pos;
-                if let Some(ident) = binding_ident(&line.code, abs) {
-                    if !idents.contains(&ident) {
-                        idents.push(ident);
-                    }
-                }
-                search = abs + container.len();
-            }
-        }
-    }
-    if idents.is_empty() {
-        return;
-    }
-    let mut flagged_lines: Vec<usize> = Vec::new();
-    for (idx, line) in file.lines.iter().enumerate() {
-        if line.in_test || flagged_lines.contains(&idx) {
-            continue;
-        }
-        for ident in &idents {
-            if !iterates_over(&line.code, ident) {
-                continue;
-            }
-            let window_end = (idx + MCSD003_WINDOW).min(file.lines.len() - 1);
-            let neutral = (idx..=window_end).any(|w| {
-                MCSD003_NEUTRAL
-                    .iter()
-                    .any(|tok| file.lines[w].code.contains(tok))
-            });
-            if !neutral {
-                flagged_lines.push(idx);
-                out.push(Diagnostic {
-                    code: Code::Mcsd003,
-                    path: ctx.path.clone(),
-                    line: idx + 1,
-                    message: format!(
-                        "iteration over hash-ordered `{ident}` with no nearby sort/BTreeMap; order may leak into output"
-                    ),
-                });
-                break;
-            }
-        }
-    }
-}
-
-/// Extract the identifier being bound or typed as a hash container on this
-/// line, given the byte offset of the `HashMap`/`HashSet` token.
-fn binding_ident(line: &str, container_pos: usize) -> Option<String> {
-    let prefix = &line[..container_pos];
-    let trimmed = prefix.trim_start();
-    if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
-        return None;
-    }
-    if let Some(let_pos) = prefix.rfind("let ") {
-        let after = prefix[let_pos + 4..].trim_start();
-        let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
-        let ident: String = after.chars().take_while(|c| is_ident_char(*c)).collect();
-        if !ident.is_empty() {
-            return Some(ident);
-        }
-    }
-    // Field or parameter position: `name: HashMap<..>` possibly wrapped,
-    // e.g. `logs: Mutex<HashMap<..>>`. Find the last single `:` before the
-    // container and require only type-ish characters in between.
-    let bytes = prefix.as_bytes();
-    let mut colon = None;
-    let mut j = bytes.len();
-    while j > 0 {
-        j -= 1;
-        if bytes[j] == b':' {
-            if j > 0 && bytes[j - 1] == b':' {
-                j -= 1; // skip `::`
-                continue;
-            }
-            if bytes.get(j + 1) == Some(&b':') {
-                continue;
-            }
-            colon = Some(j);
-            break;
-        }
-    }
-    let colon = colon?;
-    let between = &prefix[colon + 1..];
-    let type_ish = between.chars().all(|c| {
-        is_ident_char(c) || matches!(c, ' ' | '<' | '>' | '&' | ':' | '\'' | ',' | '(' | ')')
-    });
-    if !type_ish {
-        return None;
-    }
-    let ident_rev: String = prefix[..colon]
-        .chars()
-        .rev()
-        .take_while(|c| is_ident_char(*c))
-        .collect();
-    let ident: String = ident_rev.chars().rev().collect();
-    if ident.is_empty() {
-        None
-    } else {
-        Some(ident)
-    }
-}
-
-/// Does this masked line iterate over `ident`?
-fn iterates_over(code: &str, ident: &str) -> bool {
-    for method in [".iter()", ".into_iter()", ".keys()", ".values()", ".drain("] {
-        let pat = format!("{ident}{method}");
-        if contains_pattern(code, &pat) {
-            return true;
-        }
-    }
-    if code.contains("for ") {
-        for form in [format!("in {ident}"), format!("in &{ident}")] {
-            if contains_pattern(code, &form) {
-                return true;
-            }
-        }
-    }
-    false
 }
 
 /// Substring search with identifier-boundary guards: when the pattern
@@ -461,21 +341,6 @@ mod tests {
     }
 
     #[test]
-    fn mcsd003_flags_unsorted_iteration() {
-        let src = "fn f(seen: HashMap<u32, u32>) {\n    for (k, v) in &seen {\n        emit(k, v);\n    }\n}\n";
-        assert_eq!(
-            codes(&lib_ctx("crates/x/src/a.rs"), src),
-            vec![Code::Mcsd003]
-        );
-    }
-
-    #[test]
-    fn mcsd003_neutralized_by_sort() {
-        let src = "fn f() {\n    let mut counts = HashMap::new();\n    let mut v: Vec<_> = counts.into_iter().collect();\n    v.sort_unstable();\n}\n";
-        assert_eq!(codes(&lib_ctx("crates/x/src/a.rs"), src), vec![]);
-    }
-
-    #[test]
     fn mcsd004_applies_to_bins_too() {
         let src = "fn f() { let mut rng = thread_rng(); }\n";
         let bin = FileContext {
@@ -509,6 +374,23 @@ mod tests {
         let scanned = scan_source(src);
         let outcome = check_scanned(&lib_ctx("crates/x/src/a.rs"), &scanned);
         assert!(outcome.diagnostics.is_empty());
+        assert_eq!(outcome.waivers_honored, 1);
+    }
+
+    #[test]
+    fn mcsd003_waiver_covers_mcsd010() {
+        let src = "fn f(m: HashMap<u32, u32>, out: &mut String) {\n    // tidy:allow(MCSD003) -- order-insensitive emitter\n    for (_, v) in &m {\n        out.push_str(\"x\");\n    }\n}\n";
+        let scanned = scan_source(src);
+        let ctx = lib_ctx("crates/x/src/a.rs");
+        let raw = vec![Diagnostic {
+            code: Code::Mcsd010,
+            path: ctx.path.clone(),
+            line: 3,
+            col: 5,
+            message: "hash-ordered iteration".to_string(),
+        }];
+        let outcome = apply_waivers(&ctx, &scanned, raw);
+        assert!(outcome.diagnostics.is_empty(), "{:?}", outcome.diagnostics);
         assert_eq!(outcome.waivers_honored, 1);
     }
 }

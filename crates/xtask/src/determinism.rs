@@ -1,0 +1,582 @@
+//! MCSD010: the determinism auditor.
+//!
+//! Two hazards can silently break the byte-identical-trace guarantee:
+//!
+//! * **Hash-order leaks** — iterating a `HashMap`/`HashSet` and letting
+//!   the iteration order reach an exporter, report, or trace emission.
+//!   The retired MCSD003 looked for a sort within a fixed 3-line window,
+//!   which both under-reported (sort four lines later was invisible) and
+//!   over-reported (iterations that never reach output). This pass is
+//!   flow-aware: starting from the iteration it walks the rest of the
+//!   enclosing function and only fires if an emission sink appears
+//!   before any neutralizing sort/ordered-collection/reduction.
+//! * **Clock-domain mismatches** — a trace track stamped with a
+//!   `ClockDomain` other than the one DESIGN.md §12 declares for it.
+//!   Track-name constants are resolved workspace-wide, so the rule reads
+//!   `tracer.track(SD_TRACE_TRACK, ClockDomain::Decision)` exactly as
+//!   the runtime does. The §12 catalog rows sit between
+//!   `<!-- mcsd010:track-domain-table:begin/end -->` markers.
+//!
+//! Existing `tidy:allow(MCSD003)` waivers keep working: the waiver
+//! filter treats MCSD003 as a deprecated alias for MCSD010.
+
+use std::collections::BTreeMap;
+
+use crate::checks::contains_pattern;
+use crate::diag::{Code, Diagnostic};
+use crate::lex::TokenKind;
+use crate::scan::{is_ident_char, FileKind};
+use crate::workspace::{string_consts, SourceFile, Workspace};
+
+/// Tokens that prove hash-order cannot reach output: an explicit sort,
+/// an ordered collection, or an order-insensitive reduction.
+const NEUTRAL: [&str; 9] = [
+    "sort",
+    "BTreeMap",
+    "BTreeSet",
+    ".len()",
+    ".count()",
+    ".sum",
+    ".contains",
+    ".get(",
+    ".min(",
+];
+
+/// Emission sinks: places where element order becomes observable output
+/// (trace events, metrics, report text, serialized artifacts).
+const SINKS: [&str; 11] = [
+    ".event(",
+    ".leaf(",
+    ".volatile_event(",
+    ".emit(",
+    ".publish(",
+    ".push_str(",
+    "writeln!(",
+    "write!(",
+    ".to_json(",
+    ".render(",
+    ".serialize(",
+];
+
+const TABLE_BEGIN: &str = "<!-- mcsd010:track-domain-table:begin -->";
+const TABLE_END: &str = "<!-- mcsd010:track-domain-table:end -->";
+
+/// Parse the §12 track catalog: track name → declared clock domain.
+pub fn parse_track_table(
+    design: &str,
+    design_path: &str,
+) -> (BTreeMap<String, String>, Vec<Diagnostic>) {
+    let mut table = BTreeMap::new();
+    let mut diags = Vec::new();
+    let mut begin = None;
+    let mut end = None;
+    for (i, line) in design.lines().enumerate() {
+        if line.trim() == TABLE_BEGIN {
+            begin = Some(i + 1);
+        } else if line.trim() == TABLE_END {
+            end = Some(i + 1);
+        }
+    }
+    let (Some(begin), Some(end)) = (begin, end) else {
+        diags.push(Diagnostic::new(
+            Code::Mcsd010,
+            design_path,
+            0,
+            format!("track-domain table markers `{TABLE_BEGIN}` / `{TABLE_END}` not found; the clock-domain check has nothing to enforce"),
+        ));
+        return (table, diags);
+    };
+    for (i, line) in design.lines().enumerate() {
+        let line_no = i + 1;
+        if line_no <= begin || line_no >= end {
+            continue;
+        }
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') || trimmed.chars().all(|c| matches!(c, '|' | '-' | ':' | ' '))
+        {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.trim_matches('|').split('|').collect();
+        let ticks: Vec<Vec<&str>> = cells
+            .iter()
+            .map(|c| c.split('`').skip(1).step_by(2).collect())
+            .collect();
+        match (
+            ticks.first().and_then(|t| t.first()),
+            ticks.get(1).and_then(|t| t.first()),
+        ) {
+            (Some(track), Some(domain)) => {
+                table.insert(track.to_string(), domain.to_string());
+            }
+            _ if cells.first().is_some_and(|c| c.contains("track")) => {} // header
+            _ => diags.push(Diagnostic::new(
+                Code::Mcsd010,
+                design_path,
+                line_no,
+                "track row needs `| `track` | `Domain` | ...`".to_string(),
+            )),
+        }
+    }
+    if table.is_empty() && diags.is_empty() {
+        diags.push(Diagnostic::new(
+            Code::Mcsd010,
+            design_path,
+            begin,
+            "track-domain table is empty".to_string(),
+        ));
+    }
+    (table, diags)
+}
+
+/// Run the full MCSD010 pass: hash-to-sink flow per file, plus the
+/// track/clock-domain reconciliation when a §12 table is available.
+pub fn check_determinism(
+    ws: &Workspace,
+    tracks: Option<&BTreeMap<String, String>>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        check_hash_to_sink(file, &mut out);
+    }
+    if let Some(tracks) = tracks {
+        check_track_domains(ws, tracks, &mut out);
+    }
+    out
+}
+
+/// Part A: `HashMap`/`HashSet` iteration reaching a sink unsorted.
+fn check_hash_to_sink(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.ctx.kind != FileKind::Lib {
+        return;
+    }
+    let lines = &file.scanned.lines;
+    let mut idents: Vec<String> = Vec::new();
+    for line in lines {
+        for container in ["HashMap", "HashSet"] {
+            let mut search = 0;
+            while let Some(pos) = line.code[search..].find(container) {
+                let abs = search + pos;
+                if let Some(ident) = binding_ident(&line.code, abs) {
+                    if !idents.contains(&ident) {
+                        idents.push(ident);
+                    }
+                }
+                search = abs + container.len();
+            }
+        }
+    }
+    if idents.is_empty() {
+        return;
+    }
+    let fn_spans = function_spans(file);
+    let mut flagged: Vec<usize> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || flagged.contains(&idx) {
+            continue;
+        }
+        for ident in &idents {
+            if !iterates_over(&line.code, ident) {
+                continue;
+            }
+            let line_no = idx + 1;
+            let region_end = fn_spans
+                .iter()
+                .filter(|(start, end)| *start <= line_no && line_no <= *end)
+                .map(|(_, end)| *end)
+                .min()
+                .unwrap_or(lines.len());
+            // Walk forward: the first neutralizer wins; a sink before
+            // any neutralizer is a leak.
+            let mut verdict_sink = None;
+            for (w, scanned) in lines
+                .iter()
+                .enumerate()
+                .take(region_end.min(lines.len()))
+                .skip(idx)
+            {
+                let code = &scanned.code;
+                if NEUTRAL.iter().any(|tok| code.contains(tok)) {
+                    break;
+                }
+                if let Some(sink) = SINKS.iter().find(|s| contains_pattern(code, s)) {
+                    verdict_sink = Some((w + 1, *sink));
+                    break;
+                }
+            }
+            if let Some((sink_line, sink)) = verdict_sink {
+                flagged.push(idx);
+                out.push(Diagnostic {
+                    code: Code::Mcsd010,
+                    path: file.ctx.path.clone(),
+                    line: line_no,
+                    col: ident_col(&line.code, ident).unwrap_or(0),
+                    message: format!(
+                        "hash-ordered iteration over `{ident}` reaches `{sink}` on line {sink_line} with no intervening sort; iteration order leaks into output"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Part B: `.track(name, ClockDomain::X)` calls checked against §12.
+fn check_track_domains(
+    ws: &Workspace,
+    tracks: &BTreeMap<String, String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let consts = string_consts(ws);
+    for file in &ws.files {
+        if file.ctx.kind != FileKind::Lib {
+            continue;
+        }
+        let idx = file.code_token_indices();
+        let tok = |i: usize| -> &crate::lex::Token { &file.tokens[idx[i]] };
+        for w in 0..idx.len() {
+            let t = tok(w);
+            if !(t.kind == TokenKind::Ident && t.text == "track") {
+                continue;
+            }
+            let prev_is_dot =
+                w >= 1 && tok(w - 1).kind == TokenKind::Punct && tok(w - 1).text == ".";
+            let next_is_paren = idx
+                .get(w + 1)
+                .map(|&i| &file.tokens[i])
+                .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(");
+            if !prev_is_dot || !next_is_paren || file.line_in_test(t.line) {
+                continue;
+            }
+            let Some(arg) = idx.get(w + 2).map(|&i| &file.tokens[i]) else {
+                continue;
+            };
+            let name = match arg.kind {
+                TokenKind::Str => crate::workspace::str_value(arg),
+                TokenKind::Ident => {
+                    // Follow a path like `names::TRACK` to its last
+                    // segment, then resolve through the const table.
+                    let mut j = w + 2;
+                    let mut last = arg.text.clone();
+                    while idx
+                        .get(j + 1)
+                        .map(|&i| &file.tokens[i])
+                        .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "::")
+                    {
+                        if let Some(seg) = idx.get(j + 2).map(|&i| &file.tokens[i]) {
+                            if seg.kind == TokenKind::Ident {
+                                last = seg.text.clone();
+                                j += 2;
+                                continue;
+                            }
+                        }
+                        break;
+                    }
+                    consts.get(&last).cloned()
+                }
+                _ => None,
+            };
+            let Some(name) = name else { continue };
+            // Find ClockDomain::X among the remaining call arguments.
+            let mut domain = None;
+            let mut paren = 0i64;
+            let mut j = w + 1;
+            while j < idx.len() {
+                let c = tok(j);
+                if c.kind == TokenKind::Punct {
+                    match c.text.as_str() {
+                        "(" => paren += 1,
+                        ")" => {
+                            paren -= 1;
+                            if paren == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                } else if c.kind == TokenKind::Ident && c.text == "ClockDomain" {
+                    let d = idx.get(j + 2).map(|&i| &file.tokens[i]);
+                    if let Some(d) = d {
+                        if d.kind == TokenKind::Ident {
+                            domain = Some(d.text.clone());
+                        }
+                    }
+                }
+                j += 1;
+            }
+            let Some(domain) = domain else { continue };
+            match tracks.get(&name) {
+                None => out.push(Diagnostic {
+                    code: Code::Mcsd010,
+                    path: file.ctx.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "track `{name}` is not in the DESIGN.md §12 track catalog; add a row or fix the name"
+                    ),
+                }),
+                Some(declared) if declared != &domain => out.push(Diagnostic {
+                    code: Code::Mcsd010,
+                    path: file.ctx.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "track `{name}` is declared `ClockDomain::{declared}` in DESIGN.md §12 but stamped with `ClockDomain::{domain}`"
+                    ),
+                }),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// (start_line, end_line) of every `fn` body in the file, from tokens.
+fn function_spans(file: &SourceFile) -> Vec<(usize, usize)> {
+    let idx = file.code_token_indices();
+    let tok = |i: usize| -> &crate::lex::Token { &file.tokens[idx[i]] };
+    let mut spans = Vec::new();
+    for w in 0..idx.len() {
+        let t = tok(w);
+        if !(t.kind == TokenKind::Ident && t.text == "fn") {
+            continue;
+        }
+        let mut j = w + 1;
+        let mut body_start = None;
+        while j < idx.len() {
+            let c = tok(j);
+            if c.kind == TokenKind::Punct {
+                if c.text == "{" {
+                    body_start = Some(j);
+                    break;
+                }
+                if c.text == ";" {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = body_start else { continue };
+        let mut depth = 0i64;
+        let mut k = open;
+        while k < idx.len() {
+            let c = tok(k);
+            if c.kind == TokenKind::Punct {
+                match c.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let end_line = if k < idx.len() {
+            tok(k).line
+        } else {
+            file.scanned.lines.len()
+        };
+        spans.push((t.line, end_line));
+    }
+    spans
+}
+
+/// Extract the identifier being bound or typed as a hash container on
+/// this masked line, given the char offset of the container token.
+fn binding_ident(line: &str, container_pos: usize) -> Option<String> {
+    let prefix = &line[..container_pos];
+    let trimmed = prefix.trim_start();
+    if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+        return None;
+    }
+    if let Some(let_pos) = prefix.rfind("let ") {
+        let after = prefix[let_pos + 4..].trim_start();
+        let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
+        let ident: String = after.chars().take_while(|c| is_ident_char(*c)).collect();
+        if !ident.is_empty() {
+            return Some(ident);
+        }
+    }
+    // Field or parameter position: `name: HashMap<..>` possibly wrapped,
+    // e.g. `logs: Mutex<HashMap<..>>`. Find the last single `:` before the
+    // container and require only type-ish characters in between.
+    let bytes = prefix.as_bytes();
+    let mut colon = None;
+    let mut j = bytes.len();
+    while j > 0 {
+        j -= 1;
+        if bytes[j] == b':' {
+            if j > 0 && bytes[j - 1] == b':' {
+                j -= 1; // skip `::`
+                continue;
+            }
+            if bytes.get(j + 1) == Some(&b':') {
+                continue;
+            }
+            colon = Some(j);
+            break;
+        }
+    }
+    let colon = colon?;
+    let between = &prefix[colon + 1..];
+    let type_ish = between.chars().all(|c| {
+        is_ident_char(c) || matches!(c, ' ' | '<' | '>' | '&' | ':' | '\'' | ',' | '(' | ')')
+    });
+    if !type_ish {
+        return None;
+    }
+    let ident_rev: String = prefix[..colon]
+        .chars()
+        .rev()
+        .take_while(|c| is_ident_char(*c))
+        .collect();
+    let ident: String = ident_rev.chars().rev().collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// Does this masked line iterate over `ident`?
+fn iterates_over(code: &str, ident: &str) -> bool {
+    for method in [".iter()", ".into_iter()", ".keys()", ".values()", ".drain("] {
+        let pat = format!("{ident}{method}");
+        if contains_pattern(code, &pat) {
+            return true;
+        }
+    }
+    if code.contains("for ") {
+        for form in [format!("in {ident}"), format!("in &{ident}")] {
+            if contains_pattern(code, &form) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// 1-based char column of the first boundary-guarded occurrence of
+/// `ident` on the line.
+fn ident_col(code: &str, ident: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(ident) {
+        let abs = start + pos;
+        let end = abs + ident.len();
+        let pre_ok = abs == 0 || !is_ident_char(bytes[abs - 1] as char);
+        let post_ok = end >= bytes.len() || !is_ident_char(bytes[end] as char);
+        if pre_ok && post_ok {
+            return Some(code[..abs].chars().count() + 1);
+        }
+        start = end;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::scan::{scan_tokens, FileContext};
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: files
+                .iter()
+                .map(|(path, src)| {
+                    let tokens = lex(src);
+                    let scanned = scan_tokens(src, &tokens);
+                    SourceFile {
+                        ctx: FileContext {
+                            path: path.to_string(),
+                            kind: FileKind::Lib,
+                        },
+                        tokens,
+                        scanned,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn iteration_to_sink_fires() {
+        let src = "fn f(m: HashMap<u32, u32>, out: &mut String) {\n    for (k, v) in &m {\n        out.push_str(\"x\");\n    }\n}\n";
+        let diags = check_determinism(&ws(&[("crates/a/src/x.rs", src)]), None);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].col > 0);
+    }
+
+    #[test]
+    fn sort_far_after_the_loop_still_neutralizes() {
+        // The MCSD003 3-line window missed this shape in reverse: here
+        // the sort is six lines after the iteration and must count.
+        let src = "fn f(m: HashMap<u32, u32>, out: &mut String) {\n    let mut v = Vec::new();\n    for (k, _) in &m {\n        v.push(*k);\n        v.push(*k + 1);\n        v.push(*k + 2);\n        v.push(*k + 3);\n        v.push(*k + 4);\n    }\n    v.sort_unstable();\n    for k in v {\n        out.push_str(\"x\");\n    }\n}\n";
+        let diags = check_determinism(&ws(&[("crates/a/src/x.rs", src)]), None);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn iteration_with_no_sink_is_clean() {
+        let src = "fn f(m: HashMap<u32, u32>) -> u64 {\n    let mut total = 0;\n    for (_, v) in &m {\n        total += u64::from(*v);\n    }\n    total\n}\n";
+        let diags = check_determinism(&ws(&[("crates/a/src/x.rs", src)]), None);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn sink_in_a_later_function_does_not_count() {
+        let src = "fn f(m: HashMap<u32, u32>) {\n    for (_, v) in &m {\n        let _ = v;\n    }\n}\nfn g(out: &mut String) {\n    out.push_str(\"x\");\n}\n";
+        let diags = check_determinism(&ws(&[("crates/a/src/x.rs", src)]), None);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn track_domain_mismatch_fires() {
+        let mut tracks = BTreeMap::new();
+        tracks.insert("mcsd".to_string(), "Decision".to_string());
+        let src = "pub const T: &str = \"mcsd\";\nfn f(tr: &Tracer) {\n    tr.track(T, ClockDomain::Work);\n}\n";
+        let diags = check_determinism(&ws(&[("crates/a/src/x.rs", src)]), Some(&tracks));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("ClockDomain::Decision"));
+        assert!(diags[0].message.contains("ClockDomain::Work"));
+    }
+
+    #[test]
+    fn matching_domain_and_literals_resolve() {
+        let mut tracks = BTreeMap::new();
+        tracks.insert("host".to_string(), "Decision".to_string());
+        let src = "fn f(tr: &Tracer) {\n    tr.track(\"host\", ClockDomain::Decision);\n}\n";
+        let diags = check_determinism(&ws(&[("crates/a/src/x.rs", src)]), Some(&tracks));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_track_fires() {
+        let tracks = BTreeMap::new();
+        let src = "fn f(tr: &Tracer) {\n    tr.track(\"rogue\", ClockDomain::Work);\n}\n";
+        let diags = check_determinism(&ws(&[("crates/a/src/x.rs", src)]), Some(&tracks));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("not in the DESIGN.md"));
+    }
+
+    #[test]
+    fn track_table_parses() {
+        let doc = format!(
+            "{TABLE_BEGIN}\n| track | clock domain | events |\n|---|---|---|\n| `mcsd` | `Decision` | engine decisions |\n| `sd.daemon` | `Decision` | daemon lifecycle |\n{TABLE_END}\n"
+        );
+        let (table, errs) = parse_track_table(&doc, "DESIGN.md");
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(table.get("mcsd").map(String::as_str), Some("Decision"));
+        assert_eq!(table.get("sd.daemon").map(String::as_str), Some("Decision"));
+    }
+
+    #[test]
+    fn missing_track_table_is_a_config_finding() {
+        let (_, errs) = parse_track_table("nothing", "DESIGN.md");
+        assert_eq!(errs.len(), 1);
+    }
+}

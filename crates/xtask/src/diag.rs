@@ -13,7 +13,10 @@ pub enum Code {
     Mcsd001,
     /// `unwrap()`/`expect()`/`panic!`/`todo!` in library code.
     Mcsd002,
-    /// Hash-ordered iteration without an intervening sort or `BTreeMap`.
+    /// Deprecated alias for [`Code::Mcsd010`]: the retired 3-line-window
+    /// hash-iteration heuristic. The code is kept so existing
+    /// `tidy:allow(MCSD003)` waivers continue to suppress the MCSD010
+    /// findings that replaced it; no check emits MCSD003 anymore.
     Mcsd003,
     /// Unseeded RNG (`thread_rng`, `from_entropy`, `rand::random`).
     Mcsd004,
@@ -28,10 +31,24 @@ pub enum Code {
     /// than the engine-owned ones (engine.rs, breaker.rs, admission.rs,
     /// lib.rs re-exports).
     Mcsd007,
+    /// Lock-order hazard: a cycle in the static lock-acquisition graph, a
+    /// lock re-acquired while already held, or a lock held across blocking
+    /// file I/O or a channel send/recv.
+    Mcsd008,
+    /// Counter-ownership violation: a counter family field (OverloadStats,
+    /// ResilienceStats, DaemonStats, JobStats) mutated outside the modules
+    /// the DESIGN.md §13 ownership table names, or the table and the
+    /// struct definitions disagreeing in either direction.
+    Mcsd009,
+    /// Determinism hazard: `HashMap`/`HashSet` iteration whose results
+    /// reach an exporter/report/trace sink with no intervening sort, or a
+    /// trace call whose track is stamped with a `ClockDomain` other than
+    /// the one the DESIGN.md §12 catalog declares.
+    Mcsd010,
 }
 
 /// Every enforceable code, in reporting order.
-pub const ALL_CODES: [Code; 8] = [
+pub const ALL_CODES: [Code; 11] = [
     Code::Mcsd000,
     Code::Mcsd001,
     Code::Mcsd002,
@@ -40,6 +57,9 @@ pub const ALL_CODES: [Code; 8] = [
     Code::Mcsd005,
     Code::Mcsd006,
     Code::Mcsd007,
+    Code::Mcsd008,
+    Code::Mcsd009,
+    Code::Mcsd010,
 ];
 
 impl Code {
@@ -54,6 +74,9 @@ impl Code {
             Code::Mcsd005 => "MCSD005",
             Code::Mcsd006 => "MCSD006",
             Code::Mcsd007 => "MCSD007",
+            Code::Mcsd008 => "MCSD008",
+            Code::Mcsd009 => "MCSD009",
+            Code::Mcsd010 => "MCSD010",
         }
     }
 
@@ -68,12 +91,17 @@ impl Code {
             Code::Mcsd000 => "malformed or unused tidy waiver",
             Code::Mcsd001 => "wall-clock time in simulation-crate library code",
             Code::Mcsd002 => "panic path (unwrap/expect/panic!/todo!) in library code",
-            Code::Mcsd003 => "hash-ordered iteration without intervening sort/BTreeMap",
+            Code::Mcsd003 => "deprecated alias for MCSD010 (retired 3-line-window heuristic)",
             Code::Mcsd004 => "unseeded randomness outside test code",
             Code::Mcsd005 => "stdout debugging (println!/print!/dbg!) in library code",
             Code::Mcsd006 => "workspace hygiene (workspace deps, lints table, lib.rs header)",
             Code::Mcsd007 => {
                 "scheduler policy (breaker/admission/overload counters) outside engine.rs"
+            }
+            Code::Mcsd008 => "lock-order cycle or lock held across blocking I/O / channel ops",
+            Code::Mcsd009 => "counter mutated outside its DESIGN.md §13 owning module",
+            Code::Mcsd010 => {
+                "hash-ordered iteration reaching a sink unsorted, or trace clock-domain mismatch"
             }
         }
     }
@@ -94,18 +122,33 @@ pub struct Diagnostic {
     pub path: String,
     /// 1-based line number; 0 for whole-file findings.
     pub line: usize,
+    /// 1-based character column; 0 when the finding spans the whole line.
+    /// The token-level rules (MCSD008–010) always set it.
+    pub col: usize,
     /// Human-readable explanation of this specific finding.
     pub message: String,
 }
 
 impl Diagnostic {
+    /// Build a whole-line diagnostic (column unknown).
+    pub fn new(code: Code, path: &str, line: usize, message: String) -> Diagnostic {
+        Diagnostic {
+            code,
+            path: path.to_string(),
+            line,
+            col: 0,
+            message,
+        }
+    }
+
     /// Render as a stable single-line JSON object (machine output).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"code\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            "{{\"code\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
             self.code,
             escape_json(&self.path),
             self.line,
+            self.col,
             escape_json(&self.message),
         )
     }
@@ -113,14 +156,14 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line == 0 {
-            write!(f, "{} {}: {}", self.code, self.path, self.message)
-        } else {
-            write!(
+        match (self.line, self.col) {
+            (0, _) => write!(f, "{} {}: {}", self.code, self.path, self.message),
+            (line, 0) => write!(f, "{} {}:{}: {}", self.code, self.path, line, self.message),
+            (line, col) => write!(
                 f,
-                "{} {}:{}: {}",
-                self.code, self.path, self.line, self.message
-            )
+                "{} {}:{}:{}: {}",
+                self.code, self.path, line, col, self.message
+            ),
         }
     }
 }
@@ -162,16 +205,21 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let d = Diagnostic {
-            code: Code::Mcsd002,
-            path: "crates/x/src/lib.rs".into(),
-            line: 7,
-            message: "found `.unwrap()`".into(),
-        };
+        let d = Diagnostic::new(
+            Code::Mcsd002,
+            "crates/x/src/lib.rs",
+            7,
+            "found `.unwrap()`".into(),
+        );
         assert_eq!(
             d.to_string(),
             "MCSD002 crates/x/src/lib.rs:7: found `.unwrap()`"
         );
         assert!(d.to_json().contains("\"line\":7"));
+        let with_col = Diagnostic { col: 9, ..d };
+        assert_eq!(
+            with_col.to_string(),
+            "MCSD002 crates/x/src/lib.rs:7:9: found `.unwrap()`"
+        );
     }
 }

@@ -4,9 +4,13 @@
 //! (`mcsd_cluster::TimeBreakdown`), so wall-clock reads, unordered hash
 //! iteration, or unseeded randomness leaking into the simulation make
 //! every reproduced figure untrustworthy. `tidy` enforces those invariants
-//! mechanically — modeled on rustc's `tidy`: a line/lightweight-token
-//! scanner with stable diagnostic codes, machine-readable output, and an
-//! inline waiver syntax:
+//! mechanically — modeled on rustc's `tidy`, but token-level: [`lex`]
+//! produces a full token stream per file, [`workspace`] holds every lexed
+//! file so the deep rules (lock-order graph MCSD008, counter ownership
+//! MCSD009, determinism flow MCSD010) can reason across crates, and the
+//! DESIGN.md §12/§13 tables are parsed as the single source of truth the
+//! code is checked against. Stable diagnostic codes, machine-readable
+//! output (JSONL and SARIF 2.1.0), and an inline waiver syntax:
 //!
 //! ```text
 //! // tidy:allow(MCSD001) -- real I/O polling is the point here
@@ -17,19 +21,25 @@
 //! are themselves diagnostics (MCSD000). Run it as:
 //!
 //! ```text
-//! cargo run -p xtask -- tidy [--json]
+//! cargo run -p xtask -- tidy [--json | --sarif]
 //! ```
 //!
-//! See DESIGN.md § "Determinism & lint invariants" for each rule's
-//! rationale.
+//! See DESIGN.md §14 "Static analysis" for the analyzer architecture and
+//! the MCSD000–010 rule catalog.
 
 #![deny(missing_docs)]
 
 pub mod checks;
+pub mod determinism;
 pub mod diag;
+pub mod lex;
+pub mod locks;
 pub mod manifest;
+pub mod ownership;
 pub mod runner;
+pub mod sarif;
 pub mod scan;
+pub mod workspace;
 
 pub use diag::{Code, Diagnostic};
 pub use runner::{run_tidy, TidyReport};

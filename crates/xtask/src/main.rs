@@ -6,13 +6,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xtask::runner::run_tidy;
+use xtask::sarif::to_sarif;
 
 const USAGE: &str = "\
-usage: cargo run -p xtask -- tidy [--json] [--root PATH]
+usage: cargo run -p xtask -- tidy [--json | --sarif] [--root PATH]
 
 Runs the mcsd-tidy static-analysis pass over the workspace.
 
   --json       emit one JSON object per diagnostic (JSONL) on stdout
+  --sarif      emit a SARIF 2.1.0 log on stdout (GitHub code scanning)
   --root PATH  workspace root (default: walk up from the current directory)
 
 Exit status: 0 clean, 1 diagnostics found, 2 usage or I/O error.";
@@ -30,12 +32,14 @@ fn main() -> ExitCode {
 
 fn real_main(args: &[String]) -> Result<ExitCode, String> {
     let mut json = false;
+    let mut sarif = false;
     let mut root: Option<PathBuf> = None;
     let mut command: Option<&str> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--sarif" => sarif = true,
             "--root" => {
                 let value = iter.next().ok_or("--root requires a path argument")?;
                 root = Some(PathBuf::from(value));
@@ -60,7 +64,12 @@ fn real_main(args: &[String]) -> Result<ExitCode, String> {
     };
     let report = run_tidy(&root).map_err(|e| e.message)?;
 
-    if json {
+    if json && sarif {
+        return Err("--json and --sarif are mutually exclusive".to_string());
+    }
+    if sarif {
+        print!("{}", to_sarif(&report.diagnostics));
+    } else if json {
         for diag in &report.diagnostics {
             println!("{}", diag.to_json());
         }

@@ -48,6 +48,7 @@ pub fn check_manifest(rel_path: &str, content: &str) -> Vec<Diagnostic> {
                     code: Code::Mcsd006,
                     path: rel_path.to_string(),
                     line: idx + 1,
+                    col: 0,
                     message: format!(
                         "dependency `{dep}` must inherit from [workspace.dependencies] via `workspace = true`"
                     ),
@@ -60,6 +61,7 @@ pub fn check_manifest(rel_path: &str, content: &str) -> Vec<Diagnostic> {
             code: Code::Mcsd006,
             path: rel_path.to_string(),
             line: lints_section_line,
+            col: 0,
             message:
                 "manifest must carry `[lints]\\nworkspace = true` so workspace lint policy applies"
                     .to_string(),
@@ -82,6 +84,7 @@ pub fn check_lib_header(rel_path: &str, content: &str) -> Vec<Diagnostic> {
             code: Code::Mcsd006,
             path: rel_path.to_string(),
             line: 1,
+            col: 0,
             message: format!(
                 "library root must carry `{LIB_DENY_HEADER}` within its first {LIB_HEADER_WINDOW} lines"
             ),

@@ -1,20 +1,34 @@
-//! Filesystem walk and orchestration: discovers the files in scope, runs
-//! the scanner and checks, and aggregates a [`TidyReport`].
+//! Filesystem walk and orchestration: discovers the files in scope, lexes
+//! and scans them into a [`Workspace`], runs the per-file pattern checks
+//! and the workspace-level analyses (MCSD008–010), and aggregates a
+//! [`TidyReport`].
 //!
 //! Scope (matching ISSUE/DESIGN): `crates/*/src/**/*.rs`,
 //! `crates/*/examples/**/*.rs`, root `src/**/*.rs`, root
 //! `examples/**/*.rs`, and every `crates/*/Cargo.toml`. Shim crates under
 //! `shims/` mirror third-party APIs (including their panicking contracts)
 //! and are deliberately out of scope.
+//!
+//! Ordering matters: waivers are applied *last*, after the workspace
+//! analyses have run, so a `// tidy:allow(MCSD008)` on a lock-holding
+//! line suppresses the cross-file finding the same way it would a local
+//! pattern match. Findings anchored at `DESIGN.md` itself (table parse
+//! errors, doc/code drift reported doc-side) are configuration problems
+//! and bypass waivers entirely.
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::checks::check_scanned;
+use crate::checks::{apply_waivers, raw_checks};
+use crate::determinism::{check_determinism, parse_track_table};
 use crate::diag::Diagnostic;
+use crate::lex::lex;
+use crate::locks::check_locks;
 use crate::manifest::{check_lib_header, check_manifest};
-use crate::scan::{scan_source, FileContext, FileKind};
+use crate::ownership::{check_ownership, parse_ownership_table};
+use crate::scan::{scan_tokens, FileContext, FileKind};
+use crate::workspace::{SourceFile, Workspace};
 
 /// A fatal tidy failure (I/O, bad root) — distinct from diagnostics, which
 /// are findings about the code.
@@ -64,6 +78,7 @@ pub fn run_tidy(root: &Path) -> Result<TidyReport, TidyError> {
         manifests_checked: 0,
         waivers_honored: 0,
     };
+    let mut ws = Workspace::default();
 
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -77,24 +92,74 @@ pub fn run_tidy(root: &Path) -> Result<TidyReport, TidyError> {
                     .extend(check_manifest(&rel(root, &manifest_path), &content));
                 report.manifests_checked += 1;
             }
-            scan_tree(root, &crate_dir.join("src"), false, &mut report)?;
-            scan_tree(root, &crate_dir.join("examples"), true, &mut report)?;
+            scan_tree(root, &crate_dir.join("src"), false, &mut ws, &mut report)?;
+            scan_tree(
+                root,
+                &crate_dir.join("examples"),
+                true,
+                &mut ws,
+                &mut report,
+            )?;
         }
     }
-    scan_tree(root, &root.join("src"), false, &mut report)?;
-    scan_tree(root, &root.join("examples"), true, &mut report)?;
+    scan_tree(root, &root.join("src"), false, &mut ws, &mut report)?;
+    scan_tree(root, &root.join("examples"), true, &mut ws, &mut report)?;
+
+    // Workspace-level analyses. The DESIGN.md-driven rules only engage
+    // when the document exists (synthetic test roots have none); table
+    // parse errors are unwaivable configuration findings.
+    let mut deep: Vec<Diagnostic> = check_locks(&ws);
+    let design_path = root.join("DESIGN.md");
+    if design_path.is_file() {
+        let design = fs::read_to_string(&design_path).map_err(|e| io_err(&design_path, e))?;
+        let (ownership, own_errs) = parse_ownership_table(&design, "DESIGN.md");
+        report.diagnostics.extend(own_errs.clone());
+        if own_errs.is_empty() {
+            deep.extend(check_ownership(&ws, &ownership, "DESIGN.md"));
+        }
+        let (tracks, track_errs) = parse_track_table(&design, "DESIGN.md");
+        report.diagnostics.extend(track_errs.clone());
+        let tracks_opt = if track_errs.is_empty() {
+            Some(&tracks)
+        } else {
+            None
+        };
+        deep.extend(check_determinism(&ws, tracks_opt));
+    } else {
+        deep.extend(check_determinism(&ws, None));
+    }
+
+    // Route every finding to its file and apply waivers last, so the deep
+    // rules and the pattern rules share one waiver mechanism. Findings
+    // against unscanned paths (DESIGN.md) pass straight through.
+    let mut per_file: Vec<Vec<Diagnostic>> = ws.files.iter().map(|_| Vec::new()).collect();
+    for diag in deep {
+        match ws.files.iter().position(|f| f.ctx.path == diag.path) {
+            Some(i) => per_file[i].push(diag),
+            None => report.diagnostics.push(diag),
+        }
+    }
+    for (file, mut raw) in ws.files.iter().zip(per_file) {
+        raw.extend(raw_checks(&file.ctx, &file.scanned));
+        let outcome = apply_waivers(&file.ctx, &file.scanned, raw);
+        report.diagnostics.extend(outcome.diagnostics);
+        report.waivers_honored += outcome.waivers_honored;
+    }
 
     report
         .diagnostics
-        .sort_by(|a, b| (&a.path, a.line, a.code).cmp(&(&b.path, b.line, b.code)));
+        .sort_by(|a, b| (&a.path, a.line, a.code, a.col).cmp(&(&b.path, b.line, b.code, b.col)));
+    report.diagnostics.dedup();
     Ok(report)
 }
 
-/// Scan every `.rs` file under `dir` (tolerating its absence).
+/// Lex and scan every `.rs` file under `dir` (tolerating its absence) into
+/// the workspace; lib-header checks run here, everything else later.
 fn scan_tree(
     root: &Path,
     dir: &Path,
     force_bin: bool,
+    ws: &mut Workspace,
     report: &mut TidyReport,
 ) -> Result<(), TidyError> {
     if !dir.is_dir() {
@@ -111,14 +176,16 @@ fn scan_tree(
                 .diagnostics
                 .extend(check_lib_header(&rel_path, &content));
         }
-        let scanned = scan_source(&content);
-        let ctx = FileContext {
-            path: rel_path,
-            kind,
-        };
-        let outcome = check_scanned(&ctx, &scanned);
-        report.diagnostics.extend(outcome.diagnostics);
-        report.waivers_honored += outcome.waivers_honored;
+        let tokens = lex(&content);
+        let scanned = scan_tokens(&content, &tokens);
+        ws.files.push(SourceFile {
+            ctx: FileContext {
+                path: rel_path,
+                kind,
+            },
+            tokens,
+            scanned,
+        });
         report.files_scanned += 1;
     }
     Ok(())

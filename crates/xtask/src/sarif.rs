@@ -1,0 +1,121 @@
+//! SARIF 2.1.0 output for GitHub code scanning.
+//!
+//! `cargo run -p xtask -- tidy --sarif` prints one SARIF log on stdout;
+//! CI uploads it so findings annotate pull requests inline. The format
+//! is hand-rolled on top of [`crate::diag::escape_json`] — std-only, no
+//! serde — and intentionally minimal: one run, one rule per MCSD code,
+//! one result per diagnostic.
+
+use crate::diag::{escape_json, Code, Diagnostic, ALL_CODES};
+
+/// Render a complete SARIF 2.1.0 log for the given diagnostics.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::with_capacity(4096 + diags.len() * 256);
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"mcsd-tidy\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, code) in ALL_CODES.iter().enumerate() {
+        out.push_str("            {");
+        out.push_str(&format!(
+            "\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}",
+            code,
+            escape_json(code.summary())
+        ));
+        out.push('}');
+        if i + 1 < ALL_CODES.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": \"{}\",\n", d.code));
+        out.push_str(&format!(
+            "          \"ruleIndex\": {},\n",
+            rule_index(d.code)
+        ));
+        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"message\": {{\"text\": \"{}\"}},\n",
+            escape_json(&d.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{\"uri\": \"{}\"}},\n",
+            escape_json(&d.path)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{\"startLine\": {}, \"startColumn\": {}}}\n",
+            d.line.max(1),
+            d.col.max(1)
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str("        }");
+        if i + 1 < diags.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+fn rule_index(code: Code) -> usize {
+    ALL_CODES
+        .iter()
+        .position(|c| *c == code)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_log_is_valid_shape() {
+        let log = to_sarif(&[]);
+        assert!(log.contains("\"version\": \"2.1.0\""));
+        assert!(log.contains("\"name\": \"mcsd-tidy\""));
+        assert!(log.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn diagnostics_become_results() {
+        let d = Diagnostic {
+            code: Code::Mcsd008,
+            path: "crates/x/src/a.rs".to_string(),
+            line: 12,
+            col: 5,
+            message: "lock \"held\" across send".to_string(),
+        };
+        let log = to_sarif(&[d]);
+        assert!(log.contains("\"ruleId\": \"MCSD008\""));
+        assert!(log.contains("\"startLine\": 12, \"startColumn\": 5"));
+        assert!(log.contains("lock \\\"held\\\" across send"));
+    }
+
+    #[test]
+    fn whole_file_findings_clamp_to_line_one() {
+        let d = Diagnostic::new(Code::Mcsd006, "crates/x/Cargo.toml", 0, "m".into());
+        let log = to_sarif(&[d]);
+        assert!(log.contains("\"startLine\": 1, \"startColumn\": 1"));
+    }
+
+    #[test]
+    fn rules_catalog_covers_all_codes() {
+        let log = to_sarif(&[]);
+        for code in ALL_CODES {
+            assert!(log.contains(&format!("\"id\": \"{code}\"")), "{code}");
+        }
+    }
+}

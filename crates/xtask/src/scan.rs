@@ -1,14 +1,18 @@
 //! Source scanning: masking of strings/comments, `cfg(test)` region
 //! tracking, and waiver parsing.
 //!
-//! The scanner is a lightweight character-level state machine, not a real
-//! lexer. It understands enough Rust surface syntax to mask out the places
-//! where lint patterns must never fire — string literals (including raw
-//! strings), char literals (distinguished from lifetimes), and comments —
-//! and to tell test code (`#[cfg(test)]` modules, `#[test]` functions)
-//! apart from shipping code.
+//! Since the token-level rewrite, the scanner is a thin projection of the
+//! [`crate::lex`] token stream: string/char literals and comments become
+//! runs of spaces in the masked lines (so the line-pattern rules can never
+//! fire inside them), waivers are parsed out of line-comment tokens, and
+//! `#[cfg(test)]` / `#[test]` regions are tracked by brace depth over the
+//! masked lines. The workspace analysis pass shares the same token stream
+//! via [`scan_tokens`], so each file is lexed exactly once.
 
 use crate::diag::Code;
+use crate::lex::{lex, Token, TokenKind};
+
+pub use crate::lex::is_ident_char;
 
 /// How a file participates in the build, which decides which rules apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,158 +67,54 @@ pub struct ScannedFile {
     pub waivers: Vec<Waiver>,
 }
 
-#[derive(PartialEq)]
-enum Mode {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(usize),
-    CharLit,
-}
-
 /// Scan Rust source text into masked lines and waivers.
 pub fn scan_source(source: &str) -> ScannedFile {
-    let chars: Vec<char> = source.chars().collect();
-    let mut mode = Mode::Code;
-    let mut masked = String::new();
-    let mut comment = String::new();
-    let mut raw_lines: Vec<(String, String)> = Vec::new();
-    let mut i = 0;
+    scan_tokens(source, &lex(source))
+}
 
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if mode == Mode::LineComment {
-                mode = Mode::Code;
+/// Build a [`ScannedFile`] from an already-lexed token stream.
+pub fn scan_tokens(source: &str, tokens: &[Token]) -> ScannedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut blank = vec![false; chars.len()];
+    let mut waivers = Vec::new();
+    for tok in tokens {
+        match tok.kind {
+            TokenKind::Str | TokenKind::Char | TokenKind::LineComment | TokenKind::BlockComment => {
+                for flag in blank.iter_mut().skip(tok.start).take(tok.len) {
+                    *flag = true;
+                }
             }
-            raw_lines.push((std::mem::take(&mut masked), std::mem::take(&mut comment)));
-            i += 1;
-            continue;
+            _ => {}
         }
-        match mode {
-            Mode::Code => {
-                let next = chars.get(i + 1).copied();
-                let prev_ident = i > 0 && is_ident_char(chars[i - 1]);
-                if c == '/' && next == Some('/') {
-                    mode = Mode::LineComment;
-                    masked.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    mode = Mode::BlockComment(1);
-                    masked.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    mode = Mode::Str;
-                    masked.push(' ');
-                    i += 1;
-                } else if (c == 'r' || c == 'b') && !prev_ident {
-                    if let Some(consumed) = try_raw_or_byte_start(&chars, i, &mut mode) {
-                        for _ in 0..consumed {
-                            masked.push(' ');
-                        }
-                        i += consumed;
-                    } else {
-                        masked.push(c);
-                        i += 1;
-                    }
-                } else if c == '\'' {
-                    if next == Some('\\') {
-                        mode = Mode::CharLit;
-                        masked.push_str("  ");
-                        i += 2;
-                    } else if chars.get(i + 2).copied() == Some('\'') && next != Some('\'') {
-                        // 'x' char literal: mask all three characters.
-                        masked.push_str("   ");
-                        i += 3;
-                    } else {
-                        // Lifetime such as 'a — keep as code.
-                        masked.push('\'');
-                        i += 1;
-                    }
-                } else {
-                    masked.push(c);
-                    i += 1;
-                }
-            }
-            Mode::LineComment => {
-                comment.push(c);
-                masked.push(' ');
-                i += 1;
-            }
-            Mode::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('*') {
-                    mode = Mode::BlockComment(depth + 1);
-                    masked.push_str("  ");
-                    i += 2;
-                } else if c == '*' && next == Some('/') {
-                    mode = if depth == 1 {
-                        Mode::Code
-                    } else {
-                        Mode::BlockComment(depth - 1)
-                    };
-                    masked.push_str("  ");
-                    i += 2;
-                } else {
-                    masked.push(' ');
-                    i += 1;
-                }
-            }
-            Mode::Str => {
-                let next = chars.get(i + 1).copied();
-                if c == '\\' && next.is_some() {
-                    masked.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    mode = Mode::Code;
-                    masked.push(' ');
-                    i += 1;
-                } else {
-                    masked.push(' ');
-                    i += 1;
-                }
-            }
-            Mode::RawStr(hashes) => {
-                if c == '"' && count_hashes(&chars, i + 1) >= hashes {
-                    mode = Mode::Code;
-                    for _ in 0..(1 + hashes) {
-                        masked.push(' ');
-                    }
-                    i += 1 + hashes;
-                } else {
-                    masked.push(' ');
-                    i += 1;
-                }
-            }
-            Mode::CharLit => {
-                let next = chars.get(i + 1).copied();
-                if c == '\\' && next.is_some() {
-                    masked.push_str("  ");
-                    i += 2;
-                } else if c == '\'' {
-                    mode = Mode::Code;
-                    masked.push(' ');
-                    i += 1;
-                } else {
-                    masked.push(' ');
-                    i += 1;
-                }
+        if tok.kind == TokenKind::LineComment {
+            let trimmed = tok.text.trim();
+            if trimmed.starts_with("tidy:allow") {
+                waivers.push(parse_waiver(tok.line, trimmed));
             }
         }
     }
-    if !masked.is_empty() || !comment.is_empty() {
-        raw_lines.push((masked, comment));
+
+    let mut raw_lines: Vec<String> = Vec::new();
+    let mut current = String::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '\n' {
+            raw_lines.push(std::mem::take(&mut current));
+        } else if blank[i] {
+            current.push(' ');
+        } else {
+            current.push(c);
+        }
+    }
+    if !current.is_empty() {
+        raw_lines.push(current);
     }
 
     let mut lines = Vec::with_capacity(raw_lines.len());
-    let mut waivers = Vec::new();
     let mut pending_test = false;
     let mut depth: i64 = 0;
     let mut region_starts: Vec<i64> = Vec::new();
 
-    for (idx, (code, comment)) in raw_lines.into_iter().enumerate() {
-        let line_no = idx + 1;
+    for code in raw_lines {
         let has_test_attr = code.contains("#[cfg(test)]") || code.contains("#[test]");
         if has_test_attr {
             pending_test = true;
@@ -234,61 +134,10 @@ pub fn scan_source(source: &str) -> ScannedFile {
                 }
             }
         }
-        let trimmed = comment.trim();
-        if trimmed.starts_with("tidy:allow") {
-            waivers.push(parse_waiver(line_no, trimmed));
-        }
         lines.push(LineInfo { code, in_test });
     }
 
     ScannedFile { lines, waivers }
-}
-
-/// True for characters that can appear in a Rust identifier.
-pub fn is_ident_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-fn count_hashes(chars: &[char], mut i: usize) -> usize {
-    let mut n = 0;
-    while chars.get(i).copied() == Some('#') {
-        n += 1;
-        i += 1;
-    }
-    n
-}
-
-/// Detect `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, and `b'x'` starts
-/// at position `i`. Returns the number of prefix characters consumed (up
-/// to and including the opening quote) and sets `mode`, or `None` when the
-/// characters are ordinary code (e.g. a raw identifier `r#match`).
-fn try_raw_or_byte_start(chars: &[char], i: usize, mode: &mut Mode) -> Option<usize> {
-    let c = chars[i];
-    let mut j = i + 1;
-    if c == 'b' {
-        match chars.get(j).copied() {
-            Some('\'') => {
-                *mode = Mode::CharLit;
-                return Some(2);
-            }
-            Some('"') => {
-                *mode = Mode::Str;
-                return Some(2);
-            }
-            Some('r') => {
-                j += 1;
-            }
-            _ => return None,
-        }
-    }
-    // At this point we expect `#`* then `"` for a raw string.
-    let hashes = count_hashes(chars, j);
-    if chars.get(j + hashes).copied() == Some('"') {
-        *mode = Mode::RawStr(hashes);
-        Some(j + hashes + 1 - i)
-    } else {
-        None
-    }
 }
 
 fn parse_waiver(line: usize, text: &str) -> Waiver {
@@ -372,6 +221,14 @@ mod tests {
         let lines = masked("/* outer /* inner */ still.unwrap() */ code();");
         assert!(!lines[0].contains(".unwrap()"));
         assert!(lines[0].contains("code();"));
+    }
+
+    #[test]
+    fn masked_lines_preserve_column_alignment() {
+        let src = "emit(\"abc\", x);";
+        let lines = masked(src);
+        assert_eq!(lines[0].chars().count(), src.chars().count());
+        assert_eq!(lines[0], "emit(     , x);");
     }
 
     #[test]

@@ -1,0 +1,27 @@
+// Fixture: consistent a-then-b ordering; the stat happens after release.
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<Vec<u32>>,
+    pub b: Mutex<Vec<u32>>,
+}
+
+pub fn ab(p: &Pair) {
+    let g = p.a.lock();
+    let h = p.b.lock();
+    drop(h);
+    drop(g);
+}
+
+pub fn ab_again(p: &Pair) {
+    let g = p.a.lock();
+    let h = p.b.lock();
+    drop(h);
+    drop(g);
+}
+
+pub fn stat_after_release(p: &Pair, path: &std::path::Path) -> bool {
+    let snapshot: Vec<u32> = p.a.lock().clone();
+    let _ = snapshot;
+    path.is_file()
+}

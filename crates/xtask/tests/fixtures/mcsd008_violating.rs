@@ -1,0 +1,28 @@
+// Fixture: AB/BA ordering cycle plus blocking I/O under a held lock.
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<Vec<u32>>,
+    pub b: Mutex<Vec<u32>>,
+}
+
+pub fn ab(p: &Pair) {
+    let g = p.a.lock();
+    let h = p.b.lock();
+    drop(h);
+    drop(g);
+}
+
+pub fn ba(p: &Pair) {
+    let h = p.b.lock();
+    let g = p.a.lock();
+    drop(g);
+    drop(h);
+}
+
+pub fn stat_under_lock(p: &Pair, path: &std::path::Path) -> bool {
+    let g = p.a.lock();
+    let present = path.is_file();
+    drop(g);
+    present
+}

@@ -1,0 +1,8 @@
+// Fixture: the same mutation is fine inside the table's allowed site.
+pub struct DaemonStats {
+    pub shed: u64,
+}
+
+pub fn absorb(stats: &mut DaemonStats) {
+    stats.shed += 1;
+}

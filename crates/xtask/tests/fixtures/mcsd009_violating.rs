@@ -1,0 +1,8 @@
+// Fixture: a DaemonStats counter mutated outside its owning module.
+pub struct DaemonStats {
+    pub shed: u64,
+}
+
+pub fn rogue(stats: &mut DaemonStats) {
+    stats.shed += 1;
+}

@@ -2,8 +2,13 @@
 //! violating and one conforming fixture, and the waiver lifecycle behaves.
 
 use xtask::checks::{check_scanned, CheckOutcome};
+use xtask::determinism::check_determinism;
+use xtask::lex::lex;
+use xtask::locks::check_locks;
 use xtask::manifest::{check_lib_header, check_manifest};
-use xtask::scan::scan_source;
+use xtask::ownership::{check_ownership, parse_ownership_table};
+use xtask::scan::{scan_source, scan_tokens};
+use xtask::workspace::{SourceFile, Workspace};
 use xtask::{Code, FileContext, FileKind};
 
 /// Scan a fixture as library code at `path` and run the source checks.
@@ -13,6 +18,22 @@ fn check(path: &str, source: &str) -> CheckOutcome {
         kind: FileKind::Lib,
     };
     check_scanned(&ctx, &scan_source(source))
+}
+
+/// Lex a fixture into a one-file workspace for the deep rules.
+fn fixture_ws(path: &str, source: &str) -> Workspace {
+    let tokens = lex(source);
+    let scanned = scan_tokens(source, &tokens);
+    Workspace {
+        files: vec![SourceFile {
+            ctx: FileContext {
+                path: path.to_string(),
+                kind: FileKind::Lib,
+            },
+            tokens,
+            scanned,
+        }],
+    }
 }
 
 fn codes(outcome: &CheckOutcome) -> Vec<Code> {
@@ -82,19 +103,124 @@ fn mcsd002_does_not_apply_to_binaries() {
 }
 
 #[test]
-fn mcsd003_flags_unordered_hash_iteration() {
-    let out = check(PLAIN_PATH, include_str!("fixtures/mcsd003_violating.rs"));
-    assert!(
-        codes(&out).contains(&Code::Mcsd003),
-        "{:?}",
-        out.diagnostics
+fn mcsd008_flags_cycle_and_blocking_io_with_exact_spans() {
+    let ws = fixture_ws(
+        "crates/fixturecrate/src/locks.rs",
+        include_str!("fixtures/mcsd008_violating.rs"),
     );
+    let diags = check_locks(&ws);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    for d in &diags {
+        assert_eq!(d.code, Code::Mcsd008);
+        assert_eq!(d.path, "crates/fixturecrate/src/locks.rs");
+    }
+    let cycle = diags
+        .iter()
+        .find(|d| d.message.contains("lock-order cycle"))
+        .expect("cycle finding");
+    // Anchored at the first edge site: `p.b.lock()` on line 11, at `b`.
+    assert_eq!((cycle.line, cycle.col), (11, 15), "{cycle}");
+    assert!(cycle.message.contains("fixturecrate/a"));
+    assert!(cycle.message.contains("fixturecrate/b"));
+    let blocking = diags
+        .iter()
+        .find(|d| d.message.contains("blocking operation `is_file`"))
+        .expect("blocking finding");
+    assert_eq!((blocking.line, blocking.col), (25, 24), "{blocking}");
+    assert!(blocking.message.contains("fixturecrate/a"));
 }
 
 #[test]
-fn mcsd003_clean_fixture_passes() {
-    let out = check(PLAIN_PATH, include_str!("fixtures/mcsd003_clean.rs"));
-    assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+fn mcsd008_clean_fixture_passes() {
+    let ws = fixture_ws(
+        "crates/fixturecrate/src/locks.rs",
+        include_str!("fixtures/mcsd008_clean.rs"),
+    );
+    let diags = check_locks(&ws);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+/// The §13-style table both MCSD009 fixture tests run against: `shed` is
+/// owned by `crates/smartfam/src/daemon.rs` and nowhere else.
+const MCSD009_DOC: &str = "\
+<!-- mcsd009:counter-ownership-table:begin -->
+| counter | owner | allowed mutation sites |
+|---------|-------|------------------------|
+| `DaemonStats.shed` | smartFAM daemon | `crates/smartfam/src/daemon.rs` |
+<!-- mcsd009:counter-ownership-table:end -->
+";
+
+#[test]
+fn mcsd009_flags_mutation_outside_owner_with_exact_span() {
+    let (table, errs) = parse_ownership_table(MCSD009_DOC, "DESIGN.md");
+    assert!(errs.is_empty(), "{errs:?}");
+    let ws = fixture_ws(
+        "crates/fixturecrate/src/rogue.rs",
+        include_str!("fixtures/mcsd009_violating.rs"),
+    );
+    let diags = check_ownership(&ws, &table, "DESIGN.md");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::Mcsd009);
+    assert_eq!(diags[0].path, "crates/fixturecrate/src/rogue.rs");
+    // The mutation `stats.shed += 1;` on line 7, anchored at `shed`.
+    assert_eq!((diags[0].line, diags[0].col), (7, 11), "{}", diags[0]);
+    assert!(diags[0].message.contains("crates/smartfam/src/daemon.rs"));
+}
+
+#[test]
+fn mcsd009_clean_fixture_passes_at_the_owning_site() {
+    let (table, _) = parse_ownership_table(MCSD009_DOC, "DESIGN.md");
+    let ws = fixture_ws(
+        "crates/smartfam/src/daemon.rs",
+        include_str!("fixtures/mcsd009_clean.rs"),
+    );
+    let diags = check_ownership(&ws, &table, "DESIGN.md");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn mcsd010_flags_hash_iteration_reaching_a_sink_with_exact_span() {
+    let ws = fixture_ws(PLAIN_PATH, include_str!("fixtures/mcsd010_violating.rs"));
+    let diags = check_determinism(&ws, None);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::Mcsd010);
+    assert_eq!(diags[0].path, PLAIN_PATH);
+    // The iteration on line 6, anchored at `counts`; the sink is the
+    // `push_str` on line 7.
+    assert_eq!((diags[0].line, diags[0].col), (6, 19), "{}", diags[0]);
+    assert!(diags[0].message.contains("`counts`"));
+    assert!(diags[0].message.contains("line 7"));
+}
+
+#[test]
+fn mcsd010_clean_fixture_passes() {
+    let ws = fixture_ws(PLAIN_PATH, include_str!("fixtures/mcsd010_clean.rs"));
+    let diags = check_determinism(&ws, None);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn mcsd003_waivers_still_suppress_mcsd010_findings() {
+    // The retired window heuristic's waivers must keep working: MCSD003
+    // is a deprecated alias for MCSD010 in waiver matching.
+    let src = "\
+use std::collections::HashMap;
+
+pub fn emit_all(m: HashMap<u32, u32>, out: &mut String) {
+    // tidy:allow(MCSD003) -- emitter is order-insensitive here
+    for (_, v) in m.iter() {
+        out.push_str(\"x\");
+        let _ = v;
+    }
+}
+";
+    let ws = fixture_ws(PLAIN_PATH, src);
+    let raw = check_determinism(&ws, None);
+    assert_eq!(raw.len(), 1, "{raw:?}");
+    let file = &ws.files[0];
+    let outcome = xtask::checks::apply_waivers(&file.ctx, &file.scanned, raw);
+    assert!(outcome.diagnostics.is_empty(), "{:?}", outcome.diagnostics);
+    assert_eq!(outcome.waivers_honored, 1);
 }
 
 #[test]
@@ -285,5 +411,12 @@ fn real_workspace_is_tidy() {
         report.files_scanned > 50,
         "scanned {}",
         report.files_scanned
+    );
+    // The waiver budget: the tree stays analyzable without blanket
+    // escapes. Raising this number is a review decision, not a tweak.
+    assert!(
+        report.waivers_honored <= 15,
+        "waiver budget exceeded: {} > 15",
+        report.waivers_honored
     );
 }
