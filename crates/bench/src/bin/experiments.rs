@@ -2,7 +2,7 @@
 //! paper's evaluation (§V), plus the DESIGN.md ablations.
 //!
 //! ```text
-//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|throughput]
+//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|failover|throughput]
 //!                  [--scale N] [--seed N] [--quick] [--csv] [--json]
 //! ```
 //!
@@ -21,11 +21,20 @@
 //! runs with the same `--seed` produce byte-identical files, which CI
 //! asserts with a plain `diff`.
 //!
+//! `failover` (not part of `all` either) walks the DESIGN.md §15
+//! replication story on a live three-node group: the leader replica is
+//! killed mid-round, the span is promoted instead of re-dispatched,
+//! background re-protection restores full redundancy, and a seeded
+//! sweep shows exact counter replay — the interactive counterpart of
+//! `crates/mcsd-core/tests/replication.rs`.
+//!
 //! `throughput` (not part of `all` either) times the same four-phase
 //! scenario and reports jobs/sec, engine decisions/sec through
-//! `engine::run_call`, and wall-clock; `throughput --json` additionally
-//! writes `BENCH_6.json` into the working directory — the first perf
-//! baseline toward ROADMAP item 1.
+//! `engine::run_call`, and wall-clock, then times the §15 degraded mode
+//! (replicated group of three, one replica killed per run);
+//! `throughput --json` additionally writes `BENCH_7.json` into the
+//! working directory — the PR-6 baseline fields plus the degraded-mode
+//! rate, toward ROADMAP item 1.
 //!
 //! Run in release mode: debug builds inflate per-byte compute cost ~25x
 //! and distort the compute/IO balance the figures depend on.
@@ -36,7 +45,7 @@ use mcsd_cluster::{paper_testbed, SandiaMicroBenchmark, Scale, SmbPattern};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|throughput] \
+        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|failover|throughput] \
          [--scale N] [--seed N] [--quick] [--csv] [--json]"
     );
     std::process::exit(2);
@@ -441,10 +450,188 @@ fn trace_run(seed: u64) {
     println!();
 }
 
+/// Failover walkthrough (DESIGN.md §15): a live three-member log group
+/// loses its leader replica mid-round — after the module already ran —
+/// so the span finishes as a promotion of the most-advanced
+/// acknowledged mirror instead of a re-dispatch, and background
+/// re-protection restores full redundancy before the run returns. A
+/// seeded sweep over `FaultPlan::replication_from_seed` then replays
+/// each schedule twice and shows the `ReplicationStats` match exactly.
+///
+/// The kill-one-replica run traces onto the §12 virtual clock and is
+/// exported to `failover-<seed>.jsonl` in the working directory — same
+/// seed, same bytes, which CI asserts with a plain `diff`.
+fn failover_demo(seed: u64) {
+    use mcsd_apps::{seq, TextGen, WordCount};
+    use mcsd_cluster::multi_sd_testbed;
+    use mcsd_core::{
+        ExecMode, FaultAction, FaultInjector, FaultPlan, FaultSite, MultiSdRunner, ReplicationSetup,
+    };
+    use mcsd_obs::export::{jsonl_with, JsonlOptions};
+    use mcsd_obs::{MetricsRegistry, Tracer};
+
+    let runner = || {
+        let mut cluster = multi_sd_testbed(Scale::default_experiment(), 3);
+        for n in &mut cluster.nodes {
+            n.memory_bytes = 256 << 20;
+        }
+        MultiSdRunner::new(cluster).expect("runner boot")
+    };
+    let log_dir = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("mcsd-failover-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("log dir");
+        dir
+    };
+    let text = TextGen::with_seed(seed).generate(60_000);
+    let oracle = seq::wordcount(&text);
+
+    println!("### Kill one replica mid-run: promotion, not re-execution\n");
+    // Replica-site occurrences advance once per (entry, member) pair, so
+    // occurrence 9 is the leader copy of span 1's response round — the
+    // crash lands after the module work is already durable on a mirror.
+    let plan = FaultPlan::none().with(FaultSite::Replica, 9, FaultAction::CrashBefore);
+    let dir = log_dir("kill");
+    let tracer = Tracer::enabled();
+    let out = runner()
+        .run_replicated(
+            &WordCount,
+            &WordCount::merger(),
+            &text,
+            ExecMode::Parallel,
+            &FaultInjector::new(plan),
+            &ReplicationSetup::new(&dir).with_tracer(tracer.clone()),
+        )
+        .expect("replicated run");
+    let verdict = if out.pairs == oracle {
+        "output correct"
+    } else {
+        "OUTPUT WRONG"
+    };
+    for (i, outcome) in out.outcomes.iter().enumerate() {
+        println!("span {i}: {outcome:?}");
+    }
+    println!(
+        "{verdict}; retries={} redispatches={}; {}",
+        out.resilience.retries, out.resilience.redispatches, out.replication
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = MetricsRegistry::new();
+    out.replication
+        .publish(&registry)
+        .expect("publish replication counters");
+    let jsonl = jsonl_with(
+        &tracer,
+        JsonlOptions {
+            include_volatile: false,
+            metrics: Some(&registry),
+        },
+    );
+    let jsonl_path = format!("failover-{seed}.jsonl");
+    std::fs::write(&jsonl_path, &jsonl).expect("write failover trace");
+    println!(
+        "wrote {jsonl_path} ({} lines) — same seed, same bytes",
+        jsonl.lines().count()
+    );
+
+    println!("\n### Seeded failover sweep — exact counter replay\n");
+    for s in seed..seed + 4 {
+        let plan = FaultPlan::replication_from_seed(s);
+        let mut runs = Vec::new();
+        for pass in 0..2 {
+            let dir = log_dir(&format!("sweep-{s}-{pass}"));
+            let out = runner()
+                .run_replicated(
+                    &WordCount,
+                    &WordCount::merger(),
+                    &text,
+                    ExecMode::Parallel,
+                    &FaultInjector::new(plan.clone()),
+                    &ReplicationSetup::new(&dir),
+                )
+                .expect("replicated run");
+            let _ = std::fs::remove_dir_all(&dir);
+            runs.push(out);
+        }
+        let verdict = if runs.iter().all(|r| r.pairs == oracle) {
+            "output correct"
+        } else {
+            "OUTPUT WRONG"
+        };
+        let replay =
+            if runs[0].replication == runs[1].replication && runs[0].outcomes == runs[1].outcomes {
+                "replayed exactly"
+            } else {
+                "REPLAY DIVERGED"
+            };
+        println!(
+            "seed {s:>3}  wordcount: {verdict:<15} {replay:<16} {}",
+            runs[0].replication
+        );
+        for f in plan.faults() {
+            println!(
+                "          scheduled: {:?} #{} {:?}",
+                f.site, f.nth, f.action
+            );
+        }
+    }
+    println!();
+}
+
+/// Degraded-mode rate for the §15 baseline: repeated replicated runs on
+/// a three-member group, each losing one replica mid-run (a promotion,
+/// not a re-dispatch). Returns `(jobs, wall_clock_secs)` where a job is
+/// one completed span.
+fn degraded_throughput(seed: u64) -> (u64, f64) {
+    use mcsd_apps::{seq, TextGen, WordCount};
+    use mcsd_cluster::multi_sd_testbed;
+    use mcsd_core::{
+        ExecMode, FaultAction, FaultInjector, FaultPlan, FaultSite, MultiSdRunner,
+        ReplicationSetup, SpanOutcome,
+    };
+    use std::time::Instant;
+
+    const RUNS: u64 = 8;
+    let text = TextGen::with_seed(seed).generate(60_000);
+    let oracle = seq::wordcount(&text);
+    let mut cluster = multi_sd_testbed(Scale::default_experiment(), 3);
+    for n in &mut cluster.nodes {
+        n.memory_bytes = 256 << 20;
+    }
+    let runner = MultiSdRunner::new(cluster).expect("runner boot");
+    let t0 = Instant::now();
+    let mut jobs = 0u64;
+    for run in 0..RUNS {
+        let dir = std::env::temp_dir().join(format!("mcsd-degraded-{}-{run}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("log dir");
+        let plan = FaultPlan::none().with(FaultSite::Replica, 9, FaultAction::CrashBefore);
+        let out = runner
+            .run_replicated(
+                &WordCount,
+                &WordCount::merger(),
+                &text,
+                ExecMode::Parallel,
+                &FaultInjector::new(plan),
+                &ReplicationSetup::new(&dir),
+            )
+            .expect("degraded run");
+        assert_eq!(out.pairs, oracle, "degraded run produced wrong output");
+        assert!(
+            out.outcomes
+                .iter()
+                .any(|o| matches!(o, SpanOutcome::Promoted { .. })),
+            "degraded run never promoted a replica"
+        );
+        jobs += out.outcomes.len() as u64;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    (jobs, t0.elapsed().as_secs_f64())
+}
+
 /// First perf baseline toward ROADMAP item 1: run the seeded four-phase
 /// scenario (tracer on, exports off) and report jobs/sec, engine
-/// decisions/sec through `engine::run_call`, and wall-clock. With
-/// `--json`, also write `BENCH_6.json` into the working directory — run
+/// decisions/sec through `engine::run_call`, and wall-clock, then the
+/// §15 degraded mode (group of three, one replica killed per run). With
+/// `--json`, also write `BENCH_7.json` into the working directory — run
 /// from the repo root to refresh the committed baseline. The absolute
 /// numbers include the scenario's deliberate stalls (gate polling,
 /// breaker cooldowns), so they are a trajectory marker, not a peak-rate
@@ -464,17 +651,27 @@ fn throughput_run(seed: u64, json: bool) {
          wall-clock: {wall:.3}s",
         totals.jobs, totals.decisions
     );
+    let (degraded_jobs, degraded_wall) = degraded_throughput(seed);
+    let degraded_jobs_per_sec = degraded_jobs as f64 / degraded_wall;
+    println!(
+        "degraded mode (one replica killed per run): {degraded_jobs} spans \
+         ({degraded_jobs_per_sec:.2}/s); wall-clock: {degraded_wall:.3}s"
+    );
     if json {
         let body = format!(
-            "{{\n  \"bench\": \"throughput\",\n  \"pr\": 6,\n  \"seed\": {seed},\n  \
+            "{{\n  \"bench\": \"throughput\",\n  \"pr\": 7,\n  \"seed\": {seed},\n  \
              \"scenario\": \"four-phase trace scenario (DESIGN.md section 12)\",\n  \
              \"jobs\": {},\n  \"engine_decisions\": {},\n  \"wall_clock_secs\": {wall:.3},\n  \
              \"jobs_per_sec\": {jobs_per_sec:.2},\n  \
-             \"engine_decisions_per_sec\": {decisions_per_sec:.2}\n}}\n",
+             \"engine_decisions_per_sec\": {decisions_per_sec:.2},\n  \
+             \"degraded_scenario\": \"replicated group of 3, leader replica killed mid-run (DESIGN.md section 15)\",\n  \
+             \"degraded_jobs\": {degraded_jobs},\n  \
+             \"degraded_wall_clock_secs\": {degraded_wall:.3},\n  \
+             \"degraded_jobs_per_sec\": {degraded_jobs_per_sec:.2}\n}}\n",
             totals.jobs, totals.decisions
         );
-        std::fs::write("BENCH_6.json", body).expect("write BENCH_6.json");
-        println!("wrote BENCH_6.json");
+        std::fs::write("BENCH_7.json", body).expect("write BENCH_7.json");
+        println!("wrote BENCH_7.json");
     }
     println!();
 }
@@ -671,6 +868,12 @@ fn main() {
     if which.iter().any(|w| w == "trace") {
         println!("## Deterministic trace — four-phase observability walkthrough (seed {seed})\n");
         trace_run(seed);
+    }
+    // Excluded from `all`: live log groups and seeded crashes make this
+    // a §15 resilience demo, not a figure.
+    if which.iter().any(|w| w == "failover") {
+        println!("## Failover — replicated log groups, promotion, re-protection (seed {seed})\n");
+        failover_demo(seed);
     }
     // Excluded from `all`: a timing baseline, not a paper figure.
     if which.iter().any(|w| w == "throughput") {

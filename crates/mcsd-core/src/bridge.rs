@@ -14,7 +14,7 @@ use mcsd_cluster::{Cluster, NfsShare, NodeId, TimeBreakdown};
 use mcsd_obs::Tracer;
 use mcsd_smartfam::{
     Daemon, DaemonConfig, DaemonHandle, DaemonStats, FaultInjector, HostClient, ModuleRegistry,
-    ResilienceStats, RetryPolicy,
+    ReplicaConfig, ResilienceStats, RetryPolicy,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -36,6 +36,7 @@ pub struct SdNodeServer {
     max_in_flight: usize,
     max_queued: usize,
     tracer: Tracer,
+    replication: Option<ReplicaConfig>,
 }
 
 impl SdNodeServer {
@@ -91,6 +92,22 @@ impl SdNodeServer {
         max_queued: usize,
         tracer: Tracer,
     ) -> Result<SdNodeServer, McsdError> {
+        SdNodeServer::start_replicated(cluster, injector, max_in_flight, max_queued, tracer, None)
+    }
+
+    /// The fullest constructor: like [`SdNodeServer::start_observed`],
+    /// optionally mirroring every daemon log append onto a replica group
+    /// (DESIGN.md §15). The group shape survives
+    /// [`SdNodeServer::restart_daemon`], and the restarted incarnation
+    /// merges mirror-only frames back into the primary log before replay.
+    pub fn start_replicated(
+        cluster: &Cluster,
+        injector: FaultInjector,
+        max_in_flight: usize,
+        max_queued: usize,
+        tracer: Tracer,
+        replication: Option<ReplicaConfig>,
+    ) -> Result<SdNodeServer, McsdError> {
         let sd = cluster.sd().clone();
         let host_id = cluster.host().id;
         let share = NfsShare::temp(sd.id, cluster.network, cluster.disk)?;
@@ -103,10 +120,13 @@ impl SdNodeServer {
         registry.register(Arc::new(StringMatchModule::new(&data_root, sd.clone())));
         registry.register(Arc::new(MatMulModule::new(&data_root, sd.clone())));
 
-        let config = DaemonConfig::new(&log_dir)
+        let mut config = DaemonConfig::new(&log_dir)
             .with_faults(injector.clone())
             .with_admission(max_in_flight, max_queued)
             .with_tracer(tracer.clone());
+        if let Some(replica) = replication {
+            config = config.with_replication(replica);
+        }
         let daemon = Daemon::new(config, registry.clone()).spawn()?;
         Ok(SdNodeServer {
             share,
@@ -118,6 +138,7 @@ impl SdNodeServer {
             max_in_flight,
             max_queued,
             tracer,
+            replication,
         })
     }
 
@@ -183,10 +204,13 @@ impl SdNodeServer {
     pub fn restart_daemon(&mut self) -> Result<(), McsdError> {
         self.stop();
         let log_dir = self.share.root().join(LOG_SUBDIR);
-        let config = DaemonConfig::new(&log_dir)
+        let mut config = DaemonConfig::new(&log_dir)
             .with_faults(self.injector.clone())
             .with_admission(self.max_in_flight, self.max_queued)
             .with_tracer(self.tracer.clone());
+        if let Some(replica) = self.replication {
+            config = config.with_replication(replica);
+        }
         let daemon = Daemon::new(config, self.registry.clone()).spawn()?;
         self.daemon = Some(daemon);
         Ok(())

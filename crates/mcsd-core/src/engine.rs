@@ -147,16 +147,31 @@ pub enum SpanOutcome {
         /// Node (surviving SD or the host) that ran the span.
         node: String,
     },
+    /// The span's module work completed, but its primary log replica
+    /// failed during the quorum round. Instead of re-dispatching the
+    /// whole span, the most-advanced acknowledged replica was promoted
+    /// (deterministic tiebreak by lowest node id) and the completed
+    /// output stands — recovery cost one promotion, not a recompute
+    /// (DESIGN.md §15).
+    Promoted {
+        /// Node holding the promoted authoritative log copy.
+        node: String,
+        /// Group epoch after the promotion; appends from the deposed
+        /// primary carry the old epoch and are fenced.
+        epoch: u64,
+    },
 }
 
 impl SpanOutcome {
-    /// The node that produced this span's output.
+    /// The node that produced this span's output (for a promoted span:
+    /// the node now holding the authoritative log copy).
     pub fn node(&self) -> &str {
         match self {
             SpanOutcome::Ok { node }
             | SpanOutcome::Retried { node }
             | SpanOutcome::Redispatched { node, .. }
-            | SpanOutcome::Steered { node } => node,
+            | SpanOutcome::Steered { node }
+            | SpanOutcome::Promoted { node, .. } => node,
         }
     }
 }

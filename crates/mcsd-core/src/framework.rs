@@ -29,7 +29,7 @@ use mcsd_cluster::{Cluster, TimeBreakdown};
 use mcsd_obs::names::{SPAN_CLUSTER_FETCH, SPAN_CLUSTER_STAGE};
 use mcsd_obs::Tracer;
 use mcsd_phoenix::Job;
-use mcsd_smartfam::{FaultInjector, ResilienceStats, RetryPolicy};
+use mcsd_smartfam::{FaultInjector, ReplicaConfig, ResilienceStats, RetryPolicy};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -75,6 +75,11 @@ pub struct ResilienceConfig {
     /// and the engine's decision events. Disabled by default
     /// (zero-cost); pass [`Tracer::enabled`] to record a run.
     pub tracer: Tracer,
+    /// Replicate the daemon's module logs onto a replica group of the
+    /// given shape (DESIGN.md §15): every append is mirrored, and a
+    /// restarted daemon merges mirror-only frames back into the primary
+    /// log before replay. `None` (the default) runs unreplicated.
+    pub replication: Option<ReplicaConfig>,
 }
 
 impl Default for ResilienceConfig {
@@ -90,6 +95,7 @@ impl Default for ResilienceConfig {
             steer_queue_depth: 64,
             min_fragment_bytes: DEFAULT_MIN_FRAGMENT_BYTES,
             tracer: Tracer::disabled(),
+            replication: None,
         }
     }
 }
@@ -117,12 +123,13 @@ impl McsdFramework {
         policy: OffloadPolicy,
         resilience: ResilienceConfig,
     ) -> Result<McsdFramework, McsdError> {
-        let server = SdNodeServer::start_observed(
+        let server = SdNodeServer::start_replicated(
             &cluster,
             resilience.injector.clone(),
             resilience.max_in_flight,
             resilience.max_queued,
             resilience.tracer.clone(),
+            resilience.replication,
         )?;
         let client = server.host_client();
         // One breaker slot: the framework offloads to one live SD node.
@@ -565,6 +572,36 @@ mod tests {
         let err = fw.wordcount("t.txt", None).unwrap_err();
         assert!(err.to_string().contains("daemon"), "{err}");
         assert!(fw.degradations().is_empty());
+        fw.stop();
+    }
+
+    #[test]
+    fn replication_config_reaches_the_daemon_mirrors() {
+        use mcsd_smartfam::ReplicaConfig;
+        let resilience = ResilienceConfig {
+            replication: Some(ReplicaConfig::default()),
+            ..ResilienceConfig::default()
+        };
+        let fw = McsdFramework::start_with(cluster(), OffloadPolicy::AlwaysSd, resilience).unwrap();
+        let text = TextGen::with_seed(33).generate(5_000);
+        fw.stage_data_local("t.txt", &text).unwrap();
+        let (pairs, _) = fw.wordcount("t.txt", None).unwrap();
+        assert_eq!(pairs, seq::wordcount(&text));
+        // The daemon mirrored its response appends onto the replica
+        // slots. The host writes requests straight into the primary log,
+        // so the primary is request + response and each mirror holds the
+        // daemon-appended suffix.
+        let log_dir = fw.sd_node().data_root().parent().unwrap().join("logs");
+        let primary = std::fs::read(log_dir.join("wordcount.log")).unwrap();
+        assert!(!primary.is_empty());
+        for r in 1..ReplicaConfig::default().group_size {
+            let mirror = std::fs::read(log_dir.join(format!(".replica{r}/wordcount.log"))).unwrap();
+            assert!(!mirror.is_empty(), "mirror {r} saw no appends");
+            assert!(
+                primary.ends_with(&mirror),
+                "mirror {r} is not a suffix of the primary log"
+            );
+        }
         fw.stop();
     }
 

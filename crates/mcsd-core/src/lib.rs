@@ -29,6 +29,9 @@
 //! * [`engine`] — the unified offload scheduler: the one copy of the
 //!   decide → admit → steer → dispatch → retry → fallback → record state
 //!   machine that both [`framework`] and [`multisd`] drive.
+//! * [`replication`] — replicated SD log groups: quorum appends, replica
+//!   promotion on primary failure, and background re-protection back to
+//!   full redundancy (DESIGN.md §15).
 //! * [`scenario`] — the paper's four multi-application execution scenarios
 //!   (§V-C): host-only, traditional single-core SD, duo SD without
 //!   partition, and the full McSD framework.
@@ -50,6 +53,7 @@ pub mod framework;
 pub mod modules;
 pub mod multisd;
 pub mod offload;
+pub mod replication;
 pub mod report;
 pub mod scenario;
 
@@ -62,11 +66,14 @@ pub use footprint::FootprintOverride;
 pub use framework::{McsdFramework, ResilienceConfig};
 pub use multisd::{MultiSdReport, MultiSdRunner, SpanOutcome};
 pub use offload::{JobProfile, OffloadDecision, OffloadPolicy};
-pub use report::RunReport;
+pub use replication::{ReplicationGroups, ReplicationSetup, RoundOutcome};
+pub use report::{ReplicationStats, RunReport};
 pub use scenario::{PairReport, PairRunner, PairScenario, PairWorkload};
 
-// Fault-injection surface, re-exported so experiment and test code can
-// script failures without depending on mcsd-smartfam directly.
+// Fault-injection and replication surface, re-exported so experiment and
+// test code can script failures without depending on mcsd-smartfam
+// directly.
 pub use mcsd_smartfam::{
-    FaultAction, FaultInjector, FaultPlan, FaultSite, OverloadStats, ResilienceStats, RetryPolicy,
+    FaultAction, FaultInjector, FaultPlan, FaultSite, OverloadStats, ReplicaConfig, ReplicaFault,
+    ResilienceStats, RetryPolicy,
 };

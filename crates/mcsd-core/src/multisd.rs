@@ -21,13 +21,14 @@ use crate::driver::{ExecMode, NodeRunner};
 use crate::engine::{Engine, EngineConfig};
 use crate::error::McsdError;
 use crate::offload::{OffloadPolicy, Offloader};
-use crate::report::RunReport;
+use crate::replication::{ReplicationGroups, ReplicationSetup, RoundOutcome};
+use crate::report::{ReplicationStats, RunReport};
 use mcsd_cluster::{Cluster, NodeRole, TimeBreakdown};
 use mcsd_obs::Tracer;
 use mcsd_phoenix::partition::Merger;
 use mcsd_phoenix::Stopwatch;
 use mcsd_phoenix::{Job, PartitionPlan, PartitionSpec};
-use mcsd_smartfam::{FaultInjector, ResilienceStats};
+use mcsd_smartfam::{FaultInjector, Frame, ResilienceStats};
 use std::time::Duration;
 
 pub use crate::engine::SpanOutcome;
@@ -44,6 +45,9 @@ pub struct MultiSdReport<K, V> {
     pub outcomes: Vec<SpanOutcome>,
     /// Aggregated recovery counters for the whole scale-out run.
     pub resilience: ResilienceStats,
+    /// Replicated-log counters (all zero on a non-replicated run; a
+    /// clean replicated run still counts quorum appends and acks).
+    pub replication: ReplicationStats,
     /// Virtual elapsed time: busiest node timeline + host-side merge.
     /// Re-dispatched spans charge both the failed runs and the re-run, so
     /// recovery is never free.
@@ -169,8 +173,61 @@ impl MultiSdRunner {
         J: Job + Clone,
         M: Merger<J>,
     {
+        self.run_inner(job, merger, input, mode, injector, None)
+    }
+
+    /// Like [`MultiSdRunner::run_with_faults`], with every span's module
+    /// log replicated onto a group of SD nodes (DESIGN.md §15). Each
+    /// completed span run appends its request and response frames
+    /// through quorum rounds on the span's [`ReplicationGroups`] group;
+    /// the injector's [`mcsd_smartfam::FaultSite::Replica`] and
+    /// [`mcsd_smartfam::FaultSite::Group`] schedules crash, tear, or
+    /// corrupt individual copies deterministically. A span whose leader
+    /// replica fails after the round committed finishes as
+    /// [`SpanOutcome::Promoted`] — its completed output stands, no
+    /// re-execution — while a span whose round loses its write quorum is
+    /// re-dispatched through the normal chain. Background re-protection
+    /// restores full group redundancy before the report is built.
+    pub fn run_replicated<J, M>(
+        &self,
+        job: &J,
+        merger: &M,
+        input: &[u8],
+        mode: ExecMode,
+        injector: &FaultInjector,
+        setup: &ReplicationSetup,
+    ) -> Result<MultiSdReport<J::Key, J::Value>, McsdError>
+    where
+        J: Job + Clone,
+        M: Merger<J>,
+    {
+        self.run_inner(job, merger, input, mode, injector, Some(setup))
+    }
+
+    fn run_inner<J, M>(
+        &self,
+        job: &J,
+        merger: &M,
+        input: &[u8],
+        mode: ExecMode,
+        injector: &FaultInjector,
+        replication: Option<&ReplicationSetup>,
+    ) -> Result<MultiSdReport<J::Key, J::Value>, McsdError>
+    where
+        J: Job + Clone,
+        M: Merger<J>,
+    {
         let sd_nodes = self.sd_nodes();
         let spans = self.plan_spans(job, input);
+        let mut groups = match replication {
+            Some(setup) => Some(ReplicationGroups::plan(
+                setup,
+                sd_nodes.iter().map(|n| n.name.clone()).collect(),
+                spans.len(),
+                injector.clone(),
+            )?),
+            None => None,
+        };
 
         // Each node's span runs through its own NodeRunner. The spans are
         // executed one after another here so each measurement is clean
@@ -194,22 +251,51 @@ impl MultiSdRunner {
         let overload_baseline = self.engine.overload_totals();
         for (i, span) in spans.iter().enumerate() {
             let primary = i.min(sd_nodes.len() - 1);
-            let (disposition, out) = self.engine.run_span(i, primary, |slot| {
+            let (disposition, (out, promoted)) = self.engine.run_span(i, primary, |slot| {
                 let node = if slot == host_slot {
                     self.cluster.host().clone()
                 } else {
                     sd_nodes[slot].clone()
                 };
-                let injected = slot != host_slot && injector.on_span();
+                let mut injected = slot != host_slot && injector.on_span();
                 resilience.attempts += 1;
                 let runner = NodeRunner::new(node, self.cluster.disk);
                 let out =
                     runner.run_mode_at(job, merger, &input[span.clone()], mode, span.start)?;
                 timelines[slot] += out.report.elapsed();
-                Ok((injected, out))
+                // Durability: a completed SD-side run records its request
+                // and response frames in the span's replicated module log.
+                // Losing the write quorum counts as a lost run (the span
+                // re-dispatches through the normal chain); a committed
+                // round whose leader replica died promotes instead — the
+                // output stands and only the log leadership moves.
+                let mut promoted = None;
+                if let (Some(groups), false) = (groups.as_mut(), injected) {
+                    if slot != host_slot {
+                        let request = Frame::request(
+                            i as u64,
+                            vec![format!("span{i}"), format!("{}..{}", span.start, span.end)],
+                        );
+                        let response = Frame::response_ok(
+                            i as u64,
+                            format!("pairs={}", out.pairs.len()).into_bytes(),
+                        );
+                        match groups.record_span(i, &request, &response)? {
+                            RoundOutcome::Committed => {}
+                            RoundOutcome::Promoted { node, epoch } => {
+                                promoted = Some((node, epoch));
+                            }
+                            RoundOutcome::QuorumLost => injected = true,
+                        }
+                    }
+                }
+                Ok((injected, (out, promoted)))
             })?;
 
-            let outcome = disposition.outcome(primary, out.report.node.clone());
+            let outcome = match promoted {
+                Some((node, epoch)) => SpanOutcome::Promoted { node, epoch },
+                None => disposition.outcome(primary, out.report.node.clone()),
+            };
             resilience.retries += u64::from(disposition.failures);
             resilience.redispatches += u64::from(disposition.redispatched(primary));
 
@@ -232,12 +318,22 @@ impl MultiSdRunner {
         resilience
             .overload
             .absorb(&self.engine.overload_delta(&overload_baseline));
+        // Run-end sweep: re-protection must finish before the report —
+        // a degraded group never outlives its run.
+        let replication = match groups.as_mut() {
+            Some(groups) => {
+                groups.reprotect_all()?;
+                groups.stats()
+            }
+            None => ReplicationStats::default(),
+        };
 
         Ok(MultiSdReport {
             pairs,
             per_node,
             outcomes,
             resilience,
+            replication,
             elapsed: busiest + merge.total(),
             merge,
         })

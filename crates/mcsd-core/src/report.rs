@@ -3,7 +3,118 @@
 use mcsd_cluster::TimeBreakdown;
 use mcsd_phoenix::JobStats;
 use mcsd_smartfam::ResilienceStats;
+use std::fmt;
 use std::time::Duration;
+
+/// Counters of the replicated-log tier (DESIGN.md §15): quorum appends,
+/// replica/group crashes, promotions, epoch fences and re-protection.
+///
+/// Single-owner rule (§13): every counter here is mutated only by the
+/// replication engine (`crates/mcsd-core/src/replication.rs`) and merged
+/// only through [`ReplicationStats::absorb`] — tidy rule MCSD009 enforces
+/// both directions against the §13 ownership table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Append rounds that gathered their write quorum and committed.
+    pub quorum_appends: u64,
+    /// Verified per-member acknowledgements across all committed rounds.
+    pub replica_acks: u64,
+    /// Individual replica crashes observed during append rounds.
+    pub replica_crashes: u64,
+    /// Correlated group-crash faults (one schedule entry, several
+    /// members of the same group).
+    pub group_crashes: u64,
+    /// Promotions: a failed primary replaced by its most-advanced
+    /// acknowledged replica instead of a span re-execution.
+    pub promotions: u64,
+    /// Appends rejected because the writer carried a stale group epoch.
+    pub fenced_appends: u64,
+    /// Background re-protection copies (one per rebuilt member).
+    pub reprotect_copies: u64,
+    /// Bytes copied by the re-protection loop.
+    pub reprotect_bytes: u64,
+}
+
+impl ReplicationStats {
+    /// Merge another set of counters into this one.
+    pub fn absorb(&mut self, other: &ReplicationStats) {
+        self.quorum_appends += other.quorum_appends;
+        self.replica_acks += other.replica_acks;
+        self.replica_crashes += other.replica_crashes;
+        self.group_crashes += other.group_crashes;
+        self.promotions += other.promotions;
+        self.fenced_appends += other.fenced_appends;
+        self.reprotect_copies += other.reprotect_copies;
+        self.reprotect_bytes += other.reprotect_bytes;
+    }
+
+    /// Whether the run saw no replica disturbance at all (appends and
+    /// acks still count on a clean replicated run).
+    pub fn is_clean(&self) -> bool {
+        self.replica_crashes == 0
+            && self.group_crashes == 0
+            && self.promotions == 0
+            && self.fenced_appends == 0
+            && self.reprotect_copies == 0
+            && self.reprotect_bytes == 0
+    }
+
+    /// Publish the counters into a [`mcsd_obs::MetricsRegistry`] under
+    /// the single owner `mcsd.replication` (DESIGN.md §12).
+    pub fn publish(
+        &self,
+        registry: &mcsd_obs::MetricsRegistry,
+    ) -> Result<(), mcsd_obs::MetricsError> {
+        use mcsd_obs::names;
+        const OWNER: &str = "mcsd.replication";
+        for (key, value) in [
+            (
+                names::METRIC_REPLICATION_QUORUM_APPENDS,
+                self.quorum_appends,
+            ),
+            (names::METRIC_REPLICATION_REPLICA_ACKS, self.replica_acks),
+            (
+                names::METRIC_REPLICATION_REPLICA_CRASHES,
+                self.replica_crashes,
+            ),
+            (names::METRIC_REPLICATION_GROUP_CRASHES, self.group_crashes),
+            (names::METRIC_REPLICATION_PROMOTIONS, self.promotions),
+            (
+                names::METRIC_REPLICATION_FENCED_APPENDS,
+                self.fenced_appends,
+            ),
+            (
+                names::METRIC_REPLICATION_REPROTECT_COPIES,
+                self.reprotect_copies,
+            ),
+            (
+                names::METRIC_REPLICATION_REPROTECT_BYTES,
+                self.reprotect_bytes,
+            ),
+        ] {
+            registry.publish(key, OWNER, value)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ReplicationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quorum_appends={} acks={} replica_crashes={} group_crashes={} \
+             promotions={} fenced={} reprotect_copies={} reprotect_bytes={}",
+            self.quorum_appends,
+            self.replica_acks,
+            self.replica_crashes,
+            self.group_crashes,
+            self.promotions,
+            self.fenced_appends,
+            self.reprotect_copies,
+            self.reprotect_bytes,
+        )
+    }
+}
 
 /// Summary of one job run on one node under one execution mode — the unit
 /// the paper's elapsed-time curves and speedup bars are built from.
@@ -100,5 +211,48 @@ mod tests {
         r.resilience.retries = 2;
         r.resilience.attempts = 3;
         assert!(r.summary().contains("retries=2"));
+    }
+
+    #[test]
+    fn replication_stats_absorb_and_cleanliness() {
+        let mut a = ReplicationStats::default();
+        assert!(a.is_clean());
+        // A clean replicated run still counts appends and acks.
+        a.quorum_appends = 4;
+        a.replica_acks = 12;
+        assert!(a.is_clean());
+        let b = ReplicationStats {
+            quorum_appends: 1,
+            replica_acks: 2,
+            replica_crashes: 1,
+            group_crashes: 1,
+            promotions: 1,
+            fenced_appends: 1,
+            reprotect_copies: 2,
+            reprotect_bytes: 100,
+        };
+        a.absorb(&b);
+        assert!(!a.is_clean());
+        assert_eq!(a.quorum_appends, 5);
+        assert_eq!(a.replica_acks, 14);
+        assert_eq!(a.reprotect_bytes, 100);
+        let line = a.to_string();
+        assert!(line.contains("promotions=1"));
+        assert!(line.contains("reprotect_copies=2"));
+    }
+
+    #[test]
+    fn replication_stats_publish_single_owner() {
+        let registry = mcsd_obs::MetricsRegistry::new();
+        let stats = ReplicationStats {
+            quorum_appends: 3,
+            promotions: 1,
+            ..ReplicationStats::default()
+        };
+        stats.publish(&registry).unwrap();
+        // A second claimant under a different owner must be refused.
+        assert!(registry
+            .publish("replication.promotions", "rogue", 9)
+            .is_err());
     }
 }

@@ -147,6 +147,9 @@ fn multisd_side(scenario: &Scenario) -> Observed {
                 );
                 OffloadDecision::FallbackToHost
             }
+            SpanOutcome::Promoted { .. } => {
+                panic!("run_with_faults never replicates, so nothing can be promoted")
+            }
         });
         // The engine reports a failed span that ended on the host as a
         // re-dispatch; the framework calls the same event a failover.

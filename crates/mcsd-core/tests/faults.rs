@@ -178,6 +178,99 @@ fn corrupt_skipped_bytes_are_counted_once() {
     );
 }
 
+/// One restart-recovery run for the regression below: corrupt the first
+/// daemon response append, restart the daemon over the same logs, and
+/// report `(corrupt_skipped_bytes, replayed)` from the second
+/// incarnation once the pending call is answered.
+fn restart_recovery_run(replication: Option<mcsd_core::ReplicaConfig>) -> (u64, u64) {
+    use mcsd_core::bridge::SdNodeServer;
+    let plan = FaultPlan::none().with(
+        FaultSite::SdAppend,
+        0,
+        FaultAction::Corrupt { xor_mask: 0x11 },
+    );
+    let mut server = SdNodeServer::start_replicated(
+        &cluster(),
+        FaultInjector::new(plan),
+        mcsd_smartfam::daemon::DEFAULT_MAX_IN_FLIGHT,
+        mcsd_smartfam::daemon::DEFAULT_MAX_QUEUED,
+        mcsd_obs::Tracer::disabled(),
+        replication,
+    )
+    .unwrap();
+    let text = TextGen::with_seed(1234).generate(20_000);
+    server.stage_local("t.txt", &text).unwrap();
+    let client = server.host_client();
+    let pending = client
+        .smartfam()
+        .submit("wordcount", &["t.txt".to_string()])
+        .unwrap();
+    // Wait for the first incarnation to execute the module and land its
+    // (corrupted) response — and, when replicated, the clean mirror copy.
+    let log_dir = server.data_root().parent().unwrap().join("logs");
+    let primary = log_dir.join("wordcount.log");
+    let len0 = std::fs::metadata(&primary).map(|m| m.len()).unwrap_or(0);
+    let mirror = log_dir.join(".replica1/wordcount.log");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let grown = std::fs::metadata(&primary).map(|m| m.len()).unwrap_or(0) > len0;
+        let mirrored =
+            replication.is_none() || std::fs::metadata(&mirror).map(|m| m.len()).unwrap_or(0) > 0;
+        if grown && mirrored {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "first incarnation never answered"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // A second, clean call puts bytes *after* the corrupt response so
+    // the restart scan can prove it corrupt — a corrupt final frame is
+    // indistinguishable from a torn tail and is deliberately not counted
+    // (same overlap trick as `corrupt_skipped_bytes_are_counted_once`).
+    let second = client
+        .smartfam()
+        .submit("wordcount", &["t.txt".to_string()])
+        .unwrap();
+    assert!(!second
+        .wait(Duration::from_secs(30))
+        .unwrap()
+        .payload
+        .is_empty());
+    server.restart_daemon().unwrap();
+    let outcome = pending.wait(Duration::from_secs(30)).unwrap();
+    assert!(!outcome.payload.is_empty());
+    let stats = server.daemon_stats();
+    (stats.corrupt_skipped_bytes, stats.replayed)
+}
+
+/// Regression (§15, companion to the count-once test above): the
+/// promote-time mirror merge scans every replica copy of the log, but
+/// corrupt-skip accounting stays with the daemon's primary replay scan —
+/// the mirror scans drop their skipped bytes. A replicated recovery must
+/// therefore count exactly the same corrupt bytes as an unreplicated one
+/// (one copy's worth, not one per replica), while answering from the
+/// clean mirror without re-executing the module.
+#[test]
+fn replicated_recovery_counts_corrupt_bytes_once() {
+    let (plain_bytes, plain_replayed) = restart_recovery_run(None);
+    assert!(plain_bytes > 0, "corrupt frame never skipped");
+    assert!(
+        plain_replayed >= 1,
+        "unreplicated recovery must re-execute the unanswered request"
+    );
+    let (rep_bytes, rep_replayed) = restart_recovery_run(Some(mcsd_core::ReplicaConfig::default()));
+    assert_eq!(
+        rep_bytes, plain_bytes,
+        "mirror scans added extra corrupt-skip copies"
+    );
+    assert_eq!(
+        rep_replayed, 0,
+        "mirror merge must answer without re-executing the module"
+    );
+}
+
 #[test]
 fn seed_sweep_covers_every_fault_kind() {
     let mut crash = false;
@@ -197,6 +290,9 @@ fn seed_sweep_covers_every_fault_kind() {
                 FaultAction::Fail => fail = true,
                 FaultAction::Stall { .. } => stall = true,
                 FaultAction::Hide { .. } => hide = true,
+                FaultAction::CrashReplicas { .. } => {
+                    panic!("classic from_seed plans must not schedule replica-group faults")
+                }
             }
         }
     }

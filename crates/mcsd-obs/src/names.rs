@@ -34,9 +34,12 @@ pub const SPAN_CLUSTER_STAGE: &str = "cluster.stage";
 /// Host fetching staged data over NFS; width = analytic network+disk µs
 /// (cluster).
 pub const SPAN_CLUSTER_FETCH: &str = "cluster.fetch";
+/// Background re-protection pass rebuilding a replication group back to
+/// full redundancy; width = re-protect steps performed (decision).
+pub const SPAN_MCSD_REPROTECT: &str = "mcsd.reprotect";
 
 /// Every span name the stack may emit.
-pub const ALL_SPANS: [&str; 9] = [
+pub const ALL_SPANS: [&str; 10] = [
     SPAN_PHOENIX_PARTITIONED,
     SPAN_PHOENIX_JOB,
     SPAN_PHOENIX_SPLIT,
@@ -46,6 +49,7 @@ pub const ALL_SPANS: [&str; 9] = [
     SPAN_MCSD_CALL,
     SPAN_CLUSTER_STAGE,
     SPAN_CLUSTER_FETCH,
+    SPAN_MCSD_REPROTECT,
 ];
 
 // --------------------------------------------------------------- events
@@ -94,9 +98,22 @@ pub const EVENT_MCSD_REPARTITION: &str = "mcsd.repartition";
 pub const EVENT_MCSD_BREAKER_OPEN: &str = "mcsd.breaker_open";
 /// The SD circuit breaker admitted a half-open probe.
 pub const EVENT_MCSD_BREAKER_PROBE: &str = "mcsd.breaker_probe";
+/// One replication-group member crashed during an append round.
+pub const EVENT_SD_REPLICA_CRASH: &str = "sd.replica_crash";
+/// A quorum-append round aborted: too few verified acknowledgements.
+pub const EVENT_SD_QUORUM_LOST: &str = "sd.quorum_lost";
+/// Promote-time recovery merged frames from a mirror onto a primary log.
+pub const EVENT_SD_REPLICA_MERGE: &str = "sd.replica_merge";
+/// The engine promoted the most-advanced acknowledged replica after a
+/// primary failure (`node` and `epoch` attrs).
+pub const EVENT_MCSD_PROMOTE: &str = "mcsd.promote";
+/// A stale primary's append was fenced by the group epoch.
+pub const EVENT_MCSD_EPOCH_FENCE: &str = "mcsd.epoch_fence";
+/// A correlated failure took down several replicas of one group at once.
+pub const EVENT_MCSD_GROUP_CRASH: &str = "mcsd.group_crash";
 
 /// Every event type the stack may emit.
-pub const ALL_EVENTS: [&str; 22] = [
+pub const ALL_EVENTS: [&str; 28] = [
     EVENT_HOST_SUBMIT,
     EVENT_HOST_ATTEMPT,
     EVENT_HOST_RETRY,
@@ -119,6 +136,12 @@ pub const ALL_EVENTS: [&str; 22] = [
     EVENT_MCSD_REPARTITION,
     EVENT_MCSD_BREAKER_OPEN,
     EVENT_MCSD_BREAKER_PROBE,
+    EVENT_SD_REPLICA_CRASH,
+    EVENT_SD_QUORUM_LOST,
+    EVENT_SD_REPLICA_MERGE,
+    EVENT_MCSD_PROMOTE,
+    EVENT_MCSD_EPOCH_FENCE,
+    EVENT_MCSD_GROUP_CRASH,
 ];
 
 // -------------------------------------------------------------- metrics
@@ -189,8 +212,26 @@ pub const METRIC_PHOENIX_FRAGMENTS: &str = "phoenix.fragments";
 /// Bytes the memory model says would swap (owner: `phoenix`).
 pub const METRIC_PHOENIX_SWAPPED_BYTES: &str = "phoenix.swapped_bytes";
 
+/// Quorum-append rounds committed (owner: `mcsd.replication`).
+pub const METRIC_REPLICATION_QUORUM_APPENDS: &str = "replication.quorum_appends";
+/// Verified per-replica acknowledgements (owner: `mcsd.replication`).
+pub const METRIC_REPLICATION_REPLICA_ACKS: &str = "replication.replica_acks";
+/// Individual replica crashes observed (owner: `mcsd.replication`).
+pub const METRIC_REPLICATION_REPLICA_CRASHES: &str = "replication.replica_crashes";
+/// Correlated whole-group crash events (owner: `mcsd.replication`).
+pub const METRIC_REPLICATION_GROUP_CRASHES: &str = "replication.group_crashes";
+/// Replica promotions after a primary failure (owner: `mcsd.replication`).
+pub const METRIC_REPLICATION_PROMOTIONS: &str = "replication.promotions";
+/// Stale-epoch appends fenced (owner: `mcsd.replication`).
+pub const METRIC_REPLICATION_FENCED_APPENDS: &str = "replication.fenced_appends";
+/// Re-protect copy steps performed (owner: `mcsd.replication`).
+pub const METRIC_REPLICATION_REPROTECT_COPIES: &str = "replication.reprotect_copies";
+/// Bytes copied onto fresh members by re-protection (owner:
+/// `mcsd.replication`).
+pub const METRIC_REPLICATION_REPROTECT_BYTES: &str = "replication.reprotect_bytes";
+
 /// Every metric key the stack may register.
-pub const ALL_METRICS: [&str; 31] = [
+pub const ALL_METRICS: [&str; 39] = [
     METRIC_SD_REQUESTS,
     METRIC_SD_OK,
     METRIC_SD_MODULE_ERRORS,
@@ -222,6 +263,14 @@ pub const ALL_METRICS: [&str; 31] = [
     METRIC_PHOENIX_OUTPUT_PAIRS,
     METRIC_PHOENIX_FRAGMENTS,
     METRIC_PHOENIX_SWAPPED_BYTES,
+    METRIC_REPLICATION_QUORUM_APPENDS,
+    METRIC_REPLICATION_REPLICA_ACKS,
+    METRIC_REPLICATION_REPLICA_CRASHES,
+    METRIC_REPLICATION_GROUP_CRASHES,
+    METRIC_REPLICATION_PROMOTIONS,
+    METRIC_REPLICATION_FENCED_APPENDS,
+    METRIC_REPLICATION_REPROTECT_COPIES,
+    METRIC_REPLICATION_REPROTECT_BYTES,
 ];
 
 /// Whether `name` is a catalogued span or event name.

@@ -26,11 +26,12 @@ use crate::codec::{Frame, FrameBody, HeartbeatLoad, HeartbeatRecord};
 use crate::faults::{DispatchFault, FaultInjector, QUARANTINE_TOKEN};
 use crate::log_file::{LogFile, LogRole};
 use crate::module::ModuleRegistry;
+use crate::replica::{recover_group, MirrorSet, ReplicaConfig};
 use crate::watch::{FileWatcher, WatchConfig, WatchEventKind};
 use mcsd_obs::names::{
     EVENT_SD_COMPLETE, EVENT_SD_DISPATCH, EVENT_SD_EXPIRED, EVENT_SD_HEARTBEAT, EVENT_SD_POLL,
     EVENT_SD_QUARANTINE, EVENT_SD_QUARANTINE_REJECTED, EVENT_SD_QUEUE, EVENT_SD_REPLAY,
-    EVENT_SD_REQUEST, EVENT_SD_SHED, EVENT_SD_UNKNOWN_MODULE,
+    EVENT_SD_REPLICA_MERGE, EVENT_SD_REQUEST, EVENT_SD_SHED, EVENT_SD_UNKNOWN_MODULE,
 };
 use mcsd_obs::{ClockDomain, Tracer, TrackId};
 use mcsd_phoenix::{wall_clock_ms, Stopwatch};
@@ -78,6 +79,13 @@ pub struct DaemonConfig {
     /// events land on the `sd.daemon` decision-domain track in log-scan
     /// order; heartbeats and polls are recorded volatile (DESIGN.md §12).
     pub tracer: Tracer,
+    /// Replicated log groups (off by default). When set, every response
+    /// the daemon appends is mirrored onto the group's `.replica<r>/`
+    /// copies, and the startup replay scan first merges frames that
+    /// survive only in a mirror back into the primary log — so a torn or
+    /// corrupted response append is recovered from a replica instead of
+    /// re-executed (DESIGN.md §15).
+    pub replication: Option<ReplicaConfig>,
 }
 
 impl DaemonConfig {
@@ -94,6 +102,7 @@ impl DaemonConfig {
             shed_retry_after: Duration::from_millis(50),
             injector: FaultInjector::disabled(),
             tracer: Tracer::disabled(),
+            replication: None,
         }
     }
 
@@ -113,6 +122,12 @@ impl DaemonConfig {
     pub fn with_admission(mut self, max_in_flight: usize, max_queued: usize) -> Self {
         self.max_in_flight = max_in_flight.max(1);
         self.max_queued = max_queued;
+        self
+    }
+
+    /// Enable replicated log groups (builder style).
+    pub fn with_replication(mut self, replication: ReplicaConfig) -> Self {
+        self.replication = Some(replication);
         self
     }
 }
@@ -413,6 +428,24 @@ fn daemon_loop(
         trace: (tracer, track),
     };
 
+    // Promote-time recovery (replication only): before the replay scan,
+    // merge frames that survive only in a mirror back onto the primary
+    // logs, so answers whose primary append was lost are not re-executed.
+    // Mirror scans never feed `corrupt_skipped_bytes` — the primary-log
+    // replay scan below remains that counter's single bookkeeping site
+    // (DESIGN.md §13), so the same corruption is never counted per copy.
+    if let Some(rep) = ctx.config.replication {
+        if let Ok(recovery) = recover_group(&ctx.config.log_dir, rep.group_size) {
+            if recovery.merged_frames > 0 {
+                ctx.trace.0.event(
+                    ctx.trace.1,
+                    EVENT_SD_REPLICA_MERGE,
+                    &[("frames", &recovery.merged_frames.to_string())],
+                );
+            }
+        }
+    }
+
     // Startup replay: answer pending requests left over from a previous
     // daemon incarnation. Sorted so multi-log replay admits in a stable
     // order regardless of directory-iteration order.
@@ -503,6 +536,13 @@ fn module_name(path: &Path) -> String {
 impl DaemonCtx {
     fn slots_busy(&self) -> bool {
         self.in_flight.load(Ordering::Relaxed) >= self.config.max_in_flight as u64
+    }
+
+    /// The mirror set for one module log, when replication is on.
+    fn mirrors_for(&self, path: &Path) -> Option<MirrorSet> {
+        self.config
+            .replication
+            .map(|rep| MirrorSet::for_log(path, rep.group_size))
     }
 
     /// Poll one module log and run every not-yet-handled request through
@@ -606,10 +646,11 @@ impl DaemonCtx {
                 .event(self.trace.1, EVENT_SD_SHED, &[("module", &req.name)]);
             if let Ok(writer) = LogFile::attach_at_start(&req.path) {
                 let writer = writer.with_faults(self.config.injector.clone(), LogRole::Daemon);
-                let _ = writer.append(&Frame::response_overloaded(
-                    req.id,
-                    self.config.shed_retry_after,
-                ));
+                let response = Frame::response_overloaded(req.id, self.config.shed_retry_after);
+                let _ = writer.append(&response);
+                if let Some(mirrors) = self.mirrors_for(&req.path) {
+                    mirrors.append(&response);
+                }
             }
         }
     }
@@ -642,6 +683,13 @@ impl DaemonCtx {
             return;
         };
         let writer = writer.with_faults(self.config.injector.clone(), LogRole::Daemon);
+        let mirrors = self.mirrors_for(&path);
+        let respond = |response: &Frame| {
+            let _ = writer.append(response);
+            if let Some(m) = &mirrors {
+                m.append(response);
+            }
+        };
         // Deadline check at dequeue: the caller has already given up, so
         // the request is dropped — counted, answered, never executed.
         if expires_unix_ms != 0 && wall_clock_ms() >= expires_unix_ms {
@@ -649,7 +697,7 @@ impl DaemonCtx {
             self.trace
                 .0
                 .event(self.trace.1, EVENT_SD_EXPIRED, &[("module", &name)]);
-            let _ = writer.append(&Frame::response_err(
+            respond(&Frame::response_err(
                 id,
                 "deadline expired before dispatch; request dropped",
             ));
@@ -667,7 +715,7 @@ impl DaemonCtx {
                 EVENT_SD_QUARANTINE_REJECTED,
                 &[("module", &name)],
             );
-            let _ = writer.append(&Frame::response_err(
+            respond(&Frame::response_err(
                 id,
                 &format!(
                     "module {name:?} {QUARANTINE_TOKEN} {} consecutive failures",
@@ -681,7 +729,7 @@ impl DaemonCtx {
             self.trace
                 .0
                 .event(self.trace.1, EVENT_SD_UNKNOWN_MODULE, &[("module", &name)]);
-            let _ = writer.append(&Frame::response_err(
+            respond(&Frame::response_err(
                 id,
                 &format!("no module registered under {name:?}"),
             ));
@@ -722,7 +770,7 @@ impl DaemonCtx {
                     EVENT_SD_COMPLETE,
                     &[("module", &name), ("status", "error")],
                 );
-                let _ = writer.append(&Frame::response_err(id, "injected module failure"));
+                respond(&Frame::response_err(id, "injected module failure"));
                 return;
             }
             None => {}
@@ -772,6 +820,9 @@ impl DaemonCtx {
                 ],
             );
             let _ = writer.append(&response);
+            if let Some(m) = &mirrors {
+                m.append(&response);
+            }
             in_flight.fetch_sub(1, Ordering::Relaxed);
         };
         if self.config.dispatch_parallel {
@@ -1239,6 +1290,71 @@ mod tests {
         daemon.stop();
         assert_eq!(daemon.stats().expired, 1);
         assert_eq!(invocations.load(Ordering::Relaxed), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replicated_daemon_recovers_corrupt_response_from_mirror_without_reexecution() {
+        use crate::faults::{FaultAction, FaultPlan, FaultSite};
+        let dir = temp_dir();
+        let invocations = Arc::new(TestCounter::new(0));
+        let mk_registry = |counter: Arc<TestCounter>| {
+            let r = ModuleRegistry::new();
+            r.register(Arc::new(FnModule::new("count", move |_: &[String]| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                Ok(b"answered".to_vec())
+            })));
+            r
+        };
+        let client = HostClient::new(&dir);
+        let pending = client.submit("count", &[]).unwrap();
+        // First incarnation: the module runs, but the primary response
+        // append is corrupted in flight. The mirror copy stays clean.
+        let plan = FaultPlan::none().with(
+            FaultSite::SdAppend,
+            0,
+            FaultAction::Corrupt { xor_mask: 0x11 },
+        );
+        let mut daemon1 = Daemon::new(
+            DaemonConfig::new(&dir)
+                .with_faults(FaultInjector::new(plan))
+                .with_replication(ReplicaConfig::default()),
+            mk_registry(Arc::clone(&invocations)),
+        )
+        .spawn()
+        .unwrap();
+        let mirror = crate::replica::ReplicatedLog::replica_path(&dir, "count", 1);
+        let waited = Stopwatch::start();
+        while !waited.expired(TIMEOUT) {
+            if mirror.exists()
+                && std::fs::metadata(&mirror)
+                    .map(|m| m.len() > 0)
+                    .unwrap_or(false)
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        daemon1.stop();
+        assert_eq!(invocations.load(Ordering::Relaxed), 1);
+        // Second incarnation: promote-time recovery merges the clean
+        // response from the mirror back onto the primary log, so the host
+        // is answered WITHOUT the module re-executing.
+        let mut daemon2 = Daemon::new(
+            DaemonConfig::new(&dir).with_replication(ReplicaConfig::default()),
+            mk_registry(Arc::clone(&invocations)),
+        )
+        .spawn()
+        .unwrap();
+        let out = pending.wait(TIMEOUT).unwrap();
+        assert_eq!(out.payload, b"answered");
+        assert_eq!(
+            invocations.load(Ordering::Relaxed),
+            1,
+            "promotion must not re-execute completed module work"
+        );
+        daemon2.stop();
+        assert_eq!(daemon2.stats().requests, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

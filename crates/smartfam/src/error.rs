@@ -57,6 +57,23 @@ pub enum SmartFamError {
         /// The daemon's suggested retry delay.
         retry_after: Duration,
     },
+    /// A replicated append could not gather its write quorum: too few
+    /// group members acknowledged a verified copy of the frame.
+    QuorumLost {
+        /// Replicas that acknowledged the write.
+        acked: usize,
+        /// The configured write quorum.
+        needed: usize,
+    },
+    /// A replicated append carried a stale group epoch — the writer was
+    /// deposed by a promotion it has not observed, so the append is
+    /// fenced off instead of splitting the log's history.
+    Fenced {
+        /// The epoch the stale writer presented.
+        stale: u64,
+        /// The group's current epoch.
+        current: u64,
+    },
 }
 
 impl SmartFamError {
@@ -89,6 +106,8 @@ impl SmartFamError {
             SmartFamError::DaemonDead { .. } => "daemon_dead",
             SmartFamError::FaultInjected { .. } => "fault_injected",
             SmartFamError::Overloaded { .. } => "overloaded",
+            SmartFamError::QuorumLost { .. } => "quorum_lost",
+            SmartFamError::Fenced { .. } => "fenced",
         }
     }
 }
@@ -126,6 +145,20 @@ impl fmt::Display for SmartFamError {
                     f,
                     "daemon overloaded; request to module {module:?} shed \
                      (retry after {retry_after:?})"
+                )
+            }
+            SmartFamError::QuorumLost { acked, needed } => {
+                write!(
+                    f,
+                    "replicated append lost its quorum: {acked} of {needed} \
+                     required acknowledgements"
+                )
+            }
+            SmartFamError::Fenced { stale, current } => {
+                write!(
+                    f,
+                    "replicated append fenced: writer epoch {stale} is \
+                     behind group epoch {current}"
                 )
             }
         }
@@ -223,6 +256,23 @@ mod tests {
             .kind(),
             "daemon_dead"
         );
+    }
+
+    #[test]
+    fn replication_errors_display_and_kind() {
+        let lost = SmartFamError::QuorumLost {
+            acked: 1,
+            needed: 2,
+        };
+        assert_eq!(lost.kind(), "quorum_lost");
+        assert!(lost.to_string().contains("1 of 2"));
+        let fenced = SmartFamError::Fenced {
+            stale: 0,
+            current: 1,
+        };
+        assert_eq!(fenced.kind(), "fenced");
+        assert!(fenced.to_string().contains("epoch 0"));
+        assert!(fenced.to_string().contains("epoch 1"));
     }
 
     #[test]

@@ -44,10 +44,19 @@ pub enum FaultSite {
     Heartbeat,
     /// A multi-SD span being executed on its primary node.
     Span,
+    /// One member of a replication group receiving a fanned-out append.
+    /// Occurrences advance in fan-out order (entry-major, replica-minor),
+    /// so occurrence `k` with group size `g` is entry `k / g`, replica
+    /// `k % g` — exact and replayable.
+    Replica,
+    /// A whole replication group at an append round: a scheduled
+    /// [`FaultAction::CrashReplicas`] takes down every replica named in
+    /// its mask at once (correlated rack failure).
+    Group,
 }
 
 impl FaultSite {
-    const COUNT: usize = 7;
+    const COUNT: usize = 9;
 
     fn index(self) -> usize {
         match self {
@@ -58,6 +67,8 @@ impl FaultSite {
             FaultSite::Dispatch => 4,
             FaultSite::Heartbeat => 5,
             FaultSite::Span => 6,
+            FaultSite::Replica => 7,
+            FaultSite::Group => 8,
         }
     }
 }
@@ -100,6 +111,13 @@ pub enum FaultAction {
     Stall {
         /// Number of consecutive heartbeats suppressed.
         beats: u32,
+    },
+    /// A correlated failure: every replica whose bit is set in `mask`
+    /// crashes at the same append round (valid at [`FaultSite::Group`]).
+    /// Bit `r` names replica index `r`; the mask is forced non-zero.
+    CrashReplicas {
+        /// Bitmask of replica indices taken down together.
+        mask: u8,
     },
 }
 
@@ -200,6 +218,58 @@ impl FaultPlan {
         }
         plan
     }
+
+    /// Derive a replication-focused plan of 1–3 faults entirely from
+    /// `seed`. Kept separate from [`FaultPlan::from_seed`] so the
+    /// seed→plan mappings pinned by the PR-2 fault-matrix tests never
+    /// move. Draws only counter-deterministic replica-layer faults:
+    /// per-replica torn/corrupt appends and crashes
+    /// ([`FaultSite::Replica`]) and correlated group crashes
+    /// ([`FaultSite::Group`], mask always leaves at least one replica of
+    /// a 3-group standing), so replaying a seed reproduces the exact
+    /// same `ReplicationStats`.
+    pub fn replication_from_seed(seed: u64) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::none();
+        let n = 1 + rng.next_u64() % 3;
+        for _ in 0..n {
+            let (site, nth, action) = match rng.next_u64() % 6 {
+                0 => (
+                    FaultSite::Replica,
+                    rng.next_u64() % 6,
+                    FaultAction::CrashBefore,
+                ),
+                1 => (
+                    FaultSite::Replica,
+                    rng.next_u64() % 6,
+                    FaultAction::CrashAfter,
+                ),
+                2 => (
+                    FaultSite::Replica,
+                    rng.next_u64() % 6,
+                    FaultAction::Torn {
+                        keep_sixteenths: 4 + (rng.next_u64() % 9) as u8,
+                    },
+                ),
+                3 | 4 => (
+                    FaultSite::Replica,
+                    rng.next_u64() % 6,
+                    FaultAction::Corrupt {
+                        xor_mask: 1 + (rng.next_u64() % 255) as u8,
+                    },
+                ),
+                _ => (
+                    FaultSite::Group,
+                    rng.next_u64() % 2,
+                    FaultAction::CrashReplicas {
+                        mask: 1 + (rng.next_u64() % 6) as u8,
+                    },
+                ),
+            };
+            plan = plan.with(site, nth, action);
+        }
+        plan
+    }
 }
 
 /// A fault that actually fired, for post-run inspection.
@@ -266,6 +336,31 @@ pub enum DispatchFault {
     CrashAfter,
     /// Answer with an injected error response.
     Fail,
+}
+
+/// Faults the injector can report when one replica of a replication
+/// group receives a fanned-out append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaFault {
+    /// The replica crashes before writing anything: no bytes land and
+    /// the member is dead from this round on.
+    CrashBefore,
+    /// The replica writes the full frame and then crashes: the bytes are
+    /// on disk but were never acknowledged, so promotion must not count
+    /// them.
+    CrashAfter,
+    /// The replica's copy is torn mid-frame; the write is not
+    /// acknowledged and the tail is recoverable garbage.
+    Torn {
+        /// Numerator of the kept fraction, out of 16.
+        keep_sixteenths: u8,
+    },
+    /// The replica's copy lands with one body byte flipped; read-back
+    /// verification rejects it, so the write is not acknowledged.
+    Corrupt {
+        /// XOR mask applied to one body byte.
+        xor_mask: u8,
+    },
 }
 
 impl FaultInjector {
@@ -445,6 +540,55 @@ impl FaultInjector {
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Hook: a replication group member is about to receive a fanned-out
+    /// append. Occurrences advance in fan-out order (entry-major,
+    /// replica-minor), so a scheduled occurrence addresses one specific
+    /// (entry, replica) pair. Returns the fault to apply, if any.
+    pub fn on_replica_append(&self) -> Option<ReplicaFault> {
+        if !self.is_active() {
+            return None;
+        }
+        let occ = self.advance(FaultSite::Replica);
+        match self.exact(FaultSite::Replica, occ) {
+            Some(action @ FaultAction::CrashBefore) => {
+                self.record(FaultSite::Replica, occ, action);
+                Some(ReplicaFault::CrashBefore)
+            }
+            Some(action @ FaultAction::CrashAfter) => {
+                self.record(FaultSite::Replica, occ, action);
+                Some(ReplicaFault::CrashAfter)
+            }
+            Some(action @ FaultAction::Torn { keep_sixteenths }) => {
+                self.record(FaultSite::Replica, occ, action);
+                Some(ReplicaFault::Torn { keep_sixteenths })
+            }
+            Some(action @ FaultAction::Corrupt { xor_mask }) => {
+                self.record(FaultSite::Replica, occ, action);
+                Some(ReplicaFault::Corrupt {
+                    xor_mask: xor_mask.max(1),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Hook: a replication group is about to start an append round.
+    /// Returns the bitmask of replicas that crash together at this round
+    /// (correlated failure), if one is scheduled.
+    pub fn on_group(&self) -> Option<u8> {
+        if !self.is_active() {
+            return None;
+        }
+        let occ = self.advance(FaultSite::Group);
+        match self.exact(FaultSite::Group, occ) {
+            Some(action @ FaultAction::CrashReplicas { mask }) => {
+                self.record(FaultSite::Group, occ, action);
+                Some(mask.max(1))
+            }
+            _ => None,
         }
     }
 }
@@ -774,6 +918,113 @@ mod tests {
                         "seed {seed}: SD appends are only corrupted, never torn: {f:?}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn replica_faults_fire_exactly_at_nth() {
+        let plan = FaultPlan::none()
+            .with(FaultSite::Replica, 1, FaultAction::CrashBefore)
+            .with(
+                FaultSite::Replica,
+                3,
+                FaultAction::Torn { keep_sixteenths: 8 },
+            )
+            .with(
+                FaultSite::Replica,
+                4,
+                FaultAction::Corrupt { xor_mask: 0x20 },
+            )
+            .with(FaultSite::Replica, 5, FaultAction::CrashAfter);
+        let inj = FaultInjector::new(plan);
+        assert!(inj.on_replica_append().is_none());
+        assert_eq!(inj.on_replica_append(), Some(ReplicaFault::CrashBefore));
+        assert!(inj.on_replica_append().is_none());
+        assert_eq!(
+            inj.on_replica_append(),
+            Some(ReplicaFault::Torn { keep_sixteenths: 8 })
+        );
+        assert_eq!(
+            inj.on_replica_append(),
+            Some(ReplicaFault::Corrupt { xor_mask: 0x20 })
+        );
+        assert_eq!(inj.on_replica_append(), Some(ReplicaFault::CrashAfter));
+        assert_eq!(inj.fired().len(), 4);
+    }
+
+    #[test]
+    fn group_crash_fires_once_with_mask() {
+        let plan = FaultPlan::none().with(
+            FaultSite::Group,
+            1,
+            FaultAction::CrashReplicas { mask: 0b101 },
+        );
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.on_group(), None);
+        assert_eq!(inj.on_group(), Some(0b101));
+        assert_eq!(inj.on_group(), None);
+        assert_eq!(inj.fired().len(), 1);
+        assert_eq!(inj.fired()[0].occurrence, 1);
+    }
+
+    #[test]
+    fn replica_and_group_sites_count_independently_of_sd_append() {
+        let plan = FaultPlan::none()
+            .with(FaultSite::Replica, 0, FaultAction::CrashBefore)
+            .with(FaultSite::Group, 0, FaultAction::CrashReplicas { mask: 1 })
+            .with(
+                FaultSite::SdAppend,
+                0,
+                FaultAction::Corrupt { xor_mask: 0x40 },
+            );
+        let inj = FaultInjector::new(plan);
+        // Hitting the classic SD append site never consumes replica or
+        // group occurrences.
+        assert!(inj.on_append(FaultSite::SdAppend).is_some());
+        assert_eq!(inj.on_replica_append(), Some(ReplicaFault::CrashBefore));
+        assert_eq!(inj.on_group(), Some(1));
+    }
+
+    #[test]
+    fn replication_from_seed_is_deterministic_and_scoped() {
+        for seed in 0..256u64 {
+            let plan = FaultPlan::replication_from_seed(seed);
+            assert_eq!(plan, FaultPlan::replication_from_seed(seed));
+            assert!(!plan.is_empty());
+            for f in plan.faults() {
+                match f.site {
+                    FaultSite::Replica => assert!(
+                        matches!(
+                            f.action,
+                            FaultAction::CrashBefore
+                                | FaultAction::CrashAfter
+                                | FaultAction::Torn { .. }
+                                | FaultAction::Corrupt { .. }
+                        ),
+                        "seed {seed}: bad replica action {f:?}"
+                    ),
+                    FaultSite::Group => match f.action {
+                        FaultAction::CrashReplicas { mask } => assert!(
+                            (1..=6).contains(&mask),
+                            "seed {seed}: group mask must spare one of a 3-group: {f:?}"
+                        ),
+                        _ => panic!("seed {seed}: bad group action {f:?}"),
+                    },
+                    other => panic!("seed {seed}: non-replication site {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replication_seeds_do_not_disturb_classic_plans() {
+        // The PR-2 seed→plan mapping is pinned by the fault-matrix tests;
+        // the replication generator must not share its draw sequence.
+        for seed in 0..64u64 {
+            let classic = FaultPlan::from_seed(seed);
+            for f in classic.faults() {
+                assert!(!matches!(f.site, FaultSite::Replica | FaultSite::Group));
             }
         }
     }

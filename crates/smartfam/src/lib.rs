@@ -36,6 +36,9 @@
 //! * [`faults`] — seeded deterministic fault injection (torn/corrupt
 //!   appends, daemon crashes, heartbeat stalls, stale reads) plus the
 //!   [`ResilienceStats`] counters shared by every recovery layer.
+//! * [`replica`] — replicated module-log groups: quorum appends with
+//!   read-back verification, epoch-fenced replica promotion, and
+//!   background re-protection (ROADMAP item 4).
 
 pub mod codec;
 pub mod daemon;
@@ -44,6 +47,7 @@ pub mod faults;
 pub mod host;
 pub mod log_file;
 pub mod module;
+pub mod replica;
 pub mod watch;
 
 pub use codec::{Frame, FrameBody, HeartbeatLoad, HeartbeatRecord, Status};
@@ -51,9 +55,13 @@ pub use daemon::{Daemon, DaemonConfig, DaemonHandle, DaemonStats};
 pub use error::SmartFamError;
 pub use faults::{
     AppendFault, DispatchFault, FaultAction, FaultInjector, FaultPlan, FaultSite, InjectedFault,
-    OverloadStats, ResilienceStats, ScheduledFault,
+    OverloadStats, ReplicaFault, ResilienceStats, ScheduledFault,
 };
 pub use host::{HostClient, InvokeOutcome, Liveness, PendingCall, ResilientCall, RetryPolicy};
 pub use log_file::{LogFile, LogRole};
 pub use module::{ModuleError, ModuleRegistry, ProcessingModule};
+pub use replica::{
+    recover_group, AppendOutcome, GroupRecovery, MirrorSet, ReplicaConfig, ReplicaState,
+    ReplicatedLog, ReprotectStep,
+};
 pub use watch::{FileWait, FileWatcher, WatchConfig, WatchEvent, WatchEventKind};

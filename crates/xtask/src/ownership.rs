@@ -1,7 +1,8 @@
 //! MCSD009: the counter-ownership auditor.
 //!
 //! DESIGN.md §13 declares which module owns each counter family —
-//! `OverloadStats`, `ResilienceStats`, `DaemonStats`, `JobStats` — so
+//! `OverloadStats`, `ResilienceStats`, `DaemonStats`, `JobStats`,
+//! `ReplicationStats` — so
 //! that merged reports never double-count. Before this rule the table
 //! was prose kept honest by hand; now the table itself is the machine
 //! input. The §13 table rows sit between HTML-comment markers:
@@ -34,11 +35,12 @@ use crate::scan::FileKind;
 use crate::workspace::Workspace;
 
 /// The counter families under ownership control.
-pub const FAMILIES: [&str; 4] = [
+pub const FAMILIES: [&str; 5] = [
     "OverloadStats",
     "ResilienceStats",
     "DaemonStats",
     "JobStats",
+    "ReplicationStats",
 ];
 
 /// One parsed row of the §13 table.
