@@ -32,6 +32,9 @@
 //! * [`replication`] — replicated SD log groups: quorum appends, replica
 //!   promotion on primary failure, and background re-protection back to
 //!   full redundancy (DESIGN.md §15).
+//! * [`chaos`] — deterministic chaos sweep: enumerate every fault point a
+//!   scenario crosses, inject every action at each, audit cross-cutting
+//!   safety invariants (DESIGN.md §16).
 //! * [`scenario`] — the paper's four multi-application execution scenarios
 //!   (§V-C): host-only, traditional single-core SD, duo SD without
 //!   partition, and the full McSD framework.
@@ -45,6 +48,7 @@
 pub mod admission;
 pub mod breaker;
 pub mod bridge;
+pub mod chaos;
 pub mod driver;
 pub mod engine;
 pub mod error;
@@ -59,6 +63,10 @@ pub mod scenario;
 
 pub use admission::{plan_admission, AdmissionPlan, AdmissionRefusal};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+pub use chaos::{
+    run_sweep, ChaosObservation, ChaosReport, ChaosScenario, ConservationCheck, Invariant,
+    ReplicationRoundsScenario, Violation,
+};
 pub use driver::{ExecMode, NodeRunReport, NodeRunner};
 pub use engine::{Engine, EngineConfig, MemoryAdmission, OffloadCall, SpanDisposition};
 pub use error::McsdError;

@@ -357,6 +357,34 @@ impl ReplicationGroups {
         Ok(())
     }
 
+    /// How many replication groups this run planned (one per span).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// How many groups currently stand at full redundancy — the chaos
+    /// convergence invariant compares this against [`Self::group_count`]
+    /// after the final re-protection sweep.
+    pub fn protected_group_count(&self) -> usize {
+        self.groups
+            .iter()
+            .filter(|g| g.log.fully_protected())
+            .count()
+    }
+
+    /// How many frames of span `span` are readable back from the current
+    /// leader's verified copy — the durability invariant checks that
+    /// every quorum-committed round is still readable after promotions
+    /// and re-protection.
+    pub fn readable_frames(&self, span: usize) -> Result<u64, McsdError> {
+        let leader = self.groups[span].leader;
+        let frames = self.groups[span]
+            .log
+            .reconstruct(leader)
+            .map_err(McsdError::from)?;
+        Ok(frames.len() as u64)
+    }
+
     /// The injector shared with the replica fault sites.
     pub fn injector(&self) -> &FaultInjector {
         &self.injector

@@ -303,6 +303,76 @@ fn seed_sweep_covers_every_fault_kind() {
     );
 }
 
+/// Exhaustiveness (DESIGN.md §16): every [`FaultSite`] and every
+/// [`FaultAction`] variant is reachable by at least one plan drawn from
+/// the seeded fault/replication matrices, completed by the chaos sweep's
+/// per-site action sets for the sites the seeded generators deliberately
+/// never draw (`SdPoll`, `Span`). If a new site or action variant is
+/// added without a generator arm or a `default_actions` entry, this test
+/// names the hole.
+#[test]
+fn fault_space_is_exhaustively_reachable() {
+    use std::collections::BTreeSet;
+
+    let variant =
+        |a: &FaultAction| -> String { a.label().split('[').next().unwrap_or_default().to_string() };
+
+    let mut sites: BTreeSet<&'static str> = BTreeSet::new();
+    let mut actions: BTreeSet<String> = BTreeSet::new();
+    for seed in 0..256u64 {
+        for plan in [
+            FaultPlan::from_seed(seed),
+            FaultPlan::replication_from_seed(seed),
+        ] {
+            for f in plan.faults() {
+                sites.insert(f.site.label());
+                actions.insert(variant(&f.action));
+            }
+        }
+    }
+    let seeded_sites = sites.clone();
+    for site in FaultSite::ALL {
+        for action in mcsd_core::chaos::default_actions(site) {
+            assert!(
+                action.valid_at(site),
+                "default_actions emitted {} at invalid site {}",
+                action.label(),
+                site.label()
+            );
+            sites.insert(site.label());
+            actions.insert(variant(&action));
+        }
+    }
+
+    let all_sites: BTreeSet<&'static str> = FaultSite::ALL.iter().map(|s| s.label()).collect();
+    let all_actions: BTreeSet<String> = [
+        "crash_before",
+        "crash_after",
+        "torn",
+        "corrupt",
+        "hide",
+        "fail",
+        "stall",
+        "crash_replicas",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    assert_eq!(sites, all_sites, "unreachable fault site(s)");
+    assert_eq!(actions, all_actions, "unreachable fault action variant(s)");
+
+    // The seeded matrices alone must cover all but the two sweep-only
+    // sites — pins the generators' scope so a dropped arm is caught here
+    // rather than silently narrowing the nightly seed sweep.
+    let mut seeded_expected = all_sites;
+    seeded_expected.remove("sd_poll");
+    seeded_expected.remove("span");
+    assert_eq!(
+        seeded_sites, seeded_expected,
+        "seeded-matrix site coverage drifted"
+    );
+}
+
 #[test]
 fn fault_matrix_correct_or_typed_error_and_exact_replay() {
     let text = TextGen::with_seed(1234).generate(20_000);

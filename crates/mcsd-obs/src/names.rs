@@ -111,9 +111,17 @@ pub const EVENT_MCSD_PROMOTE: &str = "mcsd.promote";
 pub const EVENT_MCSD_EPOCH_FENCE: &str = "mcsd.epoch_fence";
 /// A correlated failure took down several replicas of one group at once.
 pub const EVENT_MCSD_GROUP_CRASH: &str = "mcsd.group_crash";
+/// Chaos discovery run counted one scenario segment's injection points
+/// (`segment` and `points` attrs).
+pub const EVENT_CHAOS_DISCOVER: &str = "chaos.discover";
+/// Chaos sweep re-ran a scenario with one fault injected (`site`,
+/// `occurrence`, and `action` attrs).
+pub const EVENT_CHAOS_INJECT: &str = "chaos.inject";
+/// A chaos run violated a safety invariant (`invariant` attr).
+pub const EVENT_CHAOS_VIOLATION: &str = "chaos.violation";
 
 /// Every event type the stack may emit.
-pub const ALL_EVENTS: [&str; 28] = [
+pub const ALL_EVENTS: [&str; 31] = [
     EVENT_HOST_SUBMIT,
     EVENT_HOST_ATTEMPT,
     EVENT_HOST_RETRY,
@@ -142,6 +150,9 @@ pub const ALL_EVENTS: [&str; 28] = [
     EVENT_MCSD_PROMOTE,
     EVENT_MCSD_EPOCH_FENCE,
     EVENT_MCSD_GROUP_CRASH,
+    EVENT_CHAOS_DISCOVER,
+    EVENT_CHAOS_INJECT,
+    EVENT_CHAOS_VIOLATION,
 ];
 
 // -------------------------------------------------------------- metrics
@@ -230,8 +241,16 @@ pub const METRIC_REPLICATION_REPROTECT_COPIES: &str = "replication.reprotect_cop
 /// `mcsd.replication`).
 pub const METRIC_REPLICATION_REPROTECT_BYTES: &str = "replication.reprotect_bytes";
 
+/// Injection points the chaos sweep enumerated (owner: `mcsd.chaos`).
+pub const METRIC_CHAOS_POINTS: &str = "chaos.points";
+/// Fault-injected scenario runs the chaos sweep executed (owner:
+/// `mcsd.chaos`).
+pub const METRIC_CHAOS_CASES: &str = "chaos.cases";
+/// Invariant violations the chaos sweep detected (owner: `mcsd.chaos`).
+pub const METRIC_CHAOS_VIOLATIONS: &str = "chaos.violations";
+
 /// Every metric key the stack may register.
-pub const ALL_METRICS: [&str; 39] = [
+pub const ALL_METRICS: [&str; 42] = [
     METRIC_SD_REQUESTS,
     METRIC_SD_OK,
     METRIC_SD_MODULE_ERRORS,
@@ -271,6 +290,9 @@ pub const ALL_METRICS: [&str; 39] = [
     METRIC_REPLICATION_FENCED_APPENDS,
     METRIC_REPLICATION_REPROTECT_COPIES,
     METRIC_REPLICATION_REPROTECT_BYTES,
+    METRIC_CHAOS_POINTS,
+    METRIC_CHAOS_CASES,
+    METRIC_CHAOS_VIOLATIONS,
 ];
 
 /// Whether `name` is a catalogued span or event name.

@@ -58,6 +58,54 @@ pub enum FaultSite {
 impl FaultSite {
     const COUNT: usize = 9;
 
+    /// Every injection site, in counter order. The chaos explorer sweeps
+    /// this list; a new variant that is not added here fails the
+    /// exhaustiveness test rather than being silently skipped.
+    pub const ALL: [FaultSite; FaultSite::COUNT] = [
+        FaultSite::HostAppend,
+        FaultSite::SdAppend,
+        FaultSite::HostPoll,
+        FaultSite::SdPoll,
+        FaultSite::Dispatch,
+        FaultSite::Heartbeat,
+        FaultSite::Span,
+        FaultSite::Replica,
+        FaultSite::Group,
+    ];
+
+    /// Stable, seed-free name used in chaos reports and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::HostAppend => "host_append",
+            FaultSite::SdAppend => "sd_append",
+            FaultSite::HostPoll => "host_poll",
+            FaultSite::SdPoll => "sd_poll",
+            FaultSite::Dispatch => "dispatch",
+            FaultSite::Heartbeat => "heartbeat",
+            FaultSite::Span => "span",
+            FaultSite::Replica => "replica",
+            FaultSite::Group => "group",
+        }
+    }
+
+    /// Whether this site's occurrence numbering is a pure function of the
+    /// request sequence. Poll and heartbeat sites advance with wall-clock
+    /// pacing (how often a waiter re-checks a file), so two clean runs of
+    /// the same scenario cross them a different number of times; the
+    /// chaos explorer excludes them from point enumeration and says so in
+    /// its report instead of silently under-covering.
+    pub fn counter_deterministic(self) -> bool {
+        match self {
+            FaultSite::HostAppend
+            | FaultSite::SdAppend
+            | FaultSite::Dispatch
+            | FaultSite::Span
+            | FaultSite::Replica
+            | FaultSite::Group => true,
+            FaultSite::HostPoll | FaultSite::SdPoll | FaultSite::Heartbeat => false,
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             FaultSite::HostAppend => 0,
@@ -119,6 +167,48 @@ pub enum FaultAction {
         /// Bitmask of replica indices taken down together.
         mask: u8,
     },
+}
+
+impl FaultAction {
+    /// Whether this action has any effect at `site`. The hooks simply
+    /// ignore mismatched entries; the chaos explorer uses this matrix to
+    /// avoid scheduling runs that cannot fire.
+    pub fn valid_at(self, site: FaultSite) -> bool {
+        match self {
+            FaultAction::CrashBefore | FaultAction::CrashAfter => {
+                matches!(site, FaultSite::Dispatch | FaultSite::Replica)
+            }
+            FaultAction::Torn { .. } => matches!(
+                site,
+                FaultSite::HostAppend | FaultSite::SdAppend | FaultSite::Replica
+            ),
+            FaultAction::Corrupt { .. } => matches!(
+                site,
+                FaultSite::HostAppend | FaultSite::SdAppend | FaultSite::Replica
+            ),
+            FaultAction::Hide { .. } => {
+                matches!(site, FaultSite::HostPoll | FaultSite::SdPoll)
+            }
+            FaultAction::Fail => matches!(site, FaultSite::Dispatch | FaultSite::Span),
+            FaultAction::Stall { .. } => matches!(site, FaultSite::Heartbeat),
+            FaultAction::CrashReplicas { .. } => matches!(site, FaultSite::Group),
+        }
+    }
+
+    /// Stable, seed-free name (parameters included) used in chaos reports
+    /// and traces.
+    pub fn label(self) -> String {
+        match self {
+            FaultAction::CrashBefore => "crash_before".to_string(),
+            FaultAction::CrashAfter => "crash_after".to_string(),
+            FaultAction::Torn { keep_sixteenths } => format!("torn[{keep_sixteenths}/16]"),
+            FaultAction::Corrupt { xor_mask } => format!("corrupt[0x{xor_mask:02x}]"),
+            FaultAction::Hide { polls } => format!("hide[{polls}]"),
+            FaultAction::Fail => "fail".to_string(),
+            FaultAction::Stall { beats } => format!("stall[{beats}]"),
+            FaultAction::CrashReplicas { mask } => format!("crash_replicas[0b{mask:03b}]"),
+        }
+    }
 }
 
 /// One scheduled fault: at `site`, on occurrence number `nth` (0-based),
@@ -285,6 +375,11 @@ pub struct InjectedFault {
 
 struct InjectorInner {
     plan: FaultPlan,
+    /// When set, the hooks count occurrences even with an empty (or
+    /// never-matching) plan, so a clean run can *discover* its injection
+    /// points. Production injectors keep this off and retain the
+    /// zero-overhead fast path.
+    probe: bool,
     counters: [AtomicU64; FaultSite::COUNT],
     fired: Mutex<Vec<InjectedFault>>,
 }
@@ -375,6 +470,24 @@ impl FaultInjector {
         FaultInjector {
             inner: Arc::new(InjectorInner {
                 plan,
+                probe: false,
+                counters: Default::default(),
+                fired: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// A *probing* injector: executes `plan` exactly like
+    /// [`FaultInjector::new`] but keeps the occurrence counters running
+    /// even when the plan is empty or never matches, so a clean run of a
+    /// scenario discovers every `(site, occurrence)` point it crosses.
+    /// This is the discovery half of the chaos explorer; production code
+    /// never uses it, so the empty-plan fast path stays intact there.
+    pub fn probing(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            inner: Arc::new(InjectorInner {
+                plan,
+                probe: true,
                 counters: Default::default(),
                 fired: Mutex::new(Vec::new()),
             }),
@@ -386,9 +499,10 @@ impl FaultInjector {
         FaultInjector::new(FaultPlan::from_seed(seed))
     }
 
-    /// Whether any faults are scheduled at all.
+    /// Whether the hooks need to run at all: either faults are scheduled
+    /// or the injector is counting occurrences in probe mode.
     pub fn is_active(&self) -> bool {
-        !self.inner.plan.is_empty()
+        !self.inner.plan.is_empty() || self.inner.probe
     }
 
     /// The plan this injector executes.
@@ -1094,6 +1208,87 @@ mod tests {
         assert!(line.contains("shed=3"));
         assert!(!line.contains('\n'));
         assert!(!rs.is_clean());
+    }
+
+    #[test]
+    fn probing_counts_occurrences_without_firing() {
+        let inj = FaultInjector::probing(FaultPlan::none());
+        assert!(inj.is_active());
+        for _ in 0..3 {
+            assert!(inj.on_append(FaultSite::HostAppend).is_none());
+            assert!(inj.on_dispatch().is_none());
+            assert!(!inj.on_span());
+            assert!(inj.on_replica_append().is_none());
+            assert!(inj.on_group().is_none());
+        }
+        assert!(inj.fired().is_empty());
+        assert_eq!(inj.occurrences(FaultSite::HostAppend), 3);
+        assert_eq!(inj.occurrences(FaultSite::Dispatch), 3);
+        assert_eq!(inj.occurrences(FaultSite::Span), 3);
+        assert_eq!(inj.occurrences(FaultSite::Replica), 3);
+        assert_eq!(inj.occurrences(FaultSite::Group), 3);
+        assert_eq!(inj.occurrences(FaultSite::SdAppend), 0);
+    }
+
+    #[test]
+    fn probing_still_fires_baked_faults() {
+        // Discovery runs replay the scenario's own baked plan; the probe
+        // flag must not change what fires, only that counting happens.
+        let plan = FaultPlan::none().with(FaultSite::Dispatch, 1, FaultAction::Fail);
+        let probing = FaultInjector::probing(plan.clone());
+        let plain = FaultInjector::new(plan);
+        for _ in 0..3 {
+            assert_eq!(probing.on_dispatch(), plain.on_dispatch());
+        }
+        assert_eq!(probing.fired(), plain.fired());
+    }
+
+    #[test]
+    fn site_catalog_is_total() {
+        // ALL covers each variant exactly once, with distinct labels.
+        let labels: std::collections::BTreeSet<&str> =
+            FaultSite::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), FaultSite::COUNT);
+        for (i, site) in FaultSite::ALL.iter().enumerate() {
+            assert_eq!(site.index(), i);
+        }
+    }
+
+    #[test]
+    fn validity_matrix_matches_hook_behavior() {
+        // Every action is valid somewhere, and the seeded generators only
+        // ever draw valid (site, action) pairs.
+        for seed in 0..64u64 {
+            for plan in [
+                FaultPlan::from_seed(seed),
+                FaultPlan::replication_from_seed(seed),
+            ] {
+                for f in plan.faults() {
+                    assert!(f.action.valid_at(f.site), "seed {seed}: invalid pair {f:?}");
+                }
+            }
+        }
+        // Spot-check rejections the hooks would ignore.
+        assert!(!FaultAction::Stall { beats: 1 }.valid_at(FaultSite::Dispatch));
+        assert!(!FaultAction::CrashReplicas { mask: 1 }.valid_at(FaultSite::Replica));
+        assert!(!FaultAction::Hide { polls: 1 }.valid_at(FaultSite::Heartbeat));
+    }
+
+    #[test]
+    fn action_labels_are_seed_free_and_stable() {
+        assert_eq!(FaultAction::CrashBefore.label(), "crash_before");
+        assert_eq!(
+            FaultAction::Torn { keep_sixteenths: 8 }.label(),
+            "torn[8/16]"
+        );
+        assert_eq!(
+            FaultAction::Corrupt { xor_mask: 0x20 }.label(),
+            "corrupt[0x20]"
+        );
+        assert_eq!(
+            FaultAction::CrashReplicas { mask: 0b101 }.label(),
+            "crash_replicas[0b101]"
+        );
     }
 
     #[test]
