@@ -2,8 +2,8 @@
 //! paper's evaluation (§V), plus the DESIGN.md ablations.
 //!
 //! ```text
-//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|failover|throughput|chaos]
-//!                  [--scale N] [--seed N] [--quick] [--csv] [--json]
+//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|failover|throughput|chaos|rack]
+//!                  [--scale N] [--seed N] [--racks N] [--jobs N] [--quick] [--csv] [--json]
 //! ```
 //!
 //! `faults` (not part of `all`) drives seeded fault schedules through the
@@ -31,11 +31,19 @@
 //! `throughput` (not part of `all` either) times the same four-phase
 //! scenario and reports jobs/sec, engine decisions/sec through
 //! `engine::run_call`, and wall-clock, then times the §15 degraded mode
-//! (replicated group of three, one replica killed per run);
-//! `throughput --json` additionally writes `BENCH_8.json` into the
-//! working directory — the PR-6 baseline fields plus the degraded-mode
-//! rate and the chaos discovery pass's clean-run overhead, toward
-//! ROADMAP item 1.
+//! (replicated group of three, one replica killed per run) and the
+//! §17 rack-scale DES run (104 nodes, 1200 concurrent jobs);
+//! `throughput --json` additionally writes `BENCH_9.json` into the
+//! working directory — every `BENCH_8.json` field plus the rack-scale
+//! throughput, toward ROADMAP items 1 and 2.
+//!
+//! `rack` (not part of `all` either) runs the DESIGN.md §17 rack-scale
+//! discrete-event scheduler — `--racks R` racks of (4 hosts + 9 SDs)
+//! behind 4:1-oversubscribed uplinks, `--jobs J` seeded concurrent jobs
+//! placed by the engine's balanced policy onto per-shard run queues —
+//! and writes the arrival/dispatch/completion trace plus the `mcsd.des`
+//! counters to `rack-<seed>.jsonl`. Same seed, same bytes, which CI
+//! asserts with a plain `diff`.
 //!
 //! `chaos` (not part of `all` either) runs the DESIGN.md §16
 //! deterministic fault-space sweep: discover every counter-deterministic
@@ -55,8 +63,8 @@ use mcsd_cluster::{paper_testbed, SandiaMicroBenchmark, Scale, SmbPattern};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|failover|throughput|chaos] \
-         [--scale N] [--seed N] [--quick] [--csv] [--json]"
+        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|failover|throughput|chaos|rack] \
+         [--scale N] [--seed N] [--racks N] [--jobs N] [--quick] [--csv] [--json]"
     );
     std::process::exit(2);
 }
@@ -642,8 +650,9 @@ fn degraded_throughput(seed: u64) -> (u64, f64) {
 /// decisions/sec through `engine::run_call`, and wall-clock, then the
 /// §15 degraded mode (group of three, one replica killed per run) and
 /// the §16 chaos discovery pass's clean-run overhead (probing counters
-/// on versus off over the chaos-tolerant four-phase segments). With
-/// `--json`, also write `BENCH_8.json` into the working directory — run
+/// on versus off over the chaos-tolerant four-phase segments), and the
+/// §17 rack-scale DES run (104 nodes, 1200 concurrent jobs). With
+/// `--json`, also write `BENCH_9.json` into the working directory — run
 /// from the repo root to refresh the committed baseline. The absolute
 /// numbers include the scenario's deliberate stalls (gate polling,
 /// breaker cooldowns), so they are a trajectory marker, not a peak-rate
@@ -675,9 +684,23 @@ fn throughput_run(seed: u64, json: bool) {
         "chaos discovery (probing counters over the four-phase segments): \
          {probe_points} points; clean pass {plain_wall:.3}s, probed pass {probe_wall:.3}s"
     );
+    let rack_cfg = mcsd_core::des::DesConfig::default_experiment(1200, seed);
+    let rt0 = Instant::now();
+    let rack = mcsd_core::des::run(&rack_cfg, &mcsd_obs::Tracer::disabled());
+    let rack_wall = rt0.elapsed().as_secs_f64();
+    let rack_jobs_per_sec = rack.report.stats.completed_jobs as f64 / rack_wall;
+    println!(
+        "rack scale ({} nodes, {} concurrent jobs): {} completed, {} shed \
+         ({rack_jobs_per_sec:.0} jobs/s wall-clock, {:.1} jobs/s virtual); wall-clock: {rack_wall:.3}s",
+        rack.report.nodes,
+        rack_cfg.jobs,
+        rack.report.stats.completed_jobs,
+        rack.report.stats.shed_jobs,
+        rack.report.jobs_per_virtual_sec(),
+    );
     if json {
         let body = format!(
-            "{{\n  \"bench\": \"throughput\",\n  \"pr\": 8,\n  \"seed\": {seed},\n  \
+            "{{\n  \"bench\": \"throughput\",\n  \"pr\": 9,\n  \"seed\": {seed},\n  \
              \"scenario\": \"four-phase trace scenario (DESIGN.md section 12)\",\n  \
              \"jobs\": {},\n  \"engine_decisions\": {},\n  \"wall_clock_secs\": {wall:.3},\n  \
              \"jobs_per_sec\": {jobs_per_sec:.2},\n  \
@@ -689,12 +712,86 @@ fn throughput_run(seed: u64, json: bool) {
              \"chaos_scenario\": \"chaos-tolerant four-phase segments, clean pass (DESIGN.md section 16)\",\n  \
              \"chaos_points\": {probe_points},\n  \
              \"chaos_clean_wall_clock_secs\": {plain_wall:.3},\n  \
-             \"chaos_probed_wall_clock_secs\": {probe_wall:.3}\n}}\n",
-            totals.jobs, totals.decisions
+             \"chaos_probed_wall_clock_secs\": {probe_wall:.3},\n  \
+             \"rack_scenario\": \"rack-scale DES, 8 racks x (4 hosts + 9 SDs), balanced placement (DESIGN.md section 17)\",\n  \
+             \"rack_nodes\": {},\n  \
+             \"rack_sds\": {},\n  \
+             \"rack_concurrent_jobs\": {},\n  \
+             \"rack_completed_jobs\": {},\n  \
+             \"rack_shed_jobs\": {},\n  \
+             \"rack_wall_clock_secs\": {rack_wall:.3},\n  \
+             \"rack_jobs_per_sec\": {rack_jobs_per_sec:.2},\n  \
+             \"rack_makespan_virtual_secs\": {:.3},\n  \
+             \"rack_jobs_per_virtual_sec\": {:.2}\n}}\n",
+            totals.jobs,
+            totals.decisions,
+            rack.report.nodes,
+            rack.report.sds,
+            rack_cfg.jobs,
+            rack.report.stats.completed_jobs,
+            rack.report.stats.shed_jobs,
+            rack.report.makespan_us as f64 / 1e6,
+            rack.report.jobs_per_virtual_sec(),
         );
-        std::fs::write("BENCH_8.json", body).expect("write BENCH_8.json");
-        println!("wrote BENCH_8.json");
+        std::fs::write("BENCH_9.json", body).expect("write BENCH_9.json");
+        println!("wrote BENCH_9.json");
     }
+    println!();
+}
+
+/// Rack-scale run (DESIGN.md §17): `racks` racks of (4 hosts + 9 SDs)
+/// behind 4:1-oversubscribed top-of-rack uplinks, `jobs` seeded
+/// concurrent jobs through the deterministic discrete-event loop. The
+/// arrival/dispatch/completion/shed timeline (§12 `des` track) and the
+/// `mcsd.des` counters are exported to `rack-<seed>.jsonl` — same seed,
+/// same bytes, which CI asserts with a plain `diff` of two runs.
+fn rack_run(racks: u32, jobs: u64, seed: u64) {
+    use mcsd_core::des::{self, DesConfig};
+    use mcsd_obs::export::{jsonl_with, JsonlOptions};
+    use mcsd_obs::{MetricsRegistry, Tracer};
+    use std::time::Instant;
+
+    let mut cfg = DesConfig::default_experiment(jobs, seed);
+    cfg.spec.racks = racks.max(1);
+    println!(
+        "topology: {} racks x ({} hosts + {} SDs) = {} nodes; uplink {}:1 oversubscribed",
+        cfg.spec.racks,
+        cfg.spec.hosts_per_rack,
+        cfg.spec.sds_per_rack,
+        cfg.spec.total_nodes(),
+        cfg.spec.uplink_oversubscription,
+    );
+    let tracer = Tracer::enabled();
+    let t0 = Instant::now();
+    let run = des::run(&cfg, &tracer);
+    let wall = t0.elapsed().as_secs_f64();
+    let registry = MetricsRegistry::new();
+    run.report
+        .stats
+        .publish(&registry)
+        .expect("publish DES counters");
+    let jsonl = jsonl_with(
+        &tracer,
+        JsonlOptions {
+            include_volatile: false,
+            metrics: Some(&registry),
+        },
+    );
+    let path = format!("rack-{seed}.jsonl");
+    std::fs::write(&path, &jsonl).expect("write rack trace");
+    println!("{}", run.report);
+    assert!(
+        run.report.stats.is_conserved(),
+        "DES run must conserve jobs (arrivals == completed + shed)"
+    );
+    println!(
+        "wall-clock: {wall:.3}s ({:.0} completed jobs/sec)",
+        run.report.stats.completed_jobs as f64 / wall
+    );
+    println!(
+        "wrote {path} ({} lines) — same seed, same bytes",
+        jsonl.lines().count()
+    );
     println!();
 }
 
@@ -1153,6 +1250,8 @@ fn main() {
     let mut csv = false;
     let mut json = false;
     let mut seed: u64 = 42;
+    let mut racks: u32 = 8;
+    let mut rack_jobs: u64 = 1200;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1172,6 +1271,20 @@ fn main() {
             "--seed" => {
                 i += 1;
                 seed = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--racks" => {
+                i += 1;
+                racks = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--jobs" => {
+                i += 1;
+                rack_jobs = args
                     .get(i)
                     .and_then(|s| s.parse::<u64>().ok())
                     .unwrap_or_else(|| usage());
@@ -1355,5 +1468,11 @@ fn main() {
     if which.iter().any(|w| w == "chaos") {
         println!("## Chaos sweep — exhaustive fault-space exploration (seed {seed})\n");
         chaos_run(seed);
+    }
+    // Excluded from `all`: writes a trace file into the working
+    // directory, and its scale is driven by --racks/--jobs, not --scale.
+    if which.iter().any(|w| w == "rack") {
+        println!("## Rack scale — discrete-event scheduler, DESIGN.md section 17 (seed {seed})\n");
+        rack_run(racks, rack_jobs, seed);
     }
 }

@@ -79,27 +79,45 @@ fn fig8_growth_is_monotone_in_size_for_partitioned_runs() {
 #[test]
 fn fig9_wc_swaps_past_threshold_and_fig10_sm_does_not() {
     let cfg = ExperimentConfig::quick();
-    // Run just the 1G size cell for both pairs via the public API.
+    // Run just the 1G non-partitioned duo-SD cell for both pairs.
     let cluster = mcsd_cluster::paper_testbed(cfg.scale);
     let runner = mcsd_core::scenario::PairRunner::new(cluster);
-    let fragment = mcsd_bench::workloads::partition_bytes(&cfg).unwrap();
 
-    // Absolute speedup magnitudes depend on the build profile (debug
-    // compute is ~25x slower, shrinking the disk penalty's share), so the
-    // build-independent claim is the *relative* one: at 1G the WC pair's
-    // non-partitioned cell pays a swap penalty that the SM pair's does
-    // not, so McSD's advantage must be clearly larger for WC.
+    // The figure-shape claim is that at 1G the WC pair's non-partitioned
+    // cell pays a swap penalty the SM pair's does not. Assert it on the
+    // *model-driven* quantities — the memory model's swapped bytes and
+    // the analytic disk charge — not on wall-clock-derived speedups:
+    // those mix in measured compute, which full-workspace parallel test
+    // load perturbs enough to flake in debug profile (the intermittent
+    // failure CHANGES.md PR 8 recorded against this test).
     let wc = mcsd_bench::workloads::mm_wc_pair(&cfg, "1G").unwrap();
-    let r = pairs::run_pair_size(&runner, &wc, "1G", fragment).unwrap();
-    let wc_nopart = r.speedup("duo-sd/par").expect("cell exists");
-
+    let wc_run = runner
+        .run(
+            mcsd_core::scenario::PairScenario::duo_sd_no_partition(),
+            &wc,
+        )
+        .unwrap();
     let sm = mcsd_bench::workloads::mm_sm_pair(&cfg, "1G").unwrap();
-    let r = pairs::run_pair_size(&runner, &sm, "1G", fragment).unwrap();
-    let sm_nopart = r.speedup("duo-sd/par").expect("cell exists");
+    let sm_run = runner
+        .run(
+            mcsd_core::scenario::PairScenario::duo_sd_no_partition(),
+            &sm,
+        )
+        .unwrap();
 
     assert!(
-        wc_nopart > sm_nopart + 0.3,
-        "WC @1G nopart speedup {wc_nopart} must exceed SM's {sm_nopart} (swap penalty)"
+        wc_run.data.stats.swapped_bytes > 0,
+        "WC @1G duo-sd/par must overflow memory and swap"
+    );
+    assert_eq!(
+        sm_run.data.stats.swapped_bytes, 0,
+        "SM @1G duo-sd/par must fit in memory"
+    );
+    assert!(
+        wc_run.data.time.disk > sm_run.data.time.disk,
+        "WC's swap traffic must cost more disk time than SM's ({:?} !> {:?})",
+        wc_run.data.time.disk,
+        sm_run.data.time.disk
     );
 }
 

@@ -48,6 +48,17 @@ impl Fabric {
             Fabric::Custom { latency_ns, .. } => Duration::from_nanos(*latency_ns),
         }
     }
+
+    /// This fabric's bandwidth divided by an oversubscription `ratio`,
+    /// with one extra switch hop of latency — the top-of-rack uplink a
+    /// rack of nodes shares when `ratio` racks' worth of leaf traffic
+    /// funnels through one aggregation port (DESIGN.md §17).
+    pub fn oversubscribed(&self, ratio: u64) -> Fabric {
+        Fabric::Custom {
+            bytes_per_sec: (self.bytes_per_sec() / ratio.max(1)).max(1),
+            latency_ns: 2 * self.latency().as_nanos() as u64,
+        }
+    }
 }
 
 /// A model of the cluster interconnect, including protocol efficiency and
@@ -108,6 +119,54 @@ impl NetworkModel {
     /// the SMB ping-pong pattern).
     pub fn round_trip(&self, bytes: u64) -> Duration {
         self.transfer_time(bytes) + self.transfer_time(bytes)
+    }
+}
+
+/// The two-tier rack interconnect (DESIGN.md §17): every node hangs off
+/// its rack's leaf switch, and racks join through oversubscribed
+/// top-of-rack uplinks. A transfer between two nodes of the same rack
+/// crosses the leaf only; a cross-rack transfer pays the leaf hop *and*
+/// the (slower, shared) uplink.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackNetwork {
+    /// Intra-rack leaf switch (full bisection within the rack).
+    pub leaf: NetworkModel,
+    /// Top-of-rack uplink shared by all cross-rack flows of one rack.
+    pub uplink: NetworkModel,
+}
+
+impl RackNetwork {
+    /// A rack network over `leaf` with its uplink oversubscribed by
+    /// `ratio` (bandwidth divided by `ratio`, one extra hop of latency).
+    pub fn oversubscribed(leaf: NetworkModel, ratio: u64) -> RackNetwork {
+        RackNetwork {
+            leaf,
+            uplink: NetworkModel {
+                fabric: leaf.fabric.oversubscribed(ratio),
+                ..leaf
+            },
+        }
+    }
+
+    /// The default rack preset: the paper's GbE leaf with a 4:1
+    /// oversubscribed uplink (the classic datacenter ratio).
+    pub fn paper_rack() -> RackNetwork {
+        RackNetwork::oversubscribed(NetworkModel::paper_testbed(), 4)
+    }
+
+    /// Virtual time to move `bytes` between two nodes: leaf-only when
+    /// they share a rack, leaf hop + uplink when they do not.
+    pub fn transfer_time(&self, same_rack: bool, bytes: u64) -> Duration {
+        if same_rack {
+            self.leaf.transfer_time(bytes)
+        } else {
+            self.leaf.fabric.latency() + self.uplink.transfer_time(bytes)
+        }
+    }
+
+    /// [`TimeBreakdown`] for one transfer of `bytes` between two nodes.
+    pub fn charge_transfer(&self, same_rack: bool, bytes: u64) -> TimeBreakdown {
+        TimeBreakdown::network(self.transfer_time(same_rack, bytes))
     }
 }
 
@@ -179,6 +238,38 @@ mod tests {
         };
         assert_eq!(f.bytes_per_sec(), 500);
         assert_eq!(f.latency(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn oversubscribed_fabric_divides_bandwidth_and_doubles_latency() {
+        let up = Fabric::GigabitEthernet.oversubscribed(4);
+        assert_eq!(up.bytes_per_sec(), 125_000_000 / 4);
+        assert_eq!(up.latency(), Fabric::GigabitEthernet.latency() * 2);
+        // Ratio 0 is clamped so the uplink never divides by zero.
+        assert_eq!(
+            Fabric::GigabitEthernet.oversubscribed(0).bytes_per_sec(),
+            125_000_000
+        );
+    }
+
+    #[test]
+    fn cross_rack_transfer_is_slower_than_intra_rack() {
+        let net = RackNetwork::paper_rack();
+        let bytes = 10_000_000;
+        assert!(net.transfer_time(false, bytes) > net.transfer_time(true, bytes));
+        // Intra-rack equals the plain leaf model.
+        assert_eq!(
+            net.transfer_time(true, bytes),
+            net.leaf.transfer_time(bytes)
+        );
+    }
+
+    #[test]
+    fn rack_charge_transfer_fills_network_category() {
+        let net = RackNetwork::paper_rack();
+        let t = net.charge_transfer(false, 1_000_000);
+        assert_eq!(t.compute, Duration::ZERO);
+        assert_eq!(t.network, net.transfer_time(false, 1_000_000));
     }
 
     #[test]

@@ -35,6 +35,10 @@
 //! * [`chaos`] — deterministic chaos sweep: enumerate every fault point a
 //!   scenario crosses, inject every action at each, audit cross-cutting
 //!   safety invariants (DESIGN.md §16).
+//! * [`des`] — rack-scale deterministic discrete-event scheduler:
+//!   thousands of seeded concurrent jobs over a
+//!   [`mcsd_cluster::RackSpec`] topology, placed by the engine's
+//!   [`offload`] policy onto per-shard run queues (DESIGN.md §17).
 //! * [`scenario`] — the paper's four multi-application execution scenarios
 //!   (§V-C): host-only, traditional single-core SD, duo SD without
 //!   partition, and the full McSD framework.
@@ -49,6 +53,7 @@ pub mod admission;
 pub mod breaker;
 pub mod bridge;
 pub mod chaos;
+pub mod des;
 pub mod driver;
 pub mod engine;
 pub mod error;
@@ -67,15 +72,16 @@ pub use chaos::{
     run_sweep, ChaosObservation, ChaosReport, ChaosScenario, ConservationCheck, Invariant,
     ReplicationRoundsScenario, Violation,
 };
+pub use des::{synthesize_workload, DesConfig, DesJob, RackRun, DES_TRACE_TRACK};
 pub use driver::{ExecMode, NodeRunReport, NodeRunner};
-pub use engine::{Engine, EngineConfig, MemoryAdmission, OffloadCall, SpanDisposition};
+pub use engine::{Engine, EngineConfig, MemoryAdmission, OffloadCall, ShardQueue, SpanDisposition};
 pub use error::McsdError;
 pub use footprint::FootprintOverride;
 pub use framework::{McsdFramework, ResilienceConfig};
 pub use multisd::{MultiSdReport, MultiSdRunner, SpanOutcome};
 pub use offload::{JobProfile, OffloadDecision, OffloadPolicy};
 pub use replication::{ReplicationGroups, ReplicationSetup, RoundOutcome};
-pub use report::{ReplicationStats, RunReport};
+pub use report::{DesStats, RackReport, ReplicationStats, RunReport};
 pub use scenario::{PairReport, PairRunner, PairScenario, PairWorkload};
 
 // Fault-injection and replication surface, re-exported so experiment and

@@ -15,6 +15,11 @@
 //! unified scheduler ([`crate::engine`]); this front-end contributes the
 //! span planning, the per-node execution and timeline accounting, and the
 //! merge.
+//!
+//! Scope: this runner parallelizes *one job* across the SDs of the
+//! 5-node testbed. The inverse shape — thousands of concurrent jobs
+//! across racks of nodes, each job on one shard — is [`crate::des`]
+//! (DESIGN.md §17), which reuses the same [`Offloader`] placement.
 
 use crate::breaker::BreakerConfig;
 use crate::driver::{ExecMode, NodeRunner};

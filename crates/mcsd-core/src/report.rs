@@ -116,6 +116,138 @@ impl fmt::Display for ReplicationStats {
     }
 }
 
+/// Counters of the rack-scale discrete-event scheduler (DESIGN.md §17):
+/// arrivals, completions, shed jobs, shard busy time and cross-rack
+/// traffic over the oversubscribed top-of-rack uplinks.
+///
+/// Single-owner rule (§13): every counter here is mutated only by the
+/// discrete-event loop (`crates/mcsd-core/src/des.rs`) and merged only
+/// through [`DesStats::absorb`] — tidy rule MCSD009 enforces both
+/// directions against the §13 ownership table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DesStats {
+    /// Jobs injected into the event loop (one arrival event each).
+    pub arrivals: u64,
+    /// Jobs that ran to completion on their placed shard.
+    pub completed_jobs: u64,
+    /// Jobs shed because their shard's bounded run queue was full.
+    pub shed_jobs: u64,
+    /// Total virtual microseconds shards spent executing jobs (summed
+    /// across shards, so it can exceed the makespan).
+    pub busy_us: u64,
+    /// Transfers that crossed a top-of-rack uplink (source rack differs
+    /// from the placed shard's rack).
+    pub cross_rack_transfers: u64,
+    /// Bytes moved across top-of-rack uplinks.
+    pub cross_rack_bytes: u64,
+}
+
+impl DesStats {
+    /// Merge another set of counters into this one.
+    pub fn absorb(&mut self, other: &DesStats) {
+        self.arrivals += other.arrivals;
+        self.completed_jobs += other.completed_jobs;
+        self.shed_jobs += other.shed_jobs;
+        self.busy_us += other.busy_us;
+        self.cross_rack_transfers += other.cross_rack_transfers;
+        self.cross_rack_bytes += other.cross_rack_bytes;
+    }
+
+    /// Conservation invariant: every arrival either completed or was
+    /// shed. Holds whenever the event loop ran to quiescence.
+    pub fn is_conserved(&self) -> bool {
+        self.arrivals == self.completed_jobs + self.shed_jobs
+    }
+
+    /// Publish the counters into a [`mcsd_obs::MetricsRegistry`] under
+    /// the single owner `mcsd.des` (DESIGN.md §12).
+    pub fn publish(
+        &self,
+        registry: &mcsd_obs::MetricsRegistry,
+    ) -> Result<(), mcsd_obs::MetricsError> {
+        use mcsd_obs::names;
+        const OWNER: &str = "mcsd.des";
+        for (key, value) in [
+            (names::METRIC_DES_ARRIVALS, self.arrivals),
+            (names::METRIC_DES_COMPLETED_JOBS, self.completed_jobs),
+            (names::METRIC_DES_SHED_JOBS, self.shed_jobs),
+            (names::METRIC_DES_BUSY_US, self.busy_us),
+            (
+                names::METRIC_DES_CROSS_RACK_TRANSFERS,
+                self.cross_rack_transfers,
+            ),
+            (names::METRIC_DES_CROSS_RACK_BYTES, self.cross_rack_bytes),
+        ] {
+            registry.publish(key, OWNER, value)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DesStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "arrivals={} completed={} shed={} busy_us={} \
+             cross_rack_transfers={} cross_rack_bytes={}",
+            self.arrivals,
+            self.completed_jobs,
+            self.shed_jobs,
+            self.busy_us,
+            self.cross_rack_transfers,
+            self.cross_rack_bytes,
+        )
+    }
+}
+
+/// Summary of one rack-scale discrete-event run (`mcsd_core::des`): the
+/// topology it ran on, the virtual makespan, and the [`DesStats`]
+/// counters. Two runs with the same [`crate::des::DesConfig`] produce
+/// equal reports — the determinism contract of DESIGN.md §17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RackReport {
+    /// Racks in the topology.
+    pub racks: u32,
+    /// Total nodes (hosts + SDs) across all racks.
+    pub nodes: u32,
+    /// Smart-storage nodes across all racks.
+    pub sds: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// Virtual time at which the last event fired, in microseconds.
+    pub makespan_us: u64,
+    /// Scheduler counters (owned by `mcsd.des`, §13).
+    pub stats: DesStats,
+}
+
+impl RackReport {
+    /// Completed jobs per *virtual* second of makespan — the paper-side
+    /// throughput figure (wall-clock jobs/sec is measured by the bench
+    /// harness around the run, not here).
+    pub fn jobs_per_virtual_sec(&self) -> f64 {
+        if self.makespan_us == 0 {
+            return 0.0;
+        }
+        self.stats.completed_jobs as f64 / (self.makespan_us as f64 / 1e6)
+    }
+}
+
+impl fmt::Display for RackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "racks={} nodes={} sds={} seed={} makespan_us={} jobs_per_vsec={:.1} [{}]",
+            self.racks,
+            self.nodes,
+            self.sds,
+            self.seed,
+            self.makespan_us,
+            self.jobs_per_virtual_sec(),
+            self.stats,
+        )
+    }
+}
+
 /// Summary of one job run on one node under one execution mode — the unit
 /// the paper's elapsed-time curves and speedup bars are built from.
 #[derive(Debug, Clone)]
@@ -239,6 +371,64 @@ mod tests {
         let line = a.to_string();
         assert!(line.contains("promotions=1"));
         assert!(line.contains("reprotect_copies=2"));
+    }
+
+    #[test]
+    fn des_stats_absorb_and_conservation() {
+        let mut a = DesStats::default();
+        assert!(a.is_conserved());
+        a.arrivals = 10;
+        a.completed_jobs = 7;
+        assert!(!a.is_conserved());
+        let b = DesStats {
+            arrivals: 0,
+            completed_jobs: 1,
+            shed_jobs: 2,
+            busy_us: 500,
+            cross_rack_transfers: 3,
+            cross_rack_bytes: 4096,
+        };
+        a.absorb(&b);
+        assert!(a.is_conserved());
+        assert_eq!(a.busy_us, 500);
+        let line = a.to_string();
+        assert!(line.contains("shed=2"));
+        assert!(line.contains("cross_rack_bytes=4096"));
+    }
+
+    #[test]
+    fn des_stats_publish_single_owner() {
+        let registry = mcsd_obs::MetricsRegistry::new();
+        let stats = DesStats {
+            arrivals: 5,
+            completed_jobs: 5,
+            ..DesStats::default()
+        };
+        stats.publish(&registry).unwrap();
+        assert!(registry.publish("des.arrivals", "rogue", 9).is_err());
+    }
+
+    #[test]
+    fn rack_report_throughput() {
+        let r = RackReport {
+            racks: 2,
+            nodes: 10,
+            sds: 6,
+            seed: 42,
+            makespan_us: 2_000_000,
+            stats: DesStats {
+                arrivals: 100,
+                completed_jobs: 100,
+                ..DesStats::default()
+            },
+        };
+        assert!((r.jobs_per_virtual_sec() - 50.0).abs() < 1e-9);
+        let zero = RackReport {
+            makespan_us: 0,
+            ..r
+        };
+        assert_eq!(zero.jobs_per_virtual_sec(), 0.0);
+        assert!(r.to_string().contains("racks=2"));
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! * **SD placements** — host and SD run concurrently; the pair's elapsed
 //!   time is the maximum of the two sides plus the smartFAM invocation
 //!   overhead.
+//!
+//! These scenarios are the paper's *one-pair-at-a-time* evaluation
+//! shape. The workload-rate generalization — a seeded stream of the
+//! same three applications arriving concurrently over a rack topology —
+//! lives in [`crate::des`] (DESIGN.md §17), whose job mix draws the
+//! per-application compute densities from the same Table I calibration
+//! these scenarios use.
 
 use crate::driver::{ExecMode, NodeRunner};
 use crate::error::McsdError;

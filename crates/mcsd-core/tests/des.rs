@@ -1,0 +1,103 @@
+//! Determinism, parity, and conservation contracts of the rack-scale
+//! discrete-event scheduler (DESIGN.md §17).
+
+use mcsd_cluster::{paper_testbed, RackSpec, Scale};
+use mcsd_core::des::{self, DesConfig};
+use mcsd_core::offload::{OffloadPolicy, Offloader};
+use mcsd_obs::export::jsonl;
+use mcsd_obs::Tracer;
+use proptest::prelude::*;
+
+/// §17 determinism: the same config produces a byte-identical event
+/// trace and an equal `RackReport` across two independent runs.
+#[test]
+fn same_seed_two_runs_are_byte_identical() {
+    let cfg = DesConfig::default_experiment(1_200, 42);
+    let tracer_a = Tracer::enabled();
+    let run_a = des::run(&cfg, &tracer_a);
+    let tracer_b = Tracer::enabled();
+    let run_b = des::run(&cfg, &tracer_b);
+    assert_eq!(jsonl(&tracer_a), jsonl(&tracer_b), "trace bytes diverged");
+    assert_eq!(run_a.report, run_b.report);
+    assert_eq!(run_a.placements, run_b.placements);
+    // And a different seed actually changes the schedule.
+    let other = des::run(&DesConfig { seed: 43, ..cfg }, &Tracer::disabled());
+    assert_ne!(other.report, run_a.report);
+}
+
+/// The 1k-job smoke test: every arrival is accounted for — completed or
+/// shed, nothing lost — at the default experiment scale (104 nodes).
+#[test]
+fn seeded_1k_job_smoke_conserves_jobs() {
+    let cfg = DesConfig::default_experiment(1_000, 7);
+    let run = des::run(&cfg, &Tracer::disabled());
+    assert_eq!(run.report.stats.arrivals, 1_000);
+    assert!(run.report.stats.is_conserved());
+    assert_eq!(
+        run.report.stats.completed_jobs + run.report.stats.shed_jobs,
+        1_000
+    );
+    assert_eq!(run.report.nodes, 104);
+}
+
+/// Shedding path: flood time zero with more jobs than one shard's
+/// backlog holds and conservation must still balance, now with a
+/// non-zero shed count.
+#[test]
+fn overflowing_a_shard_sheds_but_conserves() {
+    let cfg = DesConfig {
+        spec: RackSpec {
+            racks: 1,
+            hosts_per_rack: 1,
+            sds_per_rack: 1,
+            uplink_oversubscription: 4,
+        },
+        queue_depth: 2,
+        arrival_spread_us: 0,
+        ..DesConfig::default_experiment(100, 5)
+    };
+    let run = des::run(&cfg, &Tracer::disabled());
+    assert!(run.report.stats.shed_jobs > 0, "tight queues must shed");
+    assert!(run.report.stats.is_conserved());
+}
+
+proptest! {
+    /// §17 parity: a 1-rack/1-host/1-SD `RackSpec` makes exactly the
+    /// scheduling decisions `paper_testbed` makes — replaying the DES's
+    /// synthesized profiles (in its decision order) through an
+    /// `Offloader` built from the paper topology yields the identical
+    /// decision sequence. Round-robin placement is stateful, so the
+    /// whole sequence must agree, not just one call.
+    #[test]
+    fn rack_1x1x1_matches_paper_testbed_decisions(
+        seed in 0u64..1_000,
+        jobs in 1u64..64,
+        spread in prop_oneof![Just(0u64), Just(1_000u64), Just(1_000_000u64)],
+    ) {
+        let cfg = DesConfig {
+            spec: RackSpec {
+                racks: 1,
+                hosts_per_rack: 1,
+                sds_per_rack: 1,
+                uplink_oversubscription: 4,
+            },
+            jobs,
+            seed,
+            arrival_spread_us: spread,
+            ..DesConfig::default_experiment(jobs, seed)
+        };
+        let topo = cfg.spec.build(cfg.scale);
+        let workload = des::synthesize_workload(&cfg, &topo);
+        let run = des::run(&cfg, &Tracer::disabled());
+        prop_assert_eq!(run.placements.len() as u64, jobs);
+        // The framework's scheduling function over the paper testbed.
+        let mut paper = Offloader::for_nodes(
+            OffloadPolicy::DataIntensiveToSd,
+            &paper_testbed(Scale::default_experiment()).nodes,
+        );
+        for (job_id, decision) in &run.placements {
+            let profile = &workload[*job_id as usize].profile;
+            prop_assert_eq!(*decision, paper.decide(profile));
+        }
+    }
+}

@@ -119,9 +119,19 @@ pub const EVENT_CHAOS_DISCOVER: &str = "chaos.discover";
 pub const EVENT_CHAOS_INJECT: &str = "chaos.inject";
 /// A chaos run violated a safety invariant (`invariant` attr).
 pub const EVENT_CHAOS_VIOLATION: &str = "chaos.violation";
+/// A job entered the rack-scale discrete-event loop (`job` attr).
+pub const EVENT_DES_ARRIVE: &str = "des.arrive";
+/// The DES dispatched a queued job onto a free shard slot (`job` and
+/// `shard` attrs).
+pub const EVENT_DES_DISPATCH: &str = "des.dispatch";
+/// A DES job finished on its shard (`job` and `shard` attrs).
+pub const EVENT_DES_COMPLETE: &str = "des.complete";
+/// The DES shed an arrival because its shard's run queue was full
+/// (`job` and `shard` attrs).
+pub const EVENT_DES_SHED: &str = "des.shed";
 
 /// Every event type the stack may emit.
-pub const ALL_EVENTS: [&str; 31] = [
+pub const ALL_EVENTS: [&str; 35] = [
     EVENT_HOST_SUBMIT,
     EVENT_HOST_ATTEMPT,
     EVENT_HOST_RETRY,
@@ -153,6 +163,10 @@ pub const ALL_EVENTS: [&str; 31] = [
     EVENT_CHAOS_DISCOVER,
     EVENT_CHAOS_INJECT,
     EVENT_CHAOS_VIOLATION,
+    EVENT_DES_ARRIVE,
+    EVENT_DES_DISPATCH,
+    EVENT_DES_COMPLETE,
+    EVENT_DES_SHED,
 ];
 
 // -------------------------------------------------------------- metrics
@@ -249,8 +263,21 @@ pub const METRIC_CHAOS_CASES: &str = "chaos.cases";
 /// Invariant violations the chaos sweep detected (owner: `mcsd.chaos`).
 pub const METRIC_CHAOS_VIOLATIONS: &str = "chaos.violations";
 
+/// Jobs injected into the rack-scale DES loop (owner: `mcsd.des`).
+pub const METRIC_DES_ARRIVALS: &str = "des.arrivals";
+/// DES jobs run to completion (owner: `mcsd.des`).
+pub const METRIC_DES_COMPLETED_JOBS: &str = "des.completed_jobs";
+/// DES jobs shed on a full shard run queue (owner: `mcsd.des`).
+pub const METRIC_DES_SHED_JOBS: &str = "des.shed_jobs";
+/// Virtual microseconds shards spent executing (owner: `mcsd.des`).
+pub const METRIC_DES_BUSY_US: &str = "des.busy_us";
+/// Transfers crossing a top-of-rack uplink (owner: `mcsd.des`).
+pub const METRIC_DES_CROSS_RACK_TRANSFERS: &str = "des.cross_rack_transfers";
+/// Bytes moved across top-of-rack uplinks (owner: `mcsd.des`).
+pub const METRIC_DES_CROSS_RACK_BYTES: &str = "des.cross_rack_bytes";
+
 /// Every metric key the stack may register.
-pub const ALL_METRICS: [&str; 42] = [
+pub const ALL_METRICS: [&str; 48] = [
     METRIC_SD_REQUESTS,
     METRIC_SD_OK,
     METRIC_SD_MODULE_ERRORS,
@@ -293,6 +320,12 @@ pub const ALL_METRICS: [&str; 42] = [
     METRIC_CHAOS_POINTS,
     METRIC_CHAOS_CASES,
     METRIC_CHAOS_VIOLATIONS,
+    METRIC_DES_ARRIVALS,
+    METRIC_DES_COMPLETED_JOBS,
+    METRIC_DES_SHED_JOBS,
+    METRIC_DES_BUSY_US,
+    METRIC_DES_CROSS_RACK_TRANSFERS,
+    METRIC_DES_CROSS_RACK_BYTES,
 ];
 
 /// Whether `name` is a catalogued span or event name.

@@ -35,12 +35,13 @@ use crate::scan::FileKind;
 use crate::workspace::Workspace;
 
 /// The counter families under ownership control.
-pub const FAMILIES: [&str; 5] = [
+pub const FAMILIES: [&str; 6] = [
     "OverloadStats",
     "ResilienceStats",
     "DaemonStats",
     "JobStats",
     "ReplicationStats",
+    "DesStats",
 ];
 
 /// One parsed row of the §13 table.
