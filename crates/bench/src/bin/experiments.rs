@@ -2,7 +2,7 @@
 //! paper's evaluation (§V), plus the DESIGN.md ablations.
 //!
 //! ```text
-//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|failover|throughput|chaos|rack]
+//! mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|failover|throughput|chaos|rack|batched]
 //!                  [--scale N] [--seed N] [--racks N] [--jobs N] [--quick] [--csv] [--json]
 //! ```
 //!
@@ -31,11 +31,12 @@
 //! `throughput` (not part of `all` either) times the same four-phase
 //! scenario and reports jobs/sec, engine decisions/sec through
 //! `engine::run_call`, and wall-clock, then times the §15 degraded mode
-//! (replicated group of three, one replica killed per run) and the
-//! §17 rack-scale DES run (104 nodes, 1200 concurrent jobs);
-//! `throughput --json` additionally writes `BENCH_9.json` into the
-//! working directory — every `BENCH_8.json` field plus the rack-scale
-//! throughput, toward ROADMAP items 1 and 2.
+//! (replicated group of three, one replica killed per run), the
+//! §17 rack-scale DES run (104 nodes, 1200 concurrent jobs), and the
+//! §18 batched-daemon call rate at pipelined window depths 1/4/16;
+//! `throughput --json` additionally writes `BENCH_10.json` into the
+//! working directory — every `BENCH_9.json` field plus the batched
+//! call rates and fsyncs-per-1k-calls, toward ROADMAP items 1 and 3.
 //!
 //! `rack` (not part of `all` either) runs the DESIGN.md §17 rack-scale
 //! discrete-event scheduler — `--racks R` racks of (4 hosts + 9 SDs)
@@ -54,6 +55,13 @@
 //! non-zero on any invariant violation; same seed, same report bytes,
 //! which CI asserts with a plain `diff`.
 //!
+//! `batched` (not part of `all` either) pre-stages twelve echo requests
+//! and drives them through the DESIGN.md §18 batched executor — three
+//! coalesced four-request commits off the seeded multi-worker pool —
+//! then writes the `sd.*` timeline and `batch.*` counters to
+//! `batched-<seed>.jsonl`. Same seed, same bytes, which CI asserts with
+//! a plain `diff` of two release-mode runs.
+//!
 //! Run in release mode: debug builds inflate per-byte compute cost ~25x
 //! and distort the compute/IO balance the figures depend on.
 
@@ -63,7 +71,7 @@ use mcsd_cluster::{paper_testbed, SandiaMicroBenchmark, Scale, SmbPattern};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|failover|throughput|chaos|rack] \
+        "usage: mcsd-experiments [all|table1|fig8a|fig8b|fig8c|fig9|fig10|smb|ablations|faults|overload|trace|failover|throughput|chaos|rack|batched] \
          [--scale N] [--seed N] [--racks N] [--jobs N] [--quick] [--csv] [--json]"
     );
     std::process::exit(2);
@@ -645,14 +653,56 @@ fn degraded_throughput(seed: u64) -> (u64, f64) {
     (jobs, t0.elapsed().as_secs_f64())
 }
 
+/// Batched-daemon call rate (DESIGN.md §18): one echo daemon in batched
+/// mode (multi-worker pool, coalesced one-fsync commits), one host
+/// pushing `calls` invocations through a pipelined window of `depth`.
+/// Returns `(calls_per_sec, merged BatchStats)` — window-side fields
+/// from the host run, commit-side fields from the daemon.
+fn batched_call_rate(seed: u64, depth: usize, calls: usize) -> (f64, mcsd_smartfam::BatchStats) {
+    use mcsd_smartfam::module::FnModule;
+    use mcsd_smartfam::{
+        BatchConfig, Daemon, DaemonConfig, HostClient, ModuleRegistry, WindowConfig,
+    };
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let dir = std::env::temp_dir().join(format!(
+        "mcsd-batchrate-{}-{depth}-{seed}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("log dir");
+    let registry = ModuleRegistry::new();
+    registry.register(Arc::new(FnModule::new("echo", |p: &[String]| {
+        Ok(p.join("|").into_bytes())
+    })));
+    let config = DaemonConfig::new(&dir).with_batching(BatchConfig {
+        seed,
+        ..BatchConfig::default()
+    });
+    let mut daemon = Daemon::new(config, registry).spawn().expect("daemon spawn");
+    let client = HostClient::new(&dir);
+    let params: Vec<Vec<String>> = (0..calls).map(|i| vec![format!("c{i}")]).collect();
+    let cfg = WindowConfig::with_depth(depth);
+    let t0 = Instant::now();
+    let run = client.invoke_window("echo", &params, &cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(run.all_ok(), "batched window left calls unanswered");
+    daemon.stop();
+    let mut stats = run.stats;
+    stats.absorb(&daemon.batch_stats());
+    let _ = std::fs::remove_dir_all(&dir);
+    (calls as f64 / wall, stats)
+}
+
 /// First perf baseline toward ROADMAP item 1: run the seeded four-phase
 /// scenario (tracer on, exports off) and report jobs/sec, engine
 /// decisions/sec through `engine::run_call`, and wall-clock, then the
 /// §15 degraded mode (group of three, one replica killed per run) and
 /// the §16 chaos discovery pass's clean-run overhead (probing counters
 /// on versus off over the chaos-tolerant four-phase segments), and the
-/// §17 rack-scale DES run (104 nodes, 1200 concurrent jobs). With
-/// `--json`, also write `BENCH_9.json` into the working directory — run
+/// §17 rack-scale DES run (104 nodes, 1200 concurrent jobs), and the
+/// §18 batched-daemon call rate at pipelined window depths 1/4/16. With
+/// `--json`, also write `BENCH_10.json` into the working directory — run
 /// from the repo root to refresh the committed baseline. The absolute
 /// numbers include the scenario's deliberate stalls (gate polling,
 /// breaker cooldowns), so they are a trajectory marker, not a peak-rate
@@ -698,9 +748,24 @@ fn throughput_run(seed: u64, json: bool) {
         rack.report.stats.shed_jobs,
         rack.report.jobs_per_virtual_sec(),
     );
+    // Batched-daemon call rate (DESIGN.md §18): the same 96 echo calls
+    // at three pipelined window depths. Depth 1 is the lockstep
+    // baseline; the depth-16 : depth-1 ratio is the tentpole claim CI
+    // guards (>= 3x).
+    const BATCHED_CALLS: usize = 96;
+    let (rate1, _) = batched_call_rate(seed, 1, BATCHED_CALLS);
+    let (rate4, _) = batched_call_rate(seed, 4, BATCHED_CALLS);
+    let (rate16, stats16) = batched_call_rate(seed, 16, BATCHED_CALLS);
+    let fsyncs_per_1k = stats16.fsyncs_per_1k_calls().unwrap_or(0);
+    println!(
+        "batched daemon ({BATCHED_CALLS} echo calls): {rate1:.0}/s at window 1, \
+         {rate4:.0}/s at window 4, {rate16:.0}/s at window 16 \
+         ({:.1}x over lockstep); {fsyncs_per_1k} fsyncs per 1k calls at depth 16",
+        rate16 / rate1
+    );
     if json {
         let body = format!(
-            "{{\n  \"bench\": \"throughput\",\n  \"pr\": 9,\n  \"seed\": {seed},\n  \
+            "{{\n  \"bench\": \"throughput\",\n  \"pr\": 10,\n  \"seed\": {seed},\n  \
              \"scenario\": \"four-phase trace scenario (DESIGN.md section 12)\",\n  \
              \"jobs\": {},\n  \"engine_decisions\": {},\n  \"wall_clock_secs\": {wall:.3},\n  \
              \"jobs_per_sec\": {jobs_per_sec:.2},\n  \
@@ -722,7 +787,14 @@ fn throughput_run(seed: u64, json: bool) {
              \"rack_wall_clock_secs\": {rack_wall:.3},\n  \
              \"rack_jobs_per_sec\": {rack_jobs_per_sec:.2},\n  \
              \"rack_makespan_virtual_secs\": {:.3},\n  \
-             \"rack_jobs_per_virtual_sec\": {:.2}\n}}\n",
+             \"rack_jobs_per_virtual_sec\": {:.2},\n  \
+             \"batched_scenario\": \"batched daemon, {BATCHED_CALLS} echo calls through a pipelined host window (DESIGN.md section 18)\",\n  \
+             \"batched_calls\": {BATCHED_CALLS},\n  \
+             \"batched_calls_per_sec_window1\": {rate1:.2},\n  \
+             \"batched_calls_per_sec_window4\": {rate4:.2},\n  \
+             \"batched_calls_per_sec_window16\": {rate16:.2},\n  \
+             \"batched_speedup_window16_over_window1\": {:.2},\n  \
+             \"batched_fsyncs_per_1k_calls_window16\": {fsyncs_per_1k}\n}}\n",
             totals.jobs,
             totals.decisions,
             rack.report.nodes,
@@ -732,9 +804,10 @@ fn throughput_run(seed: u64, json: bool) {
             rack.report.stats.shed_jobs,
             rack.report.makespan_us as f64 / 1e6,
             rack.report.jobs_per_virtual_sec(),
+            rate16 / rate1,
         );
-        std::fs::write("BENCH_9.json", body).expect("write BENCH_9.json");
-        println!("wrote BENCH_9.json");
+        std::fs::write("BENCH_10.json", body).expect("write BENCH_10.json");
+        println!("wrote BENCH_10.json");
     }
     println!();
 }
@@ -1216,7 +1289,7 @@ fn chaos_clean_pass(seed: u64, probe: bool) -> (f64, u64) {
 /// invariant violation; two consecutive runs produce byte-identical
 /// reports, which CI asserts with a plain `diff`.
 fn chaos_run(seed: u64) {
-    use mcsd_core::chaos::{self, ReplicationRoundsScenario};
+    use mcsd_core::chaos::{self, BatchedEchoScenario, ReplicationRoundsScenario};
     use mcsd_obs::Tracer;
 
     let tracer = Tracer::disabled();
@@ -1224,22 +1297,108 @@ fn chaos_run(seed: u64) {
     std::fs::create_dir_all(&dir).expect("chaos scratch dir");
     let replication = chaos::run_sweep(&ReplicationRoundsScenario::new(seed, &dir), seed, &tracer)
         .expect("replication sweep");
-    let _ = std::fs::remove_dir_all(&dir);
     println!("{}", replication.render_table());
     let four =
         chaos::run_sweep(&FourPhaseScenario { seed }, seed, &tracer).expect("four-phase sweep");
     println!("{}", four.render_table());
+    let batched = chaos::run_sweep(&BatchedEchoScenario::new(seed, &dir), seed, &tracer)
+        .expect("batched sweep");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("{}", batched.render_table());
 
     let path = format!("chaos-{seed}.json");
-    let body = format!("[\n{},\n{}\n]\n", replication.to_json(), four.to_json());
+    let body = format!(
+        "[\n{},\n{},\n{}\n]\n",
+        replication.to_json(),
+        four.to_json(),
+        batched.to_json()
+    );
     std::fs::write(&path, body).expect("write chaos report");
     println!("wrote {path}");
 
-    let violations = replication.violations.len() + four.violations.len();
+    let violations =
+        replication.violations.len() + four.violations.len() + batched.violations.len();
     if violations > 0 {
         eprintln!("chaos: {violations} invariant violation(s)");
         std::process::exit(1);
     }
+    println!();
+}
+
+/// Deterministic batched-dispatch walkthrough (DESIGN.md §18): twelve
+/// echo requests are pre-staged into the module log *before* the daemon
+/// starts, so the replay scan queues them all and the multi-worker
+/// batched executor forms exactly three four-request batches — batch
+/// formation, worker assignment, completion order, and the coalesced
+/// commits are all a pure function of the request sequence and the
+/// `BatchConfig` seed. The `sd.*` timeline and the `batch.*` counters
+/// are exported to `batched-<seed>.jsonl`; same seed, same bytes, which
+/// CI asserts with a plain `diff` of two release-mode runs.
+fn batched_run(seed: u64) {
+    use mcsd_obs::export::{jsonl_with, JsonlOptions};
+    use mcsd_obs::{MetricsRegistry, Tracer};
+    use mcsd_smartfam::module::FnModule;
+    use mcsd_smartfam::{BatchConfig, Daemon, DaemonConfig, HostClient, ModuleRegistry};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const REQUESTS: usize = 12;
+    let dir = std::env::temp_dir().join(format!("mcsd-batched-{}-{seed}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("log dir");
+    let registry = ModuleRegistry::new();
+    registry.register(Arc::new(FnModule::new("echo", |p: &[String]| {
+        Ok(p.join("|").into_bytes())
+    })));
+    let client = HostClient::new(&dir);
+    let pendings: Vec<_> = (0..REQUESTS)
+        .map(|i| {
+            client
+                .submit("echo", &[format!("r{i}-{seed}")])
+                .expect("submit request")
+        })
+        .collect();
+    let tracer = Tracer::enabled();
+    let config = DaemonConfig::new(&dir)
+        .with_tracer(tracer.clone())
+        .with_batching(BatchConfig {
+            workers: 4,
+            max_batch: 4,
+            seed,
+        });
+    let mut daemon = Daemon::new(config, registry).spawn().expect("daemon spawn");
+    for (i, pending) in pendings.into_iter().enumerate() {
+        let out = pending.wait(Duration::from_secs(60)).expect("response");
+        assert_eq!(
+            out.payload,
+            format!("r{i}-{seed}").into_bytes(),
+            "batched response diverged"
+        );
+    }
+    daemon.stop();
+    let batch = daemon.batch_stats();
+    let stats = daemon.stats();
+    println!(
+        "{REQUESTS} pre-staged echo calls through the batched executor: ok={}; {batch}",
+        stats.ok
+    );
+
+    let metrics = MetricsRegistry::new();
+    stats.publish(&metrics).expect("publish daemon counters");
+    batch.publish(&metrics).expect("publish batch counters");
+    let jsonl = jsonl_with(
+        &tracer,
+        JsonlOptions {
+            include_volatile: false,
+            metrics: Some(&metrics),
+        },
+    );
+    let path = format!("batched-{seed}.jsonl");
+    std::fs::write(&path, &jsonl).expect("write batched trace");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "wrote {path} ({} lines) — same seed, same bytes",
+        jsonl.lines().count()
+    );
     println!();
 }
 
@@ -1474,5 +1633,11 @@ fn main() {
     if which.iter().any(|w| w == "rack") {
         println!("## Rack scale — discrete-event scheduler, DESIGN.md section 17 (seed {seed})\n");
         rack_run(racks, rack_jobs, seed);
+    }
+    // Excluded from `all`: writes a trace file into the working
+    // directory; the §18 determinism demo, not a figure.
+    if which.iter().any(|w| w == "batched") {
+        println!("## Batched dispatch — coalesced commits and the multi-worker pool, DESIGN.md section 18 (seed {seed})\n");
+        batched_run(seed);
     }
 }

@@ -13,12 +13,16 @@ use crate::modules::{MatMulModule, StringMatchModule, WordCountModule};
 use mcsd_cluster::{Cluster, NfsShare, NodeId, TimeBreakdown};
 use mcsd_obs::Tracer;
 use mcsd_smartfam::{
-    Daemon, DaemonConfig, DaemonHandle, DaemonStats, FaultInjector, HostClient, ModuleRegistry,
-    ReplicaConfig, ResilienceStats, RetryPolicy,
+    BatchConfig, BatchStats, Daemon, DaemonConfig, DaemonHandle, DaemonStats, FaultInjector,
+    HostClient, ModuleRegistry, ReplicaConfig, ResilienceStats, RetryPolicy, WindowConfig,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// One call's wire-level outcome: raw response payload plus the
+/// modelled network cost, or the typed error that ended it.
+pub type WireOutcome = Result<(Vec<u8>, TimeBreakdown), McsdError>;
 
 /// Subdirectory of the share holding the per-module log files.
 pub const LOG_SUBDIR: &str = "logs";
@@ -37,6 +41,7 @@ pub struct SdNodeServer {
     max_queued: usize,
     tracer: Tracer,
     replication: Option<ReplicaConfig>,
+    batch: Option<BatchConfig>,
 }
 
 impl SdNodeServer {
@@ -108,6 +113,32 @@ impl SdNodeServer {
         tracer: Tracer,
         replication: Option<ReplicaConfig>,
     ) -> Result<SdNodeServer, McsdError> {
+        SdNodeServer::start_batched(
+            cluster,
+            injector,
+            max_in_flight,
+            max_queued,
+            tracer,
+            replication,
+            None,
+        )
+    }
+
+    /// Like [`SdNodeServer::start_replicated`], optionally switching the
+    /// daemon into batched dispatch (DESIGN.md §18): queued requests are
+    /// executed by the seeded multi-worker pool and their responses are
+    /// committed as coalesced one-fsync append batches. The batch shape
+    /// survives [`SdNodeServer::restart_daemon`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_batched(
+        cluster: &Cluster,
+        injector: FaultInjector,
+        max_in_flight: usize,
+        max_queued: usize,
+        tracer: Tracer,
+        replication: Option<ReplicaConfig>,
+        batch: Option<BatchConfig>,
+    ) -> Result<SdNodeServer, McsdError> {
         let sd = cluster.sd().clone();
         let host_id = cluster.host().id;
         let share = NfsShare::temp(sd.id, cluster.network, cluster.disk)?;
@@ -127,6 +158,9 @@ impl SdNodeServer {
         if let Some(replica) = replication {
             config = config.with_replication(replica);
         }
+        if let Some(b) = batch {
+            config = config.with_batching(b);
+        }
         let daemon = Daemon::new(config, registry.clone()).spawn()?;
         Ok(SdNodeServer {
             share,
@@ -139,6 +173,7 @@ impl SdNodeServer {
             max_queued,
             tracer,
             replication,
+            batch,
         })
     }
 
@@ -156,6 +191,16 @@ impl SdNodeServer {
     /// Daemon counters.
     pub fn daemon_stats(&self) -> DaemonStats {
         self.daemon.as_ref().map(|d| d.stats()).unwrap_or_default()
+    }
+
+    /// Batch-commit counters of the current daemon incarnation (all zero
+    /// when the daemon runs lockstep, i.e. was started without a
+    /// [`BatchConfig`], or after [`SdNodeServer::stop`]).
+    pub fn batch_stats(&self) -> BatchStats {
+        self.daemon
+            .as_ref()
+            .map(|d| d.batch_stats())
+            .unwrap_or_default()
     }
 
     /// Absolute path of the staged-data directory.
@@ -210,6 +255,9 @@ impl SdNodeServer {
             .with_tracer(self.tracer.clone());
         if let Some(replica) = self.replication {
             config = config.with_replication(replica);
+        }
+        if let Some(b) = self.batch {
+            config = config.with_batching(b);
         }
         let daemon = Daemon::new(config, self.registry.clone()).spawn()?;
         self.daemon = Some(daemon);
@@ -276,6 +324,36 @@ impl McsdClient {
             Err(e) => Err(McsdError::SmartFam(e)),
         };
         (outcome, call.stats)
+    }
+
+    /// Invoke one module once per parameter set through a pipelined
+    /// in-flight window (DESIGN.md §18) instead of `calls.len()` lockstep
+    /// round trips. Outcomes come back in submit order with the same
+    /// network-cost accounting as [`McsdClient::invoke`]; the returned
+    /// [`BatchStats`] carries the window-side counters (occupancy,
+    /// shrinks, reordered completions) of this run.
+    pub fn invoke_window(
+        &self,
+        module: &str,
+        calls: &[Vec<String>],
+        cfg: &WindowConfig,
+    ) -> (Vec<WireOutcome>, BatchStats) {
+        let run = self.inner.invoke_window(module, calls, cfg);
+        let outcomes = run
+            .outcomes
+            .into_iter()
+            .map(|outcome| match outcome {
+                Ok(outcome) => {
+                    let bytes = outcome.request_bytes + outcome.response_bytes;
+                    let wire = Duration::from_secs_f64(bytes as f64 * self.network_charge_per_byte);
+                    let cost = TimeBreakdown::network(self.latency * 2 + wire)
+                        + TimeBreakdown::overhead(outcome.elapsed);
+                    Ok((outcome.payload, cost))
+                }
+                Err(e) => Err(McsdError::SmartFam(e)),
+            })
+            .collect();
+        (outcomes, run.stats)
     }
 
     /// Whether the SD daemon heartbeat is fresh.
@@ -408,6 +486,55 @@ mod tests {
             .unwrap();
         let bins = HistogramModule::decode(&payload).unwrap();
         assert_eq!(bins, mcsd_apps::histogram::seq_histogram(&data));
+    }
+
+    #[test]
+    fn batched_node_serves_a_pipelined_window() {
+        let cluster = cluster();
+        let server = SdNodeServer::start_batched(
+            &cluster,
+            FaultInjector::disabled(),
+            64,
+            1024,
+            Tracer::disabled(),
+            None,
+            Some(BatchConfig::default()),
+        )
+        .unwrap();
+        let mut calls = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..5u64 {
+            let text = TextGen::with_seed(60 + i).generate(3_000);
+            let name = format!("w{i}.txt");
+            server.stage_local(&name, &text).unwrap();
+            expect.push(seq::wordcount(&text));
+            calls.push(vec![name]);
+        }
+        let client = server.host_client();
+        let (outcomes, window) = client.invoke_window(
+            "wordcount",
+            &calls,
+            &mcsd_smartfam::WindowConfig::with_depth(4),
+        );
+        for (outcome, want) in outcomes.iter().zip(&expect) {
+            let (payload, cost) = outcome.as_ref().unwrap();
+            assert_eq!(&WordCountModule::decode(payload).unwrap(), want);
+            assert!(cost.network > Duration::ZERO);
+        }
+        // Window counters are host-side; commit counters are daemon-side.
+        assert!(window.window_occupancy >= calls.len() as u64);
+        assert_eq!(window.batches, 0);
+        // The daemon bumps its commit counters a beat after the response
+        // bytes become host-visible — wait them out.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.batch_stats().coalesced_appends < 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let commits = server.batch_stats();
+        assert_eq!(commits.coalesced_appends, 5);
+        assert!(commits.batches >= 1);
+        assert!(commits.fsyncs <= commits.coalesced_appends);
+        assert_eq!(server.daemon_stats().ok, 5);
     }
 
     #[test]

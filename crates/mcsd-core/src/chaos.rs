@@ -30,9 +30,14 @@ use mcsd_obs::names::{
     METRIC_CHAOS_POINTS, METRIC_CHAOS_VIOLATIONS,
 };
 use mcsd_obs::{ClockDomain, MetricsError, MetricsRegistry, Tracer};
-use mcsd_smartfam::{FaultAction, FaultInjector, FaultPlan, FaultSite, Frame};
+use mcsd_smartfam::module::FnModule;
+use mcsd_smartfam::{
+    BatchConfig, Daemon, DaemonConfig, FaultAction, FaultInjector, FaultPlan, FaultSite, Frame,
+    HostClient, ModuleRegistry,
+};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Trace track carrying the sweep's discovery/injection timeline
 /// (`chaos.*` events, [`ClockDomain::Decision`]; DESIGN.md §12).
@@ -826,6 +831,270 @@ impl ReplicationRoundsScenario {
                 "replica_crashes >= group_crashes",
                 stats.replica_crashes,
                 stats.group_crashes,
+            ),
+        ];
+        Ok(obs)
+    }
+}
+
+/// A batched-daemon scenario over the real multi-worker dispatch pool
+/// (DESIGN.md §18): `requests` pre-staged echo calls are chunked into
+/// coalesced append batches, so the sweep enumerates exactly the
+/// batch-boundary fault points — every per-request dispatch slot plus
+/// one [`FaultSite::BatchAppend`] point per batch commit. The scenario
+/// recovers the way the stack is designed to: an injected crash is
+/// healed by a replacement incarnation on the *same* injector (replay
+/// answers the uncommitted suffix), and a response lost to a corrupt
+/// batch frame is resubmitted under a fresh key after the daemon proves
+/// alive. At-most-once is audited with an answered-set probe inside the
+/// module itself: any invocation for a key whose outcome the host
+/// already read durably is a violation.
+pub struct BatchedEchoScenario {
+    seed: u64,
+    request_count: usize,
+    batching: BatchConfig,
+    base_dir: PathBuf,
+    runs: AtomicU64,
+}
+
+impl BatchedEchoScenario {
+    /// A scenario writing its log dirs under `base_dir` (each run uses a
+    /// fresh subdirectory, removed afterwards). Defaults: six requests,
+    /// two workers, batches of three — two batch commits per clean run.
+    pub fn new(seed: u64, base_dir: impl Into<PathBuf>) -> BatchedEchoScenario {
+        BatchedEchoScenario {
+            seed,
+            request_count: 6,
+            batching: BatchConfig {
+                workers: 2,
+                max_batch: 3,
+                seed,
+            },
+            base_dir: base_dir.into(),
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    /// Override the request count (sweep cost scales with it).
+    pub fn with_requests(mut self, requests: usize) -> BatchedEchoScenario {
+        self.request_count = requests.max(1);
+        self
+    }
+}
+
+/// How many daemon incarnations one batched run may consume: the sweep
+/// injects at most one fault per run, so one crash plus the original.
+const INCARNATION_BUDGET: u64 = 3;
+
+/// How long a lost response may stay unanswered while the daemon is
+/// provably alive before the scenario resubmits under a fresh key —
+/// the host-tier resilient-retry behaviour, inlined.
+const RESUBMIT_PATIENCE: std::time::Duration = std::time::Duration::from_secs(1);
+
+/// Hard ceiling for one request's whole recovery chain.
+const REQUEST_DEADLINE: std::time::Duration = std::time::Duration::from_secs(60);
+
+impl ChaosScenario for BatchedEchoScenario {
+    fn name(&self) -> &str {
+        "batched-echo"
+    }
+
+    fn segment_names(&self) -> Vec<String> {
+        vec!["batched".to_string()]
+    }
+
+    fn baked_plan(&self, _segment: usize) -> FaultPlan {
+        FaultPlan::none()
+    }
+
+    /// Narrowed to the batch-boundary matrix: the canonical dispatch
+    /// actions, and a mid-frame tear (7/16 — 8/16 can land exactly on a
+    /// frame boundary and tear nothing) plus a one-byte corruption at
+    /// the batch-append site.
+    fn actions(&self, site: FaultSite) -> Vec<FaultAction> {
+        match site {
+            FaultSite::BatchAppend => vec![
+                FaultAction::Torn { keep_sixteenths: 7 },
+                FaultAction::Corrupt { xor_mask: 0x20 },
+            ],
+            _ => default_actions(site),
+        }
+    }
+
+    fn run_segment(
+        &self,
+        _segment: usize,
+        injector: &FaultInjector,
+    ) -> Result<ChaosObservation, McsdError> {
+        let dir = self
+            .base_dir
+            .join(format!("run-{}", self.runs.fetch_add(1, Ordering::Relaxed)));
+        std::fs::create_dir_all(&dir).map_err(McsdError::Io)?;
+        let result = self.run_in(&dir, injector);
+        let _ = std::fs::remove_dir_all(&dir);
+        result
+    }
+}
+
+impl BatchedEchoScenario {
+    fn run_in(
+        &self,
+        dir: &std::path::Path,
+        injector: &FaultInjector,
+    ) -> Result<ChaosObservation, McsdError> {
+        use mcsd_phoenix::Stopwatch;
+        use parking_lot::Mutex;
+        use std::collections::HashSet;
+
+        // Answered-set probe: keys whose outcome the host has durably
+        // read. The module itself checks membership, so a replay or a
+        // torn-suffix retry that re-*executes* (rather than re-appends)
+        // finished work is caught at the moment it happens.
+        let answered: Arc<Mutex<HashSet<String>>> = Arc::new(Mutex::new(HashSet::new()));
+        let durable_reexecutions = Arc::new(AtomicU64::new(0));
+        let invocations = Arc::new(AtomicU64::new(0));
+        let mk_registry = || {
+            let answered = Arc::clone(&answered);
+            let reexec = Arc::clone(&durable_reexecutions);
+            let invocations = Arc::clone(&invocations);
+            let r = ModuleRegistry::new();
+            r.register(Arc::new(FnModule::new("echo", move |p: &[String]| {
+                invocations.fetch_add(1, Ordering::Relaxed);
+                let key = p.first().cloned().unwrap_or_default();
+                if answered.lock().contains(&key) {
+                    reexec.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(format!("echo:{key}").into_bytes())
+            })));
+            r
+        };
+
+        // Pre-stage every request before the daemon starts, so batch
+        // formation — and with it the enumerable fault-point stream — is
+        // a pure function of the request sequence.
+        let client = HostClient::new(dir);
+        let mut calls = Vec::with_capacity(self.request_count);
+        for i in 0..self.request_count {
+            let key = format!("r{i}-{}", self.seed);
+            let pending = client
+                .submit("echo", std::slice::from_ref(&key))
+                .map_err(McsdError::SmartFam)?;
+            calls.push((key, pending));
+        }
+
+        let spawn = |injector: &FaultInjector| {
+            Daemon::new(
+                DaemonConfig::new(dir)
+                    .with_faults(injector.clone())
+                    .with_batching(self.batching),
+                mk_registry(),
+            )
+            .spawn()
+            .map_err(McsdError::Io)
+        };
+        let mut daemon = spawn(injector)?;
+        let mut incarnations: u64 = 1;
+        // Commit-side counters accumulate across incarnations; a crashed
+        // daemon's stats are read after it provably stopped.
+        let (mut batches, mut coalesced, mut fsyncs, mut fsyncs_saved) = (0u64, 0u64, 0u64, 0u64);
+        let mut answered_outcomes: u64 = 0;
+        let mut ok_outcomes: u64 = 0;
+
+        let mut obs = ChaosObservation::clean();
+        for (key, pending) in calls {
+            let started = Stopwatch::start();
+            let mut call = pending;
+            let mut expect = format!("echo:{key}");
+            let mut alive_since = Stopwatch::start();
+            let mut retries: u32 = 0;
+            loop {
+                match call.poll_outcome() {
+                    Ok(Some(outcome)) => {
+                        if outcome.payload != expect.as_bytes() {
+                            obs.outputs_correct = false;
+                        }
+                        answered.lock().insert(expect["echo:".len()..].to_string());
+                        answered_outcomes += 1;
+                        ok_outcomes += 1;
+                        break;
+                    }
+                    // A typed module error is a valid outcome under an
+                    // injected dispatch failure — never a wrong answer.
+                    Err(_) => {
+                        answered.lock().insert(expect["echo:".len()..].to_string());
+                        answered_outcomes += 1;
+                        break;
+                    }
+                    Ok(None) => {}
+                }
+                if started.expired(REQUEST_DEADLINE) {
+                    obs.outputs_correct = false;
+                    break;
+                }
+                if !daemon.is_running() {
+                    if incarnations >= INCARNATION_BUDGET {
+                        obs.outputs_correct = false;
+                        break;
+                    }
+                    // Settle and bank the dead incarnation's commit
+                    // counters, then heal with a replacement on the same
+                    // injector: replay answers the uncommitted suffix.
+                    daemon.stop();
+                    let b = daemon.batch_stats();
+                    batches += b.batches;
+                    coalesced += b.coalesced_appends;
+                    fsyncs += b.fsyncs;
+                    fsyncs_saved += b.fsyncs_saved;
+                    daemon = spawn(injector)?;
+                    incarnations += 1;
+                    alive_since = Stopwatch::start();
+                } else if alive_since.expired(RESUBMIT_PATIENCE) {
+                    // Daemon alive but the response never decoded — a
+                    // corrupt batch frame swallowed it. Resubmit under a
+                    // fresh key (a fresh id), exactly like the host's
+                    // resilient tier.
+                    retries += 1;
+                    let key = format!("{key}#retry{retries}");
+                    expect = format!("echo:{key}");
+                    call = client.submit("echo", &[key]).map_err(McsdError::SmartFam)?;
+                    alive_since = Stopwatch::start();
+                }
+                // tidy:allow(MCSD001) -- real I/O pacing: the scenario is polling a log file for a response frame, the same wait the host tier performs
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        daemon.stop();
+        let b = daemon.batch_stats();
+        batches += b.batches;
+        coalesced += b.coalesced_appends;
+        fsyncs += b.fsyncs;
+        fsyncs_saved += b.fsyncs_saved;
+
+        obs.durable_reexecutions = durable_reexecutions.load(Ordering::Relaxed);
+        obs.conservation = vec![
+            // Every answered outcome rode a coalesced batch commit.
+            ConservationCheck::ge(
+                "coalesced_appends >= answered_outcomes",
+                coalesced,
+                answered_outcomes,
+            ),
+            // One fsync per batch commit — the §18 durability contract.
+            ConservationCheck::eq("fsyncs == batches", fsyncs, batches),
+            // Every durable frame either paid an fsync or saved one; a
+            // fully-torn commit can pay without landing a frame, so this
+            // is a lower bound rather than an identity.
+            ConservationCheck::ge(
+                "fsyncs + fsyncs_saved >= coalesced_appends",
+                fsyncs + fsyncs_saved,
+                coalesced,
+            ),
+            // Execution is at-least-once for every correct payload; a
+            // typed error (injected module failure) answers without an
+            // invocation, so errors are excluded from the bound.
+            ConservationCheck::ge(
+                "invocations >= ok_outcomes",
+                invocations.load(Ordering::Relaxed),
+                ok_outcomes,
             ),
         ];
         Ok(obs)

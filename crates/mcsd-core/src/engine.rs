@@ -37,7 +37,7 @@ use mcsd_obs::names::{
 };
 use mcsd_obs::{ClockDomain, SpanId, Tracer, TrackId};
 use mcsd_phoenix::MemoryModel;
-use mcsd_smartfam::{DaemonStats, OverloadStats, ResilienceStats};
+use mcsd_smartfam::{BatchStats, DaemonStats, OverloadStats, ResilienceStats};
 use parking_lot::Mutex;
 use std::time::Duration;
 
@@ -319,6 +319,10 @@ pub struct Engine {
     overload: Mutex<OverloadStats>,
     /// Host-side recovery counters absorbed from dispatch outcomes.
     stats: Mutex<ResilienceStats>,
+    /// Window-side batch counters absorbed from pipelined dispatches
+    /// (the daemon owns the commit-side fields; merged at read time by
+    /// [`Engine::batch_report`]).
+    batch: Mutex<BatchStats>,
     degradations: Mutex<Vec<String>>,
     decision_log: Mutex<Vec<(String, OffloadDecision)>>,
     config: EngineConfig,
@@ -335,6 +339,7 @@ impl Engine {
             clock: Mutex::new(Duration::ZERO),
             overload: Mutex::new(OverloadStats::default()),
             stats: Mutex::new(ResilienceStats::default()),
+            batch: Mutex::new(BatchStats::default()),
             degradations: Mutex::new(Vec::new()),
             decision_log: Mutex::new(Vec::new()),
             config,
@@ -408,6 +413,25 @@ impl Engine {
         stats.overload.absorb(&self.overload_totals());
         stats.overload.shed += daemon.shed;
         stats.overload.expired += daemon.expired;
+        stats
+    }
+
+    /// Absorb the window-side [`BatchStats`] of one pipelined dispatch
+    /// (occupancy, shrinks, reordered completions). The commit-side
+    /// fields are daemon-owned and must stay zero in `stats` — mixing
+    /// them in here would double-count them in [`Engine::batch_report`].
+    pub fn absorb_batch(&self, stats: &BatchStats) {
+        self.batch.lock().absorb(stats);
+    }
+
+    /// Batched-mode counters merged for a caller-facing report: the
+    /// window-side fields the engine absorbed from pipelined dispatches
+    /// plus the daemon-owned batch-commit fields (batches, coalesced
+    /// appends, fsyncs, fsyncs saved), merged at read time exactly like
+    /// [`Engine::resilience_report`] so neither side is double-counted.
+    pub fn batch_report(&self, daemon: &BatchStats) -> BatchStats {
+        let mut stats = *self.batch.lock();
+        stats.absorb(daemon);
         stats
     }
 
@@ -668,6 +692,150 @@ impl Engine {
         call.run_host()
     }
 
+    /// Drive a *batch* of typed calls through the same per-call state
+    /// machine as [`Engine::run_call`], but with the SD dispatches
+    /// grouped into one pipelined window instead of N lockstep round
+    /// trips (DESIGN.md §18).
+    ///
+    /// Every gate still applies **per request inside the batch**: each
+    /// call pays its own breaker admission + heartbeat-load check, its
+    /// own memory-budget admission, and its own breaker feedback; a call
+    /// that fails its gate is steered to the host without disturbing its
+    /// neighbours, and a call whose windowed dispatch fails degrades (or
+    /// surfaces its error) individually. Only the transport is batched.
+    ///
+    /// `dispatch_window` receives the `(module, params)` pairs of every
+    /// SD-admitted call, in submit order, and must return exactly one
+    /// [`SdDispatch`] per pair, in the same order — the framework backs
+    /// it with the host client's pipelined window. Results come back in
+    /// call order regardless of the SD node's completion order.
+    pub fn run_calls<C: OffloadCall>(
+        &self,
+        calls: &mut [C],
+        queued_load: impl Fn() -> Option<u64>,
+        dispatch_window: impl FnOnce(&[(String, Vec<String>)]) -> Vec<SdDispatch>,
+    ) -> Vec<Result<(C::Output, TimeBreakdown), McsdError>> {
+        /// Where one call of the batch is headed after its gates ran.
+        enum Plan {
+            /// SD-admitted: entry `wx` of the window, on breaker `slot`.
+            Windowed {
+                slot: usize,
+                staging: TimeBreakdown,
+                wx: usize,
+            },
+            /// Host-placed (policy or steer): run in phase 3, in order.
+            Host(OffloadDecision),
+            /// Gate error (admission/prepare): result already recorded.
+            Failed,
+        }
+
+        type Slot<T> = Option<Result<(T, TimeBreakdown), McsdError>>;
+        let mut results: Vec<Slot<C::Output>> = calls.iter().map(|_| None).collect();
+        let mut window: Vec<(String, Vec<String>)> = Vec::new();
+        let mut plans: Vec<Plan> = Vec::with_capacity(calls.len());
+
+        // Phase 1 — per-request gating, in submit order. Mirrors the top
+        // of `run_call` exactly: decide → breaker/load gate → memory
+        // admission → prepare.
+        for (i, call) in calls.iter_mut().enumerate() {
+            let job = call.job();
+            let profile = call.profile();
+            let mut decision = self.decide(&profile);
+            if let OffloadDecision::SmartStorage { sd_index } = decision {
+                if !self.sd_admitted(job, sd_index, &queued_load) {
+                    decision = OffloadDecision::SteeredToHost;
+                }
+            }
+            let OffloadDecision::SmartStorage { sd_index } = decision else {
+                plans.push(Plan::Host(decision));
+                continue;
+            };
+            let partition = match call.admission() {
+                Some(request) => match self.admit_memory(job, &request) {
+                    Ok(partition) => partition,
+                    Err(e) => {
+                        results[i] = Some(Err(e));
+                        plans.push(Plan::Failed);
+                        continue;
+                    }
+                },
+                None => None,
+            };
+            match call.prepare() {
+                Ok((mut params, staging)) => {
+                    params.extend(partition);
+                    let wx = window.len();
+                    window.push((job.to_string(), params));
+                    plans.push(Plan::Windowed {
+                        slot: sd_index,
+                        staging,
+                        wx,
+                    });
+                }
+                Err(e) => {
+                    results[i] = Some(Err(e));
+                    plans.push(Plan::Failed);
+                }
+            }
+        }
+
+        // Phase 2 — one pipelined window over every admitted request.
+        let mut dispatched: Vec<Option<SdDispatch>> = if window.is_empty() {
+            Vec::new()
+        } else {
+            dispatch_window(&window).into_iter().map(Some).collect()
+        };
+        assert_eq!(
+            dispatched.len(),
+            window.len(),
+            "dispatch_window must answer every admitted request"
+        );
+
+        // Phase 3 — per-request completion, in submit order: stats,
+        // breaker feedback, decode / degrade — the bottom of `run_call`.
+        for (i, call) in calls.iter_mut().enumerate() {
+            let job = call.job();
+            match plans[i] {
+                Plan::Failed => {}
+                Plan::Host(decision) => {
+                    self.note_decision(job, decision);
+                    results[i] = Some(call.run_host());
+                }
+                Plan::Windowed { slot, staging, wx } => {
+                    let (outcome, mut stats) =
+                        // tidy:allow(MCSD002) -- construction invariant: each windowed plan owns exactly one dispatch slot, assigned a few lines up; a double-take is a planner bug that must fail loudly
+                        dispatched[wx].take().expect("window entry consumed once");
+                    // Same ownership rule as `run_call`: the daemon owns
+                    // corrupt-skip accounting (DESIGN.md §10/§12).
+                    stats.corrupt_skipped_bytes = 0;
+                    self.stats.lock().absorb(&stats);
+                    self.breaker_feedback(job, slot, outcome.is_ok());
+                    results[i] = Some(match outcome {
+                        Ok((payload, cost)) => {
+                            self.note_decision(
+                                job,
+                                OffloadDecision::SmartStorage { sd_index: slot },
+                            );
+                            call.decode(&payload).map(|out| (out, staging + cost))
+                        }
+                        Err(e) => match self.degrade(job, e) {
+                            Ok(decision) => {
+                                self.note_decision(job, decision);
+                                call.run_host()
+                            }
+                            Err(e) => Err(e),
+                        },
+                    });
+                }
+            }
+        }
+        results
+            .into_iter()
+            // tidy:allow(MCSD002) -- construction invariant: the planning loop above fills every slot (Failed/Host/Windowed all write results[i]); a hole is a planner bug that must fail loudly
+            .map(|r| r.expect("every call planned exactly once"))
+            .collect()
+    }
+
     /// Drive the re-dispatch chain for one multi-SD input span: primary
     /// slot, in-place retry, surviving SD slots in order, finally the
     /// host slot (= SD count), which is never breaker-gated and so
@@ -845,6 +1013,39 @@ mod tests {
         q.finish();
         q.finish();
         assert!(q.is_idle());
+    }
+
+    #[test]
+    fn batch_report_merges_window_and_daemon_sides_at_read_time() {
+        let e = engine(1);
+        // The engine absorbs window-side counters from two pipelined
+        // dispatches; the daemon-side snapshot arrives at read time.
+        e.absorb_batch(&BatchStats {
+            window_occupancy: 12,
+            window_shrinks: 1,
+            reordered_completions: 2,
+            ..BatchStats::default()
+        });
+        e.absorb_batch(&BatchStats {
+            window_occupancy: 8,
+            ..BatchStats::default()
+        });
+        let daemon = BatchStats {
+            batches: 3,
+            coalesced_appends: 12,
+            fsyncs: 3,
+            fsyncs_saved: 9,
+            ..BatchStats::default()
+        };
+        let merged = e.batch_report(&daemon);
+        assert_eq!(merged.batches, 3);
+        assert_eq!(merged.coalesced_appends, 12);
+        assert_eq!(merged.fsyncs_saved, 9);
+        assert_eq!(merged.window_occupancy, 20);
+        assert_eq!(merged.window_shrinks, 1);
+        assert_eq!(merged.reordered_completions, 2);
+        // Reading the report twice never double-counts either side.
+        assert_eq!(e.batch_report(&daemon), merged);
     }
 
     #[test]

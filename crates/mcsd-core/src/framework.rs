@@ -20,7 +20,7 @@ use crate::admission::DEFAULT_MIN_FRAGMENT_BYTES;
 use crate::breaker::{BreakerConfig, BreakerState};
 use crate::bridge::{McsdClient, SdNodeServer};
 use crate::driver::NodeRunner;
-use crate::engine::{Engine, EngineConfig, MemoryAdmission, OffloadCall};
+use crate::engine::{Engine, EngineConfig, MemoryAdmission, OffloadCall, SdDispatch};
 use crate::error::McsdError;
 use crate::modules::{StringMatchModule, WordCountModule};
 use crate::offload::{JobProfile, OffloadDecision, OffloadPolicy, Offloader};
@@ -29,9 +29,16 @@ use mcsd_cluster::{Cluster, TimeBreakdown};
 use mcsd_obs::names::{SPAN_CLUSTER_FETCH, SPAN_CLUSTER_STAGE};
 use mcsd_obs::Tracer;
 use mcsd_phoenix::Job;
-use mcsd_smartfam::{FaultInjector, ReplicaConfig, ResilienceStats, RetryPolicy};
+use mcsd_smartfam::{
+    BatchConfig, BatchStats, FaultInjector, ReplicaConfig, ResilienceStats, RetryPolicy,
+    WindowConfig,
+};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// One Word Count call's outcome inside a batched window: the counted
+/// pairs plus the call's virtual cost, or the typed error it degraded to.
+pub type WordcountOutcome = Result<(Vec<(String, u64)>, TimeBreakdown), McsdError>;
 
 pub use crate::engine::{CLUSTER_TRACE_TRACK, MCSD_TRACE_TRACK};
 
@@ -80,6 +87,12 @@ pub struct ResilienceConfig {
     /// restarted daemon merges mirror-only frames back into the primary
     /// log before replay. `None` (the default) runs unreplicated.
     pub replication: Option<ReplicaConfig>,
+    /// Batched daemon dispatch (DESIGN.md §18): when set, the daemon
+    /// coalesces queued responses into one-fsync append batches executed
+    /// by the seeded multi-worker pool, and the framework's windowed
+    /// entry points ([`McsdFramework::wordcount_window`]) can pipeline
+    /// their calls against it. `None` (the default) runs lockstep.
+    pub batch: Option<BatchConfig>,
 }
 
 impl Default for ResilienceConfig {
@@ -96,6 +109,7 @@ impl Default for ResilienceConfig {
             min_fragment_bytes: DEFAULT_MIN_FRAGMENT_BYTES,
             tracer: Tracer::disabled(),
             replication: None,
+            batch: None,
         }
     }
 }
@@ -123,13 +137,14 @@ impl McsdFramework {
         policy: OffloadPolicy,
         resilience: ResilienceConfig,
     ) -> Result<McsdFramework, McsdError> {
-        let server = SdNodeServer::start_replicated(
+        let server = SdNodeServer::start_batched(
             &cluster,
             resilience.injector.clone(),
             resilience.max_in_flight,
             resilience.max_queued,
             resilience.tracer.clone(),
             resilience.replication,
+            resilience.batch,
         )?;
         let client = server.host_client();
         // One breaker slot: the framework offloads to one live SD node.
@@ -174,6 +189,14 @@ impl McsdFramework {
     /// replays so they are never double-counted here.
     pub fn resilience_stats(&self) -> ResilienceStats {
         self.engine.resilience_report(&self.server.daemon_stats())
+    }
+
+    /// Batched/pipelined counters merged at read time: the daemon's
+    /// batch-commit fields plus the window-side fields the engine
+    /// absorbed from pipelined dispatches (DESIGN.md §13/§18). All zero
+    /// for a lockstep framework.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.engine.batch_report(&self.server.batch_stats())
     }
 
     /// Current state of the SD node's circuit breaker.
@@ -236,7 +259,16 @@ impl McsdFramework {
         file: &str,
         partition: Option<&str>,
     ) -> Result<(Vec<(String, u64)>, TimeBreakdown), McsdError> {
-        self.run_offloaded(&mut StagedCall {
+        let mut call = self.wordcount_call(file, partition)?;
+        self.run_offloaded(&mut call)
+    }
+
+    fn wordcount_call<'a>(
+        &'a self,
+        file: &str,
+        partition: Option<&'a str>,
+    ) -> Result<StagedCall<'a, Vec<(String, u64)>>, McsdError> {
+        Ok(StagedCall {
             fw: self,
             job: "wordcount",
             files: vec![file.to_string()],
@@ -247,6 +279,64 @@ impl McsdFramework {
             decode: WordCountModule::decode,
             run_host: wordcount_host,
         })
+    }
+
+    /// Run one Word Count per staged file as a *single pipelined batch*
+    /// (DESIGN.md §18): every call still pays its own placement decision,
+    /// breaker/load gate, memory admission, and breaker feedback inside
+    /// [`Engine::run_calls`], but the admitted calls share one in-flight
+    /// window instead of `files.len()` lockstep round trips — and a
+    /// batched daemon ([`ResilienceConfig::batch`]) coalesces their
+    /// response appends into one-fsync batch commits. Results come back
+    /// in `files` order; per-call failures degrade individually.
+    pub fn wordcount_window(
+        &self,
+        files: &[String],
+        partition: Option<&str>,
+        window: &WindowConfig,
+    ) -> Result<Vec<WordcountOutcome>, McsdError> {
+        let mut calls = files
+            .iter()
+            .map(|f| self.wordcount_call(f, partition))
+            .collect::<Result<Vec<_>, _>>()?;
+        let span = self.engine.open_call_span("wordcount");
+        let out = self.engine.run_calls(
+            &mut calls,
+            || self.client.smartfam().daemon_load().map(|load| load.queued),
+            |requests| self.dispatch_window(requests, window),
+        );
+        self.engine.close_call_span(span);
+        Ok(out)
+    }
+
+    /// Windowed transport behind [`Engine::run_calls`]: pipeline each
+    /// consecutive same-module run of the admitted requests through the
+    /// host client's in-flight window, absorbing the window-side batch
+    /// counters into the engine. Outcomes stay in request order.
+    fn dispatch_window(
+        &self,
+        requests: &[(String, Vec<String>)],
+        cfg: &WindowConfig,
+    ) -> Vec<SdDispatch> {
+        let mut out = Vec::with_capacity(requests.len());
+        let mut i = 0;
+        while i < requests.len() {
+            let module = requests[i].0.clone();
+            let mut j = i;
+            while j < requests.len() && requests[j].0 == module {
+                j += 1;
+            }
+            let params: Vec<Vec<String>> = requests[i..j].iter().map(|(_, p)| p.clone()).collect();
+            let (outcomes, stats) = self.client.invoke_window(&module, &params, cfg);
+            self.engine.absorb_batch(&stats);
+            out.extend(
+                outcomes
+                    .into_iter()
+                    .map(|outcome| (outcome, ResilienceStats::default())),
+            );
+            i = j;
+        }
+        out
     }
 
     /// String Match over staged encrypt/keys files.
@@ -602,6 +692,50 @@ mod tests {
                 "mirror {r} is not a suffix of the primary log"
             );
         }
+        fw.stop();
+    }
+
+    #[test]
+    fn batched_framework_pipelines_wordcount_windows() {
+        let resilience = ResilienceConfig {
+            batch: Some(BatchConfig::default()),
+            ..ResilienceConfig::default()
+        };
+        let fw = McsdFramework::start_with(cluster(), OffloadPolicy::AlwaysSd, resilience).unwrap();
+        let mut files = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..6u64 {
+            let text = TextGen::with_seed(40 + i).generate(4_000);
+            let name = format!("t{i}.txt");
+            fw.stage_data_local(&name, &text).unwrap();
+            expect.push(seq::wordcount(&text));
+            files.push(name);
+        }
+        let out = fw
+            .wordcount_window(&files, None, &WindowConfig::with_depth(4))
+            .unwrap();
+        assert_eq!(out.len(), 6);
+        for (got, want) in out.iter().zip(&expect) {
+            let (pairs, cost) = got.as_ref().unwrap();
+            assert_eq!(pairs, want);
+            assert!(cost.network > Duration::ZERO);
+        }
+        // Every call paid its own gate and got its own decision entry.
+        assert_eq!(fw.decision_log().len(), 6);
+        assert_eq!(fw.sd_node().daemon_stats().ok, 6);
+        // The merged report carries both sides: daemon batch commits
+        // (every response rode a batch) and host window occupancy. The
+        // host sees a response as soon as its bytes are durable, a beat
+        // before the daemon bumps its commit counters — wait them out.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while fw.batch_stats().coalesced_appends < 6 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let batch = fw.batch_stats();
+        assert_eq!(batch.coalesced_appends, 6);
+        assert!(batch.batches >= 1);
+        assert!(batch.fsyncs <= batch.coalesced_appends);
+        assert!(batch.window_occupancy >= 6);
         fw.stop();
     }
 

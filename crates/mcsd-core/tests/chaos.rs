@@ -3,7 +3,9 @@
 //! a deliberately broken scenario double proving the durability and
 //! at-most-once checkers actually fire.
 
-use mcsd_core::chaos::{self, ChaosObservation, ChaosScenario, ReplicationRoundsScenario};
+use mcsd_core::chaos::{
+    self, BatchedEchoScenario, ChaosObservation, ChaosScenario, ReplicationRoundsScenario,
+};
 use mcsd_core::{FaultInjector, FaultPlan, FaultSite, McsdError};
 use mcsd_obs::Tracer;
 use proptest::prelude::*;
@@ -46,6 +48,35 @@ fn replication_rounds_sweep_is_clean() {
         report.shadowed.is_empty(),
         "no baked plan, nothing shadowed"
     );
+    assert!(
+        report.is_clean(),
+        "invariant violations:\n{}",
+        report.render_table()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The full sweep over the batched daemon (DESIGN.md §18): every
+/// dispatch slot and every batch-commit point of a six-request,
+/// two-batch workload × the batch-boundary action matrix, audited
+/// against all six invariants. Crashes heal by incarnation replay,
+/// torn tails by suffix retry, corrupt frames by host-tier resubmit —
+/// and none of it may re-execute already-answered work or break the
+/// one-fsync-per-commit identity.
+#[test]
+fn batched_echo_sweep_is_clean() {
+    let dir = temp_dir("batched");
+    let scenario = BatchedEchoScenario::new(7, &dir);
+    let report = chaos::run_sweep(&scenario, 7, &Tracer::disabled()).unwrap();
+    // Six per-request dispatch slots plus one batch-append point per
+    // coalesced commit (two batches of three).
+    let batched = &report.segments[0];
+    assert_eq!(
+        batched.points,
+        vec![(FaultSite::Dispatch, 6), (FaultSite::BatchAppend, 2)]
+    );
+    // 6 dispatch points × 3 actions + 2 commit points × 2 actions.
+    assert_eq!(report.cases, 6 * 3 + 2 * 2);
     assert!(
         report.is_clean(),
         "invariant violations:\n{}",

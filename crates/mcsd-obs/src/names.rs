@@ -37,9 +37,15 @@ pub const SPAN_CLUSTER_FETCH: &str = "cluster.fetch";
 /// Background re-protection pass rebuilding a replication group back to
 /// full redundancy; width = re-protect steps performed (decision).
 pub const SPAN_MCSD_REPROTECT: &str = "mcsd.reprotect";
+/// One coalesced daemon append batch from formation to its single-fsync
+/// commit; width = requests in the batch (decision).
+pub const SPAN_SD_BATCH: &str = "sd.batch";
+/// One pipelined host↔SD window run from first submit to last
+/// completion; width = calls completed (decision).
+pub const SPAN_HOST_WINDOW: &str = "host.window";
 
 /// Every span name the stack may emit.
-pub const ALL_SPANS: [&str; 10] = [
+pub const ALL_SPANS: [&str; 12] = [
     SPAN_PHOENIX_PARTITIONED,
     SPAN_PHOENIX_JOB,
     SPAN_PHOENIX_SPLIT,
@@ -50,6 +56,8 @@ pub const ALL_SPANS: [&str; 10] = [
     SPAN_CLUSTER_STAGE,
     SPAN_CLUSTER_FETCH,
     SPAN_MCSD_REPROTECT,
+    SPAN_SD_BATCH,
+    SPAN_HOST_WINDOW,
 ];
 
 // --------------------------------------------------------------- events
@@ -129,9 +137,21 @@ pub const EVENT_DES_COMPLETE: &str = "des.complete";
 /// The DES shed an arrival because its shard's run queue was full
 /// (`job` and `shard` attrs).
 pub const EVENT_DES_SHED: &str = "des.shed";
+/// The daemon committed a coalesced append batch with one fsync (`size`
+/// and `fsyncs_saved` attrs).
+pub const EVENT_SD_BATCH_COMMIT: &str = "sd.batch_commit";
+/// A torn batch tail was retried — only the frames past the durable
+/// prefix were re-appended (`retried` attr).
+pub const EVENT_SD_BATCH_RETRY: &str = "sd.batch_retry";
+/// The host shrank its pipelined in-flight window after an `Overloaded`
+/// reply or breaker-class failure (`depth` attr).
+pub const EVENT_HOST_WINDOW_SHRINK: &str = "host.window_shrink";
+/// The host refilled its pipelined window after completions freed slots
+/// (`depth` attr).
+pub const EVENT_HOST_WINDOW_REFILL: &str = "host.window_refill";
 
 /// Every event type the stack may emit.
-pub const ALL_EVENTS: [&str; 35] = [
+pub const ALL_EVENTS: [&str; 39] = [
     EVENT_HOST_SUBMIT,
     EVENT_HOST_ATTEMPT,
     EVENT_HOST_RETRY,
@@ -167,6 +187,10 @@ pub const ALL_EVENTS: [&str; 35] = [
     EVENT_DES_DISPATCH,
     EVENT_DES_COMPLETE,
     EVENT_DES_SHED,
+    EVENT_SD_BATCH_COMMIT,
+    EVENT_SD_BATCH_RETRY,
+    EVENT_HOST_WINDOW_SHRINK,
+    EVENT_HOST_WINDOW_REFILL,
 ];
 
 // -------------------------------------------------------------- metrics
@@ -276,8 +300,26 @@ pub const METRIC_DES_CROSS_RACK_TRANSFERS: &str = "des.cross_rack_transfers";
 /// Bytes moved across top-of-rack uplinks (owner: `mcsd.des`).
 pub const METRIC_DES_CROSS_RACK_BYTES: &str = "des.cross_rack_bytes";
 
+/// Coalesced append batches committed (owner: `smartfam.batch`).
+pub const METRIC_BATCH_BATCHES: &str = "batch.batches";
+/// Response appends coalesced into batches (owner: `smartfam.batch`).
+pub const METRIC_BATCH_COALESCED_APPENDS: &str = "batch.coalesced_appends";
+/// fsyncs actually issued by batch commits (owner: `smartfam.batch`).
+pub const METRIC_BATCH_FSYNCS: &str = "batch.fsyncs";
+/// fsyncs avoided relative to one-per-append (owner: `smartfam.batch`).
+pub const METRIC_BATCH_FSYNCS_SAVED: &str = "batch.fsyncs_saved";
+/// Sum of in-flight window depth sampled at each pipelined submit
+/// (owner: `smartfam.batch`).
+pub const METRIC_BATCH_WINDOW_OCCUPANCY: &str = "batch.window_occupancy";
+/// Pipelined-window shrink steps on overload/breaker signals (owner:
+/// `smartfam.batch`).
+pub const METRIC_BATCH_WINDOW_SHRINKS: &str = "batch.window_shrinks";
+/// Pipelined completions that arrived out of submit order (owner:
+/// `smartfam.batch`).
+pub const METRIC_BATCH_REORDERED_COMPLETIONS: &str = "batch.reordered_completions";
+
 /// Every metric key the stack may register.
-pub const ALL_METRICS: [&str; 48] = [
+pub const ALL_METRICS: [&str; 55] = [
     METRIC_SD_REQUESTS,
     METRIC_SD_OK,
     METRIC_SD_MODULE_ERRORS,
@@ -326,6 +368,13 @@ pub const ALL_METRICS: [&str; 48] = [
     METRIC_DES_BUSY_US,
     METRIC_DES_CROSS_RACK_TRANSFERS,
     METRIC_DES_CROSS_RACK_BYTES,
+    METRIC_BATCH_BATCHES,
+    METRIC_BATCH_COALESCED_APPENDS,
+    METRIC_BATCH_FSYNCS,
+    METRIC_BATCH_FSYNCS_SAVED,
+    METRIC_BATCH_WINDOW_OCCUPANCY,
+    METRIC_BATCH_WINDOW_SHRINKS,
+    METRIC_BATCH_REORDERED_COMPLETIONS,
 ];
 
 /// Whether `name` is a catalogued span or event name.

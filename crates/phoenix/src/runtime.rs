@@ -194,25 +194,31 @@ impl Runtime {
         let map_tasks = chunks.len() as u64;
 
         // ---- Map ----
+        // Chunks are assigned by a deterministic stride (worker w takes
+        // chunks w, w+workers, …) and outputs land at the worker's own
+        // slot, never in completion order: which chunks a worker combines
+        // decides its post-combine pair count, and `combined_pairs`
+        // reaches the trace — dynamic work-stealing here made the trace
+        // bytes depend on thread scheduling. Chunks are uniform-sized, so
+        // the stride balances load as well as stealing did.
         let t0 = Stopwatch::start();
-        let next_chunk = AtomicUsize::new(0);
-        let worker_outputs: Mutex<Vec<WorkerMapOutput<J::Key, J::Value>>> =
-            Mutex::new(Vec::with_capacity(workers));
-        scoped_workers(workers, "map", |_w| {
+        type OutputSlots<K, V> = Mutex<Vec<Option<WorkerMapOutput<K, V>>>>;
+        let worker_outputs: OutputSlots<J::Key, J::Value> =
+            Mutex::new((0..workers).map(|_| None).collect());
+        scoped_workers(workers, "map", |w| {
             let mut emitter = if job.has_combiner() {
                 Emitter::with_combiner(partitions, job)
             } else {
                 Emitter::new(partitions)
             };
-            loop {
-                let idx = next_chunk.fetch_add(1, Ordering::Relaxed);
-                let Some(range) = chunks.get(idx) else { break };
+            for idx in (w..chunks.len()).step_by(workers) {
+                let range = &chunks[idx];
                 let chunk = InputChunk::new(&input[range.clone()], base_offset + range.start, idx);
                 job.map(chunk, &mut emitter);
             }
             let emitted = emitter.emitted();
             let buffered = emitter.buffered() as u64;
-            worker_outputs.lock().push(WorkerMapOutput {
+            worker_outputs.lock()[w] = Some(WorkerMapOutput {
                 partitions: emitter.into_partitions(),
                 emitted,
                 buffered,
@@ -220,11 +226,13 @@ impl Runtime {
         })?;
         timings.map = t0.elapsed();
 
-        let outputs = worker_outputs.into_inner();
+        let outputs: Vec<WorkerMapOutput<J::Key, J::Value>> =
+            worker_outputs.into_inner().into_iter().flatten().collect();
         let emitted_pairs: u64 = outputs.iter().map(|o| o.emitted).sum();
         let combined_pairs: u64 = outputs.iter().map(|o| o.buffered).sum();
 
-        // Regroup per-worker buffers by reduce partition.
+        // Regroup per-worker buffers by reduce partition, in worker-index
+        // order.
         let mut buckets: Vec<PartitionBuckets<J::Key, J::Value>> =
             (0..partitions).map(|_| Vec::new()).collect();
         for output in outputs {

@@ -1,0 +1,243 @@
+//! Batched, pipelined smartFAM throughput mode (DESIGN.md §18).
+//!
+//! The lockstep protocol pays one host→SD round trip and one durable
+//! append per call. This module holds the shared configuration and the
+//! counter family for the throughput refactor that lifts both costs:
+//!
+//! * the daemon coalesces queued work into **append batches** committed
+//!   with a single fsync ([`crate::log_file::LogFile::append_batch`]),
+//!   executed by a multi-worker pool that keeps serial-per-module order
+//!   (the shard-per-owner model — each module is owned by exactly one
+//!   worker, so no two requests of one module ever run concurrently);
+//! * the host keeps a **pipelined in-flight window** per host↔SD pair
+//!   ([`crate::host::HostClient::invoke_window`]): up to `depth` requests
+//!   outstanding, completions matched by request id in any order, the
+//!   window halved on `Overloaded` replies and regrown additively.
+//!
+//! [`BatchStats`] is the seventh MCSD009-owned counter family; every
+//! field's mutation sites are pinned by the DESIGN.md §13 table.
+
+use std::time::Duration;
+
+/// Configuration for the daemon's batched multi-worker dispatch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Dispatch workers. Modules are assigned to workers by a seeded
+    /// hash, so each module's requests execute serially on one worker
+    /// while distinct modules run concurrently.
+    pub workers: usize,
+    /// Most requests committed per batch. Batch boundaries are stamped
+    /// on the virtual clock, so a full batch is also a deterministic
+    /// replay unit.
+    pub max_batch: usize,
+    /// Seed for the module→worker assignment hash. Same seed ⇒ same
+    /// assignment ⇒ same-seed traces stay byte-identical.
+    pub seed: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            workers: 4,
+            max_batch: 16,
+            seed: 0x6d63_7364,
+        }
+    }
+}
+
+/// Configuration for the host's pipelined in-flight window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Maximum requests outstanding at once. Depth 1 degenerates to the
+    /// lockstep protocol.
+    pub depth: usize,
+    /// Per-call completion timeout.
+    pub call_timeout: Duration,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            depth: 16,
+            call_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl WindowConfig {
+    /// A window of the given depth with the default timeout.
+    pub fn with_depth(depth: usize) -> WindowConfig {
+        WindowConfig {
+            depth: depth.max(1),
+            ..WindowConfig::default()
+        }
+    }
+}
+
+/// Counters for the batched/pipelined dispatch path — the seventh
+/// MCSD009-owned family (DESIGN.md §13). Daemon-side fields are mutated
+/// only by the batch committer in `daemon.rs`; window fields only by the
+/// pipelined host client in `host.rs`; `absorb` (here) merges deltas.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Coalesced append batches committed (each with exactly one fsync).
+    pub batches: u64,
+    /// Response appends that rode in a batch instead of a lone append.
+    pub coalesced_appends: u64,
+    /// fsyncs actually issued by batch commits.
+    pub fsyncs: u64,
+    /// fsyncs avoided relative to a one-fsync-per-append writer:
+    /// `coalesced_appends - fsyncs` accumulated per commit.
+    pub fsyncs_saved: u64,
+    /// Sum of the in-flight depth observed at each pipelined submit;
+    /// divide by attempts for mean window occupancy.
+    pub window_occupancy: u64,
+    /// Window shrink steps taken on `Overloaded`/breaker-class signals.
+    pub window_shrinks: u64,
+    /// Completions that arrived out of submit order within a window.
+    pub reordered_completions: u64,
+}
+
+impl BatchStats {
+    /// Merge counters from another collection period into this one.
+    pub fn absorb(&mut self, other: &BatchStats) {
+        self.batches += other.batches;
+        self.coalesced_appends += other.coalesced_appends;
+        self.fsyncs += other.fsyncs;
+        self.fsyncs_saved += other.fsyncs_saved;
+        self.window_occupancy += other.window_occupancy;
+        self.window_shrinks += other.window_shrinks;
+        self.reordered_completions += other.reordered_completions;
+    }
+
+    /// Whether no batched or pipelined traffic was recorded at all.
+    pub fn is_clean(&self) -> bool {
+        *self == BatchStats::default()
+    }
+
+    /// fsyncs per 1000 coalesced calls — the headline durability-cost
+    /// rate for `BENCH_10.json`. `None` until any call was coalesced.
+    pub fn fsyncs_per_1k_calls(&self) -> Option<u64> {
+        (self.coalesced_appends > 0).then(|| self.fsyncs * 1000 / self.coalesced_appends)
+    }
+
+    /// Publish this snapshot into a unified registry under the `batch.*`
+    /// keys, owner `smartfam.batch` (DESIGN.md §12). Set-semantics: the
+    /// snapshot is already cumulative, so re-publishing overwrites.
+    pub fn publish(
+        &self,
+        registry: &mcsd_obs::MetricsRegistry,
+    ) -> Result<(), mcsd_obs::MetricsError> {
+        use mcsd_obs::names;
+        const OWNER: &str = "smartfam.batch";
+        for (key, value) in [
+            (names::METRIC_BATCH_BATCHES, self.batches),
+            (
+                names::METRIC_BATCH_COALESCED_APPENDS,
+                self.coalesced_appends,
+            ),
+            (names::METRIC_BATCH_FSYNCS, self.fsyncs),
+            (names::METRIC_BATCH_FSYNCS_SAVED, self.fsyncs_saved),
+            (names::METRIC_BATCH_WINDOW_OCCUPANCY, self.window_occupancy),
+            (names::METRIC_BATCH_WINDOW_SHRINKS, self.window_shrinks),
+            (
+                names::METRIC_BATCH_REORDERED_COMPLETIONS,
+                self.reordered_completions,
+            ),
+        ] {
+            registry.publish(key, OWNER, value)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batches={} coalesced={} fsyncs={} fsyncs_saved={} occupancy={} shrinks={} reordered={}",
+            self.batches,
+            self.coalesced_appends,
+            self.fsyncs,
+            self.fsyncs_saved,
+            self.window_occupancy,
+            self.window_shrinks,
+            self.reordered_completions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates_every_field() {
+        let mut total = BatchStats::default();
+        let delta = BatchStats {
+            batches: 2,
+            coalesced_appends: 9,
+            fsyncs: 2,
+            fsyncs_saved: 7,
+            window_occupancy: 30,
+            window_shrinks: 1,
+            reordered_completions: 3,
+        };
+        total.absorb(&delta);
+        total.absorb(&delta);
+        assert_eq!(total.batches, 4);
+        assert_eq!(total.coalesced_appends, 18);
+        assert_eq!(total.fsyncs, 4);
+        assert_eq!(total.fsyncs_saved, 14);
+        assert_eq!(total.window_occupancy, 60);
+        assert_eq!(total.window_shrinks, 2);
+        assert_eq!(total.reordered_completions, 6);
+        assert!(!total.is_clean());
+        assert!(BatchStats::default().is_clean());
+    }
+
+    #[test]
+    fn fsync_rate_is_per_thousand_calls() {
+        let stats = BatchStats {
+            coalesced_appends: 1000,
+            fsyncs: 63,
+            ..BatchStats::default()
+        };
+        assert_eq!(stats.fsyncs_per_1k_calls(), Some(63));
+        assert_eq!(BatchStats::default().fsyncs_per_1k_calls(), None);
+    }
+
+    #[test]
+    fn publish_registers_every_key_once() {
+        let registry = mcsd_obs::MetricsRegistry::new();
+        let stats = BatchStats {
+            batches: 1,
+            coalesced_appends: 4,
+            fsyncs: 1,
+            fsyncs_saved: 3,
+            ..BatchStats::default()
+        };
+        stats.publish(&registry).unwrap();
+        // Re-publishing overwrites (set-semantics), never double-counts.
+        stats.publish(&registry).unwrap();
+        assert_eq!(registry.get(mcsd_obs::names::METRIC_BATCH_BATCHES), Some(1));
+        assert_eq!(
+            registry.get(mcsd_obs::names::METRIC_BATCH_COALESCED_APPENDS),
+            Some(4)
+        );
+        assert_eq!(
+            registry.get(mcsd_obs::names::METRIC_BATCH_FSYNCS_SAVED),
+            Some(3)
+        );
+        assert_eq!(
+            registry.owner(mcsd_obs::names::METRIC_BATCH_FSYNCS),
+            Some("smartfam.batch")
+        );
+    }
+
+    #[test]
+    fn window_config_floors_depth_at_one() {
+        assert_eq!(WindowConfig::with_depth(0).depth, 1);
+        assert_eq!(WindowConfig::with_depth(16).depth, 16);
+    }
+}

@@ -72,6 +72,12 @@ pub enum FrameBody {
 pub struct Frame {
     /// Correlates a response with its request. Assigned by the host.
     pub id: u64,
+    /// Batch-framing word for responses committed as part of a coalesced
+    /// append batch: `(batch_id << 16) | index_within_batch`, or `0` for
+    /// an unbatched frame. Batch ids start at 1 so the word is never zero
+    /// for a batched frame; unbatched frames encode byte-identically to
+    /// the legacy format (the word is an optional trailer).
+    pub batch: u64,
     /// Request or response content.
     pub body: FrameBody,
 }
@@ -86,6 +92,7 @@ impl Frame {
     pub fn request_with_deadline(id: u64, params: Vec<String>, expires_unix_ms: u64) -> Frame {
         Frame {
             id,
+            batch: 0,
             body: FrameBody::Request {
                 params,
                 expires_unix_ms,
@@ -97,6 +104,7 @@ impl Frame {
     pub fn response_ok(id: u64, payload: impl Into<Bytes>) -> Frame {
         Frame {
             id,
+            batch: 0,
             body: FrameBody::Response {
                 status: Status::Ok,
                 payload: payload.into(),
@@ -108,6 +116,7 @@ impl Frame {
     pub fn response_err(id: u64, message: &str) -> Frame {
         Frame {
             id,
+            batch: 0,
             body: FrameBody::Response {
                 status: Status::Error,
                 payload: Bytes::copy_from_slice(message.as_bytes()),
@@ -120,11 +129,31 @@ impl Frame {
     pub fn response_overloaded(id: u64, retry_after: Duration) -> Frame {
         Frame {
             id,
+            batch: 0,
             body: FrameBody::Response {
                 status: Status::Overloaded,
                 payload: Bytes::copy_from_slice(&(retry_after.as_millis() as u64).to_le_bytes()),
             },
         }
+    }
+
+    /// Stamp this (response) frame as member `index` of batch `batch_id`.
+    /// `batch_id` must be ≥ 1; the stamp is carried as an optional trailer
+    /// so unbatched traffic stays byte-identical to the legacy format.
+    pub fn in_batch(mut self, batch_id: u64, index: u64) -> Frame {
+        debug_assert!(batch_id >= 1, "batch ids start at 1");
+        self.batch = (batch_id << 16) | (index & 0xffff);
+        self
+    }
+
+    /// The batch this frame was committed in, or `None` for unbatched.
+    pub fn batch_id(&self) -> Option<u64> {
+        (self.batch != 0).then_some(self.batch >> 16)
+    }
+
+    /// Position of this frame within its batch (0 when unbatched).
+    pub fn batch_index(&self) -> u64 {
+        self.batch & 0xffff
     }
 
     /// Whether this is a request frame.
@@ -162,6 +191,11 @@ impl Frame {
                 });
                 body.put_u32_le(payload.len() as u32);
                 body.put_slice(payload);
+                // Batch-framing trailer only when stamped: unbatched
+                // responses encode byte-identically to the legacy format.
+                if self.batch != 0 {
+                    body.put_u64_le(self.batch);
+                }
                 MAGIC_RESPONSE
             }
         };
@@ -366,12 +400,27 @@ fn decode_body(magic: u8, body: &[u8]) -> Result<Frame, String> {
             other => return Err(format!("bad status byte {other}")),
         };
         let len = take_u32(&mut cur)? as usize;
-        if cur.len() != len {
+        if cur.len() < len {
             return Err("payload length mismatch".into());
         }
-        let payload = Bytes::copy_from_slice(cur);
+        let payload = Bytes::copy_from_slice(&cur[..len]);
+        cur.advance(len);
+        // Legacy frames end right after the payload; batched responses
+        // carry exactly one more u64 (the batch-framing word).
+        let batch = match cur.len() {
+            0 => 0,
+            8 => {
+                let word = take_u64(&mut cur)?;
+                if word == 0 {
+                    return Err("zero batch-framing word".into());
+                }
+                word
+            }
+            _ => return Err("trailing bytes in response body".into()),
+        };
         Ok(Frame {
             id,
+            batch,
             body: FrameBody::Response { status, payload },
         })
     }

@@ -22,21 +22,23 @@
 //! current load ([`HeartbeatLoad`]) so hosts can observe pressure without
 //! a request round trip.
 
+use crate::batch::{BatchConfig, BatchStats};
 use crate::codec::{Frame, FrameBody, HeartbeatLoad, HeartbeatRecord};
 use crate::faults::{DispatchFault, FaultInjector, QUARANTINE_TOKEN};
 use crate::log_file::{LogFile, LogRole};
-use crate::module::ModuleRegistry;
+use crate::module::{ModuleRegistry, ProcessingModule};
 use crate::replica::{recover_group, MirrorSet, ReplicaConfig};
 use crate::watch::{FileWatcher, WatchConfig, WatchEventKind};
 use mcsd_obs::names::{
-    EVENT_SD_COMPLETE, EVENT_SD_DISPATCH, EVENT_SD_EXPIRED, EVENT_SD_HEARTBEAT, EVENT_SD_POLL,
-    EVENT_SD_QUARANTINE, EVENT_SD_QUARANTINE_REJECTED, EVENT_SD_QUEUE, EVENT_SD_REPLAY,
-    EVENT_SD_REPLICA_MERGE, EVENT_SD_REQUEST, EVENT_SD_SHED, EVENT_SD_UNKNOWN_MODULE,
+    EVENT_SD_BATCH_COMMIT, EVENT_SD_BATCH_RETRY, EVENT_SD_COMPLETE, EVENT_SD_DISPATCH,
+    EVENT_SD_EXPIRED, EVENT_SD_HEARTBEAT, EVENT_SD_POLL, EVENT_SD_QUARANTINE,
+    EVENT_SD_QUARANTINE_REJECTED, EVENT_SD_QUEUE, EVENT_SD_REPLAY, EVENT_SD_REPLICA_MERGE,
+    EVENT_SD_REQUEST, EVENT_SD_SHED, EVENT_SD_UNKNOWN_MODULE, SPAN_SD_BATCH,
 };
 use mcsd_obs::{ClockDomain, Tracer, TrackId};
 use mcsd_phoenix::{wall_clock_ms, Stopwatch};
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -86,6 +88,13 @@ pub struct DaemonConfig {
     /// corrupted response append is recovered from a replica instead of
     /// re-executed (DESIGN.md §15).
     pub replication: Option<ReplicaConfig>,
+    /// Batched dispatch (off by default — `None` keeps the lockstep
+    /// request/response path byte-identical to previous releases). When
+    /// set, admitted requests are drained in batches of up to
+    /// `max_batch`, executed by a seeded multi-worker pool that keeps
+    /// serial-per-module order, and answered through coalesced
+    /// one-fsync append batches (DESIGN.md §18).
+    pub batch: Option<BatchConfig>,
 }
 
 impl DaemonConfig {
@@ -103,6 +112,7 @@ impl DaemonConfig {
             injector: FaultInjector::disabled(),
             tracer: Tracer::disabled(),
             replication: None,
+            batch: None,
         }
     }
 
@@ -128,6 +138,12 @@ impl DaemonConfig {
     /// Enable replicated log groups (builder style).
     pub fn with_replication(mut self, replication: ReplicaConfig) -> Self {
         self.replication = Some(replication);
+        self
+    }
+
+    /// Enable the batched multi-worker dispatch path (builder style).
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batch = Some(batch);
         self
     }
 }
@@ -248,6 +264,29 @@ impl StatsInner {
     }
 }
 
+/// Daemon-side half of the [`BatchStats`] family, kept as atomics so the
+/// handle can snapshot while the dispatch loop is live. The host-side
+/// window fields stay zero here; `BatchStats::absorb` merges the halves.
+#[derive(Default)]
+struct BatchInner {
+    batches: AtomicU64,
+    coalesced_appends: AtomicU64,
+    fsyncs: AtomicU64,
+    fsyncs_saved: AtomicU64,
+}
+
+impl BatchInner {
+    fn snapshot(&self) -> BatchStats {
+        BatchStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced_appends: self.coalesced_appends.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            fsyncs_saved: self.fsyncs_saved.load(Ordering::Relaxed),
+            ..BatchStats::default()
+        }
+    }
+}
+
 /// Per-module failure tracking for poison-module quarantine.
 #[derive(Default)]
 struct ModuleHealth {
@@ -292,6 +331,7 @@ pub struct DaemonHandle {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
     stats: Arc<StatsInner>,
+    batch: Arc<BatchInner>,
     log_dir: PathBuf,
 }
 
@@ -308,15 +348,17 @@ impl Daemon {
         std::fs::create_dir_all(&self.config.log_dir)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
+        let batch = Arc::new(BatchInner::default());
         let log_dir = self.config.log_dir.clone();
         let replay_done: ReplayBarrier =
             Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
         let handle = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
+            let batch = Arc::clone(&batch);
             let replay_done = Arc::clone(&replay_done);
             std::thread::spawn(move || {
-                daemon_loop(self.config, self.registry, stop, stats, replay_done)
+                daemon_loop(self.config, self.registry, stop, stats, batch, replay_done)
             })
         };
         let (lock, cvar) = &*replay_done;
@@ -329,6 +371,7 @@ impl Daemon {
             stop,
             handle: Some(handle),
             stats,
+            batch,
             log_dir,
         })
     }
@@ -338,6 +381,13 @@ impl DaemonHandle {
     /// Counter snapshot.
     pub fn stats(&self) -> DaemonStats {
         self.stats.snapshot()
+    }
+
+    /// Batched-dispatch counter snapshot (all zero unless
+    /// [`DaemonConfig::batch`] is set). Window-side fields are always
+    /// zero here — they belong to the pipelined host client.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch.snapshot()
     }
 
     /// The log dir this daemon serves.
@@ -376,6 +426,10 @@ struct LogState {
 /// replay.
 type ReplayBarrier = Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>;
 
+/// One worker bucket entry in the batched dispatch pool: the request's
+/// index within its chunk, the module to run, and its parameters.
+type BucketedRun = (usize, Arc<dyn ProcessingModule>, Vec<String>);
+
 /// One admitted-but-not-yet-dispatched request. The frame itself already
 /// sits in the log file; this is just the dispatch ticket.
 struct QueuedRequest {
@@ -400,6 +454,11 @@ struct DaemonCtx {
     queue: VecDeque<QueuedRequest>,
     /// Tracer handle plus the `sd.daemon` track it emits on.
     trace: (Tracer, TrackId),
+    /// Daemon-side batch counters (only mutated on the batched path).
+    batch_stats: Arc<BatchInner>,
+    /// Monotonic batch id; starts at 0 so the first formed batch is 1
+    /// (the codec's batch-framing word treats 0 as "unbatched").
+    batch_seq: u64,
 }
 
 fn daemon_loop(
@@ -407,6 +466,7 @@ fn daemon_loop(
     registry: ModuleRegistry,
     stop: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
+    batch_stats: Arc<BatchInner>,
     replay_done: ReplayBarrier,
 ) {
     let watcher = FileWatcher::spawn(&config.log_dir, config.watch);
@@ -426,6 +486,8 @@ fn daemon_loop(
         logs: HashMap::new(),
         queue: VecDeque::new(),
         trace: (tracer, track),
+        batch_stats,
+        batch_seq: 0,
     };
 
     // Promote-time recovery (replication only): before the replay scan,
@@ -533,6 +595,26 @@ fn module_name(path: &Path) -> String {
         .unwrap_or_default()
 }
 
+/// Stable seeded module→worker assignment: FNV-1a over the module name,
+/// folded with the configured seed through a SplitMix64 finisher. One
+/// worker owns each module (the shard-per-owner model), so a module's
+/// requests never run concurrently, and the same seed always reproduces
+/// the same assignment — never `DefaultHasher`, whose per-process random
+/// keys would break same-seed trace identity.
+fn worker_for(seed: u64, name: &str, workers: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut z = h ^ seed;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % workers.max(1) as u64) as usize
+}
+
 impl DaemonCtx {
     fn slots_busy(&self) -> bool {
         self.in_flight.load(Ordering::Relaxed) >= self.config.max_in_flight as u64
@@ -631,8 +713,14 @@ impl DaemonCtx {
 
     /// Admission control: dispatch now when a slot is free and nothing is
     /// ahead in line, queue when the queue has room, shed otherwise.
+    ///
+    /// Batched mode never takes the dispatch-now fast path: the queue
+    /// doubles as the batch former, so every admitted request waits (at
+    /// most one loop turn) for its batch to fill. The shed bound is
+    /// unchanged.
     fn admit(&mut self, req: QueuedRequest) {
-        if !self.slots_busy() && self.queue.is_empty() {
+        let batched = self.config.batch.is_some();
+        if !batched && !self.slots_busy() && self.queue.is_empty() {
             self.dispatch(req);
         } else if self.queue.len() < self.config.max_queued {
             self.trace
@@ -655,8 +743,18 @@ impl DaemonCtx {
         }
     }
 
-    /// Move queued requests into freed execution slots, FIFO.
+    /// Move queued requests into freed execution slots, FIFO. Batched
+    /// mode instead drains the queue in `max_batch`-sized chunks through
+    /// the multi-worker batch executor.
     fn drain_queue(&mut self) {
+        if let Some(bcfg) = self.config.batch {
+            while !self.stop.load(Ordering::Relaxed) && !self.queue.is_empty() {
+                let n = bcfg.max_batch.max(1).min(self.queue.len());
+                let chunk: Vec<QueuedRequest> = self.queue.drain(..n).collect();
+                self.execute_batch(bcfg, chunk);
+            }
+            return;
+        }
         while !self.stop.load(Ordering::Relaxed) && !self.slots_busy() {
             let Some(req) = self.queue.pop_front() else {
                 break;
@@ -832,6 +930,314 @@ impl DaemonCtx {
             w.push(std::thread::spawn(run));
         } else {
             run();
+        }
+    }
+
+    /// Run one formed batch (DESIGN.md §18): admission-class checks per
+    /// request in queue order, module execution on the seeded worker
+    /// pool, then a single-threaded commit that appends every log's
+    /// responses as one coalesced batch with one fsync.
+    ///
+    /// Determinism: the workers only *compute* — every trace event,
+    /// health update and counter lands on this (single) thread in batch
+    /// order, and module→worker assignment is a pure seeded hash, so a
+    /// same-seed run over the same queued requests produces
+    /// byte-identical traces regardless of worker timing.
+    fn execute_batch(&mut self, cfg: BatchConfig, chunk: Vec<QueuedRequest>) {
+        struct Planned {
+            path: PathBuf,
+            name: String,
+            id: u64,
+            /// `Some` until the worker pool runs it; pre-check rejects
+            /// go straight to `frame`.
+            run: Option<(Arc<dyn ProcessingModule>, Vec<String>)>,
+            frame: Option<Frame>,
+        }
+        self.batch_seq += 1;
+        let batch_id = self.batch_seq;
+        let size = chunk.len();
+        // Span width = requests in the batch: the batch is one decision-
+        // clock unit whose extent measures coalescing, not wall time.
+        self.trace.0.leaf(
+            self.trace.1,
+            SPAN_SD_BATCH,
+            size as u64,
+            &[("size", &size.to_string())],
+        );
+        // Phase 1 (serial, batch order): the same per-request checks the
+        // lockstep path applies — deadline, quarantine, registry lookup,
+        // injected dispatch faults.
+        let mut planned: Vec<Planned> = Vec::with_capacity(size);
+        for req in chunk {
+            let QueuedRequest {
+                path,
+                name,
+                id,
+                params,
+                expires_unix_ms,
+            } = req;
+            let mut p = Planned {
+                path,
+                name,
+                id,
+                run: None,
+                frame: None,
+            };
+            if expires_unix_ms != 0 && wall_clock_ms() >= expires_unix_ms {
+                self.stats.expired.fetch_add(1, Ordering::Relaxed);
+                self.trace
+                    .0
+                    .event(self.trace.1, EVENT_SD_EXPIRED, &[("module", &p.name)]);
+                p.frame = Some(Frame::response_err(
+                    p.id,
+                    "deadline expired before dispatch; request dropped",
+                ));
+                planned.push(p);
+                continue;
+            }
+            if self
+                .health
+                .lock()
+                .get(&p.name)
+                .is_some_and(|h| h.quarantined)
+            {
+                self.stats
+                    .quarantine_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                self.trace.0.event(
+                    self.trace.1,
+                    EVENT_SD_QUARANTINE_REJECTED,
+                    &[("module", &p.name)],
+                );
+                p.frame = Some(Frame::response_err(
+                    p.id,
+                    &format!(
+                        "module {:?} {QUARANTINE_TOKEN} {} consecutive failures",
+                        p.name, self.config.quarantine_threshold
+                    ),
+                ));
+                planned.push(p);
+                continue;
+            }
+            let Some(module) = self.registry.get(&p.name) else {
+                self.stats.unknown_module.fetch_add(1, Ordering::Relaxed);
+                self.trace.0.event(
+                    self.trace.1,
+                    EVENT_SD_UNKNOWN_MODULE,
+                    &[("module", &p.name)],
+                );
+                p.frame = Some(Frame::response_err(
+                    p.id,
+                    &format!("no module registered under {:?}", p.name),
+                ));
+                planned.push(p);
+                continue;
+            };
+            self.trace
+                .0
+                .event(self.trace.1, EVENT_SD_DISPATCH, &[("module", &p.name)]);
+            match self.config.injector.on_dispatch() {
+                Some(DispatchFault::CrashBefore) => {
+                    // Crash mid-batch: nothing from this batch commits,
+                    // so the whole chunk is replayed next incarnation.
+                    self.stop.store(true, Ordering::Relaxed);
+                    return;
+                }
+                Some(DispatchFault::CrashAfter) => {
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        module.invoke(&params)
+                    }));
+                    self.stop.store(true, Ordering::Relaxed);
+                    return;
+                }
+                Some(DispatchFault::Fail) => {
+                    self.stats.module_errors.fetch_add(1, Ordering::Relaxed);
+                    note_result(
+                        &self.health,
+                        &self.stats,
+                        &self.trace,
+                        &p.name,
+                        true,
+                        self.config.quarantine_threshold,
+                    );
+                    self.trace.0.event(
+                        self.trace.1,
+                        EVENT_SD_COMPLETE,
+                        &[("module", &p.name), ("status", "error")],
+                    );
+                    p.frame = Some(Frame::response_err(p.id, "injected module failure"));
+                }
+                None => p.run = Some((module, params)),
+            }
+            planned.push(p);
+        }
+        // Phase 2 (parallel): shard-per-owner execution. The seeded hash
+        // pins each module to one worker, so one module's requests run
+        // serially in batch order while distinct modules overlap.
+        let workers = cfg.workers.max(1);
+        let mut buckets: Vec<Vec<BucketedRun>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, p) in planned.iter_mut().enumerate() {
+            if let Some((module, params)) = p.run.take() {
+                buckets[worker_for(cfg.seed, &p.name, workers)].push((i, module, params));
+            }
+        }
+        let running: u64 = buckets.iter().map(|b| b.len() as u64).sum();
+        let mut results: Vec<Option<Result<Vec<u8>, String>>> =
+            planned.iter().map(|_| None).collect();
+        if running > 0 {
+            self.in_flight.fetch_add(running, Ordering::Relaxed);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .filter(|b| !b.is_empty())
+                    .map(|items| {
+                        s.spawn(move || {
+                            items
+                                .into_iter()
+                                .map(|(i, module, params)| {
+                                    let out = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| module.invoke(&params)),
+                                    );
+                                    let res = match out {
+                                        Ok(Ok(payload)) => Ok(payload),
+                                        Ok(Err(e)) => Err(e.message),
+                                        Err(panic) => {
+                                            let msg = panic
+                                                .downcast_ref::<&str>()
+                                                .map(|s| s.to_string())
+                                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                                .unwrap_or_else(|| "module panicked".into());
+                                            Err(format!("module panicked: {msg}"))
+                                        }
+                                    };
+                                    (i, res)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                // Barrier: the commit below must see every outcome.
+                for h in handles {
+                    for (i, res) in h.join().unwrap_or_default() {
+                        results[i] = Some(res);
+                    }
+                }
+            });
+            self.in_flight.fetch_sub(running, Ordering::Relaxed);
+        }
+        // Phase 3 (serial, batch order): health + counters + completion
+        // events — still before any response append (DESIGN.md §12) —
+        // then the coalesced per-log commit.
+        for (i, p) in planned.iter_mut().enumerate() {
+            let Some(res) = results[i].take() else {
+                continue;
+            };
+            let failed = res.is_err();
+            if failed {
+                self.stats.module_errors.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.ok.fetch_add(1, Ordering::Relaxed);
+            }
+            note_result(
+                &self.health,
+                &self.stats,
+                &self.trace,
+                &p.name,
+                failed,
+                self.config.quarantine_threshold,
+            );
+            self.trace.0.event(
+                self.trace.1,
+                EVENT_SD_COMPLETE,
+                &[
+                    ("module", &p.name),
+                    ("status", if failed { "error" } else { "ok" }),
+                ],
+            );
+            p.frame = Some(match res {
+                Ok(payload) => Frame::response_ok(p.id, payload),
+                Err(msg) => Frame::response_err(p.id, &msg),
+            });
+        }
+        // Group responses by log in canonical (sorted-path) order; every
+        // frame carries the batch-framing word naming its batch slot.
+        let mut by_log: BTreeMap<PathBuf, Vec<Frame>> = BTreeMap::new();
+        for (i, p) in planned.into_iter().enumerate() {
+            if let Some(frame) = p.frame {
+                by_log
+                    .entry(p.path)
+                    .or_default()
+                    .push(frame.in_batch(batch_id, i as u64));
+            }
+        }
+        for (path, frames) in by_log {
+            self.commit_log_batch(&path, &frames);
+        }
+    }
+
+    /// Append one log's share of a batch with a single fsync, retrying
+    /// only a torn suffix — the durable prefix's batch boundary is
+    /// already on disk and must replay exactly.
+    fn commit_log_batch(&self, path: &Path, frames: &[Frame]) {
+        let Ok(writer) = LogFile::attach_at_start(path) else {
+            // Cannot open a writer to respond on: count the failures and
+            // let the hosts' timeouts surface them.
+            self.stats
+                .module_errors
+                .fetch_add(frames.len() as u64, Ordering::Relaxed);
+            return;
+        };
+        let writer = writer.with_faults(self.config.injector.clone(), LogRole::Daemon);
+        let mut rest = frames;
+        // Safety valve: a fault plan tearing every retry occurrence could
+        // otherwise spin forever. Leftovers stay unanswered in the log
+        // and are replayed by the next daemon incarnation.
+        let mut attempts = 0;
+        while !rest.is_empty() && attempts < 8 {
+            attempts += 1;
+            let Ok(outcome) = writer.append_batch(rest) else {
+                break;
+            };
+            let durable = outcome.frames_durable as u64;
+            self.batch_stats.batches.fetch_add(1, Ordering::Relaxed);
+            self.batch_stats
+                .coalesced_appends
+                .fetch_add(durable, Ordering::Relaxed);
+            self.batch_stats
+                .fsyncs
+                .fetch_add(outcome.fsyncs, Ordering::Relaxed);
+            self.batch_stats
+                .fsyncs_saved
+                .fetch_add(durable.saturating_sub(outcome.fsyncs), Ordering::Relaxed);
+            self.trace.0.event(
+                self.trace.1,
+                EVENT_SD_BATCH_COMMIT,
+                &[
+                    ("size", &outcome.frames_durable.to_string()),
+                    (
+                        "fsyncs_saved",
+                        &durable.saturating_sub(outcome.fsyncs).to_string(),
+                    ),
+                ],
+            );
+            if !outcome.torn {
+                break;
+            }
+            let retried = rest.len() - outcome.frames_durable;
+            self.trace.0.event(
+                self.trace.1,
+                EVENT_SD_BATCH_RETRY,
+                &[("retried", &retried.to_string())],
+            );
+            rest = &rest[outcome.frames_durable..];
+        }
+        // Mirrors get every frame (including any whose primary append
+        // tore): the mirror is exactly the recovery copy promote-time
+        // merge reads from.
+        if let Some(mirrors) = self.mirrors_for(path) {
+            for frame in frames {
+                mirrors.append(frame);
+            }
         }
     }
 }
@@ -1355,6 +1761,131 @@ mod tests {
         );
         daemon2.stop();
         assert_eq!(daemon2.stats().requests, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batched_daemon_answers_prestaged_requests_with_coalesced_fsyncs() {
+        use crate::batch::BatchConfig;
+        let dir = temp_dir();
+        let client = HostClient::new(&dir);
+        // Pre-staged: all 8 requests are queued by the replay scan, so
+        // they form deterministic fixed-size chunks.
+        let pendings: Vec<_> = (0..8)
+            .map(|i| client.submit("upper", &[format!("m{i}")]).unwrap())
+            .collect();
+        let mut daemon = Daemon::new(
+            DaemonConfig::new(&dir).with_batching(BatchConfig::default()),
+            registry(),
+        )
+        .spawn()
+        .unwrap();
+        for (i, pending) in pendings.into_iter().enumerate() {
+            assert_eq!(
+                pending.wait(TIMEOUT).unwrap().payload,
+                format!("M{i}").into_bytes()
+            );
+        }
+        daemon.stop();
+        assert_eq!(daemon.stats().ok, 8);
+        let batch = daemon.batch_stats();
+        // One module log, max_batch 16 ⇒ one coalesced commit.
+        assert_eq!(batch.batches, 1, "{batch}");
+        assert_eq!(batch.coalesced_appends, 8, "{batch}");
+        assert_eq!(batch.fsyncs, 1, "{batch}");
+        assert_eq!(batch.fsyncs_saved, 7, "{batch}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batched_responses_carry_their_batch_framing_word() {
+        use crate::batch::BatchConfig;
+        let dir = temp_dir();
+        let client = HostClient::new(&dir);
+        let pending = client.submit("upper", &["framed".into()]).unwrap();
+        let _daemon = Daemon::new(
+            DaemonConfig::new(&dir).with_batching(BatchConfig::default()),
+            registry(),
+        )
+        .spawn()
+        .unwrap();
+        assert_eq!(pending.wait(TIMEOUT).unwrap().payload, b"FRAMED");
+        // Re-read the log raw: the response frame names batch 1, slot 0.
+        let mut log = LogFile::attach_at_start(dir.join("upper.log")).unwrap();
+        let frames = log.poll().unwrap();
+        let response = frames
+            .iter()
+            .find(|f| matches!(f.body, FrameBody::Response { .. }))
+            .expect("response frame");
+        assert_eq!(response.batch_id(), Some(1));
+        assert_eq!(response.batch_index(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batched_mode_keeps_rejection_semantics_per_request_inside_a_batch() {
+        use crate::batch::BatchConfig;
+        let dir = temp_dir();
+        let client = HostClient::new(&dir);
+        // One expired, one unknown-module, one good request — all in the
+        // same batch; each must get its own typed answer.
+        let expired = client.submit_with_deadline("upper", &[], 1).unwrap();
+        let unknown = client.submit("nonexistent", &[]).unwrap();
+        let good = client.submit("upper", &["ok".into()]).unwrap();
+        let mut daemon = Daemon::new(
+            DaemonConfig::new(&dir).with_batching(BatchConfig::default()),
+            registry(),
+        )
+        .spawn()
+        .unwrap();
+        let err = expired.wait(TIMEOUT).unwrap_err();
+        assert!(err.to_string().contains("deadline expired"), "{err}");
+        let err = unknown.wait(TIMEOUT).unwrap_err();
+        assert!(err.to_string().contains("no module registered"), "{err}");
+        assert_eq!(good.wait(TIMEOUT).unwrap().payload, b"OK");
+        daemon.stop();
+        assert_eq!(daemon.stats().expired, 1);
+        assert_eq!(daemon.stats().unknown_module, 1);
+        assert_eq!(daemon.stats().ok, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_batch_commit_retries_only_the_suffix_and_answers_everyone() {
+        use crate::batch::BatchConfig;
+        use crate::faults::{FaultAction, FaultPlan, FaultSite};
+        let dir = temp_dir();
+        let client = HostClient::new(&dir);
+        let pendings: Vec<_> = (0..4)
+            .map(|i| client.submit("upper", &[format!("t{i}")]).unwrap())
+            .collect();
+        // Tear the first batch commit half way: the durable prefix must
+        // not be re-appended, and the suffix retry must answer the rest.
+        let plan = FaultPlan::none().with(
+            FaultSite::BatchAppend,
+            0,
+            FaultAction::Torn { keep_sixteenths: 8 },
+        );
+        let mut daemon = Daemon::new(
+            DaemonConfig::new(&dir)
+                .with_batching(BatchConfig::default())
+                .with_faults(FaultInjector::new(plan)),
+            registry(),
+        )
+        .spawn()
+        .unwrap();
+        for (i, pending) in pendings.into_iter().enumerate() {
+            assert_eq!(
+                pending.wait(TIMEOUT).unwrap().payload,
+                format!("T{i}").into_bytes()
+            );
+        }
+        daemon.stop();
+        let batch = daemon.batch_stats();
+        // Two commits (torn + suffix retry), every response exactly once.
+        assert_eq!(batch.batches, 2, "{batch}");
+        assert_eq!(batch.coalesced_appends, 4, "{batch}");
+        assert_eq!(batch.fsyncs, 2, "{batch}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

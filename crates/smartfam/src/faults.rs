@@ -53,10 +53,14 @@ pub enum FaultSite {
     /// [`FaultAction::CrashReplicas`] takes down every replica named in
     /// its mask at once (correlated rack failure).
     Group,
+    /// The daemon committing a coalesced append batch (one fsync per
+    /// batch). Occurrences advance once per batch commit, in batch-id
+    /// order, so they are a pure function of the request sequence.
+    BatchAppend,
 }
 
 impl FaultSite {
-    const COUNT: usize = 9;
+    const COUNT: usize = 10;
 
     /// Every injection site, in counter order. The chaos explorer sweeps
     /// this list; a new variant that is not added here fails the
@@ -71,6 +75,7 @@ impl FaultSite {
         FaultSite::Span,
         FaultSite::Replica,
         FaultSite::Group,
+        FaultSite::BatchAppend,
     ];
 
     /// Stable, seed-free name used in chaos reports and traces.
@@ -85,6 +90,7 @@ impl FaultSite {
             FaultSite::Span => "span",
             FaultSite::Replica => "replica",
             FaultSite::Group => "group",
+            FaultSite::BatchAppend => "batch_append",
         }
     }
 
@@ -101,7 +107,8 @@ impl FaultSite {
             | FaultSite::Dispatch
             | FaultSite::Span
             | FaultSite::Replica
-            | FaultSite::Group => true,
+            | FaultSite::Group
+            | FaultSite::BatchAppend => true,
             FaultSite::HostPoll | FaultSite::SdPoll | FaultSite::Heartbeat => false,
         }
     }
@@ -117,6 +124,7 @@ impl FaultSite {
             FaultSite::Span => 6,
             FaultSite::Replica => 7,
             FaultSite::Group => 8,
+            FaultSite::BatchAppend => 9,
         }
     }
 }
@@ -180,11 +188,17 @@ impl FaultAction {
             }
             FaultAction::Torn { .. } => matches!(
                 site,
-                FaultSite::HostAppend | FaultSite::SdAppend | FaultSite::Replica
+                FaultSite::HostAppend
+                    | FaultSite::SdAppend
+                    | FaultSite::Replica
+                    | FaultSite::BatchAppend
             ),
             FaultAction::Corrupt { .. } => matches!(
                 site,
-                FaultSite::HostAppend | FaultSite::SdAppend | FaultSite::Replica
+                FaultSite::HostAppend
+                    | FaultSite::SdAppend
+                    | FaultSite::Replica
+                    | FaultSite::BatchAppend
             ),
             FaultAction::Hide { .. } => {
                 matches!(site, FaultSite::HostPoll | FaultSite::SdPoll)

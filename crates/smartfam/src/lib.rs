@@ -39,7 +39,12 @@
 //! * [`replica`] — replicated module-log groups: quorum appends with
 //!   read-back verification, epoch-fenced replica promotion, and
 //!   background re-protection (ROADMAP item 4).
+//! * [`batch`] — the batched/pipelined throughput mode: coalesced
+//!   one-fsync append batches, the multi-worker serial-per-module
+//!   dispatch pool, pipelined host windows, and the [`BatchStats`]
+//!   counter family (ROADMAP item 3, DESIGN.md §18).
 
+pub mod batch;
 pub mod codec;
 pub mod daemon;
 pub mod error;
@@ -50,6 +55,7 @@ pub mod module;
 pub mod replica;
 pub mod watch;
 
+pub use batch::{BatchConfig, BatchStats, WindowConfig};
 pub use codec::{Frame, FrameBody, HeartbeatLoad, HeartbeatRecord, Status};
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle, DaemonStats};
 pub use error::SmartFamError;
@@ -57,11 +63,13 @@ pub use faults::{
     AppendFault, DispatchFault, FaultAction, FaultInjector, FaultPlan, FaultSite, InjectedFault,
     OverloadStats, ReplicaFault, ResilienceStats, ScheduledFault,
 };
-pub use host::{HostClient, InvokeOutcome, Liveness, PendingCall, ResilientCall, RetryPolicy};
-pub use log_file::{LogFile, LogRole};
+pub use host::{
+    HostClient, InvokeOutcome, Liveness, PendingCall, ResilientCall, RetryPolicy, WindowRun,
+};
+pub use log_file::{BatchAppendOutcome, LogFile, LogRole};
 pub use module::{ModuleError, ModuleRegistry, ProcessingModule};
 pub use replica::{
     recover_group, AppendOutcome, GroupRecovery, MirrorSet, ReplicaConfig, ReplicaState,
     ReplicatedLog, ReprotectStep,
 };
-pub use watch::{FileWait, FileWatcher, WatchConfig, WatchEvent, WatchEventKind};
+pub use watch::{FileWait, FileWatcher, PollBackoff, WatchConfig, WatchEvent, WatchEventKind};

@@ -42,6 +42,21 @@ impl LogRole {
     }
 }
 
+/// Outcome of a coalesced batch append ([`LogFile::append_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAppendOutcome {
+    /// Frames of the batch fully durable on disk. A torn batch keeps a
+    /// prefix; only frames whose every byte was written count.
+    pub frames_durable: usize,
+    /// Bytes actually written (including a torn tail's partial frame).
+    pub bytes: u64,
+    /// fsyncs issued — exactly one for a non-empty batch.
+    pub fsyncs: u64,
+    /// Whether an injected torn write cut the batch short; the caller
+    /// retries only the frames past `frames_durable`.
+    pub torn: bool,
+}
+
 /// Handle to a module's log file with a private read cursor.
 #[derive(Debug, Clone)]
 pub struct LogFile {
@@ -144,6 +159,84 @@ impl LogFile {
                 Ok(bytes.len() as u64)
             }
         }
+    }
+
+    /// Append a coalesced batch of frames with **one fsync for the whole
+    /// batch**: the frames are encoded back to back, written through a
+    /// single file handle, and made durable by a single `sync_data` call.
+    /// This is the daemon's batched-commit primitive — per-frame `append`
+    /// never fsyncs, so a batch of `n` responses costs 1 fsync instead of
+    /// the `n` a durable lockstep writer would pay.
+    ///
+    /// Faults are counted under [`FaultSite::BatchAppend`] (one occurrence
+    /// per batch). Unlike [`LogFile::append`], a torn batch is *not* an
+    /// error: the write keeps a prefix and the outcome reports how many
+    /// frames of the batch are fully durable, so the caller retries only
+    /// the torn suffix. An injected corruption flips one byte mid-buffer
+    /// and "succeeds" the way a silent NFS corruption would.
+    pub fn append_batch(&self, frames: &[Frame]) -> Result<BatchAppendOutcome, SmartFamError> {
+        if frames.is_empty() {
+            return Ok(BatchAppendOutcome {
+                frames_durable: 0,
+                bytes: 0,
+                fsyncs: 0,
+                torn: false,
+            });
+        }
+        let encoded: Vec<Vec<u8>> = frames.iter().map(|f| f.encode()).collect();
+        let total: usize = encoded.iter().map(|e| e.len()).sum();
+        let mut bytes = Vec::with_capacity(total);
+        for e in &encoded {
+            bytes.extend_from_slice(e);
+        }
+        let fault = self.injector.on_append(FaultSite::BatchAppend);
+        if let Some(AppendFault::Corrupt { xor_mask }) = fault {
+            // One flipped byte mid-buffer: the frame it lands in fails its
+            // checksum and the recovering reader skips exactly that frame.
+            let pos = 5 + (bytes.len().saturating_sub(9)) / 2;
+            if pos < bytes.len() {
+                bytes[pos] ^= xor_mask.max(1);
+            }
+        }
+        let keep = match fault {
+            Some(AppendFault::Torn { keep_sixteenths }) => {
+                let k = (bytes.len() * keep_sixteenths.min(15) as usize / 16)
+                    .clamp(1, bytes.len().saturating_sub(1).max(1));
+                Some(k)
+            }
+            _ => None,
+        };
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let written = keep.unwrap_or(bytes.len());
+        f.write_all(&bytes[..written])?;
+        f.flush()?;
+        f.sync_data()?;
+        let frames_durable = match keep {
+            Some(k) => {
+                // A frame is durable only if its last byte made it to disk.
+                let mut end = 0usize;
+                let mut durable = 0usize;
+                for e in &encoded {
+                    end += e.len();
+                    if end <= k {
+                        durable += 1;
+                    } else {
+                        break;
+                    }
+                }
+                durable
+            }
+            None => frames.len(),
+        };
+        Ok(BatchAppendOutcome {
+            frames_durable,
+            bytes: written as u64,
+            fsyncs: 1,
+            torn: keep.is_some(),
+        })
     }
 
     /// Read every complete frame appended since the last poll, advancing
@@ -403,6 +496,99 @@ mod tests {
         let (frames, skipped) = reader.poll_recovering().unwrap();
         assert_eq!(frames.len(), 1);
         assert_eq!(skipped, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_append_coalesces_with_single_fsync() {
+        let path = temp_log();
+        let writer = LogFile::attach_at_start(&path).unwrap();
+        let frames: Vec<Frame> = (0..3)
+            .map(|i| Frame::response_ok(i, vec![i as u8; 16]).in_batch(1, i))
+            .collect();
+        let out = writer.append_batch(&frames).unwrap();
+        assert_eq!(out.frames_durable, 3);
+        assert_eq!(out.fsyncs, 1);
+        assert!(!out.torn);
+        let total: usize = frames.iter().map(|f| f.encode().len()).sum();
+        assert_eq!(out.bytes, total as u64);
+        let mut reader = LogFile::attach_at_start(&path).unwrap();
+        let got = reader.poll().unwrap();
+        assert_eq!(got, frames);
+        assert_eq!(got[2].batch_id(), Some(1));
+        assert_eq!(got[2].batch_index(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let path = temp_log();
+        let writer = LogFile::attach_at_start(&path).unwrap();
+        let out = writer.append_batch(&[]).unwrap();
+        assert_eq!(out.fsyncs, 0);
+        assert_eq!(out.bytes, 0);
+        assert!(writer.is_empty().unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_batch_reports_durable_prefix_and_suffix_retry_recovers() {
+        use crate::faults::{FaultAction, FaultPlan, FaultSite};
+        let path = temp_log();
+        // 7/16 of four equal frames tears mid-frame (8/16 would land
+        // exactly on a frame boundary and leave no torn tail bytes).
+        let plan = FaultPlan::none().with(
+            FaultSite::BatchAppend,
+            0,
+            FaultAction::Torn { keep_sixteenths: 7 },
+        );
+        let writer = LogFile::attach_at_start(&path)
+            .unwrap()
+            .with_faults(FaultInjector::new(plan), LogRole::Daemon);
+        let frames: Vec<Frame> = (0..4)
+            .map(|i| Frame::response_ok(i, vec![7u8; 20]).in_batch(1, i))
+            .collect();
+        let out = writer.append_batch(&frames).unwrap();
+        assert!(out.torn);
+        assert!(out.frames_durable < frames.len());
+        assert!(out.frames_durable >= 1);
+        // The durable prefix is readable; the torn tail holds the cursor.
+        let mut reader = LogFile::attach_at_start(&path).unwrap();
+        let (got, skipped) = reader.poll_recovering().unwrap();
+        assert_eq!(got.len(), out.frames_durable);
+        assert_eq!(skipped, 0);
+        // Retrying ONLY the torn suffix (occurrence 1 is unscheduled)
+        // makes the remaining frames readable past the torn bytes.
+        let retry = writer.append_batch(&frames[out.frames_durable..]).unwrap();
+        assert!(!retry.torn);
+        assert_eq!(retry.fsyncs, 1);
+        let (got, skipped) = reader.poll_recovering().unwrap();
+        assert_eq!(got.len(), frames.len() - out.frames_durable);
+        assert!(skipped > 0, "torn tail bytes are skipped on resync");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_batch_loses_exactly_one_frame_to_the_recovering_reader() {
+        use crate::faults::{FaultAction, FaultPlan, FaultSite};
+        let path = temp_log();
+        let plan = FaultPlan::none().with(
+            FaultSite::BatchAppend,
+            0,
+            FaultAction::Corrupt { xor_mask: 0x5a },
+        );
+        let writer = LogFile::attach_at_start(&path)
+            .unwrap()
+            .with_faults(FaultInjector::new(plan), LogRole::Daemon);
+        let frames: Vec<Frame> = (0..3)
+            .map(|i| Frame::response_ok(i, vec![9u8; 24]).in_batch(1, i))
+            .collect();
+        let out = writer.append_batch(&frames).unwrap();
+        assert_eq!(out.frames_durable, 3); // silent corruption "succeeds"
+        let mut reader = LogFile::attach_at_start(&path).unwrap();
+        let (got, skipped) = reader.poll_recovering().unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(skipped > 0);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -55,6 +55,47 @@ impl Default for WatchConfig {
     }
 }
 
+/// Capped exponential poll pacing shared by every real-I/O wait loop in
+/// the crate: the first re-check is ~1 ms away (never below 100 µs), each
+/// idle sweep doubles the gap, and the gap is capped at the configured
+/// poll interval — so detection latency stays bounded by the interval
+/// while an idle waiter stops burning CPU. Progress resets the schedule
+/// to the floor. [`crate::host::PendingCall::wait`], the pipelined
+/// window, the resilient wait, and the watcher's own poll loop all pace
+/// themselves with this one schedule (DESIGN.md §18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollBackoff {
+    floor: Duration,
+    cap: Duration,
+    delay: Duration,
+}
+
+impl PollBackoff {
+    /// A schedule whose sleeps never exceed `poll_interval`.
+    pub fn new(poll_interval: Duration) -> PollBackoff {
+        let floor = Duration::from_millis(1).min(poll_interval.max(Duration::from_micros(100)));
+        let cap = poll_interval.max(floor);
+        PollBackoff {
+            floor,
+            cap,
+            delay: floor,
+        }
+    }
+
+    /// The sleep to take after a sweep that made no progress; the next
+    /// idle gap doubles, up to the cap.
+    pub fn idle_delay(&mut self) -> Duration {
+        let delay = self.delay;
+        self.delay = (self.delay * 2).min(self.cap);
+        delay
+    }
+
+    /// Progress observed: the next idle sleep restarts at the floor.
+    pub fn reset(&mut self) {
+        self.delay = self.floor;
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct FileSig {
     len: u64,
@@ -156,9 +197,14 @@ fn poll_loop(
     extra: Arc<Mutex<Vec<PathBuf>>>,
     mut known: HashMap<PathBuf, FileSig>,
 ) {
+    // Quiet directories back off toward the configured interval (which
+    // stays the worst-case detection latency); a directory that just
+    // changed is re-polled at the ~1 ms floor, so bursts of log-file
+    // traffic are noticed at inotify-like latency.
+    let mut pace = PollBackoff::new(config.poll_interval);
     while !stop.load(Ordering::Relaxed) {
-        // tidy:allow(MCSD001) -- real I/O pacing: the poll interval IS the watcher's detection latency, the quantity the smartFAM experiments measure
-        std::thread::sleep(config.poll_interval);
+        // tidy:allow(MCSD001) -- real I/O pacing: capped-backoff metadata polling; the cap IS the watcher's detection-latency bound, the quantity the smartFAM experiments measure
+        std::thread::sleep(pace.idle_delay());
         let current = list_files(&dir, &extra);
         let mut seen: HashMap<PathBuf, FileSig> = HashMap::new();
         for path in current {
@@ -166,6 +212,7 @@ fn poll_loop(
                 seen.insert(path, sig);
             }
         }
+        let mut changed = false;
         // Emit events in path order so consumers observe a deterministic
         // sequence regardless of hash-map iteration order.
         let mut arrived: Vec<(&PathBuf, &FileSig)> = seen.iter().collect();
@@ -173,12 +220,14 @@ fn poll_loop(
         for (path, sig) in arrived {
             match known.get(path) {
                 None => {
+                    changed = true;
                     let _ = tx.send(WatchEvent {
                         path: path.clone(),
                         kind: WatchEventKind::Created,
                     });
                 }
                 Some(old) if old != sig => {
+                    changed = true;
                     let _ = tx.send(WatchEvent {
                         path: path.clone(),
                         kind: WatchEventKind::Modified,
@@ -193,10 +242,14 @@ fn poll_loop(
             .collect();
         gone.sort();
         for path in gone {
+            changed = true;
             let _ = tx.send(WatchEvent {
                 path: path.clone(),
                 kind: WatchEventKind::Removed,
             });
+        }
+        if changed {
+            pace.reset();
         }
         known = seen;
     }
@@ -257,6 +310,7 @@ pub fn wait_for_file_outcome(
     let waited = Stopwatch::start();
     let mut stat_ok = false;
     let mut last_err = std::io::ErrorKind::NotFound;
+    let mut pace = PollBackoff::new(Duration::from_millis(10));
     loop {
         match std::fs::metadata(path) {
             Ok(meta) => {
@@ -274,8 +328,8 @@ pub fn wait_for_file_outcome(
                 FileWait::StatFailed(last_err)
             };
         }
-        // tidy:allow(MCSD001) -- real I/O pacing: metadata polling between checks; the 1 ms cadence bounds detection latency, not simulated time
-        std::thread::sleep(Duration::from_millis(1));
+        // tidy:allow(MCSD001) -- real I/O pacing: capped-backoff metadata polling between checks; the 10 ms cap bounds detection latency, not simulated time
+        std::thread::sleep(pace.idle_delay());
     }
 }
 
@@ -383,6 +437,30 @@ mod tests {
         std::fs::write(dir.join("after.log"), b"x").unwrap();
         assert!(w.next_event(Duration::from_millis(30)).is_none());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poll_backoff_sequence_is_pinned() {
+        // The schedule every real-I/O wait loop shares (the one
+        // `PendingCall::wait` documents): 1 ms floor, gap doubling per
+        // idle sweep, capped at the poll interval.
+        let mut pace = PollBackoff::new(Duration::from_millis(16));
+        let sleeps: Vec<u64> = (0..6)
+            .map(|_| pace.idle_delay().as_millis() as u64)
+            .collect();
+        assert_eq!(sleeps, [1, 2, 4, 8, 16, 16]);
+        // Progress restarts the schedule at the floor.
+        pace.reset();
+        assert_eq!(pace.idle_delay(), Duration::from_millis(1));
+        assert_eq!(pace.idle_delay(), Duration::from_millis(2));
+        // A sub-millisecond interval is both floor and cap: the schedule
+        // degenerates to fixed-interval polling.
+        let mut fine = PollBackoff::new(Duration::from_micros(300));
+        assert_eq!(fine.idle_delay(), Duration::from_micros(300));
+        assert_eq!(fine.idle_delay(), Duration::from_micros(300));
+        // The floor never drops below 100 µs even for absurd intervals.
+        let mut tiny = PollBackoff::new(Duration::from_micros(1));
+        assert_eq!(tiny.idle_delay(), Duration::from_micros(100));
     }
 
     #[test]

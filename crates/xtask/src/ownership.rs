@@ -2,7 +2,7 @@
 //!
 //! DESIGN.md §13 declares which module owns each counter family —
 //! `OverloadStats`, `ResilienceStats`, `DaemonStats`, `JobStats`,
-//! `ReplicationStats` — so
+//! `ReplicationStats`, `DesStats`, `BatchStats` — so
 //! that merged reports never double-count. Before this rule the table
 //! was prose kept honest by hand; now the table itself is the machine
 //! input. The §13 table rows sit between HTML-comment markers:
@@ -35,13 +35,14 @@ use crate::scan::FileKind;
 use crate::workspace::Workspace;
 
 /// The counter families under ownership control.
-pub const FAMILIES: [&str; 6] = [
+pub const FAMILIES: [&str; 7] = [
     "OverloadStats",
     "ResilienceStats",
     "DaemonStats",
     "JobStats",
     "ReplicationStats",
     "DesStats",
+    "BatchStats",
 ];
 
 /// One parsed row of the §13 table.
